@@ -1,0 +1,465 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (Sec. 8) plus the headline claims, runs the ablation
+   sweeps called out in DESIGN.md, and micro-benchmarks the
+   protocol-critical data structures with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig6         # one figure
+     dune exec bench/main.exe -- fig6 fig8    # several
+     dune exec bench/main.exe -- --quick all  # shorter simulations
+     dune exec bench/main.exe -- --check all  # assert the paper's shape
+
+   Targets: fig6 fig7 fig8 fig9 headline claims ablations micro all *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Metrics = Totem_cluster.Metrics
+module Report = Totem_cluster.Report
+module Style = Totem_rrp.Style
+module Vtime = Totem_engine.Vtime
+module Const = Totem_srp.Const
+
+(* --- measurement -------------------------------------------------- *)
+
+let quick = ref false
+let check = ref false
+let csv_dir = ref None
+let failures = ref []
+
+let duration () = if !quick then Vtime.ms 400 else Vtime.sec 1
+let warmup () = Vtime.ms 300
+
+let expect name cond detail =
+  if !check then
+    if cond then Format.printf "  CHECK ok: %s@." name
+    else begin
+      Format.printf "  CHECK FAILED: %s (%s)@." name detail;
+      failures := name :: !failures
+    end
+
+let run_point ?(const = Const.default) ~num_nodes ~num_nets ~style ~size () =
+  let config = Config.make ~num_nodes ~num_nets ~style ~const () in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  Workload.saturate cluster ~size;
+  let tp =
+    Metrics.measure_throughput cluster ~warmup:(warmup ()) ~duration:(duration ())
+  in
+  let util = Metrics.network_utilisation cluster ~net:0 in
+  (tp, util)
+
+let sizes = [| 100; 200; 400; 700; 1024; 1400; 2048; 4096; 8192; 10240 |]
+
+let styles =
+  [
+    ("no repl", Style.No_replication);
+    ("active", Style.Active);
+    ("passive", Style.Passive);
+  ]
+
+(* One sweep serves both the msgs/sec figure and the KB/sec figure. *)
+let sweep ~num_nodes =
+  List.map
+    (fun (name, style) ->
+      let points =
+        Array.map
+          (fun size ->
+            let tp, _ = run_point ~num_nodes ~num_nets:2 ~style ~size () in
+            tp)
+          sizes
+      in
+      (name, style, points))
+    styles
+
+let cache : (int, (string * Style.t * Metrics.throughput array) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let sweep_cached ~num_nodes =
+  match Hashtbl.find_opt cache num_nodes with
+  | Some s -> s
+  | None ->
+    let s = sweep ~num_nodes in
+    Hashtbl.replace cache num_nodes s;
+    s
+
+let rate_series s =
+  List.map
+    (fun (name, _, pts) -> (name, Array.map (fun p -> p.Metrics.msgs_per_sec) pts))
+    s
+
+let bw_series s =
+  List.map
+    (fun (name, _, pts) -> (name, Array.map (fun p -> p.Metrics.kbytes_per_sec) pts))
+    s
+
+let find_series s name = List.assoc name s
+
+let idx_of_size size =
+  let found = ref (-1) in
+  Array.iteri (fun i s -> if s = size then found := i) sizes;
+  !found
+
+let shape_checks ~num_nodes s =
+  let rates = rate_series s and bws = bw_series s in
+  let at series name size = (find_series series name).(idx_of_size size) in
+  let none_1k = at rates "no repl" 1024
+  and act_1k = at rates "active" 1024
+  and pas_1k = at rates "passive" 1024 in
+  expect
+    (Printf.sprintf "%d nodes: active below unreplicated at 1KB" num_nodes)
+    (act_1k < none_1k)
+    (Printf.sprintf "active=%.0f none=%.0f" act_1k none_1k);
+  expect
+    (Printf.sprintf "%d nodes: passive above unreplicated at 1KB" num_nodes)
+    (pas_1k > none_1k)
+    (Printf.sprintf "passive=%.0f none=%.0f" pas_1k none_1k);
+  expect
+    (Printf.sprintf "%d nodes: active reduction O(1000-1500) msgs/s" num_nodes)
+    (none_1k -. act_1k >= 500.0 && none_1k -. act_1k <= 3000.0)
+    (Printf.sprintf "gap=%.0f" (none_1k -. act_1k));
+  let gain_kb = at bws "passive" 1024 -. at bws "no repl" 1024 in
+  expect
+    (Printf.sprintf "%d nodes: passive gains O(2000-4000) KB/s" num_nodes)
+    (gain_kb >= 1000.0 && gain_kb <= 6000.0)
+    (Printf.sprintf "gain=%.0f KB/s" gain_kb);
+  (* Packing peaks: frame-fill efficiency peaks at 700 and 1400 bytes
+     (Sec. 8). *)
+  let bw_none x = at bws "no repl" x in
+  expect
+    (Printf.sprintf "%d nodes: 700B peak" num_nodes)
+    (bw_none 700 > bw_none 400)
+    (Printf.sprintf "700B=%.0f 400B=%.0f" (bw_none 700) (bw_none 400));
+  expect
+    (Printf.sprintf "%d nodes: 1400B peak" num_nodes)
+    (bw_none 1400 > bw_none 1024)
+    (Printf.sprintf "1400B=%.0f 1024B=%.0f" (bw_none 1400) (bw_none 1024));
+  (* Passive exceeds one Ethernet but does not approach twice the
+     unreplicated rate (Sec. 8). *)
+  let max_ratio =
+    Array.fold_left max 0.0
+      (Array.mapi
+         (fun i _ ->
+           Report.ratio
+             (find_series rates "passive").(i)
+             (find_series rates "no repl").(i))
+         sizes)
+  in
+  expect
+    (Printf.sprintf "%d nodes: passive does not approach 2x" num_nodes)
+    (max_ratio < 1.9)
+    (Printf.sprintf "max ratio %.2f" max_ratio)
+
+let fig ~n ~num_nodes ~bandwidth () =
+  let s = sweep_cached ~num_nodes in
+  let title =
+    Printf.sprintf "Figure %d: transmission rate (%s) vs message length, %d nodes"
+      n
+      (if bandwidth then "Kbytes/sec" else "msgs/sec")
+      num_nodes
+  in
+  let series = if bandwidth then bw_series s else rate_series s in
+  Report.print_series ~title ~x_label:"bytes" ~xs:sizes series;
+  Report.ascii_plot
+    ~title:
+      (if bandwidth then "          (Kbytes/sec, linear)"
+       else "          (msgs/sec, log scale)")
+    ~log_y:(not bandwidth) ~xs:sizes series;
+  (match !csv_dir with
+  | Some dir ->
+    let path = Filename.concat dir (Printf.sprintf "fig%d.csv" n) in
+    let oc = open_out path in
+    output_string oc (Report.csv_of_series ~x_label:"bytes" ~xs:sizes ~series);
+    close_out oc;
+    Format.printf "  (wrote %s)@." path
+  | None -> ());
+  if not bandwidth then shape_checks ~num_nodes s
+
+let fig6 () = fig ~n:6 ~num_nodes:4 ~bandwidth:false ()
+let fig7 () = fig ~n:7 ~num_nodes:6 ~bandwidth:false ()
+let fig8 () = fig ~n:8 ~num_nodes:4 ~bandwidth:true ()
+let fig9 () = fig ~n:9 ~num_nodes:6 ~bandwidth:true ()
+
+(* --- headline: Sec. 2's ">9,000 one-Kbyte msgs/sec, ~90%" --------- *)
+
+let headline () =
+  let tp, util =
+    run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size:1024 ()
+  in
+  Format.printf "Headline (Sec. 2): unreplicated Totem, 4 nodes, 1 Kbyte messages:@.";
+  Format.printf
+    "  %.0f msgs/sec at %.0f%% Ethernet utilisation (paper: >9,000 at ~90%%)@."
+    tp.Metrics.msgs_per_sec (util *. 100.0);
+  expect "headline >9000 msgs/s"
+    (tp.Metrics.msgs_per_sec > 8500.0)
+    (Printf.sprintf "%.0f" tp.Metrics.msgs_per_sec);
+  expect "headline ~90% utilisation" (util > 0.8 && util < 0.95)
+    (Printf.sprintf "%.2f" util)
+
+(* --- claims table: the numeric sentences of Sec. 8 ---------------- *)
+
+let claims () =
+  let s = sweep_cached ~num_nodes:4 in
+  let rates = rate_series s and bws = bw_series s in
+  let at series name i = (List.assoc name series).(i) in
+  Format.printf "Sec. 8 claim checks (4 nodes):@.";
+  Format.printf "  %-10s %12s %12s %13s %12s %14s@." "size" "none msg/s"
+    "active msg/s" "passive msg/s" "active gap" "passive +KB/s";
+  Array.iteri
+    (fun i size ->
+      Format.printf "  %-10d %12.0f %12.0f %13.0f %12.0f %14.0f@." size
+        (at rates "no repl" i) (at rates "active" i) (at rates "passive" i)
+        (at rates "no repl" i -. at rates "active" i)
+        (at bws "passive" i -. at bws "no repl" i))
+    sizes
+
+(* --- ablations ----------------------------------------------------- *)
+
+let ablation_passive_token_timer () =
+  Format.printf
+    "@.Ablation: passive token-buffer timeout under 10%% loss (P3 trade-off)@.";
+  Format.printf "  (the paper chose 10 ms, Sec. 6)@.";
+  List.iter
+    (fun ms ->
+      let rrp =
+        {
+          Totem_rrp.Rrp_config.default with
+          Totem_rrp.Rrp_config.passive_token_timeout = Vtime.ms ms;
+        }
+      in
+      let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive ~rrp () in
+      let cluster = Cluster.create config in
+      Cluster.start cluster;
+      Cluster.set_network_loss cluster 0 0.1;
+      Cluster.set_network_loss cluster 1 0.1;
+      Workload.saturate cluster ~size:1024;
+      let tp =
+        Metrics.measure_throughput cluster ~warmup:(warmup ())
+          ~duration:(duration ())
+      in
+      Format.printf "  timeout %3d ms: %8.0f msgs/sec@." ms tp.Metrics.msgs_per_sec)
+    [ 1; 5; 10; 50; 100 ]
+
+let detection_latency ~style ~threshold =
+  let rrp =
+    {
+      Totem_rrp.Rrp_config.default with
+      Totem_rrp.Rrp_config.active_problem_threshold = threshold;
+      passive_monitor_threshold = threshold;
+    }
+  in
+  let config = Config.make ~num_nodes:4 ~num_nets:2 ~style ~rrp () in
+  let cluster = Cluster.create config in
+  let detected = ref None in
+  Cluster.on_fault_report cluster (fun _ _ ->
+      if !detected = None then detected := Some (Cluster.now cluster));
+  Cluster.start cluster;
+  Workload.saturate cluster ~size:1024;
+  Cluster.run_for cluster (Vtime.ms 300);
+  let fail_at = Cluster.now cluster in
+  Cluster.fail_network cluster 0;
+  Cluster.run_for cluster (Vtime.sec 5);
+  Option.map (fun t -> Vtime.to_float_ms (Vtime.sub t fail_at)) !detected
+
+let ablation_detection_threshold () =
+  Format.printf "@.Ablation: fault-detection threshold vs detection latency (A5/P4)@.";
+  List.iter
+    (fun threshold ->
+      let a = detection_latency ~style:Style.Active ~threshold in
+      let p = detection_latency ~style:Style.Passive ~threshold in
+      let show = function
+        | Some ms -> Printf.sprintf "%7.1f ms" ms
+        | None -> "   (none)"
+      in
+      Format.printf "  threshold %4d: active %s   passive %s@." threshold (show a)
+        (show p))
+    [ 5; 10; 50; 200 ]
+
+let ablation_active_passive_k () =
+  Format.printf "@.Ablation: active-passive K on a 4-network fabric (Sec. 7)@.";
+  List.iter
+    (fun k ->
+      let tp, _ =
+        run_point ~num_nodes:4 ~num_nets:4 ~style:(Style.Active_passive k)
+          ~size:1024 ()
+      in
+      Format.printf "  K=%d: %8.0f msgs/sec@." k tp.Metrics.msgs_per_sec)
+    [ 2; 3 ];
+  let tp_act, _ =
+    run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Active ~size:1024 ()
+  in
+  let tp_pas, _ =
+    run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Passive ~size:1024 ()
+  in
+  Format.printf "  (passive = K=1 limit: %.0f; active = K=4 limit: %.0f)@."
+    tp_pas.Metrics.msgs_per_sec tp_act.Metrics.msgs_per_sec
+
+let ablation_packing () =
+  Format.printf "@.Ablation: message packing on/off (the 700-byte peak's cause)@.";
+  let pair size =
+    let on, _ =
+      run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
+    in
+    let const = { Const.default with Const.packing_enabled = false } in
+    let off, _ =
+      run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
+    in
+    (on.Metrics.msgs_per_sec, off.Metrics.msgs_per_sec)
+  in
+  List.iter
+    (fun size ->
+      let on, off = pair size in
+      Format.printf
+        "  %5d bytes: packed %8.0f msgs/sec   unpacked %8.0f msgs/sec (%.1fx)@."
+        size on off (Report.ratio on off))
+    [ 100; 400; 700 ];
+  if !check then begin
+    let on, off = pair 100 in
+    expect "packing wins at small sizes" (on > 1.5 *. off)
+      (Printf.sprintf "on=%.0f off=%.0f" on off)
+  end
+
+let ablation_window () =
+  Format.printf "@.Ablation: flow-control window (packets per rotation)@.";
+  List.iter
+    (fun w ->
+      let const = { Const.default with Const.window_size = w } in
+      let tp, _ =
+        run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
+          ~size:1024 ()
+      in
+      Format.printf "  window %3d: %8.0f msgs/sec@." w tp.Metrics.msgs_per_sec)
+    [ 10; 25; 50; 100 ]
+
+let ablations () =
+  ablation_passive_token_timer ();
+  ablation_detection_threshold ();
+  ablation_active_passive_k ();
+  ablation_packing ();
+  ablation_window ()
+
+(* --- Bechamel micro-benchmarks ------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let msgs =
+    List.init 24 (fun i ->
+        Totem_srp.Message.make ~origin:0 ~app_seq:i
+          ~size:(100 + (i * 53 mod 1400))
+          ())
+  in
+  let const = Const.default in
+  let pack_test =
+    Test.make ~name:"Packing.pack (24 mixed msgs)"
+      (Staged.stage (fun () -> ignore (Totem_srp.Packing.pack const msgs)))
+  in
+  let store_test =
+    Test.make ~name:"Recv_buffer 64x store+pop"
+      (Staged.stage (fun () ->
+           let b = Totem_srp.Recv_buffer.create () in
+           for seq = 1 to 64 do
+             ignore
+               (Totem_srp.Recv_buffer.store b
+                  { Totem_srp.Wire.ring_id = 1; seq; sender = 0; elements = [] })
+           done;
+           ignore (Totem_srp.Recv_buffer.pop_deliverable b)))
+  in
+  let queue_test =
+    Test.make ~name:"Event_queue 256x push/pop"
+      (Staged.stage (fun () ->
+           let q = Totem_engine.Event_queue.create () in
+           for i = 0 to 255 do
+             ignore (Totem_engine.Event_queue.push q ~time:(i * 37 mod 101) i)
+           done;
+           while Totem_engine.Event_queue.pop q <> None do
+             ()
+           done))
+  in
+  let rng_test =
+    let rng = Totem_engine.Rng.create ~seed:1 in
+    Test.make ~name:"Rng.int 256x"
+      (Staged.stage (fun () ->
+           for _ = 1 to 256 do
+             ignore (Totem_engine.Rng.int rng 1000)
+           done))
+  in
+  let merge_test =
+    let a = List.init 100 (fun i -> 2 * i)
+    and b = List.init 100 (fun i -> (2 * i) + 1) in
+    Test.make ~name:"Retransmit.merge (100+100)"
+      (Staged.stage (fun () -> ignore (Totem_srp.Retransmit.merge a b)))
+  in
+  Format.printf "@.Micro-benchmarks (Bechamel, ns per run):@.";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg
+          Toolkit.Instance.[ monotonic_clock ]
+          (Test.make_grouped ~name:"g" [ test ])
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Format.printf "  %-34s %12.1f ns@." name est
+          | _ -> Format.printf "  %-34s (no estimate)@." name)
+        ols)
+    [ pack_test; store_test; queue_test; rng_test; merge_test ]
+
+(* --- driver -------------------------------------------------------- *)
+
+let all_targets =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("headline", headline);
+    ("claims", claims);
+    ("ablations", ablations);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        match a with
+        | "--quick" ->
+          quick := true;
+          false
+        | "--check" ->
+          check := true;
+          false
+        | a when String.length a > 6 && String.sub a 0 6 = "--csv=" ->
+          csv_dir := Some (String.sub a 6 (String.length a - 6));
+          false
+        | _ -> true)
+      args
+  in
+  let targets =
+    if args = [] || List.mem "all" args then List.map fst all_targets else args
+  in
+  List.iter
+    (fun t ->
+      match List.assoc_opt t all_targets with
+      | Some f ->
+        Format.printf "@.=== %s ===@." t;
+        f ()
+      | None ->
+        Format.printf "unknown target %s (known: %s)@." t
+          (String.concat " " (List.map fst all_targets)))
+    targets;
+  if !check then
+    if !failures = [] then Format.printf "@.All shape checks passed.@."
+    else begin
+      Format.printf "@.%d shape checks FAILED.@." (List.length !failures);
+      exit 1
+    end

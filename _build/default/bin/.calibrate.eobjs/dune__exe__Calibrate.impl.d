@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array Format List Sys Totem_cluster Totem_engine Totem_rrp Totem_srp

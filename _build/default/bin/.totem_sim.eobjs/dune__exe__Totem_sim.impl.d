@@ -1,0 +1,1 @@
+bin/totem_sim.ml: Arg Array Cmd Cmdliner Format Printf String Term Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+bin/totem_sim.mli:

@@ -1,0 +1,60 @@
+(* Developer tool: sweep the CPU cost-model constants and print the
+   throughput of each replication style at representative message sizes.
+   Used to calibrate Const.default against the paper's headline numbers
+   (Sec. 2 and Sec. 8); see DESIGN.md. Usage:
+
+     calibrate [frame_us] [msg_us] [dup_us] [token_us]            *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Metrics = Totem_cluster.Metrics
+module Style = Totem_rrp.Style
+module Vtime = Totem_engine.Vtime
+
+let run ~const ~style ~num_nets ~size =
+  let config = Config.make ~num_nodes:4 ~num_nets ~style ~const () in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  Workload.saturate cluster ~size;
+  let tp =
+    Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
+      ~duration:(Vtime.sec 1)
+  in
+  let util = Metrics.network_utilisation cluster ~net:0 in
+  (tp.Metrics.msgs_per_sec, util)
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  in
+  let d = Totem_srp.Const.default in
+  let us v = Vtime.to_float_sec v *. 1e6 |> int_of_float in
+  let frame = arg 1 (us d.Totem_srp.Const.cpu_frame_cost)
+  and msg = arg 2 (us d.Totem_srp.Const.cpu_message_cost)
+  and dup = arg 3 (us d.Totem_srp.Const.cpu_duplicate_cost)
+  and token = arg 4 (us d.Totem_srp.Const.cpu_token_cost) in
+  let const =
+    {
+      Totem_srp.Const.default with
+      cpu_frame_cost = Vtime.us frame;
+      cpu_message_cost = Vtime.us msg;
+      cpu_duplicate_cost = Vtime.us dup;
+      cpu_token_cost = Vtime.us token;
+      cpu_byte_cost_ns = (if Array.length Sys.argv > 5 then int_of_string Sys.argv.(5) else Totem_srp.Const.default.Totem_srp.Const.cpu_byte_cost_ns);
+    }
+  in
+  Format.printf "F=%dus M=%dus D=%dus T=%dus@." frame msg dup token;
+  List.iter
+    (fun size ->
+      let none, util_none =
+        run ~const ~style:Style.No_replication ~num_nets:2 ~size
+      in
+      let active, _ = run ~const ~style:Style.Active ~num_nets:2 ~size in
+      let passive, _ = run ~const ~style:Style.Passive ~num_nets:2 ~size in
+      Format.printf
+        "size=%5d  none=%8.0f (util %.0f%%)  active=%8.0f (%+6.0f)  passive=%8.0f (%+6.0f, %+6.0f KB/s)@."
+        size none (100. *. util_none) active (active -. none) passive
+        (passive -. none)
+        ((passive -. none) *. float_of_int size /. 1024.))
+    [ 100; 400; 700; 1024; 1400; 4096; 10240 ]

@@ -1,0 +1,255 @@
+(* totem-sim: command-line driver for the simulated Totem RRP testbed.
+
+   Subcommands:
+     throughput   measure saturated throughput for one configuration
+     failover     run a fault-injection timeline and report the outcome
+     latency      measure end-to-end delivery latency under light load
+     trace        run briefly with protocol tracing and dump the events *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Metrics = Totem_cluster.Metrics
+module Scenario = Totem_cluster.Scenario
+module Style = Totem_rrp.Style
+module Vtime = Totem_engine.Vtime
+open Cmdliner
+
+(* --- shared options ------------------------------------------------ *)
+
+let style_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" | "single" | "no-replication" -> Ok Style.No_replication
+    | "active" -> Ok Style.Active
+    | "passive" -> Ok Style.Passive
+    | s when String.length s > 3 && String.sub s 0 3 = "ap:" -> (
+      try
+        Ok (Style.Active_passive (int_of_string (String.sub s 3 (String.length s - 3))))
+      with _ -> Error (`Msg "expected ap:<K>"))
+    | _ -> Error (`Msg "expected none|active|passive|ap:<K>")
+  in
+  let print ppf = function
+    | Style.No_replication -> Format.pp_print_string ppf "none"
+    | Style.Active -> Format.pp_print_string ppf "active"
+    | Style.Passive -> Format.pp_print_string ppf "passive"
+    | Style.Active_passive k -> Format.fprintf ppf "ap:%d" k
+  in
+  Arg.conv (parse, print)
+
+let style_t =
+  Arg.(
+    value
+    & opt style_conv Style.Passive
+    & info [ "style"; "r" ] ~docv:"STYLE"
+        ~doc:"Replication style: none, active, passive, or ap:K.")
+
+let nodes_t =
+  Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~docv:"M" ~doc:"Number of nodes.")
+
+let nets_t =
+  Arg.(
+    value & opt int 2 & info [ "nets" ] ~docv:"N" ~doc:"Number of redundant networks.")
+
+let size_t =
+  Arg.(value & opt int 1024 & info [ "size"; "s" ] ~docv:"BYTES" ~doc:"Message size.")
+
+let seconds_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "seconds"; "d" ] ~docv:"S" ~doc:"Simulated measurement duration.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let loss_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Sporadic frame-loss probability on every network.")
+
+let style_name = function
+  | Style.No_replication -> "none"
+  | Style.Active -> "active"
+  | Style.Passive -> "passive"
+  | Style.Active_passive k -> Printf.sprintf "active-passive K=%d" k
+
+let make_cluster ~style ~nodes ~nets ~seed =
+  let config = Config.make ~num_nodes:nodes ~num_nets:nets ~style ~seed () in
+  Cluster.create config
+
+(* --- throughput ----------------------------------------------------- *)
+
+let throughput style nodes nets size seconds seed loss =
+  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  Cluster.start cluster;
+  if loss > 0.0 then
+    for net = 0 to nets - 1 do
+      Cluster.set_network_loss cluster net loss
+    done;
+  Workload.saturate cluster ~size;
+  let tp =
+    Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
+      ~duration:(Vtime.of_float_sec seconds)
+  in
+  Format.printf "style=%s nodes=%d nets=%d size=%dB loss=%.2f@." (style_name style)
+    nodes nets size loss;
+  Format.printf "throughput: %.0f msgs/sec, %.0f Kbytes/sec@." tp.Metrics.msgs_per_sec
+    tp.Metrics.kbytes_per_sec;
+  Totem_cluster.Net_report.print cluster
+
+let throughput_cmd =
+  let doc = "Measure saturated throughput (the Sec. 8 experiment, one point)." in
+  Cmd.v
+    (Cmd.info "throughput" ~doc)
+    Term.(
+      const throughput $ style_t $ nodes_t $ nets_t $ size_t $ seconds_t $ seed_t
+      $ loss_t)
+
+(* --- failover -------------------------------------------------------- *)
+
+let failover style nodes nets seed fail_at heal_at =
+  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  Cluster.on_fault_report cluster (fun node report ->
+      Format.printf "[%a] ALARM at node %d: %a@." Vtime.pp (Cluster.now cluster) node
+        Totem_rrp.Fault_report.pp report);
+  let ring_changes = ref 0 in
+  Cluster.on_ring_change cluster (fun _ ~ring_id:_ ~members:_ -> incr ring_changes);
+  Cluster.start cluster;
+  Workload.saturate cluster ~size:1024;
+  let initial = !ring_changes in
+  Scenario.schedule cluster
+    ([ (Vtime.of_float_sec fail_at, Scenario.Fail_network 0) ]
+    @
+    match heal_at with
+    | Some h -> [ (Vtime.of_float_sec h, Scenario.Heal_network 0) ]
+    | None -> []);
+  let watch label d =
+    let b = Cluster.delivered_at cluster 0 in
+    Cluster.run_for cluster d;
+    Format.printf "%-22s %8.0f msgs/sec@." label
+      (float_of_int (Cluster.delivered_at cluster 0 - b) /. Vtime.to_float_sec d)
+  in
+  watch "before failure:" (Vtime.of_float_sec fail_at);
+  watch "during failure:" (Vtime.sec 2);
+  (match heal_at with Some _ -> watch "after repair:" (Vtime.sec 1) | None -> ());
+  Format.printf "membership changes caused by the network fault: %d@."
+    (!ring_changes - initial);
+  Totem_cluster.Net_report.print cluster
+
+let fail_at_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "fail-at" ] ~docv:"S" ~doc:"When network 0 fails (simulated seconds).")
+
+let heal_at_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "heal-at" ] ~docv:"S" ~doc:"When the administrator repairs it.")
+
+let failover_cmd =
+  let doc = "Fail a network mid-run; show transparency and fault reports." in
+  Cmd.v (Cmd.info "failover" ~doc)
+    Term.(const failover $ style_t $ nodes_t $ nets_t $ seed_t $ fail_at_t $ heal_at_t)
+
+(* --- latency --------------------------------------------------------- *)
+
+let latency style nodes nets size seed =
+  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  Cluster.start cluster;
+  let probe = Metrics.install_latency cluster in
+  Workload.fixed_rate cluster ~node:0 ~size ~interval:(Vtime.ms 5) ~count:500 ();
+  Cluster.run_for cluster (Vtime.sec 4);
+  let s = Metrics.latency_summary probe in
+  Format.printf
+    "style=%s: latency over %d deliveries: mean %.3f ms, min %.3f, max %.3f, sd %.3f@."
+    (style_name style)
+    (Totem_engine.Stats.Summary.count s)
+    (Totem_engine.Stats.Summary.mean s)
+    (Totem_engine.Stats.Summary.min s)
+    (Totem_engine.Stats.Summary.max s)
+    (Totem_engine.Stats.Summary.stddev s)
+
+let latency_cmd =
+  let doc = "Measure submission-to-delivery latency under light load." in
+  Cmd.v (Cmd.info "latency" ~doc)
+    Term.(const latency $ style_t $ nodes_t $ nets_t $ size_t $ seed_t)
+
+(* --- trace ----------------------------------------------------------- *)
+
+let trace style nodes nets seed millis =
+  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  Totem_engine.Trace.enable (Cluster.trace cluster);
+  Cluster.start cluster;
+  for node = 0 to nodes - 1 do
+    Totem_srp.Srp.submit (Cluster.srp (Cluster.node cluster node)) ~size:256 ()
+  done;
+  Cluster.run_for cluster (Vtime.ms millis);
+  Totem_engine.Trace.dump Format.std_formatter (Cluster.trace cluster)
+
+let millis_t =
+  Arg.(
+    value & opt int 5
+    & info [ "millis"; "t" ] ~docv:"MS" ~doc:"How long to run (simulated milliseconds).")
+
+let trace_cmd =
+  let doc = "Run briefly with protocol tracing enabled and dump the log." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace $ style_t $ nodes_t $ nets_t $ seed_t $ millis_t)
+
+(* --- sweep ------------------------------------------------------------ *)
+
+let sweep style nodes nets seconds seed csv =
+  let sizes = [| 100; 200; 400; 700; 1024; 1400; 2048; 4096; 8192; 10240 |] in
+  let rates =
+    Array.map
+      (fun size ->
+        let cluster = make_cluster ~style ~nodes ~nets ~seed in
+        Cluster.start cluster;
+        Workload.saturate cluster ~size;
+        let tp =
+          Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
+            ~duration:(Vtime.of_float_sec seconds)
+        in
+        (tp.Metrics.msgs_per_sec, tp.Metrics.kbytes_per_sec))
+      sizes
+  in
+  Format.printf "style=%s nodes=%d nets=%d@." (style_name style) nodes nets;
+  Format.printf "%-8s %12s %12s@." "bytes" "msgs/sec" "KB/sec";
+  Array.iteri
+    (fun i size ->
+      let m, k = rates.(i) in
+      Format.printf "%-8d %12.0f %12.0f@." size m k)
+    sizes;
+  match csv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "bytes,msgs_per_sec,kbytes_per_sec\n";
+    Array.iteri
+      (fun i size ->
+        let m, k = rates.(i) in
+        output_string oc (Printf.sprintf "%d,%.2f,%.2f\n" size m k))
+      sizes;
+    close_out oc;
+    Format.printf "wrote %s@." path
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the sweep as CSV.")
+
+let sweep_cmd =
+  let doc = "Sweep message sizes for one configuration (one figure's series)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ style_t $ nodes_t $ nets_t $ seconds_t $ seed_t $ csv_t)
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "simulated Totem Redundant Ring Protocol testbed" in
+  let info = Cmd.info "totem-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ throughput_cmd; sweep_cmd; failover_cmd; latency_cmd; trace_cmd ]))

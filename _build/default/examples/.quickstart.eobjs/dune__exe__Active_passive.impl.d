@@ -1,0 +1,1 @@
+examples/active_passive.ml: Array Format Totem_cluster Totem_engine Totem_rrp Totem_srp

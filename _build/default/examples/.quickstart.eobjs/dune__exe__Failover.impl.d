@@ -1,0 +1,1 @@
+examples/failover.ml: Format List Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Format Hashtbl List Printf Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+examples/membership_change.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf String Totem_cluster Totem_engine Totem_rrp Totem_srp

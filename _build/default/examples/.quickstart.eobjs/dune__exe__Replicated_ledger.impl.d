@@ -1,0 +1,1 @@
+examples/replicated_ledger.ml: Array Format String Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+examples/rsm_bank.ml: Array Format List Map Option Printf String Totem_cluster Totem_engine Totem_rrp Totem_rsm

@@ -1,0 +1,1 @@
+examples/rsm_bank.mli:

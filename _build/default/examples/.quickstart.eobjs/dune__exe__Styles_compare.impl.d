@@ -1,0 +1,1 @@
+examples/styles_compare.ml: List Printf Totem_cluster Totem_engine Totem_rrp

@@ -1,0 +1,1 @@
+examples/styles_compare.mli:

@@ -1,0 +1,111 @@
+(* A replicated key-value store over the Totem RRP, using both delivery
+   guarantees:
+
+     - reads and ordinary writes ride on *agreed* delivery (fast:
+       delivered as soon as total order is established);
+     - "durable" writes use *safe* delivery — the write is applied only
+       once the token has proven every replica holds it, so no replica
+       can apply it and then partition away with the others never having
+       seen it.
+
+   The run measures the latency cost of the stronger guarantee, crashes
+   a replica, reboots it, and shows that it is re-admitted and converges
+   to the same store contents. *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Scenario = Totem_cluster.Scenario
+module Srp = Totem_srp.Srp
+module Message = Totem_srp.Message
+module Vtime = Totem_engine.Vtime
+module Stats = Totem_engine.Stats
+
+type Message.data += Put of { key : string; value : int; at : Vtime.t }
+
+let replicas = 4
+
+type store = { table : (string, int) Hashtbl.t; mutable applied : int }
+
+let () =
+  let config =
+    Config.make ~num_nodes:replicas ~num_nets:2 ~style:Totem_rrp.Style.Passive ()
+  in
+  let cluster = Cluster.create config in
+  let stores =
+    Array.init replicas (fun _ -> { table = Hashtbl.create 64; applied = 0 })
+  in
+  let agreed_lat = Stats.Summary.create () and safe_lat = Stats.Summary.create () in
+  Cluster.on_deliver cluster (fun node m ->
+      match m.Message.data with
+      | Put { key; value; at } ->
+        let s = stores.(node) in
+        Hashtbl.replace s.table key value;
+        s.applied <- s.applied + 1;
+        if node = 0 then
+          Stats.Summary.observe
+            (if m.Message.safe then safe_lat else agreed_lat)
+            (Vtime.to_float_ms (Vtime.sub (Cluster.now cluster) at))
+      | _ -> ());
+  Cluster.start cluster;
+
+  let put ~node ~safe key value =
+    Srp.submit (Cluster.srp (Cluster.node cluster node)) ~size:64 ~safe
+      ~data:(Put { key; value; at = Cluster.now cluster })
+      ()
+  in
+
+  (* Phase 1: mixed agreed and safe writes from two frontends. *)
+  for i = 1 to 200 do
+    put ~node:(i mod 2) ~safe:(i mod 4 = 0) (Printf.sprintf "key%d" (i mod 32)) i;
+    Cluster.run_for cluster (Vtime.ms 2)
+  done;
+  Cluster.run_for cluster (Vtime.ms 200);
+  Format.printf "Write latency (node 0's view):@.";
+  Format.printf "  agreed: mean %.2f ms over %d writes@."
+    (Stats.Summary.mean agreed_lat)
+    (Stats.Summary.count agreed_lat);
+  Format.printf "  safe:   mean %.2f ms over %d writes (stability costs a rotation)@."
+    (Stats.Summary.mean safe_lat) (Stats.Summary.count safe_lat);
+  assert (Stats.Summary.mean safe_lat > Stats.Summary.mean agreed_lat);
+
+  (* Phase 2: crash replica 2 mid-stream, keep writing, reboot it. *)
+  Scenario.apply cluster (Scenario.Crash_node 2);
+  for i = 201 to 300 do
+    put ~node:0 ~safe:(i mod 4 = 0) (Printf.sprintf "key%d" (i mod 32)) i;
+    Cluster.run_for cluster (Vtime.ms 2)
+  done;
+  Cluster.run_for cluster (Vtime.sec 1);
+  Scenario.apply cluster (Scenario.Recover_node 2);
+  Cluster.run_for cluster (Vtime.sec 2);
+
+  (* Phase 3: writes after re-admission reach the rebooted replica. *)
+  for i = 301 to 340 do
+    put ~node:1 ~safe:false (Printf.sprintf "key%d" (i mod 32)) i;
+    Cluster.run_for cluster (Vtime.ms 2)
+  done;
+  Cluster.run_for cluster (Vtime.sec 1);
+
+  let dump s =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table [])
+  in
+  let reference = dump stores.(0) in
+  Format.printf "Store sizes:";
+  Array.iter (fun s -> Format.printf " %d" (Hashtbl.length s.table)) stores;
+  Format.printf "@.";
+  let converged (* replicas 0,1,3 saw everything; 2 rebooted and saw phase 3 *) =
+    dump stores.(1) = reference && dump stores.(3) = reference
+  in
+  Format.printf "Replicas 0, 1, 3 identical: %b@." converged;
+  assert converged;
+  (* The rebooted replica holds exactly the keys written since it came
+     back — stale state was wiped with the reboot (a production system
+     would add state transfer on top; ordered delivery makes that easy). *)
+  let fresh_ok =
+    List.for_all
+      (fun (k, v) -> List.assoc_opt k reference = Some v)
+      (dump stores.(2))
+  in
+  Format.printf "Rebooted replica consistent with the primaries: %b@." fresh_ok;
+  assert fresh_ok;
+  Format.printf "Done.@."

@@ -1,0 +1,1 @@
+lib/cluster/cluster.pp.ml: Array Config Cpu List Printf Sim Totem_engine Totem_net Totem_rrp Totem_srp Trace Vtime

@@ -1,0 +1,1 @@
+lib/cluster/cluster.pp.mli: Config Totem_engine Totem_net Totem_rrp Totem_srp

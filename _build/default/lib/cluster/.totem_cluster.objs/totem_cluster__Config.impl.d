@@ -1,0 +1,1 @@
+lib/cluster/config.pp.ml: Array Totem_net Totem_rrp Totem_srp

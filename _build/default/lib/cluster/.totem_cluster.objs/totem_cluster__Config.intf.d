@@ -1,0 +1,1 @@
+lib/cluster/config.pp.mli: Totem_net Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+lib/cluster/metrics.pp.ml: Array Cluster Stats Totem_engine Totem_net Totem_srp Vtime Workload

@@ -1,0 +1,1 @@
+lib/cluster/metrics.pp.mli: Cluster Totem_engine Totem_net

@@ -1,0 +1,1 @@
+lib/cluster/net_report.pp.ml: Array Cluster Format List Metrics String Totem_net Totem_rrp

@@ -1,0 +1,1 @@
+lib/cluster/net_report.pp.mli: Cluster Format Totem_net

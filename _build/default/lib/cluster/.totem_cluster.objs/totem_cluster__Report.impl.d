@@ -1,0 +1,1 @@
+lib/cluster/report.pp.ml: Array Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/cluster/report.pp.mli: Format

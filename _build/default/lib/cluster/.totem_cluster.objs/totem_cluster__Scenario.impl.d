@@ -1,0 +1,1 @@
+lib/cluster/scenario.pp.ml: Cluster Format List String Totem_engine Totem_net

@@ -1,0 +1,1 @@
+lib/cluster/scenario.pp.mli: Cluster Format Totem_engine Totem_net

@@ -1,0 +1,1 @@
+lib/cluster/workload.pp.ml: Array Cluster List Option Rng Sim Totem_engine Totem_srp Vtime

@@ -1,0 +1,1 @@
+lib/cluster/workload.pp.mli: Cluster Totem_engine Totem_net Totem_srp

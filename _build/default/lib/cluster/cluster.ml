@@ -1,0 +1,168 @@
+open Totem_engine
+module Srp = Totem_srp
+module Rrp = Totem_rrp
+
+type node = {
+  id : Totem_net.Addr.node_id;
+  cpu : Cpu.t;
+  srp : Srp.Srp.t;
+  rrp : Rrp.Rrp.t;
+}
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  fabric : Totem_net.Fabric.t;
+  trace : Trace.t;
+  mutable nodes : node array;
+  mutable deliver_hooks :
+    (Totem_net.Addr.node_id -> Srp.Message.t -> unit) list;
+  mutable report_hooks :
+    (Totem_net.Addr.node_id -> Rrp.Fault_report.t -> unit) list;
+  mutable ring_hooks :
+    (Totem_net.Addr.node_id ->
+    ring_id:int ->
+    members:Totem_net.Addr.node_id array ->
+    unit)
+    list;
+  mutable reports : (Totem_net.Addr.node_id * Rrp.Fault_report.t) list;
+}
+
+let build_node t id =
+  let config = t.config in
+  let cpu = Cpu.create t.sim ~name:(Printf.sprintf "cpu%d" id) in
+  let rrp =
+    Rrp.Rrp.create t.sim ~fabric:t.fabric ~node:id ~const:config.Config.const
+      ~config:config.Config.rrp ~style:config.Config.style ~trace:t.trace ()
+  in
+  let callbacks =
+    {
+      Srp.Srp.on_deliver =
+        (fun m -> List.iter (fun h -> h id m) t.deliver_hooks);
+      on_ring_change =
+        (fun ~ring_id ~members ->
+          List.iter (fun h -> h id ~ring_id ~members) t.ring_hooks);
+    }
+  in
+  let srp =
+    Srp.Srp.create t.sim ~cpu ~const:config.Config.const ~me:id
+      ~lower:(Rrp.Rrp.lower rrp) ~trace:t.trace callbacks
+  in
+  Rrp.Rrp.connect rrp
+    ~deliver_data:(Srp.Srp.recv_data srp)
+    ~deliver_token:(Srp.Srp.token_arrived srp)
+    ~deliver_join:(Srp.Srp.recv_join srp)
+    ~deliver_probe:(Srp.Srp.recv_probe srp)
+    ~deliver_commit:(Srp.Srp.recv_commit srp)
+    ~my_aru:(fun () -> Srp.Srp.my_aru srp)
+    ~my_ring_id:(fun () -> Srp.Srp.current_ring_id srp)
+    ~on_fault_report:(fun report ->
+      t.reports <- t.reports @ [ (id, report) ];
+      List.iter (fun h -> h id report) t.report_hooks);
+  let recv_cost frame =
+    Srp.Const.frame_cpu_cost config.Config.const
+      ~payload_bytes:frame.Totem_net.Frame.payload_bytes
+  in
+  Totem_net.Fabric.attach_node t.fabric ~node:id ~cpu ~recv_cost
+    ~buffer_bytes:config.Config.buffer_bytes (fun ~net frame ->
+      if config.Config.codec_shadow then begin
+        match Srp.Codec.shadow_check frame.Totem_net.Frame.payload with
+        | Ok () -> ()
+        | Error msg -> failwith ("codec shadow check failed: " ^ msg)
+      end;
+      Rrp.Rrp.frame_received rrp ~net frame);
+  { id; cpu; srp; rrp }
+
+let create config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let sim = Sim.create ~seed:config.Config.seed () in
+  let fabric =
+    Totem_net.Fabric.create sim ~num_nodes:config.Config.num_nodes
+      ~num_nets:config.Config.num_nets ~config:config.Config.net
+      ?configs:config.Config.net_configs ()
+  in
+  let t =
+    {
+      config;
+      sim;
+      fabric;
+      trace = Trace.create sim;
+      nodes = [||];
+      deliver_hooks = [];
+      report_hooks = [];
+      ring_hooks = [];
+      reports = [];
+    }
+  in
+  t.nodes <- Array.init config.Config.num_nodes (build_node t);
+  t
+
+let all_members t = Array.init (Array.length t.nodes) (fun i -> i)
+
+let start t =
+  let members = all_members t in
+  Array.iter
+    (fun n -> Srp.Srp.install_ring n.srp ~ring_id:1 ~members)
+    t.nodes;
+  Srp.Srp.bootstrap_token t.nodes.(0).srp
+
+let start_cold t =
+  Array.iter (fun n -> Srp.Srp.start_gathering n.srp) t.nodes
+
+let sim t = t.sim
+let now t = Sim.now t.sim
+let run_until t time = Sim.run_until t.sim time
+let run_for t d = Sim.run_until t.sim (Vtime.add (Sim.now t.sim) d)
+let config t = t.config
+let trace t = t.trace
+
+let num_nodes t = Array.length t.nodes
+let node t id = t.nodes.(id)
+let srp n = n.srp
+let rrp n = n.rrp
+let cpu n = n.cpu
+let iter_nodes t f = Array.iter f t.nodes
+let crash_node t id = Srp.Srp.crash t.nodes.(id).srp
+let recover_node t id = Srp.Srp.recover t.nodes.(id).srp
+
+let on_deliver t h = t.deliver_hooks <- t.deliver_hooks @ [ h ]
+let on_fault_report t h = t.report_hooks <- t.report_hooks @ [ h ]
+let on_ring_change t h = t.ring_hooks <- t.ring_hooks @ [ h ]
+let fault_reports t = t.reports
+
+let fabric t = t.fabric
+
+let fail_network t net =
+  Totem_net.Fault.set_down (Totem_net.Fabric.fault t.fabric net) true
+
+let heal_network t net =
+  Totem_net.Fault.heal (Totem_net.Fabric.fault t.fabric net);
+  Array.iter (fun n -> Rrp.Rrp.clear_fault n.rrp ~net) t.nodes
+
+let set_network_loss t net p =
+  Totem_net.Fault.set_loss_probability (Totem_net.Fabric.fault t.fabric net) p
+
+let block_send t ~node ~net =
+  Totem_net.Fault.block_send (Totem_net.Fabric.fault t.fabric net) node
+
+let block_recv t ~node ~net =
+  Totem_net.Fault.block_recv (Totem_net.Fabric.fault t.fabric net) node
+
+let partition t ~net ~from_nodes ~to_nodes =
+  let fault = Totem_net.Fabric.fault t.fabric net in
+  List.iter
+    (fun src ->
+      List.iter (fun dst -> Totem_net.Fault.block_pair fault ~src ~dst) to_nodes)
+    from_nodes
+
+let total_delivered_messages t =
+  Array.fold_left
+    (fun acc n -> acc + (Srp.Srp.stats n.srp).Srp.Srp.delivered_messages)
+    0 t.nodes
+
+let delivered_at t id = (Srp.Srp.stats t.nodes.(id).srp).Srp.Srp.delivered_messages
+
+let delivered_bytes_at t id =
+  (Srp.Srp.stats t.nodes.(id).srp).Srp.Srp.delivered_bytes

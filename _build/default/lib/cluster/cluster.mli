@@ -1,0 +1,108 @@
+(** A whole simulated testbed: M nodes, N networks, one RRP stack per
+    node, assembled and started in one call.
+
+    This is the highest-level entry point of the library; the examples
+    and every benchmark build on it. *)
+
+type node
+
+type t
+
+val create : Config.t -> t
+(** Builds the simulator, fabric and per-node protocol stacks. Nothing
+    runs yet; install hooks, then {!start}. *)
+
+val start : t -> unit
+(** Installs the initial ring (all nodes, ring id 1) on every node and
+    has node 0 originate the token — the state the paper's testbed is in
+    once Totem has formed its first ring. *)
+
+val start_cold : t -> unit
+(** Alternative start: every node begins in the membership protocol and
+    the first ring is formed by the protocol itself. *)
+
+(** {1 Running} *)
+
+val sim : t -> Totem_engine.Sim.t
+
+val now : t -> Totem_engine.Vtime.t
+
+val run_until : t -> Totem_engine.Vtime.t -> unit
+
+val run_for : t -> Totem_engine.Vtime.t -> unit
+
+val config : t -> Config.t
+
+val trace : t -> Totem_engine.Trace.t
+(** Disabled unless {!Totem_engine.Trace.enable}d. *)
+
+(** {1 Nodes} *)
+
+val num_nodes : t -> int
+
+val node : t -> Totem_net.Addr.node_id -> node
+
+val srp : node -> Totem_srp.Srp.t
+
+val rrp : node -> Totem_rrp.Rrp.t
+
+val cpu : node -> Totem_engine.Cpu.t
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val crash_node : t -> Totem_net.Addr.node_id -> unit
+
+val recover_node : t -> Totem_net.Addr.node_id -> unit
+(** Reboot a crashed node; it rejoins via the membership protocol. *)
+
+(** {1 Hooks} *)
+
+val on_deliver :
+  t -> (Totem_net.Addr.node_id -> Totem_srp.Message.t -> unit) -> unit
+(** Called for every agreed delivery at every node (appended to any
+    previously installed hook). *)
+
+val on_fault_report :
+  t -> (Totem_net.Addr.node_id -> Totem_rrp.Fault_report.t -> unit) -> unit
+
+val on_ring_change :
+  t ->
+  (Totem_net.Addr.node_id -> ring_id:int -> members:Totem_net.Addr.node_id array -> unit) ->
+  unit
+
+val fault_reports : t -> (Totem_net.Addr.node_id * Totem_rrp.Fault_report.t) list
+(** Every report issued so far, in issue order across the cluster. *)
+
+(** {1 Fault injection (delegates to the fabric)} *)
+
+val fabric : t -> Totem_net.Fabric.t
+
+val fail_network : t -> Totem_net.Addr.net_id -> unit
+
+val heal_network : t -> Totem_net.Addr.net_id -> unit
+(** Clears the injected fault {e and} every node's faulty mark for the
+    network (the administrator fixed it and told the nodes). *)
+
+val set_network_loss : t -> Totem_net.Addr.net_id -> float -> unit
+
+val block_send : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
+
+val block_recv : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
+
+val partition :
+  t ->
+  net:Totem_net.Addr.net_id ->
+  from_nodes:Totem_net.Addr.node_id list ->
+  to_nodes:Totem_net.Addr.node_id list ->
+  unit
+(** The network cannot deliver from any of [from_nodes] to any of
+    [to_nodes] (directed), Sec. 3's subset-to-subset fault. *)
+
+(** {1 Aggregate statistics} *)
+
+val total_delivered_messages : t -> int
+(** Sum over nodes (each message counts once per node that delivered it). *)
+
+val delivered_at : t -> Totem_net.Addr.node_id -> int
+
+val delivered_bytes_at : t -> Totem_net.Addr.node_id -> int

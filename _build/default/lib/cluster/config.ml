@@ -1,0 +1,40 @@
+type t = {
+  num_nodes : int;
+  num_nets : int;
+  style : Totem_rrp.Style.t;
+  const : Totem_srp.Const.t;
+  rrp : Totem_rrp.Rrp_config.t;
+  net : Totem_net.Network.config;
+  net_configs : Totem_net.Network.config array option;
+  buffer_bytes : int;
+  seed : int;
+  codec_shadow : bool;
+}
+
+let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
+    ?(const = Totem_srp.Const.default) ?(rrp = Totem_rrp.Rrp_config.default)
+    ?(net = Totem_net.Network.default_config) ?net_configs
+    ?(buffer_bytes = 65536) ?(seed = 42) ?(codec_shadow = false) () =
+  {
+    num_nodes;
+    num_nets;
+    style;
+    const;
+    rrp;
+    net;
+    net_configs;
+    buffer_bytes;
+    seed;
+    codec_shadow;
+  }
+
+let paper_testbed ~num_nodes ~style = make ~num_nodes ~num_nets:2 ~style ()
+
+let validate t =
+  if t.num_nodes < 1 then Error "need at least one node"
+  else if t.num_nets < 1 then Error "need at least one network"
+  else
+    match t.net_configs with
+    | Some cs when Array.length cs <> t.num_nets ->
+      Error "net_configs length must equal num_nets"
+    | _ -> Totem_rrp.Style.validate t.style ~num_nets:t.num_nets

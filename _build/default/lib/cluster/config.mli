@@ -1,0 +1,44 @@
+(** Cluster configuration: everything needed to stand up a simulated
+    testbed like the paper's (M workstations, N Ethernets, one
+    replication style). *)
+
+type t = {
+  num_nodes : int;
+  num_nets : int;
+  style : Totem_rrp.Style.t;
+  const : Totem_srp.Const.t;  (** SRP tunables and CPU cost model *)
+  rrp : Totem_rrp.Rrp_config.t;
+  net : Totem_net.Network.config;  (** applied to every network... *)
+  net_configs : Totem_net.Network.config array option;
+      (** ...unless per-network configs are given *)
+  buffer_bytes : int;  (** socket receive buffer per NIC (64 KB, Sec. 8) *)
+  seed : int;
+  codec_shadow : bool;
+      (** validate the binary codec against every frame the cluster
+          carries: each payload is encoded and decoded back, and any
+          mismatch aborts the run (testing aid) *)
+}
+
+val make :
+  ?num_nodes:int ->
+  ?num_nets:int ->
+  ?style:Totem_rrp.Style.t ->
+  ?const:Totem_srp.Const.t ->
+  ?rrp:Totem_rrp.Rrp_config.t ->
+  ?net:Totem_net.Network.config ->
+  ?net_configs:Totem_net.Network.config array ->
+  ?buffer_bytes:int ->
+  ?seed:int ->
+  ?codec_shadow:bool ->
+  unit ->
+  t
+(** Defaults: the paper's four-node, two-network testbed with passive
+    replication, default protocol constants, 100 Mbit/s switched
+    Ethernets, 64 KB socket buffers, seed 42. *)
+
+val paper_testbed : num_nodes:int -> style:Totem_rrp.Style.t -> t
+(** The Sec. 8 configuration: [num_nodes] hosts (4 or 6 in the paper),
+    two 100 Mbit/s Ethernets. With [No_replication] only network 0 is
+    used, exactly like the paper's baseline runs. *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,84 @@
+open Totem_engine
+module Srp = Totem_srp
+
+type throughput = {
+  msgs_per_sec : float;
+  kbytes_per_sec : float;
+  duration : Vtime.t;
+  messages : int;
+}
+
+let snapshot t =
+  let n = Cluster.num_nodes t in
+  let msgs = Array.init n (fun i -> Cluster.delivered_at t i) in
+  let bytes = Array.init n (fun i -> Cluster.delivered_bytes_at t i) in
+  (msgs, bytes)
+
+let measure_throughput t ~warmup ~duration =
+  Cluster.run_for t warmup;
+  let msgs0, bytes0 = snapshot t in
+  Cluster.run_for t duration;
+  let msgs1, bytes1 = snapshot t in
+  let n = Cluster.num_nodes t in
+  let dmsgs = ref 0.0 and dbytes = ref 0.0 in
+  for i = 0 to n - 1 do
+    dmsgs := !dmsgs +. float_of_int (msgs1.(i) - msgs0.(i));
+    dbytes := !dbytes +. float_of_int (bytes1.(i) - bytes0.(i))
+  done;
+  (* Every message is delivered once at every node: averaging per-node
+     deltas gives the system-wide ordered-message rate. *)
+  let per_node_msgs = !dmsgs /. float_of_int n in
+  let per_node_bytes = !dbytes /. float_of_int n in
+  let seconds = Vtime.to_float_sec duration in
+  {
+    msgs_per_sec = per_node_msgs /. seconds;
+    kbytes_per_sec = per_node_bytes /. seconds /. 1024.0;
+    duration;
+    messages = int_of_float per_node_msgs;
+  }
+
+type latency_probe = {
+  summary : Stats.Summary.t;
+  histogram : Stats.Histogram.t;
+  mutable armed_at : Vtime.t;
+}
+
+(* Log-spaced millisecond buckets from 10 us to ~10 s. *)
+let latency_buckets =
+  Array.init 60 (fun i -> 0.01 *. (1.26 ** float_of_int i))
+
+let install_latency t =
+  let probe =
+    {
+      summary = Stats.Summary.create ();
+      histogram = Stats.Histogram.create ~buckets:latency_buckets;
+      armed_at = Cluster.now t;
+    }
+  in
+  Cluster.on_deliver t (fun _node m ->
+      match m.Srp.Message.data with
+      | Workload.Stamped sent when sent >= probe.armed_at ->
+        let lat = Vtime.to_float_ms (Vtime.sub (Cluster.now t) sent) in
+        Stats.Summary.observe probe.summary lat;
+        Stats.Histogram.observe probe.histogram lat
+      | _ -> ());
+  probe
+
+let latency_summary probe = probe.summary
+
+let latency_quantile probe q = Stats.Histogram.quantile probe.histogram q
+
+let network_utilisation t ~net =
+  let network = Totem_net.Fabric.network (Cluster.fabric t) net in
+  let elapsed = Vtime.to_float_sec (Cluster.now t) in
+  if elapsed <= 0.0 then 0.0
+  else
+    let frames = float_of_int (Totem_net.Network.frames_sent network) in
+    let bytes = float_of_int (Totem_net.Network.bytes_on_wire network) in
+    let wire_bits =
+      8.0 *. (bytes +. (frames *. float_of_int Totem_net.Frame.preamble_ifg_bytes))
+    in
+    let bandwidth =
+      float_of_int (Totem_net.Network.config network).Totem_net.Network.bandwidth_bps
+    in
+    wire_bits /. elapsed /. bandwidth

@@ -1,0 +1,38 @@
+(** Measurement: throughput (the paper's Figures 6–9 metrics) and
+    delivery latency. *)
+
+type throughput = {
+  msgs_per_sec : float;
+      (** total system send rate, as in Figs. 6–7: messages ordered and
+          delivered per second (measured as deliveries seen by a node,
+          which each message reaches exactly once) *)
+  kbytes_per_sec : float;  (** utilised payload bandwidth, Figs. 8–9 *)
+  duration : Totem_engine.Vtime.t;
+  messages : int;
+}
+
+val measure_throughput :
+  Cluster.t ->
+  warmup:Totem_engine.Vtime.t ->
+  duration:Totem_engine.Vtime.t ->
+  throughput
+(** Runs the cluster for [warmup] (discarded), then [duration], and
+    averages the per-node delivery deltas. The workload must already be
+    installed (e.g. {!Workload.saturate}). *)
+
+type latency_probe
+
+val install_latency : Cluster.t -> latency_probe
+(** Records submission-to-delivery latency of every
+    {!Workload.Stamped} message delivered anywhere, from now on. *)
+
+val latency_summary : latency_probe -> Totem_engine.Stats.Summary.t
+(** Latencies in milliseconds. *)
+
+val latency_quantile : latency_probe -> float -> float
+(** Upper bound (log-spaced bucket edge) on the given latency quantile,
+    in milliseconds — e.g. [latency_quantile probe 0.99]. *)
+
+val network_utilisation : Cluster.t -> net:Totem_net.Addr.net_id -> float
+(** Bytes-on-wire (including Ethernet overheads) over elapsed time, as a
+    fraction of the network's bandwidth. *)

@@ -1,0 +1,49 @@
+type network_row = {
+  net : Totem_net.Addr.net_id;
+  frames_sent : int;
+  frames_delivered : int;
+  frames_lost : int;
+  frames_faulted : int;
+  kbytes_on_wire : float;
+  utilisation : float;
+  buffer_drops : int;
+  marked_faulty_by : Totem_net.Addr.node_id list;
+}
+
+let collect t =
+  let fabric = Cluster.fabric t in
+  List.init (Totem_net.Fabric.num_nets fabric) (fun net ->
+      let network = Totem_net.Fabric.network fabric net in
+      let buffer_drops = ref 0 in
+      let marked = ref [] in
+      for node = Cluster.num_nodes t - 1 downto 0 do
+        let nic = Totem_net.Fabric.nic fabric ~node ~net in
+        buffer_drops := !buffer_drops + Totem_net.Nic.frames_dropped_buffer nic;
+        if (Totem_rrp.Rrp.faulty (Cluster.rrp (Cluster.node t node))).(net) then
+          marked := node :: !marked
+      done;
+      {
+        net;
+        frames_sent = Totem_net.Network.frames_sent network;
+        frames_delivered = Totem_net.Network.frames_delivered network;
+        frames_lost = Totem_net.Network.frames_lost network;
+        frames_faulted = Totem_net.Network.frames_faulted network;
+        kbytes_on_wire =
+          float_of_int (Totem_net.Network.bytes_on_wire network) /. 1024.0;
+        utilisation = Metrics.network_utilisation t ~net;
+        buffer_drops = !buffer_drops;
+        marked_faulty_by = !marked;
+      })
+
+let print ?(out = Format.std_formatter) t =
+  Format.fprintf out
+    "%-6s %10s %10s %8s %8s %12s %7s %9s  %s@." "net" "sent" "delivered"
+    "lost" "faulted" "KB on wire" "util%" "buf drops" "marked faulty by";
+  List.iter
+    (fun r ->
+      Format.fprintf out "%-6s %10d %10d %8d %8d %12.0f %7.1f %9d  [%s]@."
+        (Format.asprintf "%a" Totem_net.Addr.pp_net r.net)
+        r.frames_sent r.frames_delivered r.frames_lost r.frames_faulted
+        r.kbytes_on_wire (100.0 *. r.utilisation) r.buffer_drops
+        (String.concat ";" (List.map string_of_int r.marked_faulty_by)))
+    (collect t)

@@ -1,0 +1,21 @@
+(** Per-network observability: the counters an administrator would look
+    at after an alarm (frames on the wire, losses, faults, utilisation,
+    buffer drops per NIC). *)
+
+type network_row = {
+  net : Totem_net.Addr.net_id;
+  frames_sent : int;
+  frames_delivered : int;
+  frames_lost : int;  (** dropped by the sporadic-loss process *)
+  frames_faulted : int;  (** dropped by injected deterministic faults *)
+  kbytes_on_wire : float;
+  utilisation : float;  (** of the network's bandwidth, since start *)
+  buffer_drops : int;  (** socket-buffer overflows summed over NICs *)
+  marked_faulty_by : Totem_net.Addr.node_id list;
+      (** nodes currently refusing to send on it *)
+}
+
+val collect : Cluster.t -> network_row list
+
+val print : ?out:Format.formatter -> Cluster.t -> unit
+(** A table, one row per network. *)

@@ -1,0 +1,54 @@
+type action =
+  | Fail_network of Totem_net.Addr.net_id
+  | Heal_network of Totem_net.Addr.net_id
+  | Set_loss of Totem_net.Addr.net_id * float
+  | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Partition of {
+      net : Totem_net.Addr.net_id;
+      from_nodes : Totem_net.Addr.node_id list;
+      to_nodes : Totem_net.Addr.node_id list;
+    }
+  | Crash_node of Totem_net.Addr.node_id
+  | Recover_node of Totem_net.Addr.node_id
+  | Custom of (Cluster.t -> unit)
+
+let pp_action ppf = function
+  | Fail_network n -> Format.fprintf ppf "fail %a" Totem_net.Addr.pp_net n
+  | Heal_network n -> Format.fprintf ppf "heal %a" Totem_net.Addr.pp_net n
+  | Set_loss (n, p) ->
+    Format.fprintf ppf "loss %.2f on %a" p Totem_net.Addr.pp_net n
+  | Block_send (node, net) ->
+    Format.fprintf ppf "block send %a on %a" Totem_net.Addr.pp_node node
+      Totem_net.Addr.pp_net net
+  | Block_recv (node, net) ->
+    Format.fprintf ppf "block recv %a on %a" Totem_net.Addr.pp_node node
+      Totem_net.Addr.pp_net net
+  | Partition { net; from_nodes; to_nodes } ->
+    Format.fprintf ppf "partition on %a: [%s] -x-> [%s]" Totem_net.Addr.pp_net
+      net
+      (String.concat "," (List.map string_of_int from_nodes))
+      (String.concat "," (List.map string_of_int to_nodes))
+  | Crash_node n -> Format.fprintf ppf "crash %a" Totem_net.Addr.pp_node n
+  | Recover_node n -> Format.fprintf ppf "recover %a" Totem_net.Addr.pp_node n
+  | Custom _ -> Format.pp_print_string ppf "custom action"
+
+let apply t = function
+  | Fail_network n -> Cluster.fail_network t n
+  | Heal_network n -> Cluster.heal_network t n
+  | Set_loss (n, p) -> Cluster.set_network_loss t n p
+  | Block_send (node, net) -> Cluster.block_send t ~node ~net
+  | Block_recv (node, net) -> Cluster.block_recv t ~node ~net
+  | Partition { net; from_nodes; to_nodes } ->
+    Cluster.partition t ~net ~from_nodes ~to_nodes
+  | Crash_node n -> Cluster.crash_node t n
+  | Recover_node n -> Cluster.recover_node t n
+  | Custom f -> f t
+
+let schedule t events =
+  List.iter
+    (fun (time, action) ->
+      ignore
+        (Totem_engine.Sim.schedule_at (Cluster.sim t) ~time (fun () ->
+             apply t action)))
+    events

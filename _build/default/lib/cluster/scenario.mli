@@ -1,0 +1,26 @@
+(** Scripted fault scenarios: a timeline of injections against a
+    running cluster. Used by the failure-injection tests and the
+    failover example. *)
+
+type action =
+  | Fail_network of Totem_net.Addr.net_id
+  | Heal_network of Totem_net.Addr.net_id
+  | Set_loss of Totem_net.Addr.net_id * float
+  | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Partition of {
+      net : Totem_net.Addr.net_id;
+      from_nodes : Totem_net.Addr.node_id list;
+      to_nodes : Totem_net.Addr.node_id list;
+    }
+  | Crash_node of Totem_net.Addr.node_id
+  | Recover_node of Totem_net.Addr.node_id
+  | Custom of (Cluster.t -> unit)
+
+val pp_action : Format.formatter -> action -> unit
+
+val schedule : Cluster.t -> (Totem_engine.Vtime.t * action) list -> unit
+(** Arms every event at its absolute time; then run the cluster. *)
+
+val apply : Cluster.t -> action -> unit
+(** Executes one action immediately. *)

@@ -1,0 +1,51 @@
+(** Workload generators.
+
+    [saturate] reproduces the paper's measurement condition — "every
+    node sent as many messages as the Totem flow control mechanism
+    permitted" (Sec. 8) — by installing a pull supplier the SRP drains
+    on each token visit. The scheduled generators submit at given times
+    and stamp messages with their submission instant so latency can be
+    measured end to end. *)
+
+type Totem_srp.Message.data += Stamped of Totem_engine.Vtime.t
+(** Submission timestamp, for latency measurement. *)
+
+val saturate : Cluster.t -> size:int -> unit
+(** Every node always has a [size]-byte message ready. *)
+
+val saturate_nodes :
+  Cluster.t -> nodes:Totem_net.Addr.node_id list -> size:int -> unit
+
+val saturate_mixed :
+  Cluster.t -> sizes:int array -> unit
+(** Every node always ready, sizes drawn uniformly from [sizes]
+    (deterministically, from the simulation's seed). *)
+
+val fixed_rate :
+  Cluster.t ->
+  node:Totem_net.Addr.node_id ->
+  size:int ->
+  interval:Totem_engine.Vtime.t ->
+  ?count:int ->
+  unit ->
+  unit
+(** Submits one stamped message every [interval], [count] times
+    (default: forever). *)
+
+val poisson :
+  Cluster.t ->
+  node:Totem_net.Addr.node_id ->
+  size:int ->
+  mean_interval:Totem_engine.Vtime.t ->
+  ?count:int ->
+  unit ->
+  unit
+
+val burst :
+  Cluster.t ->
+  node:Totem_net.Addr.node_id ->
+  size:int ->
+  count:int ->
+  at:Totem_engine.Vtime.t ->
+  unit
+(** Submits [count] stamped messages at once at absolute time [at]. *)

@@ -1,0 +1,1 @@
+lib/engine/cpu.pp.mli: Sim Vtime

@@ -1,0 +1,1 @@
+lib/engine/rng.pp.ml: Array Int64

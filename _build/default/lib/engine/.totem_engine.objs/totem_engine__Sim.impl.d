@@ -1,0 +1,1 @@
+lib/engine/sim.pp.ml: Event_queue Rng Vtime

@@ -1,0 +1,1 @@
+lib/engine/timer.pp.ml: Option Printf Sim Vtime

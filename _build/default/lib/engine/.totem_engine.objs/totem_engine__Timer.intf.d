@@ -1,0 +1,1 @@
+lib/engine/timer.pp.mli: Sim Vtime

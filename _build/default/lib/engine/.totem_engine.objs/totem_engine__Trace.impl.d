@@ -1,0 +1,1 @@
+lib/engine/trace.pp.ml: Array Format List Sim String Vtime

@@ -1,0 +1,1 @@
+lib/engine/vtime.pp.ml: Float Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/engine/vtime.pp.mli: Format

@@ -1,0 +1,27 @@
+type t = {
+  sim : Sim.t;
+  name : string;
+  mutable free_at : Vtime.t;
+  mutable busy_time : Vtime.t;
+}
+
+let create sim ~name = { sim; name; free_at = Vtime.zero; busy_time = Vtime.zero }
+
+let charge t ~cost =
+  if cost < 0 then invalid_arg ("Cpu.charge: negative cost on " ^ t.name);
+  let start = Vtime.max t.free_at (Sim.now t.sim) in
+  t.free_at <- Vtime.add start cost;
+  t.busy_time <- Vtime.add t.busy_time cost
+
+let submit t ~cost k =
+  charge t ~cost;
+  let delay = Vtime.sub t.free_at (Sim.now t.sim) in
+  ignore (Sim.schedule t.sim ~delay (fun () -> k ()))
+
+let free_at t = t.free_at
+let busy_time t = t.busy_time
+
+let utilisation t ~since ~now =
+  let window = Vtime.sub now since in
+  if window <= 0 then 0.0
+  else Float.min 1.0 (Vtime.to_float_sec t.busy_time /. Vtime.to_float_sec window)

@@ -1,0 +1,35 @@
+(** A node's CPU as a serial resource.
+
+    The paper's evaluation shows two distinct bottlenecks: the 100 Mbit/s
+    wire (no-replication and active replication) and per-packet protocol
+    processing (passive replication, Sec. 8: "the processing time
+    associated with detecting and retransmitting missing messages,
+    imposing a total order ... determines the maximum throughput").
+    Reproducing that crossover requires charging CPU time for every
+    packet handled; this module models a single core per node that
+    executes charged work strictly serially.
+
+    Work is submitted with a cost; it completes at
+    [max(now, free_at) + cost] and the completion callback fires then.
+    Queueing is FIFO in virtual time — exactly one piece of work runs at
+    a time. *)
+
+type t
+
+val create : Sim.t -> name:string -> t
+
+val submit : t -> cost:Vtime.t -> (unit -> unit) -> unit
+(** [submit t ~cost k] charges [cost] of CPU time, then runs [k] at the
+    completion instant. [cost] may be zero (runs when the CPU drains). *)
+
+val charge : t -> cost:Vtime.t -> unit
+(** Charge time with no completion action (bookkeeping overheads). *)
+
+val free_at : t -> Vtime.t
+(** Instant at which all submitted work completes. *)
+
+val busy_time : t -> Vtime.t
+(** Total CPU time charged so far. *)
+
+val utilisation : t -> since:Vtime.t -> now:Vtime.t -> float
+(** Busy fraction over a window, assuming the window covers all charges. *)

@@ -1,0 +1,103 @@
+type 'a entry = {
+  time : Vtime.t;
+  tie : int;
+  value : 'a;
+  mutable dead : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_tie : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_tie = 0; live = 0 }
+
+let is_empty t = t.live = 0
+let length t = t.live
+
+let precedes a b =
+  a.time < b.time || (a.time = b.time && a.tie < b.tie)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && precedes t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && precedes t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let push t ~time value =
+  let entry = { time; tie = t.next_tie; value; dead = false } in
+  t.next_tie <- t.next_tie + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  if entry.dead then false
+  else begin
+    entry.dead <- true;
+    t.live <- t.live - 1;
+    true
+  end
+
+let pop_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  root
+
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let root = pop_root t in
+    if root.dead then pop t
+    else begin
+      (* Mark fired so a later cancel of this handle is a no-op. *)
+      root.dead <- true;
+      t.live <- t.live - 1;
+      Some (root.time, root.value)
+    end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).dead then begin
+    ignore (pop_root t);
+    peek_time t
+  end
+  else Some t.heap.(0).time

@@ -1,0 +1,32 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed on [(time, tie)] where [tie] is a strictly
+    increasing insertion counter: events scheduled for the same virtual
+    time fire in the order they were scheduled. That stability is what
+    makes whole-simulation runs replayable. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:Vtime.t -> 'a -> handle
+(** [push q ~time v] schedules [v] at [time] and returns a handle. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the event, returning [false] if it already
+    fired or was already cancelled. Cancellation is O(1) (lazy): the
+    slot is marked dead and skipped on pop. *)
+
+val pop : 'a t -> (Vtime.t * 'a) option
+(** Removes and returns the earliest live event. *)
+
+val peek_time : 'a t -> Vtime.t option
+(** Time of the earliest live event without removing it. *)

@@ -1,0 +1,48 @@
+type t = {
+  mutable clock : Vtime.t;
+  queue : (unit -> unit) Event_queue.t;
+  root_rng : Rng.t;
+}
+
+type handle = Event_queue.handle
+
+let create ?(seed = 42) () =
+  { clock = Vtime.zero; queue = Event_queue.create (); root_rng = Rng.create ~seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+let split_rng t = Rng.split t.root_rng
+
+let schedule_at t ~time f =
+  if Vtime.(time < t.clock) then
+    invalid_arg "Sim.schedule_at: time is in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(Vtime.add t.clock delay) f
+
+let cancel t h = ignore (Event_queue.cancel t.queue h)
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run_until t limit =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when Vtime.(time <= limit) ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- Vtime.max t.clock limit
+
+let run t = while step t do () done
+
+let pending t = Event_queue.length t.queue

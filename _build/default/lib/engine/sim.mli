@@ -1,0 +1,52 @@
+(** The discrete-event simulator core.
+
+    A simulator owns the virtual clock, the event queue and the root
+    random generator. Components schedule thunks; [run_until] drains the
+    queue in timestamp order, advancing the clock to each event.
+
+    Scheduling in the past is a programming error and raises. All state
+    is single-domain; the simulator is deterministic for a given seed
+    and schedule. *)
+
+type t
+
+type handle
+(** A cancellable scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh simulator at time zero. Default seed
+    is 42. *)
+
+val now : t -> Vtime.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The simulator's root generator. Prefer {!split_rng} for components. *)
+
+val split_rng : t -> Rng.t
+(** An independent generator stream derived from the root. *)
+
+val schedule : t -> delay:Vtime.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time].
+    @raise Invalid_argument if [time < now t]. *)
+
+val cancel : t -> handle -> unit
+(** Cancels the event; no-op if it already fired or was cancelled. *)
+
+val run_until : t -> Vtime.t -> unit
+(** Processes every event with timestamp [<= limit], then sets the clock
+    to [limit]. *)
+
+val run : t -> unit
+(** Processes events until the queue is empty. Beware: a simulation with
+    periodic timers never terminates; prefer {!run_until}. *)
+
+val step : t -> bool
+(** Processes exactly one event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired events. *)

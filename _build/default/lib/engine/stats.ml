@@ -1,0 +1,115 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+  let reset t = t.n <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+  let observe t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let reset t =
+    t.count <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity;
+    t.total <- 0.0
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g" t.count
+      (mean t) t.min t.max (stddev t)
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    counts : int array; (* length = Array.length bounds + 1; last = overflow *)
+    mutable n : int;
+  }
+
+  let create ~buckets =
+    let ok = ref true in
+    for i = 1 to Array.length buckets - 1 do
+      if buckets.(i) <= buckets.(i - 1) then ok := false
+    done;
+    if not !ok then invalid_arg "Histogram.create: bounds must be increasing";
+    { bounds = buckets; counts = Array.make (Array.length buckets + 1) 0; n = 0 }
+
+  let bucket_of t x =
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x <= t.bounds.(mid) then search lo mid else search (mid + 1) hi
+    in
+    search 0 (Array.length t.bounds)
+
+  let observe t x =
+    let i = bucket_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+    if t.n = 0 then nan
+    else begin
+      let target = q *. float_of_int t.n in
+      let acc = ref 0 in
+      let result = ref infinity in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           acc := !acc + t.counts.(i);
+           if float_of_int !acc >= target then begin
+             result :=
+               (if i < Array.length t.bounds then t.bounds.(i) else infinity);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d" t.n;
+    Array.iteri
+      (fun i c ->
+        if c > 0 then
+          if i < Array.length t.bounds then
+            Format.fprintf ppf " <=%.3g:%d" t.bounds.(i) c
+          else Format.fprintf ppf " >:%d" c)
+      t.counts
+end

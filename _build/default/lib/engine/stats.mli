@@ -1,0 +1,46 @@
+(** Counters and summary statistics for simulation measurement. *)
+
+(** Monotone event counters. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Streaming summary of a real-valued sample (count, mean, min, max,
+    variance via Welford's algorithm). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+  val total : t -> float
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-bucket histogram with quantile estimates. *)
+module Histogram : sig
+  type t
+
+  val create : buckets:float array -> t
+  (** [buckets] are the upper bounds, strictly increasing; values above
+      the last bound land in an overflow bucket. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile t q] is an upper bound on the [q]-quantile (bucket upper
+      edge); [q] in [0,1]. Returns [infinity] for overflow values. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,36 @@
+type t = {
+  sim : Sim.t;
+  name : string;
+  callback : unit -> unit;
+  mutable armed : (Sim.handle * Vtime.t) option;
+}
+
+let create sim ~name ~callback = { sim; name; callback; armed = None }
+
+let is_running t = t.armed <> None
+
+let fires_at t = Option.map snd t.armed
+
+let fire t () =
+  t.armed <- None;
+  t.callback ()
+
+let start t delay =
+  if is_running t then
+    invalid_arg (Printf.sprintf "Timer.start: %s already running" t.name);
+  let time = Vtime.add (Sim.now t.sim) delay in
+  let handle = Sim.schedule t.sim ~delay (fire t) in
+  t.armed <- Some (handle, time)
+
+let start_if_stopped t delay = if not (is_running t) then start t delay
+
+let stop t =
+  match t.armed with
+  | None -> ()
+  | Some (handle, _) ->
+    Sim.cancel t.sim handle;
+    t.armed <- None
+
+let restart t delay =
+  stop t;
+  start t delay

@@ -1,0 +1,32 @@
+(** One-shot, restartable timers.
+
+    The Totem protocols are built around timers that are started, must
+    not be restarted while running, and are stopped when a condition is
+    met (e.g. the RRP token timer of Figs. 2 and 4). This module packages
+    that pattern so protocol code reads like the paper's pseudocode. *)
+
+type t
+
+val create : Sim.t -> name:string -> callback:(unit -> unit) -> t
+(** [create sim ~name ~callback] is a stopped timer. [name] appears in
+    error messages. The callback runs with the timer already stopped, so
+    it may restart it. *)
+
+val start : t -> Vtime.t -> unit
+(** Arms the timer to fire after the given delay.
+    @raise Invalid_argument if already running. *)
+
+val start_if_stopped : t -> Vtime.t -> unit
+(** Arms the timer unless it is already running ("the token timer is
+    never restarted while it is active", Sec. 6). *)
+
+val stop : t -> unit
+(** Disarms; no-op if not running. *)
+
+val restart : t -> Vtime.t -> unit
+(** [stop] then [start]. *)
+
+val is_running : t -> bool
+
+val fires_at : t -> Vtime.t option
+(** Absolute expiry time if running. *)

@@ -1,0 +1,71 @@
+type record = {
+  time : Vtime.t;
+  component : string;
+  message : string;
+}
+
+type t = {
+  sim : Sim.t;
+  capacity : int;
+  mutable enabled : bool;
+  mutable ring : record option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) sim =
+  {
+    sim;
+    capacity;
+    enabled = false;
+    ring = Array.make capacity None;
+    next = 0;
+    count = 0;
+  }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let emit t ~component message =
+  if t.enabled then begin
+    t.ring.(t.next) <- Some { time = Sim.now t.sim; component; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- min (t.count + 1) t.capacity
+  end
+
+let emitf t ~component fmt =
+  if t.enabled then
+    Format.kasprintf (fun s -> emit t ~component s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let records t =
+  let out = ref [] in
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  for i = t.count - 1 downto 0 do
+    match t.ring.((start + i) mod t.capacity) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  !out
+
+let find t ~component ~substring =
+  let contains haystack needle =
+    let hl = String.length haystack and nl = String.length needle in
+    let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+    nl = 0 || at 0
+  in
+  List.find_opt
+    (fun r -> r.component = component && contains r.message substring)
+    (records t)
+
+let dump ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "[%a] %-12s %s@." Vtime.pp r.time r.component r.message)
+    (records t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0

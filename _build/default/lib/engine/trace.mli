@@ -1,0 +1,39 @@
+(** Lightweight event tracing.
+
+    A bounded ring of [(time, component, message)] records, disabled by
+    default so that benchmark runs pay only a branch. Tests enable it to
+    assert on protocol event sequences; examples enable it to narrate
+    runs. *)
+
+type t
+
+type record = {
+  time : Vtime.t;
+  component : string;
+  message : string;
+}
+
+val create : ?capacity:int -> Sim.t -> t
+(** Default capacity is 4096 records; older records are overwritten. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> component:string -> string -> unit
+(** Records a message if enabled; otherwise free. *)
+
+val emitf :
+  t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are only evaluated when
+    tracing is enabled. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val find : t -> component:string -> substring:string -> record option
+(** First record from [component] whose message contains [substring]. *)
+
+val dump : Format.formatter -> t -> unit
+
+val clear : t -> unit

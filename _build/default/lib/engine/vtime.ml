@@ -1,0 +1,27 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_float_sec s = int_of_float (Float.round (s *. 1e9))
+let to_float_sec t = float_of_int t /. 1e9
+let to_float_ms t = float_of_int t /. 1e6
+let add = ( + )
+let sub = ( - )
+let compare = Int.compare
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+
+let pp ppf t =
+  let f = float_of_int (abs t) in
+  let sign = if Stdlib.( < ) t 0 then "-" else "" in
+  if Stdlib.( < ) f 1e3 then Format.fprintf ppf "%s%dns" sign (abs t)
+  else if Stdlib.( < ) f 1e6 then Format.fprintf ppf "%s%.3fus" sign (f /. 1e3)
+  else if Stdlib.( < ) f 1e9 then Format.fprintf ppf "%s%.3fms" sign (f /. 1e6)
+  else Format.fprintf ppf "%s%.3fs" sign (f /. 1e9)

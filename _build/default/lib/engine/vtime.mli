@@ -1,0 +1,55 @@
+(** Virtual (simulated) time.
+
+    Time is an integer count of nanoseconds since the start of the
+    simulation. Using an integer keeps event ordering exact and the
+    simulation bit-for-bit deterministic; [int] on a 64-bit platform
+    covers about 292 simulated years, far beyond any experiment here. *)
+
+type t = int
+(** Nanoseconds since simulation start. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_float_sec : float -> t
+(** [of_float_sec s] converts [s] seconds to virtual time, rounding to
+    the nearest nanosecond. *)
+
+val to_float_sec : t -> float
+(** [to_float_sec t] is [t] expressed in seconds. *)
+
+val to_float_ms : t -> float
+(** [to_float_ms t] is [t] expressed in milliseconds. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b]; may be negative, for intervals. *)
+
+val compare : t -> t -> int
+
+val ( < ) : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( > ) : t -> t -> bool
+
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-readable time, e.g. ["1.250ms"] or ["3.2s"]. *)

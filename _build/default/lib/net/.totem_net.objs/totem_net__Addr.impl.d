@@ -1,0 +1,1 @@
+lib/net/addr.pp.ml: Format Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/net/addr.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/net/fabric.pp.ml: Array Network Nic Printf Sim Totem_engine

@@ -1,0 +1,1 @@
+lib/net/fabric.pp.mli: Addr Fault Frame Network Nic Totem_engine

@@ -1,0 +1,1 @@
+lib/net/frame.pp.ml: Addr Printf Totem_engine

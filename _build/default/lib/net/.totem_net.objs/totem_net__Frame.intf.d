@@ -1,0 +1,1 @@
+lib/net/frame.pp.mli: Addr Totem_engine

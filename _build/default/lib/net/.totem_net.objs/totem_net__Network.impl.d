@@ -1,0 +1,1 @@
+lib/net/network.pp.ml: Addr Fault Frame Hashtbl Int List Nic Printf Rng Sim Stats Totem_engine Vtime

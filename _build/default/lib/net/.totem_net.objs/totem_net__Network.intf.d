@@ -1,0 +1,1 @@
+lib/net/network.pp.mli: Addr Fault Frame Nic Totem_engine

@@ -1,0 +1,1 @@
+lib/net/nic.pp.ml: Addr Cpu Frame Sim Stats Totem_engine Vtime

@@ -1,0 +1,1 @@
+lib/net/nic.pp.mli: Addr Frame Totem_engine

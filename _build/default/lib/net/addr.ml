@@ -1,0 +1,9 @@
+type node_id = int [@@deriving show, eq, ord]
+
+type net_id = int [@@deriving show, eq, ord]
+
+let pp_node ppf n = Format.fprintf ppf "N%d" n
+
+let pp_net ppf n =
+  if n < 3 then Format.fprintf ppf "n%s" (String.make (n + 1) '\'')
+  else Format.fprintf ppf "n#%d" (n + 1)

@@ -1,0 +1,14 @@
+(** Node and network identifiers.
+
+    Nodes are numbered [0 .. m-1]; redundant networks are numbered
+    [0 .. n-1] (the paper writes them n', n'', ...). *)
+
+type node_id = int [@@deriving show, eq, ord]
+
+type net_id = int [@@deriving show, eq, ord]
+
+val pp_node : Format.formatter -> node_id -> unit
+(** Prints ["N3"]. *)
+
+val pp_net : Format.formatter -> net_id -> unit
+(** Prints the paper's notation: ["n'"], ["n''"], ["n'''"], then ["n#4"]. *)

@@ -1,0 +1,55 @@
+open Totem_engine
+
+type t = {
+  sim : Sim.t;
+  networks : Network.t array;
+  nics : Nic.t option array array; (* nics.(node).(net) *)
+  num_nodes : int;
+}
+
+let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs () =
+  if num_nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
+  if num_nets <= 0 then invalid_arg "Fabric.create: need at least one network";
+  (match configs with
+  | Some cs when Array.length cs <> num_nets ->
+    invalid_arg "Fabric.create: configs length mismatch"
+  | _ -> ());
+  let config_of i =
+    match configs with Some cs -> cs.(i) | None -> config
+  in
+  let networks =
+    Array.init num_nets (fun i ->
+        Network.create sim ~id:i ~config:(config_of i) ~rng:(Sim.split_rng sim))
+  in
+  {
+    sim;
+    networks;
+    nics = Array.make_matrix num_nodes num_nets None;
+    num_nodes;
+  }
+
+let num_nodes t = t.num_nodes
+let num_nets t = Array.length t.networks
+let network t i = t.networks.(i)
+let fault t i = Network.fault t.networks.(i)
+
+let nic t ~node ~net =
+  match t.nics.(node).(net) with
+  | Some nic -> nic
+  | None -> invalid_arg (Printf.sprintf "Fabric.nic: node %d not attached" node)
+
+let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
+  Array.iteri
+    (fun net_id network ->
+      let nic = Nic.create t.sim ~node ~net:net_id ?buffer_bytes () in
+      Nic.set_receiver nic ?cpu ?recv_cost (fun frame ->
+          handler ~net:net_id frame);
+      Network.attach network nic;
+      t.nics.(node).(net_id) <- Some nic)
+    t.networks
+
+let broadcast t ~net frame = Network.broadcast t.networks.(net) frame
+
+let unicast t ~net ~dst frame = Network.unicast t.networks.(net) ~dst frame
+
+let iter_networks t f = Array.iter f t.networks

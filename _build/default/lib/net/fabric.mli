@@ -1,0 +1,48 @@
+(** The redundant-network fabric: N independent LANs connecting M nodes.
+
+    This is the substrate the Totem RRP coordinates. Every node owns one
+    NIC per network; networks share nothing (separate media, separate
+    fault state), which is exactly the redundancy assumption the paper
+    makes about its dual-Ethernet testbed. *)
+
+type t
+
+val create :
+  Totem_engine.Sim.t ->
+  num_nodes:int ->
+  num_nets:int ->
+  ?config:Network.config ->
+  ?configs:Network.config array ->
+  unit ->
+  t
+(** [configs], when given, sets per-network parameters (length must be
+    [num_nets]); otherwise every network uses [config] (default
+    {!Network.default_config}). *)
+
+val num_nodes : t -> int
+
+val num_nets : t -> int
+
+val network : t -> Addr.net_id -> Network.t
+
+val fault : t -> Addr.net_id -> Fault.t
+
+val nic : t -> node:Addr.node_id -> net:Addr.net_id -> Nic.t
+
+val attach_node :
+  t ->
+  node:Addr.node_id ->
+  ?cpu:Totem_engine.Cpu.t ->
+  ?recv_cost:(Frame.t -> Totem_engine.Vtime.t) ->
+  ?buffer_bytes:int ->
+  (net:Addr.net_id -> Frame.t -> unit) ->
+  unit
+(** Creates the node's NICs on all networks and installs the handler,
+    which is told which network each frame arrived on — the information
+    the RRP layer dispatches on. *)
+
+val broadcast : t -> net:Addr.net_id -> Frame.t -> unit
+
+val unicast : t -> net:Addr.net_id -> dst:Addr.node_id -> Frame.t -> unit
+
+val iter_networks : t -> (Network.t -> unit) -> unit

@@ -1,0 +1,49 @@
+type t = {
+  mutable down : bool;
+  send_blocked : (Addr.node_id, unit) Hashtbl.t;
+  recv_blocked : (Addr.node_id, unit) Hashtbl.t;
+  pair_blocked : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
+  mutable loss_prob : float;
+}
+
+let create () =
+  {
+    down = false;
+    send_blocked = Hashtbl.create 8;
+    recv_blocked = Hashtbl.create 8;
+    pair_blocked = Hashtbl.create 8;
+    loss_prob = 0.0;
+  }
+
+let set_down t b = t.down <- b
+let is_down t = t.down
+
+let block_send t n = Hashtbl.replace t.send_blocked n ()
+let unblock_send t n = Hashtbl.remove t.send_blocked n
+let send_blocked t n = Hashtbl.mem t.send_blocked n
+
+let block_recv t n = Hashtbl.replace t.recv_blocked n ()
+let unblock_recv t n = Hashtbl.remove t.recv_blocked n
+let recv_blocked t n = Hashtbl.mem t.recv_blocked n
+
+let block_pair t ~src ~dst = Hashtbl.replace t.pair_blocked (src, dst) ()
+let unblock_pair t ~src ~dst = Hashtbl.remove t.pair_blocked (src, dst)
+
+let set_loss_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.set_loss_probability";
+  t.loss_prob <- p
+
+let loss_probability t = t.loss_prob
+
+let delivers t ~src ~dst =
+  (not t.down)
+  && (not (send_blocked t src))
+  && (not (recv_blocked t dst))
+  && not (Hashtbl.mem t.pair_blocked (src, dst))
+
+let heal t =
+  t.down <- false;
+  Hashtbl.reset t.send_blocked;
+  Hashtbl.reset t.recv_blocked;
+  Hashtbl.reset t.pair_blocked;
+  t.loss_prob <- 0.0

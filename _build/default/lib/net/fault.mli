@@ -1,0 +1,53 @@
+(** Injectable network faults, mirroring the paper's fault model (Sec. 3).
+
+    The tolerated fault types are: a node unable to send via a network, a
+    node unable to receive via a network, and a network unable to deliver
+    from some subset of nodes to some other subset (possibly everything —
+    total network failure). Sporadic loss is modelled separately as a
+    per-frame drop probability.
+
+    A [Fault.t] holds the current fault state of one network; the
+    {!Network} consults it on every frame. All mutations take effect for
+    frames sent after the call. *)
+
+type t
+
+val create : unit -> t
+(** No faults, zero loss. *)
+
+val set_down : t -> bool -> unit
+(** Total failure: nothing is delivered (frames vanish in the switch). *)
+
+val is_down : t -> bool
+
+val block_send : t -> Addr.node_id -> unit
+(** The node's transmit path into this network is broken. *)
+
+val unblock_send : t -> Addr.node_id -> unit
+
+val send_blocked : t -> Addr.node_id -> bool
+
+val block_recv : t -> Addr.node_id -> unit
+(** The node's receive path from this network is broken. *)
+
+val unblock_recv : t -> Addr.node_id -> unit
+
+val recv_blocked : t -> Addr.node_id -> bool
+
+val block_pair : t -> src:Addr.node_id -> dst:Addr.node_id -> unit
+(** The network cannot deliver from [src] to [dst] (directed). *)
+
+val unblock_pair : t -> src:Addr.node_id -> dst:Addr.node_id -> unit
+
+val set_loss_probability : t -> float -> unit
+(** Probability in [0,1] that any given frame delivery is dropped,
+    independently per receiver. *)
+
+val loss_probability : t -> float
+
+val delivers : t -> src:Addr.node_id -> dst:Addr.node_id -> bool
+(** Whether the deterministic fault state permits delivery on the path
+    [src -> dst] (loss probability not included). *)
+
+val heal : t -> unit
+(** Clears every fault and the loss probability. *)

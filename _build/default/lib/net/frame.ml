@@ -1,0 +1,34 @@
+let max_frame_bytes = 1518
+let header_overhead_bytes = 94
+let max_payload_bytes = max_frame_bytes - header_overhead_bytes
+let min_frame_bytes = 64
+
+type payload = ..
+
+type payload += Opaque of string
+
+type t = {
+  src : Addr.node_id;
+  payload_bytes : int;
+  payload : payload;
+}
+
+let make ~src ~payload_bytes payload =
+  if payload_bytes < 0 then invalid_arg "Frame.make: negative payload size";
+  if payload_bytes > max_payload_bytes then
+    invalid_arg
+      (Printf.sprintf "Frame.make: payload %d exceeds max %d" payload_bytes
+         max_payload_bytes);
+  { src; payload_bytes; payload }
+
+let wire_bytes t =
+  max min_frame_bytes (t.payload_bytes + header_overhead_bytes)
+
+let preamble_ifg_bytes = 20
+
+let serialization_time ~bandwidth_bps t =
+  if bandwidth_bps <= 0 then invalid_arg "Frame.serialization_time: bandwidth";
+  let bits = 8 * (wire_bytes t + preamble_ifg_bytes) in
+  (* ns = bits * 1e9 / bps, computed in int without overflow for any
+     realistic bandwidth. *)
+  Totem_engine.Vtime.ns (bits * 1_000_000_000 / bandwidth_bps)

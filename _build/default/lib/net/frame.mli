@@ -1,0 +1,50 @@
+(** Ethernet frame model and MTU accounting.
+
+    The paper (Sec. 8): the maximum Ethernet frame is 1518 bytes, of
+    which 94 bytes are consumed by the Ethernet header and trailer, the
+    IPv4 header, the UDP header and the Totem packet header, leaving a
+    maximum payload of 1424 bytes per frame. Those constants shape the
+    measured throughput curves (the peaks at 700 and 1400 byte
+    messages), so they are first-class here. *)
+
+val max_frame_bytes : int
+(** 1518. *)
+
+val header_overhead_bytes : int
+(** 94 — Ethernet + IPv4 + UDP + Totem packet header. *)
+
+val max_payload_bytes : int
+(** 1424 = 1518 - 94. *)
+
+val min_frame_bytes : int
+(** 64 — Ethernet minimum; shorter frames are padded on the wire. *)
+
+type payload = ..
+(** Extensible so upper layers define their own packet kinds without the
+    network depending on them. *)
+
+type payload += Opaque of string
+(** A convenience payload for tests and examples. *)
+
+type t = {
+  src : Addr.node_id;
+  payload_bytes : int;  (** size of the UDP payload carried, <= 1424 *)
+  payload : payload;
+}
+
+val make : src:Addr.node_id -> payload_bytes:int -> payload -> t
+(** @raise Invalid_argument if [payload_bytes] is negative or exceeds
+    {!max_payload_bytes}. *)
+
+val wire_bytes : t -> int
+(** Bytes occupying the wire: payload + 94 overhead, padded to the
+    64-byte minimum frame. *)
+
+val preamble_ifg_bytes : int
+(** 20 — preamble (8) plus inter-frame gap (12); occupies the wire but
+    is not part of the frame, so it counts in {!serialization_time} but
+    not in {!wire_bytes}. *)
+
+val serialization_time : bandwidth_bps:int -> t -> Totem_engine.Vtime.t
+(** Time to clock the frame (plus preamble and inter-frame gap) onto a
+    link of the given bandwidth. *)

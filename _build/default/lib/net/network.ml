@@ -1,0 +1,135 @@
+open Totem_engine
+
+type config = {
+  bandwidth_bps : int;
+  latency : Vtime.t;
+  jitter : Vtime.t;
+  arp_delay : Vtime.t;
+}
+
+let default_config =
+  {
+    bandwidth_bps = 100_000_000;
+    latency = Vtime.us 30;
+    jitter = Vtime.us 5;
+    arp_delay = Vtime.us 300;
+  }
+
+type t = {
+  sim : Sim.t;
+  net_id : Addr.net_id;
+  config : config;
+  rng : Rng.t;
+  fault : Fault.t;
+  nics : (Addr.node_id, Nic.t) Hashtbl.t;
+  arp_cache : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
+  mutable medium_free_at : Vtime.t;
+  sent : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  lost : Stats.Counter.t;
+  faulted : Stats.Counter.t;
+  mutable wire_bytes : int;
+}
+
+let create sim ~id ~config ~rng =
+  {
+    sim;
+    net_id = id;
+    config;
+    rng;
+    fault = Fault.create ();
+    nics = Hashtbl.create 16;
+    arp_cache = Hashtbl.create 32;
+    medium_free_at = Vtime.zero;
+    sent = Stats.Counter.create ();
+    delivered = Stats.Counter.create ();
+    lost = Stats.Counter.create ();
+    faulted = Stats.Counter.create ();
+    wire_bytes = 0;
+  }
+
+let id t = t.net_id
+let config t = t.config
+let fault t = t.fault
+
+let attach t nic =
+  let node = Nic.node nic in
+  if Hashtbl.mem t.nics node then
+    invalid_arg (Printf.sprintf "Network.attach: node %d already attached" node);
+  Hashtbl.replace t.nics node nic
+
+(* Claim the shared medium for one frame; returns the instant the last
+   bit leaves the wire. *)
+let occupy_medium t frame =
+  let start = Vtime.max t.medium_free_at (Sim.now t.sim) in
+  let duration = Frame.serialization_time ~bandwidth_bps:t.config.bandwidth_bps frame in
+  t.medium_free_at <- Vtime.add start duration;
+  Stats.Counter.incr t.sent;
+  t.wire_bytes <- t.wire_bytes + Frame.wire_bytes frame;
+  t.medium_free_at
+
+let deliver_to t nic frame ~wire_done =
+  let dst = Nic.node nic in
+  if not (Fault.delivers t.fault ~src:frame.Frame.src ~dst) then
+    Stats.Counter.incr t.faulted
+  else if Rng.bernoulli t.rng (Fault.loss_probability t.fault) then
+    Stats.Counter.incr t.lost
+  else begin
+    let jitter =
+      if t.config.jitter = Vtime.zero then Vtime.zero
+      else Vtime.ns (Rng.int t.rng (t.config.jitter + 1))
+    in
+    let arrival = Vtime.add (Vtime.add wire_done t.config.latency) jitter in
+    (* Per-receiver FIFO on a single network (Sec. 5 assumption). *)
+    let arrival = Vtime.max arrival (Vtime.add (Nic.last_arrival nic) (Vtime.ns 1)) in
+    Nic.note_arrival nic arrival;
+    ignore
+      (Sim.schedule_at t.sim ~time:arrival (fun () ->
+           Stats.Counter.incr t.delivered;
+           Nic.arrive nic frame))
+  end
+
+let medium_accepts t frame =
+  (not (Fault.is_down t.fault)) && not (Fault.send_blocked t.fault frame.Frame.src)
+
+let broadcast t frame =
+  if medium_accepts t frame then begin
+    let wire_done = occupy_medium t frame in
+    (* Deterministic receiver order: ascending node id. *)
+    let nodes =
+      Hashtbl.fold (fun node _ acc -> node :: acc) t.nics []
+      |> List.sort Int.compare
+    in
+    let deliver node =
+      if node <> frame.Frame.src then
+        deliver_to t (Hashtbl.find t.nics node) frame ~wire_done
+    in
+    List.iter deliver nodes
+  end
+
+(* The paper's footnote 2: a unicast to a peer whose MAC is not yet
+   resolved waits for the ARP exchange, during which later frames to
+   *other* recipients can overtake it. Per-recipient FIFO still holds. *)
+let arp_resolution t frame ~dst =
+  let key = (frame.Frame.src, dst) in
+  if Hashtbl.mem t.arp_cache key then Vtime.zero
+  else begin
+    Hashtbl.replace t.arp_cache key ();
+    t.config.arp_delay
+  end
+
+let unicast t ~dst frame =
+  if medium_accepts t frame then begin
+    let arp = arp_resolution t frame ~dst in
+    let wire_done = Vtime.add (occupy_medium t frame) arp in
+    match Hashtbl.find_opt t.nics dst with
+    | None -> Stats.Counter.incr t.faulted
+    | Some nic -> deliver_to t nic frame ~wire_done
+  end
+
+let frames_sent t = Stats.Counter.value t.sent
+let frames_delivered t = Stats.Counter.value t.delivered
+let frames_lost t = Stats.Counter.value t.lost
+let frames_faulted t = Stats.Counter.value t.faulted
+let bytes_on_wire t = t.wire_bytes
+let busy_until t = t.medium_free_at

@@ -1,0 +1,70 @@
+(** One local-area network: a broadcast domain with a shared 100 Mbit/s
+    medium, a propagation/switch latency, sporadic loss, and injectable
+    faults.
+
+    Broadcast traffic through a switch or hub occupies every port, so the
+    whole domain is modelled as a single serial resource: frames queue
+    for the medium in send order and each occupies it for its
+    serialization time. Per-receiver arrival order on one network is
+    FIFO (the paper's Sec. 5 assumption); different networks are
+    independent resources, so cross-network reordering arises naturally
+    when their loads differ. *)
+
+type config = {
+  bandwidth_bps : int;  (** e.g. 100_000_000 for the paper's Ethernets *)
+  latency : Totem_engine.Vtime.t;
+      (** propagation + switch forwarding delay *)
+  jitter : Totem_engine.Vtime.t;
+      (** uniform extra delay in [0, jitter], drawn per delivery *)
+  arp_delay : Totem_engine.Vtime.t;
+      (** extra delay on the first unicast between a (sender, receiver)
+          pair — the paper's footnote 2: a sender "might still be
+          waiting for the ARP packet", which is why UDP order across
+          different recipients is not FIFO *)
+}
+
+val default_config : config
+(** 100 Mbit/s, 30 us latency, 5 us jitter, 300 us first-contact ARP —
+    a switched fast Ethernet. *)
+
+type t
+
+val create :
+  Totem_engine.Sim.t -> id:Addr.net_id -> config:config -> rng:Totem_engine.Rng.t -> t
+
+val id : t -> Addr.net_id
+
+val config : t -> config
+
+val fault : t -> Fault.t
+(** The network's mutable fault state, for injection by scenarios. *)
+
+val attach : t -> Nic.t -> unit
+(** @raise Invalid_argument if a NIC for the same node is attached. *)
+
+val broadcast : t -> Frame.t -> unit
+(** Sends to every attached NIC except the sender's own. Consumed by the
+    medium even when every delivery is subsequently dropped. A frame
+    from a send-blocked node, or on a downed network, never reaches the
+    medium. *)
+
+val unicast : t -> dst:Addr.node_id -> Frame.t -> unit
+(** Sends to one NIC; same medium and fault rules as {!broadcast}. *)
+
+(** Wire-level counters, for monitors and reports. *)
+
+val frames_sent : t -> int
+(** Frames that reached the medium. *)
+
+val frames_delivered : t -> int
+
+val frames_lost : t -> int
+(** Dropped by the sporadic-loss process. *)
+
+val frames_faulted : t -> int
+(** Dropped by deterministic fault state. *)
+
+val bytes_on_wire : t -> int
+
+val busy_until : t -> Totem_engine.Vtime.t
+(** When the medium drains; used to measure utilisation. *)

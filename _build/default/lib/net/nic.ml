@@ -1,0 +1,61 @@
+open Totem_engine
+
+type receiver = {
+  cpu : Cpu.t option;
+  recv_cost : Frame.t -> Vtime.t;
+  handler : Frame.t -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  node_id : Addr.node_id;
+  net_id : Addr.net_id;
+  buffer_bytes : int;
+  mutable receiver : receiver option;
+  mutable in_use : int;
+  mutable last_arrival : Vtime.t;
+  received : Stats.Counter.t;
+  dropped : Stats.Counter.t;
+}
+
+let create sim ~node ~net ?(buffer_bytes = 65536) () =
+  {
+    sim;
+    node_id = node;
+    net_id = net;
+    buffer_bytes;
+    receiver = None;
+    in_use = 0;
+    last_arrival = Vtime.zero;
+    received = Stats.Counter.create ();
+    dropped = Stats.Counter.create ();
+  }
+
+let node t = t.node_id
+let net t = t.net_id
+
+let set_receiver t ?cpu ?(recv_cost = fun _ -> Vtime.zero) handler =
+  t.receiver <- Some { cpu; recv_cost; handler }
+
+let arrive t frame =
+  match t.receiver with
+  | None -> Stats.Counter.incr t.dropped
+  | Some { cpu = None; recv_cost = _; handler } ->
+    Stats.Counter.incr t.received;
+    handler frame
+  | Some { cpu = Some cpu; recv_cost; handler } ->
+    let size = Frame.wire_bytes frame in
+    if t.in_use + size > t.buffer_bytes then Stats.Counter.incr t.dropped
+    else begin
+      t.in_use <- t.in_use + size;
+      Stats.Counter.incr t.received;
+      Cpu.submit cpu ~cost:(recv_cost frame) (fun () ->
+          t.in_use <- t.in_use - size;
+          handler frame)
+    end
+
+let last_arrival t = t.last_arrival
+let note_arrival t time = t.last_arrival <- Vtime.max t.last_arrival time
+let frames_received t = Stats.Counter.value t.received
+let frames_dropped_buffer t = Stats.Counter.value t.dropped
+let buffer_in_use t = t.in_use

@@ -1,0 +1,1 @@
+lib/rrp/active.pp.ml: Array Callbacks Fault_report Layer Option Rrp_config Timer Totem_engine Totem_net Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/active_passive.pp.ml: Array Callbacks Fault_report Hashtbl Layer List Monitor Option Rrp_config Timer Totem_engine Totem_net Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/active_passive.pp.mli: Layer Totem_net Totem_srp

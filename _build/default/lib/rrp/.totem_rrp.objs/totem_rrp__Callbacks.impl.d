@@ -1,0 +1,1 @@
+lib/rrp/callbacks.pp.ml: Fault_report Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/callbacks.pp.mli: Fault_report Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/fault_report.pp.ml: Format Totem_engine Totem_net

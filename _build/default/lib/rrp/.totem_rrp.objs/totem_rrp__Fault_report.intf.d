@@ -1,0 +1,1 @@
+lib/rrp/fault_report.pp.mli: Format Totem_engine Totem_net

@@ -1,0 +1,1 @@
+lib/rrp/layer.pp.ml: Array Callbacks Fault_report Format Printf Rrp_config Sim Totem_engine Totem_net Totem_srp Trace

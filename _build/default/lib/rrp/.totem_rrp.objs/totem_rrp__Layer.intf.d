@@ -1,0 +1,1 @@
+lib/rrp/layer.pp.mli: Callbacks Fault_report Format Rrp_config Totem_engine Totem_net Totem_srp

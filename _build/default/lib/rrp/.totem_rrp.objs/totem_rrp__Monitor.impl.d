@@ -1,0 +1,1 @@
+lib/rrp/monitor.pp.ml: Array List

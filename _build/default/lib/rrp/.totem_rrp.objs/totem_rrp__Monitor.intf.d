@@ -1,0 +1,1 @@
+lib/rrp/monitor.pp.mli: Totem_net

@@ -1,0 +1,1 @@
+lib/rrp/passive.pp.mli: Layer Monitor Totem_net Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/rrp.pp.ml: Active Active_passive Callbacks Fault_report Layer Passive Single Style Totem_net Totem_srp

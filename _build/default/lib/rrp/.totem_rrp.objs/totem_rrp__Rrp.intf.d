@@ -1,0 +1,1 @@
+lib/rrp/rrp.pp.mli: Active Active_passive Fault_report Passive Rrp_config Style Totem_engine Totem_net Totem_srp

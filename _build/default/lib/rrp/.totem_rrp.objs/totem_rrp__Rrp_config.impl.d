@@ -1,0 +1,1 @@
+lib/rrp/rrp_config.pp.ml: Totem_engine Vtime

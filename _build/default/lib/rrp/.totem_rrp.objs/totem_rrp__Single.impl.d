@@ -1,0 +1,1 @@
+lib/rrp/single.pp.ml: Callbacks Layer Totem_net Totem_srp

@@ -1,0 +1,1 @@
+lib/rrp/style.pp.ml: Ppx_deriving_runtime Printf

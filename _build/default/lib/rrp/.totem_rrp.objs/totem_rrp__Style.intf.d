@@ -1,0 +1,1 @@
+lib/rrp/style.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,125 @@
+open Totem_engine
+module Srp = Totem_srp
+
+type t = {
+  base : Layer.base;
+  recv_last : bool array;  (* recvLastToken[] of Fig. 2 *)
+  problem : int array;  (* problemCounter[] of Fig. 2 *)
+  mutable last_token : Srp.Token.t option;  (* lastToken of Fig. 2 *)
+  mutable token_timer : Timer.t option;
+}
+
+let rec create base =
+  let n = Layer.num_nets base in
+  let t =
+    {
+      base;
+      recv_last = Array.make n false;
+      problem = Array.make n 0;
+      last_token = None;
+      token_timer = None;
+    }
+  in
+  let timer =
+    Timer.create (Layer.sim base) ~name:"rrp-active-token" ~callback:(fun () ->
+        token_timer_expired t)
+  in
+  t.token_timer <- Some timer;
+  (* Problem counters are decremented periodically so that token losses
+     accumulated over a long run do not condemn a healthy network (A6;
+     "not shown in Figure 2"). *)
+  Layer.every base (Layer.config base).Rrp_config.active_decay_interval (fun () ->
+      Array.iteri (fun i c -> if c > 0 then t.problem.(i) <- c - 1) t.problem);
+  t
+
+(* Fig. 2 tokenTimerExpired *)
+and token_timer_expired t =
+  Array.iteri
+    (fun i received ->
+      if not received then t.problem.(i) <- t.problem.(i) + 1)
+    t.recv_last;
+  Array.iteri
+    (fun i c ->
+      if c >= (Layer.config t.base).Rrp_config.active_problem_threshold then
+        Layer.mark_faulty t.base ~net:i
+          ~evidence:(Fault_report.Token_timeouts c))
+    t.problem;
+  match t.last_token with
+  | Some tok -> (Layer.callbacks t.base).Callbacks.deliver_token tok
+  | None -> ()
+
+let lower t =
+  let base = t.base in
+  {
+    Srp.Lower.send_data =
+      (fun p ->
+        for i = 0 to Layer.num_nets base - 1 do
+          if not (Layer.is_faulty base ~net:i) then
+            Layer.send_data_on base ~net:i p
+        done);
+    send_token =
+      (fun ~dst tok ->
+        for i = 0 to Layer.num_nets base - 1 do
+          if not (Layer.is_faulty base ~net:i) then
+            Layer.send_token_on base ~net:i ~dst tok
+        done);
+    send_join = (fun j -> Layer.send_join_all base j);
+    send_probe = (fun p -> Layer.send_probe_all base p);
+    send_commit = (fun ~dst cm -> Layer.send_commit_all base ~dst cm);
+    copies_per_send = (fun () -> Layer.non_faulty_count base);
+  }
+
+let timer t = Option.get t.token_timer
+
+(* Fig. 2 recvToken *)
+let on_token t ~net tok =
+  let is_new =
+    match t.last_token with
+    | None -> true
+    | Some last -> Srp.Token.newer_than tok ~than:last
+  in
+  let relevant =
+    if is_new then begin
+      t.last_token <- Some tok;
+      Array.fill t.recv_last 0 (Array.length t.recv_last) false;
+      t.recv_last.(net) <- true;
+      Timer.restart (timer t)
+        (Layer.config t.base).Rrp_config.active_token_timeout;
+      true
+    end
+    else
+      match t.last_token with
+      | Some last when Srp.Token.same_instance last tok ->
+        t.recv_last.(net) <- true;
+        true
+      | _ -> false (* a stale copy of an older token: drop *)
+  in
+  if relevant then begin
+    let complete = ref true in
+    Array.iteri
+      (fun i received ->
+        if (not received) && not (Layer.is_faulty t.base ~net:i) then
+          complete := false)
+      t.recv_last;
+    if !complete then begin
+      Timer.stop (timer t);
+      match t.last_token with
+      | Some last -> (Layer.callbacks t.base).Callbacks.deliver_token last
+      | None -> ()
+    end
+  end
+
+let frame_received t ~net frame =
+  let cb = Layer.callbacks t.base in
+  match frame.Totem_net.Frame.payload with
+  | Srp.Wire.Data p ->
+    (* "deliver m to Totem SRP" — duplicates die on the sequence-number
+       filter above (A1). *)
+    cb.Callbacks.deliver_data p
+  | Srp.Wire.Tok tok -> on_token t ~net tok
+  | Srp.Wire.Join j -> cb.Callbacks.deliver_join j
+  | Srp.Wire.Probe p -> cb.Callbacks.deliver_probe p
+  | Srp.Wire.Commit cm -> cb.Callbacks.deliver_commit cm
+  | _ -> ()
+
+let problem_counter t ~net = t.problem.(net)

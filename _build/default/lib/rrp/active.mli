@@ -1,0 +1,25 @@
+(** Active replication — the algorithm of Fig. 2.
+
+    Every message and token is sent over all non-faulty networks.
+    Received messages go straight up (the SRP's sequence-number filter
+    destroys duplicates — requirement A1). A token is passed up only
+    once a copy has arrived on every non-faulty network (requirements
+    A2/A3: all messages sent before the token precede it on each
+    network, so waiting for the last copy guarantees no spurious
+    retransmission request and keeps a slow network from falling
+    behind). A token timer started at the first copy bounds the wait
+    (progress, A4); networks that miss the deadline accumulate problem
+    counts that declare them faulty past a threshold (detection, A5),
+    and the counters decay periodically so sporadic loss never condemns
+    a healthy network (A6). *)
+
+type t
+
+val create : Layer.base -> t
+
+val lower : t -> Totem_srp.Lower.t
+
+val frame_received : t -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit
+
+val problem_counter : t -> net:Totem_net.Addr.net_id -> int
+(** Exposed for tests of A5/A6. *)

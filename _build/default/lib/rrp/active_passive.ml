@@ -1,0 +1,173 @@
+open Totem_engine
+module Srp = Totem_srp
+
+type t = {
+  base : Layer.base;
+  k : int;
+  mutable send_message_via : int;
+  mutable send_token_via : int;
+  (* stage 2: active-style completion state *)
+  recv_last : bool array;
+  mutable last_token : Srp.Token.t option;
+  mutable delivered_last : bool;
+  mutable token_timer : Timer.t option;
+  (* stage 1: passive-style monitors *)
+  message_monitors : (Totem_net.Addr.node_id, Monitor.t) Hashtbl.t;
+  token_monitor : Monitor.t;
+}
+
+let rec create base ~k =
+  let n = Layer.num_nets base in
+  if k <= 1 || k >= n then
+    invalid_arg "Active_passive.create: need 1 < K < number of networks";
+  let threshold = (Layer.config base).Rrp_config.passive_monitor_threshold in
+  let t =
+    {
+      base;
+      k;
+      send_message_via = n - 1;
+      send_token_via = n - 1;
+      recv_last = Array.make n false;
+      last_token = None;
+      delivered_last = false;
+      token_timer = None;
+      message_monitors = Hashtbl.create 8;
+      token_monitor = Monitor.create ~num_nets:n ~threshold;
+    }
+  in
+  t.token_timer <-
+    Some
+      (Timer.create (Layer.sim base) ~name:"rrp-ap-token" ~callback:(fun () ->
+           token_timer_expired t));
+  Layer.every base (Layer.config base).Rrp_config.passive_catchup_interval
+    (fun () ->
+      Monitor.catch_up t.token_monitor;
+      Hashtbl.iter (fun _ m -> Monitor.catch_up m) t.message_monitors);
+  t
+
+and token_timer_expired t =
+  match t.last_token with
+  | Some tok when not t.delivered_last ->
+    t.delivered_last <- true;
+    (Layer.callbacks t.base).Callbacks.deliver_token tok
+  | _ -> ()
+
+let k t = t.k
+
+let timer t = Option.get t.token_timer
+
+(* Choose the K-window of non-faulty networks after [after]; advances
+   the cursor to the last network used. *)
+let window t cursor =
+  let picked = ref [] in
+  let current = ref cursor in
+  (try
+     for _ = 1 to t.k do
+       match Layer.next_non_faulty t.base ~after:!current with
+       | None -> raise Exit
+       | Some net ->
+         if List.mem net !picked then raise Exit (* wrapped: fewer nets left *)
+         else begin
+           picked := net :: !picked;
+           current := net
+         end
+     done
+   with Exit -> ());
+  (List.rev !picked, !current)
+
+let lower t =
+  let base = t.base in
+  {
+    Srp.Lower.send_data =
+      (fun p ->
+        let nets, cursor = window t t.send_message_via in
+        t.send_message_via <- cursor;
+        List.iter (fun net -> Layer.send_data_on base ~net p) nets);
+    send_token =
+      (fun ~dst tok ->
+        let nets, cursor = window t t.send_token_via in
+        t.send_token_via <- cursor;
+        List.iter (fun net -> Layer.send_token_on base ~net ~dst tok) nets);
+    send_join = (fun j -> Layer.send_join_all base j);
+    send_probe = (fun p -> Layer.send_probe_all base p);
+    send_commit = (fun ~dst cm -> Layer.send_commit_all base ~dst cm);
+    copies_per_send =
+      (fun () -> min t.k (Layer.non_faulty_count base));
+  }
+
+let check_monitor t monitor ~source =
+  List.iter
+    (fun (net, behind) ->
+      Layer.mark_faulty t.base ~net
+        ~evidence:(Fault_report.Reception_lag { source; behind }))
+    (Monitor.lagging monitor)
+
+let message_monitor_for t sender =
+  match Hashtbl.find_opt t.message_monitors sender with
+  | Some m -> m
+  | None ->
+    let m =
+      Monitor.create ~num_nets:(Layer.num_nets t.base)
+        ~threshold:(Layer.config t.base).Rrp_config.passive_monitor_threshold
+    in
+    Hashtbl.replace t.message_monitors sender m;
+    m
+
+let copies_received t =
+  Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.recv_last
+
+(* Stage 2: the active-style wait for K copies. *)
+let on_token t ~net tok =
+  Monitor.note t.token_monitor ~net;
+  check_monitor t t.token_monitor ~source:Fault_report.Token_traffic;
+  let is_new =
+    match t.last_token with
+    | None -> true
+    | Some last -> Srp.Token.newer_than tok ~than:last
+  in
+  let relevant =
+    if is_new then begin
+      t.last_token <- Some tok;
+      t.delivered_last <- false;
+      Array.fill t.recv_last 0 (Array.length t.recv_last) false;
+      t.recv_last.(net) <- true;
+      Timer.restart (timer t)
+        (Layer.config t.base).Rrp_config.active_token_timeout;
+      true
+    end
+    else
+      match t.last_token with
+      | Some last when Srp.Token.same_instance last tok ->
+        t.recv_last.(net) <- true;
+        true
+      | _ -> false
+  in
+  (* With fewer than K non-faulty networks only that many copies can
+     ever arrive; requiring K would turn every hop into a timer wait. *)
+  let needed = max 1 (min t.k (Layer.non_faulty_count t.base)) in
+  if relevant && (not t.delivered_last) && copies_received t >= needed then begin
+    Timer.stop (timer t);
+    t.delivered_last <- true;
+    match t.last_token with
+    | Some last -> (Layer.callbacks t.base).Callbacks.deliver_token last
+    | None -> ()
+  end
+
+let on_data t ~net ~sender p =
+  let monitor = message_monitor_for t sender in
+  Monitor.note monitor ~net;
+  check_monitor t monitor ~source:(Fault_report.Message_traffic sender);
+  (Layer.callbacks t.base).Callbacks.deliver_data p
+
+let frame_received t ~net frame =
+  let cb = Layer.callbacks t.base in
+  match frame.Totem_net.Frame.payload with
+  | Srp.Wire.Data p -> on_data t ~net ~sender:frame.Totem_net.Frame.src p
+  | Srp.Wire.Tok tok -> on_token t ~net tok
+  | Srp.Wire.Join j -> cb.Callbacks.deliver_join j
+  | Srp.Wire.Probe p -> cb.Callbacks.deliver_probe p
+  | Srp.Wire.Commit cm -> cb.Callbacks.deliver_commit cm
+  | _ -> ()
+
+let token_copies_pending t =
+  t.last_token <> None && not t.delivered_last

@@ -1,0 +1,29 @@
+(** Active-passive replication — Sec. 7.
+
+    Requires at least three networks. Every message and token is sent
+    over K of the N networks (1 < K < N), with the K-window advancing
+    round-robin: a node that last used network n^m sends the next unit
+    via n^(m+1) .. n^(m+K) (mod N, skipping faulty networks). Up to K-1
+    losses are masked without retransmission delay at K/N of active
+    replication's bandwidth cost.
+
+    The receive side is the two-stage pipeline the paper describes: the
+    first stage is passive replication's reception-count monitors (one
+    per sending node plus one for tokens); the second stage is active
+    replication's token logic, passing a token up when K copies have
+    arrived or its timer expires. Duplicate messages die on the SRP's
+    sequence-number filter as usual. *)
+
+type t
+
+val create : Layer.base -> k:int -> t
+(** @raise Invalid_argument unless [1 < k < num_nets]. *)
+
+val k : t -> int
+
+val lower : t -> Totem_srp.Lower.t
+
+val frame_received : t -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit
+
+val token_copies_pending : t -> bool
+(** Whether a token is waiting for more copies — for tests. *)

@@ -1,0 +1,22 @@
+type t = {
+  mutable deliver_data : Totem_srp.Wire.packet -> unit;
+  mutable deliver_token : Totem_srp.Token.t -> unit;
+  mutable deliver_join : Totem_srp.Wire.join -> unit;
+  mutable deliver_probe : Totem_srp.Wire.probe -> unit;
+  mutable deliver_commit : Totem_srp.Wire.commit -> unit;
+  mutable my_aru : unit -> int;
+  mutable my_ring_id : unit -> int;
+  mutable on_fault_report : Fault_report.t -> unit;
+}
+
+let create () =
+  {
+    deliver_data = (fun _ -> ());
+    deliver_token = (fun _ -> ());
+    deliver_join = (fun _ -> ());
+    deliver_probe = (fun _ -> ());
+    deliver_commit = (fun _ -> ());
+    my_aru = (fun () -> 0);
+    my_ring_id = (fun () -> 0);
+    on_fault_report = (fun _ -> ());
+  }

@@ -1,0 +1,24 @@
+(** Upward wiring from the replication layer.
+
+    The layer is created before the SRP instance that sits on top of it
+    (the SRP needs the layer's {!Totem_srp.Lower.t} at construction), so
+    these callbacks are installed afterwards; until then they are inert
+    no-ops. *)
+
+type t = {
+  mutable deliver_data : Totem_srp.Wire.packet -> unit;
+  mutable deliver_token : Totem_srp.Token.t -> unit;
+  mutable deliver_join : Totem_srp.Wire.join -> unit;
+  mutable deliver_probe : Totem_srp.Wire.probe -> unit;
+  mutable deliver_commit : Totem_srp.Wire.commit -> unit;
+  mutable my_aru : unit -> int;
+      (** the SRP's all-received-up-to; the passive layer's
+          [anyMessagesMissing()] test (Fig. 4) *)
+  mutable my_ring_id : unit -> int;
+      (** the SRP's current ring — a token for a different ring is
+          passed up immediately, since the aru comparison is only
+          meaningful within one ring's sequence space *)
+  mutable on_fault_report : Fault_report.t -> unit;
+}
+
+val create : unit -> t

@@ -1,0 +1,26 @@
+type evidence =
+  | Token_timeouts of int
+  | Reception_lag of { source : source; behind : int }
+
+and source =
+  | Token_traffic
+  | Message_traffic of Totem_net.Addr.node_id
+
+type t = {
+  time : Totem_engine.Vtime.t;
+  reporter : Totem_net.Addr.node_id;
+  net : Totem_net.Addr.net_id;
+  evidence : evidence;
+}
+
+let pp_source ppf = function
+  | Token_traffic -> Format.pp_print_string ppf "token traffic"
+  | Message_traffic n -> Format.fprintf ppf "messages from %a" Totem_net.Addr.pp_node n
+
+let pp ppf t =
+  Format.fprintf ppf "[%a] %a reports %a faulty: " Totem_engine.Vtime.pp t.time
+    Totem_net.Addr.pp_node t.reporter Totem_net.Addr.pp_net t.net;
+  match t.evidence with
+  | Token_timeouts n -> Format.fprintf ppf "%d token timeouts" n
+  | Reception_lag { source; behind } ->
+    Format.fprintf ppf "%a lagging by %d" pp_source source behind

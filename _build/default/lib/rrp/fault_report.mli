@@ -1,0 +1,29 @@
+(** Fault reports issued to the application (Sec. 3).
+
+    A network fault is transparent to the application's message flow,
+    but the RRP "raises an alarm" so an administrator can repair the
+    network while the system keeps running. The order in which nodes
+    issue reports and the evidence they carry aid diagnosis. *)
+
+type evidence =
+  | Token_timeouts of int
+      (** active replication: the network failed to deliver this many
+          tokens before their timer expired (the problem counter) *)
+  | Reception_lag of { source : source; behind : int }
+      (** passive replication: the network's reception count for
+          [source] fell [behind] the best network's count *)
+
+and source =
+  | Token_traffic
+  | Message_traffic of Totem_net.Addr.node_id
+      (** the monitored sending node (there are M message monitors and
+          one token monitor, Sec. 6) *)
+
+type t = {
+  time : Totem_engine.Vtime.t;
+  reporter : Totem_net.Addr.node_id;
+  net : Totem_net.Addr.net_id;
+  evidence : evidence;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+open Totem_engine
+module Srp = Totem_srp
+
+type base = {
+  sim : Sim.t;
+  fabric : Totem_net.Fabric.t;
+  node : Totem_net.Addr.node_id;
+  const : Srp.Const.t;
+  config : Rrp_config.t;
+  callbacks : Callbacks.t;
+  trace : Trace.t option;
+  faulty : bool array;
+  data_sent : int array;
+  tokens_sent : int array;
+  mutable reports : Fault_report.t list;
+}
+
+let make_base sim ~fabric ~node ~const ~config ~callbacks ?trace () =
+  let n = Totem_net.Fabric.num_nets fabric in
+  {
+    sim;
+    fabric;
+    node;
+    const;
+    config;
+    callbacks;
+    trace;
+    faulty = Array.make n false;
+    data_sent = Array.make n 0;
+    tokens_sent = Array.make n 0;
+    reports = [];
+  }
+
+let sim b = b.sim
+let node b = b.node
+let config b = b.config
+let callbacks b = b.callbacks
+let num_nets b = Array.length b.faulty
+
+let is_faulty b ~net = b.faulty.(net)
+let faulty_snapshot b = Array.copy b.faulty
+
+let non_faulty_count b =
+  Array.fold_left (fun acc f -> if f then acc else acc + 1) 0 b.faulty
+
+let emit b fmt =
+  match b.trace with
+  | Some tr -> Trace.emitf tr ~component:(Printf.sprintf "rrp%d" b.node) fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let mark_faulty b ~net ~evidence =
+  if (not b.faulty.(net)) && non_faulty_count b > 1 then begin
+    b.faulty.(net) <- true;
+    let report =
+      { Fault_report.time = Sim.now b.sim; reporter = b.node; net; evidence }
+    in
+    b.reports <- b.reports @ [ report ];
+    emit b "fault report: %a" Fault_report.pp report;
+    b.callbacks.Callbacks.on_fault_report report
+  end
+
+let clear_fault b ~net =
+  if b.faulty.(net) then begin
+    b.faulty.(net) <- false;
+    emit b "fault cleared on %a" Totem_net.Addr.pp_net net
+  end
+
+let reports b = b.reports
+
+let send_data_on b ~net p =
+  b.data_sent.(net) <- b.data_sent.(net) + 1;
+  Totem_net.Fabric.broadcast b.fabric ~net
+    (Srp.Wire.data_frame b.const ~src:b.node p)
+
+let send_token_on b ~net ~dst tok =
+  b.tokens_sent.(net) <- b.tokens_sent.(net) + 1;
+  Totem_net.Fabric.unicast b.fabric ~net ~dst
+    (Srp.Wire.token_frame b.const ~src:b.node tok)
+
+let send_join_on b ~net j =
+  Totem_net.Fabric.broadcast b.fabric ~net
+    (Srp.Wire.join_frame b.const ~src:b.node j)
+
+let send_join_all b j =
+  for net = 0 to num_nets b - 1 do
+    send_join_on b ~net j
+  done
+
+let send_probe_on b ~net p =
+  Totem_net.Fabric.broadcast b.fabric ~net
+    (Srp.Wire.probe_frame b.const ~src:b.node p)
+
+let send_probe_all b p =
+  for net = 0 to num_nets b - 1 do
+    send_probe_on b ~net p
+  done
+
+let send_commit_on b ~net ~dst cm =
+  Totem_net.Fabric.unicast b.fabric ~net ~dst
+    (Srp.Wire.commit_frame b.const ~src:b.node cm)
+
+let send_commit_all b ~dst cm =
+  for net = 0 to num_nets b - 1 do
+    send_commit_on b ~net ~dst cm
+  done
+
+let data_sent b ~net = b.data_sent.(net)
+let tokens_sent b ~net = b.tokens_sent.(net)
+
+let next_non_faulty b ~after =
+  let n = num_nets b in
+  let rec probe i remaining =
+    if remaining = 0 then None
+    else if not b.faulty.(i) then Some i
+    else probe ((i + 1) mod n) (remaining - 1)
+  in
+  probe ((after + 1) mod n) n
+
+let every b interval f =
+  let rec tick () =
+    f ();
+    ignore (Sim.schedule b.sim ~delay:interval tick)
+  in
+  ignore (Sim.schedule b.sim ~delay:interval tick)

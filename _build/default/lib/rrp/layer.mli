@@ -1,0 +1,84 @@
+(** Shared state and plumbing for every replication style.
+
+    Holds what Figs. 2 and 4 both assume: the [faulty] array (a node
+    stops {e sending} on a network it marked faulty but still accepts
+    receptions from it, Sec. 3), per-network send counters, fault-report
+    emission, and frame construction. Each style builds on one [base]. *)
+
+type base
+
+val make_base :
+  Totem_engine.Sim.t ->
+  fabric:Totem_net.Fabric.t ->
+  node:Totem_net.Addr.node_id ->
+  const:Totem_srp.Const.t ->
+  config:Rrp_config.t ->
+  callbacks:Callbacks.t ->
+  ?trace:Totem_engine.Trace.t ->
+  unit ->
+  base
+
+val sim : base -> Totem_engine.Sim.t
+val node : base -> Totem_net.Addr.node_id
+val config : base -> Rrp_config.t
+val callbacks : base -> Callbacks.t
+val num_nets : base -> int
+
+val is_faulty : base -> net:Totem_net.Addr.net_id -> bool
+val faulty_snapshot : base -> bool array
+val non_faulty_count : base -> int
+
+val mark_faulty :
+  base -> net:Totem_net.Addr.net_id -> evidence:Fault_report.evidence -> unit
+(** Marks the network faulty and issues a fault report — unless it is
+    already marked, or it is the last non-faulty network (marking every
+    network would silence the node entirely; the last network is kept so
+    the system "remains operational as long as a single network is
+    operational"). *)
+
+val clear_fault : base -> net:Totem_net.Addr.net_id -> unit
+(** Administrative repair: resume sending on the network. *)
+
+val reports : base -> Fault_report.t list
+(** All reports issued by this node, oldest first. *)
+
+val send_data_on : base -> net:Totem_net.Addr.net_id -> Totem_srp.Wire.packet -> unit
+
+val send_token_on :
+  base ->
+  net:Totem_net.Addr.net_id ->
+  dst:Totem_net.Addr.node_id ->
+  Totem_srp.Token.t ->
+  unit
+
+val send_join_on : base -> net:Totem_net.Addr.net_id -> Totem_srp.Wire.join -> unit
+
+val send_join_all : base -> Totem_srp.Wire.join -> unit
+(** Joins go out on {e every} network, faulty-marked or not: membership
+    is the last resort and must survive wrong fault marking. *)
+
+val send_probe_on : base -> net:Totem_net.Addr.net_id -> Totem_srp.Wire.probe -> unit
+
+val send_probe_all : base -> Totem_srp.Wire.probe -> unit
+(** Merge-detect probes follow the same every-network rule as Joins. *)
+
+val send_commit_on :
+  base -> net:Totem_net.Addr.net_id -> dst:Totem_net.Addr.node_id ->
+  Totem_srp.Wire.commit -> unit
+
+val send_commit_all :
+  base -> dst:Totem_net.Addr.node_id -> Totem_srp.Wire.commit -> unit
+(** The commit token is membership traffic: unicast on every network. *)
+
+val data_sent : base -> net:Totem_net.Addr.net_id -> int
+val tokens_sent : base -> net:Totem_net.Addr.net_id -> int
+
+val next_non_faulty : base -> after:int -> int option
+(** Round-robin helper: the first non-faulty network after index
+    [after] (wrapping); [None] if every network is marked faulty. *)
+
+val every : base -> Totem_engine.Vtime.t -> (unit -> unit) -> unit
+(** Runs [f] periodically forever (monitor decay processes). *)
+
+val emit : base -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Trace hook; no-op without a trace. *)

@@ -1,0 +1,27 @@
+type t = {
+  counts : int array;
+  threshold : int;
+}
+
+let create ~num_nets ~threshold =
+  if num_nets <= 0 then invalid_arg "Monitor.create: num_nets";
+  if threshold <= 0 then invalid_arg "Monitor.create: threshold";
+  { counts = Array.make num_nets 0; threshold }
+
+let note t ~net = t.counts.(net) <- t.counts.(net) + 1
+
+let count t ~net = t.counts.(net)
+
+let maximum t = Array.fold_left max t.counts.(0) t.counts
+
+let lagging t =
+  let m = maximum t in
+  let out = ref [] in
+  Array.iteri
+    (fun i c -> if m - c > t.threshold then out := (i, m - c) :: !out)
+    t.counts;
+  List.rev !out
+
+let catch_up t =
+  let m = maximum t in
+  Array.iteri (fun i c -> if c < m then t.counts.(i) <- c + 1) t.counts

@@ -1,0 +1,29 @@
+(** The network monitor module of Fig. 5.
+
+    One module counts receptions per network for one traffic source.
+    Passive replication runs M+1 of them per node: one per sending node
+    for message traffic and one for token traffic (Sec. 6). If the
+    count for some network falls more than [threshold] behind the best
+    network's count, that network is declared faulty (requirement P4).
+
+    To keep sporadic losses accumulated over a long run from condemning
+    a healthy network (requirement P5), lagging counts are periodically
+    nudged toward the maximum — the paper's "slowly increasing recvCount
+    for networks that lag behind", time-driven variant. *)
+
+type t
+
+val create : num_nets:int -> threshold:int -> t
+
+val note : t -> net:Totem_net.Addr.net_id -> unit
+(** Count one reception. *)
+
+val count : t -> net:Totem_net.Addr.net_id -> int
+
+val lagging : t -> (Totem_net.Addr.net_id * int) list
+(** Networks whose count is more than [threshold] behind the maximum,
+    with how far behind they are. *)
+
+val catch_up : t -> unit
+(** One decay step: every lagging network's count is incremented by
+    one. *)

@@ -1,0 +1,140 @@
+open Totem_engine
+module Srp = Totem_srp
+
+type t = {
+  base : Layer.base;
+  mutable send_message_via : int;  (* last network used, Fig. 4 *)
+  mutable send_token_via : int;
+  mutable buffered : Srp.Token.t option;  (* lastToken of Fig. 4 *)
+  mutable token_timer : Timer.t option;
+  message_monitors : (Totem_net.Addr.node_id, Monitor.t) Hashtbl.t;
+  token_monitor : Monitor.t;
+}
+
+let rec create base =
+  let n = Layer.num_nets base in
+  let threshold = (Layer.config base).Rrp_config.passive_monitor_threshold in
+  let t =
+    {
+      base;
+      send_message_via = n - 1;  (* so the first send uses network 0 *)
+      send_token_via = n - 1;
+      buffered = None;
+      token_timer = None;
+      message_monitors = Hashtbl.create 8;
+      token_monitor = Monitor.create ~num_nets:n ~threshold;
+    }
+  in
+  t.token_timer <-
+    Some
+      (Timer.create (Layer.sim base) ~name:"rrp-passive-token"
+         ~callback:(fun () -> token_timer_expired t));
+  (* recvCount catch-up so sporadic losses never accumulate into a false
+     alarm (P5; "not shown in Figure 5"). *)
+  Layer.every base (Layer.config base).Rrp_config.passive_catchup_interval
+    (fun () ->
+      Monitor.catch_up t.token_monitor;
+      Hashtbl.iter (fun _ m -> Monitor.catch_up m) t.message_monitors);
+  t
+
+(* Fig. 4 tokenTimerExpired *)
+and token_timer_expired t =
+  match t.buffered with
+  | Some tok ->
+    t.buffered <- None;
+    (Layer.callbacks t.base).Callbacks.deliver_token tok
+  | None -> ()
+
+let timer t = Option.get t.token_timer
+
+let lower t =
+  let base = t.base in
+  {
+    Srp.Lower.send_data =
+      (fun p ->
+        match Layer.next_non_faulty base ~after:t.send_message_via with
+        | None -> () (* unreachable: the last network is never marked *)
+        | Some net ->
+          t.send_message_via <- net;
+          Layer.send_data_on base ~net p);
+    send_token =
+      (fun ~dst tok ->
+        match Layer.next_non_faulty base ~after:t.send_token_via with
+        | None -> ()
+        | Some net ->
+          t.send_token_via <- net;
+          Layer.send_token_on base ~net ~dst tok);
+    send_join = (fun j -> Layer.send_join_all base j);
+    send_probe = (fun p -> Layer.send_probe_all base p);
+    send_commit = (fun ~dst cm -> Layer.send_commit_all base ~dst cm);
+    copies_per_send = (fun () -> 1);
+  }
+
+let check_monitor t monitor ~source =
+  List.iter
+    (fun (net, behind) ->
+      Layer.mark_faulty t.base ~net
+        ~evidence:(Fault_report.Reception_lag { source; behind }))
+    (Monitor.lagging monitor)
+
+let message_monitor_for t sender =
+  match Hashtbl.find_opt t.message_monitors sender with
+  | Some m -> m
+  | None ->
+    let m =
+      Monitor.create ~num_nets:(Layer.num_nets t.base)
+        ~threshold:(Layer.config t.base).Rrp_config.passive_monitor_threshold
+    in
+    Hashtbl.replace t.message_monitors sender m;
+    m
+
+(* The "no message is missing" test: the SRP has everything the buffered
+   token covers. A token for a different ring (a reformation in
+   progress) is never held — its sequence space is not comparable. *)
+let nothing_missing_for t (tok : Srp.Token.t) =
+  let cb = Layer.callbacks t.base in
+  tok.ring_id <> cb.Callbacks.my_ring_id () || cb.Callbacks.my_aru () >= tok.seq
+
+(* Fig. 4 recvMsg *)
+let on_data t ~net ~sender p =
+  let monitor = message_monitor_for t sender in
+  Monitor.note monitor ~net;
+  check_monitor t monitor ~source:(Fault_report.Message_traffic sender);
+  (Layer.callbacks t.base).Callbacks.deliver_data p;
+  (* Fast path: this message may be the one the buffered token was
+     waiting for. *)
+  match t.buffered with
+  | Some tok when Timer.is_running (timer t) && nothing_missing_for t tok ->
+    Timer.stop (timer t);
+    t.buffered <- None;
+    (Layer.callbacks t.base).Callbacks.deliver_token tok
+  | _ -> ()
+
+(* Fig. 4 recvToken *)
+let on_token t ~net tok =
+  Monitor.note t.token_monitor ~net;
+  check_monitor t t.token_monitor ~source:Fault_report.Token_traffic;
+  if nothing_missing_for t tok then
+    (Layer.callbacks t.base).Callbacks.deliver_token tok
+  else begin
+    t.buffered <- Some tok;
+    (* "The token timer is never restarted while it is active." *)
+    Timer.start_if_stopped (timer t)
+      (Layer.config t.base).Rrp_config.passive_token_timeout
+  end
+
+let frame_received t ~net frame =
+  let cb = Layer.callbacks t.base in
+  match frame.Totem_net.Frame.payload with
+  | Srp.Wire.Data p -> on_data t ~net ~sender:frame.Totem_net.Frame.src p
+  | Srp.Wire.Tok tok -> on_token t ~net tok
+  | Srp.Wire.Join j -> cb.Callbacks.deliver_join j
+  | Srp.Wire.Probe p -> cb.Callbacks.deliver_probe p
+  | Srp.Wire.Commit cm -> cb.Callbacks.deliver_commit cm
+  | _ -> ()
+
+let token_buffered t = t.buffered <> None
+
+let message_monitor t ~sender = Hashtbl.find_opt t.message_monitors sender
+
+let token_monitor t = t.token_monitor

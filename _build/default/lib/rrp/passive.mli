@@ -1,0 +1,32 @@
+(** Passive replication — the algorithms of Figs. 4 and 5.
+
+    Each message and each token is sent over exactly one network,
+    assigned round-robin over the non-faulty networks (messages and
+    tokens rotate independently). A received token is passed up
+    immediately when no message it covers is missing; otherwise it waits
+    in the token buffer until the missing messages arrive (the fast path
+    of Fig. 4's recvMsg) or a small timer — 10 ms in the paper's
+    experiments — expires (progress, P3). Holding the token this way is
+    what prevents retransmission requests for merely-delayed messages
+    (P1) and resynchronises networks of different speeds (P2).
+
+    Health monitoring is the M+1 reception-count modules of Fig. 5: one
+    per sending node for message traffic plus one for token traffic. A
+    network whose count falls more than a threshold behind the best is
+    declared faulty (P4); lagging counts are nudged up periodically so
+    sporadic losses never accumulate into a false alarm (P5). *)
+
+type t
+
+val create : Layer.base -> t
+
+val lower : t -> Totem_srp.Lower.t
+
+val frame_received : t -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit
+
+val token_buffered : t -> bool
+(** Whether a token is waiting for missing messages — for tests of P1. *)
+
+val message_monitor : t -> sender:Totem_net.Addr.node_id -> Monitor.t option
+
+val token_monitor : t -> Monitor.t

@@ -1,0 +1,20 @@
+open Totem_engine
+
+type t = {
+  active_token_timeout : Vtime.t;
+  active_problem_threshold : int;
+  active_decay_interval : Vtime.t;
+  passive_token_timeout : Vtime.t;
+  passive_monitor_threshold : int;
+  passive_catchup_interval : Vtime.t;
+}
+
+let default =
+  {
+    active_token_timeout = Vtime.ms 2;
+    active_problem_threshold = 10;
+    active_decay_interval = Vtime.ms 200;
+    passive_token_timeout = Vtime.ms 10;
+    passive_monitor_threshold = 50;
+    passive_catchup_interval = Vtime.ms 100;
+  }

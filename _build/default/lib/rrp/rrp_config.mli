@@ -1,0 +1,29 @@
+(** Tunables of the Totem RRP layer.
+
+    Each parameter corresponds to a mechanism the paper names but leaves
+    as an implementation constant; the defaults follow the paper where
+    it gives a number (the passive token timer was 10 ms in the
+    experiments, Sec. 6) and are otherwise sized for a LAN. *)
+
+type t = {
+  active_token_timeout : Totem_engine.Vtime.t;
+      (** Fig. 2: deadline for the remaining copies of a token once the
+          first copy arrives; progress guarantee A4 *)
+  active_problem_threshold : int;
+      (** Fig. 2: consecutive-ish token misses before a network is
+          declared faulty; detection requirement A5 *)
+  active_decay_interval : Totem_engine.Vtime.t;
+      (** "a network's problem counter is decremented periodically" —
+          the anti-false-positive mechanism of requirement A6 *)
+  passive_token_timeout : Totem_engine.Vtime.t;
+      (** Fig. 4: how long a token waits in the token buffer for missing
+          messages; 10 ms in the paper's experiments *)
+  passive_monitor_threshold : int;
+      (** Fig. 5: reception-count difference that declares a network
+          faulty; detection requirement P4 *)
+  passive_catchup_interval : Totem_engine.Vtime.t;
+      (** "slowly increasing recvCount for networks that lag behind" —
+          the anti-false-positive mechanism of requirement P5 *)
+}
+
+val default : t

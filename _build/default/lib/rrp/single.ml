@@ -1,0 +1,25 @@
+module Srp = Totem_srp
+
+type t = { base : Layer.base }
+
+let create base = { base }
+
+let lower t =
+  {
+    Srp.Lower.send_data = (fun p -> Layer.send_data_on t.base ~net:0 p);
+    send_token = (fun ~dst tok -> Layer.send_token_on t.base ~net:0 ~dst tok);
+    send_join = (fun j -> Layer.send_join_on t.base ~net:0 j);
+    send_probe = (fun p -> Layer.send_probe_on t.base ~net:0 p);
+    send_commit = (fun ~dst cm -> Layer.send_commit_on t.base ~net:0 ~dst cm);
+    copies_per_send = (fun () -> 1);
+  }
+
+let frame_received t ~net:_ frame =
+  let cb = Layer.callbacks t.base in
+  match frame.Totem_net.Frame.payload with
+  | Srp.Wire.Data p -> cb.Callbacks.deliver_data p
+  | Srp.Wire.Tok tok -> cb.Callbacks.deliver_token tok
+  | Srp.Wire.Join j -> cb.Callbacks.deliver_join j
+  | Srp.Wire.Probe p -> cb.Callbacks.deliver_probe p
+  | Srp.Wire.Commit cm -> cb.Callbacks.deliver_commit cm
+  | _ -> ()

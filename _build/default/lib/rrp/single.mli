@@ -1,0 +1,12 @@
+(** The unreplicated baseline: a pass-through layer over network 0.
+
+    This is the "no replication" configuration of Sec. 8's experiments —
+    the plain Totem SRP on one Ethernet. *)
+
+type t
+
+val create : Layer.base -> t
+
+val lower : t -> Totem_srp.Lower.t
+
+val frame_received : t -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit

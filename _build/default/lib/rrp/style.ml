@@ -1,0 +1,24 @@
+type t =
+  | No_replication
+  | Active
+  | Passive
+  | Active_passive of int
+[@@deriving show, eq]
+
+let validate t ~num_nets =
+  match t with
+  | No_replication -> Ok ()
+  | Active | Passive ->
+    if num_nets >= 1 then Ok () else Error "need at least one network"
+  | Active_passive k ->
+    if num_nets < 3 then
+      Error "active-passive replication requires at least three networks"
+    else if k <= 1 || k >= num_nets then
+      Error (Printf.sprintf "active-passive K must satisfy 1 < K < N; got K=%d N=%d" k num_nets)
+    else Ok ()
+
+let copies t ~num_nets =
+  match t with
+  | No_replication | Passive -> 1
+  | Active -> num_nets
+  | Active_passive k -> k

@@ -1,0 +1,23 @@
+(** The network replication styles of Sec. 4. *)
+
+type t =
+  | No_replication
+      (** the unreplicated baseline: one network, a pass-through layer *)
+  | Active
+      (** every message and token on all N networks; masks N-1 losses
+          with no retransmission delay; bandwidth cost N-fold *)
+  | Passive
+      (** each message and token on exactly one network, round-robin;
+          unreplicated bandwidth cost; fault-free throughput approaches
+          the sum of the networks *)
+  | Active_passive of int
+      (** [Active_passive k]: every send goes to [k] of the N networks,
+          round-robin; masks k-1 losses; needs [1 < k < n] *)
+[@@deriving show, eq]
+
+val validate : t -> num_nets:int -> (unit, string) result
+(** Checks the style is usable with the given network count (e.g.
+    active-passive requires at least three networks, Sec. 7). *)
+
+val copies : t -> num_nets:int -> int
+(** Copies of each send put on the wire in the fault-free case. *)

@@ -1,0 +1,1 @@
+lib/rsm/rsm.ml: Array List Totem_cluster Totem_engine Totem_net Totem_srp

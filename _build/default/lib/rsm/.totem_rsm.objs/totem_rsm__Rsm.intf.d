@@ -1,0 +1,1 @@
+lib/rsm/rsm.mli: Totem_cluster Totem_net

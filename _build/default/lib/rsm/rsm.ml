@@ -1,0 +1,159 @@
+module Cluster = Totem_cluster.Cluster
+module Srp = Totem_srp.Srp
+module Message = Totem_srp.Message
+module Vtime = Totem_engine.Vtime
+module Sim = Totem_engine.Sim
+
+type ('state, 'cmd) spec = {
+  initial : 'state;
+  apply : 'state -> 'cmd -> 'state;
+  cmd_size : 'cmd -> int;
+  state_size : 'state -> int;
+}
+
+(* All replicated-state-machine traffic rides ordinary ordered messages
+   under one extension constructor; the exception inside acts as a
+   universal type so one polymorphic library serves any (state, cmd)
+   pair without unsafe casts. Replicas of one machine share the [group]
+   that holds the embedding. *)
+type Message.data += Payload of exn
+
+type ('state, 'cmd) classified =
+  | Command of 'cmd
+  | Need_state of Totem_net.Addr.node_id  (** requester *)
+  | Marker of Totem_net.Addr.node_id  (** responder *)
+  | Snapshot of Totem_net.Addr.node_id * 'state * int
+      (** responder, state, commands embodied *)
+
+type ('state, 'cmd) group = {
+  spec : ('state, 'cmd) spec;
+  wrap : ('state, 'cmd) classified -> exn;
+  classify : exn -> ('state, 'cmd) classified option;
+}
+
+let group (type s c) (spec : (s, c) spec) : (s, c) group =
+  let module M = struct
+    exception E of (s, c) classified
+  end in
+  {
+    spec;
+    wrap = (fun v -> M.E v);
+    classify = (function M.E v -> Some v | _ -> None);
+  }
+
+type mode =
+  | Live
+  | Awaiting_marker
+  | Awaiting_snapshot  (** marker seen; buffering the commands after it *)
+
+type ('state, 'cmd) t = {
+  g : ('state, 'cmd) group;
+  cluster : Cluster.t;
+  node : Totem_net.Addr.node_id;
+  mutable st : 'state;
+  mutable applied : int;
+  mutable mode : mode;
+  mutable responder : Totem_net.Addr.node_id;  (** whose marker we follow *)
+  mutable buffer : 'cmd list;  (** commands after the marker, newest first *)
+}
+
+let state t = t.st
+let applied t = t.applied
+let is_caught_up t = t.mode = Live
+
+let broadcast t ~size v =
+  Srp.submit
+    (Cluster.srp (Cluster.node t.cluster t.node))
+    ~size
+    ~data:(Payload (t.g.wrap v))
+    ()
+
+let submit t cmd = broadcast t ~size:(t.g.spec.cmd_size cmd) (Command cmd)
+
+let apply_cmd t cmd =
+  t.st <- t.g.spec.apply t.st cmd;
+  t.applied <- t.applied + 1
+
+(* Re-ask if the transfer stalls (the responder may have crashed between
+   the marker and the snapshot). *)
+let rec arm_retry t =
+  ignore
+    (Sim.schedule (Cluster.sim t.cluster) ~delay:(Vtime.ms 500) (fun () ->
+         if t.mode <> Live then begin
+           broadcast t ~size:8 (Need_state t.node);
+           arm_retry t
+         end))
+
+let request_state_transfer t =
+  if t.mode = Live then begin
+    t.mode <- Awaiting_marker;
+    t.buffer <- [];
+    broadcast t ~size:8 (Need_state t.node);
+    arm_retry t
+  end
+
+let on_classified t v =
+  match v with
+  | Command cmd -> (
+    match t.mode with
+    | Live -> apply_cmd t cmd
+    | Awaiting_marker ->
+      (* The snapshot will embody this command (it is ordered before the
+         marker the responder has yet to send). *)
+      ()
+    | Awaiting_snapshot -> t.buffer <- cmd :: t.buffer)
+  | Need_state requester ->
+    (* The lowest-id caught-up member answers; ties produce duplicate
+       markers and snapshots, which the requester's responder binding
+       filters. *)
+    if t.mode = Live && requester <> t.node then begin
+      let members = Srp.members (Cluster.srp (Cluster.node t.cluster t.node)) in
+      let am_lowest_other =
+        Array.for_all (fun m -> m >= t.node || m = requester) members
+      in
+      if am_lowest_other then broadcast t ~size:8 (Marker t.node)
+    end
+  | Marker responder -> (
+    match t.mode with
+    | Live ->
+      if responder = t.node then
+        (* The marker's delivery position defines the snapshot point;
+           our state right now is exactly the state at that position. *)
+        broadcast t
+          ~size:(t.g.spec.state_size t.st)
+          (Snapshot (t.node, t.st, t.applied))
+    | Awaiting_marker ->
+      t.responder <- responder;
+      t.buffer <- [];
+      t.mode <- Awaiting_snapshot
+    | Awaiting_snapshot -> ())
+  | Snapshot (responder, st, n) -> (
+    match t.mode with
+    | Awaiting_snapshot when responder = t.responder ->
+      t.st <- st;
+      t.applied <- n;
+      List.iter (apply_cmd t) (List.rev t.buffer);
+      t.buffer <- [];
+      t.mode <- Live
+    | _ -> ())
+
+let attach cluster ~group:g ~node =
+  let t =
+    {
+      g;
+      cluster;
+      node;
+      st = g.spec.initial;
+      applied = 0;
+      mode = Live;
+      responder = -1;
+      buffer = [];
+    }
+  in
+  Cluster.on_deliver cluster (fun at m ->
+      if at = node then
+        match m.Message.data with
+        | Payload e -> (
+          match g.classify e with Some v -> on_classified t v | None -> ())
+        | _ -> ());
+  t

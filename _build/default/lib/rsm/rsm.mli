@@ -1,0 +1,66 @@
+(** Replicated state machines over the Totem RRP.
+
+    The classic construction the paper's introduction motivates
+    (back-end servers for financial applications): every replica applies
+    the same pure [apply] function to the same totally ordered command
+    stream, so all replicas hold the same state — through network
+    faults, which the RRP masks, and through node crashes, which Totem
+    membership reconfigures around.
+
+    Replicas that join (or reboot and rejoin) catch up by
+    ordered-broadcast state transfer: the newcomer broadcasts a request;
+    an up-to-date replica broadcasts a {e marker}; because the marker is
+    totally ordered, "the state when the marker is delivered" is the
+    same at every up-to-date replica, and the responder then broadcasts
+    exactly that state. The newcomer buffers commands ordered after the
+    marker, installs the snapshot, and replays the buffer — no stop-the-
+    world, no divergence window.
+
+    The state must be a pure value: [apply] returns a new state and may
+    not mutate the old one (that is what makes the marker capture
+    free). *)
+
+type ('state, 'cmd) spec = {
+  initial : 'state;
+  apply : 'state -> 'cmd -> 'state;  (** must be pure and deterministic *)
+  cmd_size : 'cmd -> int;  (** wire accounting for a command *)
+  state_size : 'state -> int;  (** wire accounting for a snapshot *)
+}
+
+type ('state, 'cmd) group
+(** The shared identity of one replicated machine: all replicas must be
+    attached with the same group so their commands recognise each
+    other on the wire. *)
+
+val group : ('state, 'cmd) spec -> ('state, 'cmd) group
+
+type ('state, 'cmd) t
+(** One replica's handle. *)
+
+val attach :
+  Totem_cluster.Cluster.t ->
+  group:('state, 'cmd) group ->
+  node:Totem_net.Addr.node_id ->
+  ('state, 'cmd) t
+(** Hooks the replica into the cluster's delivery stream. Attach one
+    handle per node, all with the same [group], before starting
+    traffic. *)
+
+val submit : ('state, 'cmd) t -> 'cmd -> unit
+(** Broadcasts a command; it will be applied at every replica in the
+    same position of the total order. *)
+
+val state : ('state, 'cmd) t -> 'state
+
+val applied : ('state, 'cmd) t -> int
+(** Commands applied so far (snapshot installation counts the commands
+    the snapshot embodies). *)
+
+val is_caught_up : ('state, 'cmd) t -> bool
+(** False while the replica waits for a state transfer. *)
+
+val request_state_transfer : ('state, 'cmd) t -> unit
+(** Marks this replica stale and asks the group for a snapshot. Called
+    automatically after {!Totem_cluster.Cluster.recover_node}-style
+    rejoins (detected via ring changes); exposed for applications that
+    know their state is gone. *)

@@ -1,0 +1,1 @@
+lib/totem/codec.pp.ml: Array Buffer Char Format List Message String Token Wire

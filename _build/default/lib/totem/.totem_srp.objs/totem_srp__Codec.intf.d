@@ -1,0 +1,1 @@
+lib/totem/codec.pp.mli: Format Message Token Totem_net Wire

@@ -1,0 +1,1 @@
+lib/totem/const.pp.ml: Totem_engine Totem_net Vtime

@@ -1,0 +1,1 @@
+lib/totem/const.pp.mli: Totem_engine

@@ -1,0 +1,1 @@
+lib/totem/flow.pp.ml: Const

@@ -1,0 +1,1 @@
+lib/totem/lower.pp.ml: Token Totem_net Wire

@@ -1,0 +1,1 @@
+lib/totem/lower.pp.mli: Token Totem_net Wire

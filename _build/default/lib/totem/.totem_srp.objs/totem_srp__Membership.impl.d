@@ -1,0 +1,1 @@
+lib/totem/membership.pp.ml: Array Int List Set Wire

@@ -1,0 +1,1 @@
+lib/totem/membership.pp.mli: Totem_net Wire

@@ -1,0 +1,1 @@
+lib/totem/message.pp.ml: Format Totem_net

@@ -1,0 +1,1 @@
+lib/totem/message.pp.mli: Format Totem_net

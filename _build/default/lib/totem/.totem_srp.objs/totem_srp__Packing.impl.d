@@ -1,0 +1,1 @@
+lib/totem/packing.pp.ml: Const List Message Totem_net Wire

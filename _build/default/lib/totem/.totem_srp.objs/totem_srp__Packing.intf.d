@@ -1,0 +1,1 @@
+lib/totem/packing.pp.mli: Const Message Wire

@@ -1,0 +1,1 @@
+lib/totem/recv_buffer.pp.mli: Wire

@@ -1,0 +1,1 @@
+lib/totem/retransmit.pp.ml:

@@ -1,0 +1,1 @@
+lib/totem/srp.pp.mli: Const Lower Message Token Totem_engine Totem_net Wire

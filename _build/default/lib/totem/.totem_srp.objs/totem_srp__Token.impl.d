@@ -1,0 +1,1 @@
+lib/totem/token.pp.ml: Array Const Format List String Totem_net

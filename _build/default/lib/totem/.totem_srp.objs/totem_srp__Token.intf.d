@@ -1,0 +1,1 @@
+lib/totem/token.pp.mli: Const Format Totem_net

@@ -1,0 +1,1 @@
+lib/totem/wire.pp.ml: Array Const List Message Token Totem_net

@@ -1,0 +1,1 @@
+lib/totem/wire.pp.mli: Const Message Token Totem_net

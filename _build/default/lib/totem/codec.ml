@@ -1,0 +1,319 @@
+type error =
+  | Truncated
+  | Bad_tag of int
+  | Trailing_bytes of int
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated input"
+  | Bad_tag t -> Format.fprintf ppf "bad tag byte 0x%02x" t
+  | Trailing_bytes n -> Format.fprintf ppf "%d trailing bytes" n
+
+type decoded =
+  | Packet of Wire.packet
+  | Token of Token.t
+  | Join of Wire.join
+  | Probe of Wire.probe
+  | Commit of Wire.commit
+
+(* Application payload codec; the default emits the declared size in
+   zero bytes and decodes to Blob. *)
+let data_encode = ref (fun (_ : Message.data) -> "")
+let data_decode = ref (fun (_ : string) -> Message.Blob)
+
+let set_data_codec ~encode ~decode =
+  data_encode := encode;
+  data_decode := decode
+
+(* --- primitives (little-endian) ------------------------------------ *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b v;
+  put_u8 b (v lsr 8)
+
+let put_u24 b v =
+  put_u16 b v;
+  put_u8 b (v lsr 16)
+
+let put_u32 b v =
+  put_u16 b v;
+  put_u16 b (v lsr 16)
+
+exception Decode_error of error
+
+type reader = { src : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.src then raise (Decode_error Truncated)
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let lo = get_u8 r in
+  lo lor (get_u8 r lsl 8)
+
+let get_u24 r =
+  let lo = get_u16 r in
+  lo lor (get_u8 r lsl 16)
+
+let get_u32 r =
+  let lo = get_u16 r in
+  lo lor (get_u16 r lsl 16)
+
+let get_bytes r n =
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* --- elements -------------------------------------------------------
+   Whole message:  flags(1) origin(2) app_seq(4) size(3) body_len(2)
+                   = 12 bytes, matching Const.element_header_bytes.
+   Fragment:       the same 12 plus index(2) count(2) — 4 bytes over the
+                   model, documented in codec.mli. *)
+
+let flag_safe = 0x01
+let flag_frag = 0x02
+
+let encode_element b (e : Wire.element) =
+  let m = e.message in
+  let body =
+    match e.fragment with
+    | None ->
+      let body = !data_encode m.data in
+      if body = "" then String.make m.size '\000' else body
+    | Some f -> String.make f.Wire.bytes '\000'
+  in
+  let flags =
+    (if m.safe then flag_safe else 0)
+    lor match e.fragment with Some _ -> flag_frag | None -> 0
+  in
+  put_u8 b flags;
+  put_u16 b m.origin;
+  put_u32 b m.app_seq;
+  put_u24 b m.size;
+  put_u16 b (String.length body);
+  (match e.fragment with
+  | None -> ()
+  | Some f ->
+    put_u16 b f.index;
+    put_u16 b f.count);
+  Buffer.add_string b body
+
+let decode_element r : Wire.element =
+  let flags = get_u8 r in
+  let origin = get_u16 r in
+  let app_seq = get_u32 r in
+  let size = get_u24 r in
+  let body_len = get_u16 r in
+  let fragment =
+    if flags land flag_frag <> 0 then begin
+      let index = get_u16 r in
+      let count = get_u16 r in
+      Some { Wire.index; count; bytes = body_len }
+    end
+    else None
+  in
+  let body = get_bytes r body_len in
+  let data = if fragment = None then !data_decode body else Message.Blob in
+  let message =
+    Message.make ~origin ~app_seq ~size ~safe:(flags land flag_safe <> 0) ~data ()
+  in
+  { Wire.message; fragment }
+
+(* --- packet --------------------------------------------------------- *)
+
+let tag_packet = 0x50 (* 'P' *)
+let tag_token = 0x54 (* 'T' *)
+let tag_join = 0x4a (* 'J' *)
+let tag_probe = 0x52 (* 'R' *)
+let tag_commit = 0x43 (* 'C' *)
+
+let encode_packet (p : Wire.packet) =
+  let b = Buffer.create 256 in
+  put_u8 b tag_packet;
+  put_u32 b p.ring_id;
+  put_u32 b p.seq;
+  put_u16 b p.sender;
+  put_u8 b (List.length p.elements);
+  List.iter (encode_element b) p.elements;
+  Buffer.contents b
+
+let decode_packet r : Wire.packet =
+  let ring_id = get_u32 r in
+  let seq = get_u32 r in
+  let sender = get_u16 r in
+  let count = get_u8 r in
+  let elements = List.init count (fun _ -> decode_element r) in
+  { Wire.ring_id; seq; sender; elements }
+
+(* --- token ----------------------------------------------------------- *)
+
+let encode_token (t : Token.t) =
+  let b = Buffer.create 64 in
+  put_u8 b tag_token;
+  put_u32 b t.ring_id;
+  put_u32 b t.seq;
+  put_u32 b t.rotation;
+  put_u32 b t.hops;
+  put_u32 b t.aru;
+  put_u16 b t.aru_setter;
+  put_u16 b t.fcc;
+  put_u16 b (List.length t.rtr);
+  put_u8 b (Array.length t.ring);
+  List.iter (put_u32 b) t.rtr;
+  Array.iter (put_u16 b) t.ring;
+  Buffer.contents b
+
+let decode_token r : Token.t =
+  let ring_id = get_u32 r in
+  let seq = get_u32 r in
+  let rotation = get_u32 r in
+  let hops = get_u32 r in
+  let aru = get_u32 r in
+  let aru_setter = get_u16 r in
+  let fcc = get_u16 r in
+  let rtr_count = get_u16 r in
+  let ring_count = get_u8 r in
+  let rtr = List.init rtr_count (fun _ -> get_u32 r) in
+  let ring = Array.init ring_count (fun _ -> 0) in
+  for i = 0 to ring_count - 1 do
+    ring.(i) <- get_u16 r
+  done;
+  { Token.ring_id; seq; rotation; hops; aru; aru_setter; fcc; rtr; ring }
+
+(* --- join and probe --------------------------------------------------- *)
+
+let encode_join (j : Wire.join) =
+  let b = Buffer.create 32 in
+  put_u8 b tag_join;
+  put_u16 b j.sender;
+  put_u32 b j.max_ring_id;
+  put_u16 b (List.length j.proc_set);
+  put_u16 b (List.length j.fail_set);
+  List.iter (put_u16 b) j.proc_set;
+  List.iter (put_u16 b) j.fail_set;
+  Buffer.contents b
+
+let decode_join r : Wire.join =
+  let sender = get_u16 r in
+  let max_ring_id = get_u32 r in
+  let np = get_u16 r in
+  let nf = get_u16 r in
+  let proc_set = List.init np (fun _ -> get_u16 r) in
+  let fail_set = List.init nf (fun _ -> get_u16 r) in
+  { Wire.sender; proc_set; fail_set; max_ring_id }
+
+let encode_probe (p : Wire.probe) =
+  let b = Buffer.create 8 in
+  put_u8 b tag_probe;
+  put_u16 b p.probe_sender;
+  put_u32 b p.probe_ring_id;
+  Buffer.contents b
+
+let encode_commit (cm : Wire.commit) =
+  let b = Buffer.create 64 in
+  put_u8 b tag_commit;
+  put_u32 b cm.cm_ring_id;
+  put_u8 b cm.cm_round;
+  put_u8 b (Array.length cm.cm_ring);
+  put_u8 b (List.length cm.cm_info);
+  Array.iter (put_u16 b) cm.cm_ring;
+  List.iter
+    (fun (i : Wire.member_info) ->
+      put_u16 b i.mi_node;
+      put_u32 b i.mi_old_ring;
+      put_u32 b i.mi_aru)
+    cm.cm_info;
+  Buffer.contents b
+
+let decode_commit r : Wire.commit =
+  let cm_ring_id = get_u32 r in
+  let cm_round = get_u8 r in
+  let nring = get_u8 r in
+  let ninfo = get_u8 r in
+  let cm_ring = Array.init nring (fun _ -> 0) in
+  for i = 0 to nring - 1 do
+    cm_ring.(i) <- get_u16 r
+  done;
+  let cm_info =
+    List.init ninfo (fun _ ->
+        let mi_node = get_u16 r in
+        let mi_old_ring = get_u32 r in
+        let mi_aru = get_u32 r in
+        { Wire.mi_node; mi_old_ring; mi_aru })
+  in
+  { Wire.cm_ring_id; cm_ring; cm_round; cm_info }
+
+let decode_probe r : Wire.probe =
+  let probe_sender = get_u16 r in
+  let probe_ring_id = get_u32 r in
+  { Wire.probe_sender; probe_ring_id }
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let decode s =
+  let r = { src = s; pos = 0 } in
+  try
+    let tag = get_u8 r in
+    let v =
+      if tag = tag_packet then Packet (decode_packet r)
+      else if tag = tag_token then Token (decode_token r)
+      else if tag = tag_join then Join (decode_join r)
+      else if tag = tag_probe then Probe (decode_probe r)
+      else if tag = tag_commit then Commit (decode_commit r)
+      else raise (Decode_error (Bad_tag tag))
+    in
+    if r.pos <> String.length s then
+      Error (Trailing_bytes (String.length s - r.pos))
+    else Ok v
+  with Decode_error e -> Error e
+
+(* Structural equality modulo the application payload closure (encoded
+   data decodes to the registered codec's value, which for the default
+   codec is Blob regardless of the original). *)
+let message_eq (a : Message.t) (b : Message.t) =
+  a.origin = b.origin && a.app_seq = b.app_seq && a.size = b.size
+  && a.safe = b.safe
+
+let element_eq (a : Wire.element) (b : Wire.element) =
+  message_eq a.message b.message && a.fragment = b.fragment
+
+let packet_eq (a : Wire.packet) (b : Wire.packet) =
+  a.ring_id = b.ring_id && a.seq = b.seq && a.sender = b.sender
+  && List.length a.elements = List.length b.elements
+  && List.for_all2 element_eq a.elements b.elements
+
+let shadow_check payload =
+  let check name ok = if ok then Ok () else Error (name ^ " round trip mismatch") in
+  match payload with
+  | Wire.Data p -> (
+    match decode (encode_packet p) with
+    | Ok (Packet p') -> check "packet" (packet_eq p p')
+    | Ok _ -> Error "packet decoded as another kind"
+    | Error e -> Error (Format.asprintf "packet: %a" pp_error e))
+  | Wire.Tok tok -> (
+    match decode (encode_token tok) with
+    | Ok (Token t') -> check "token" (tok = t')
+    | Ok _ -> Error "token decoded as another kind"
+    | Error e -> Error (Format.asprintf "token: %a" pp_error e))
+  | Wire.Join j -> (
+    match decode (encode_join j) with
+    | Ok (Join j') -> check "join" (j = j')
+    | Ok _ -> Error "join decoded as another kind"
+    | Error e -> Error (Format.asprintf "join: %a" pp_error e))
+  | Wire.Probe p -> (
+    match decode (encode_probe p) with
+    | Ok (Probe p') -> check "probe" (p = p')
+    | Ok _ -> Error "probe decoded as another kind"
+    | Error e -> Error (Format.asprintf "probe: %a" pp_error e))
+  | Wire.Commit cm -> (
+    match decode (encode_commit cm) with
+    | Ok (Commit cm') -> check "commit" (cm = cm')
+    | Ok _ -> Error "commit decoded as another kind"
+    | Error e -> Error (Format.asprintf "commit: %a" pp_error e))
+  | _ -> Ok ()

@@ -1,0 +1,57 @@
+open Totem_engine
+
+type t = {
+  element_header_bytes : int;
+  packing_enabled : bool;
+  window_size : int;
+  max_messages_per_token : int;
+  token_loss_timeout : Vtime.t;
+  token_retransmit_interval : Vtime.t;
+  join_interval : Vtime.t;
+  consensus_timeout : Vtime.t;
+  merge_detect_interval : Vtime.t;
+  recovery_grace : Vtime.t;
+  cpu_frame_cost : Vtime.t;
+  cpu_message_cost : Vtime.t;
+  cpu_duplicate_cost : Vtime.t;
+  cpu_token_cost : Vtime.t;
+  cpu_byte_cost_ns : int;
+  token_base_bytes : int;
+  token_rtr_entry_bytes : int;
+  join_base_bytes : int;
+  join_entry_bytes : int;
+}
+
+let default =
+  {
+    element_header_bytes = 12;
+    packing_enabled = true;
+    window_size = 50;
+    max_messages_per_token = 25;
+    token_loss_timeout = Vtime.ms 200;
+    token_retransmit_interval = Vtime.ms 5;
+    join_interval = Vtime.ms 30;
+    consensus_timeout = Vtime.ms 80;
+    merge_detect_interval = Vtime.ms 400;
+    recovery_grace = Vtime.ms 20;
+    cpu_frame_cost = Vtime.us 20;
+    cpu_message_cost = Vtime.us 34;
+    cpu_duplicate_cost = Vtime.us 5;
+    cpu_token_cost = Vtime.us 40;
+    cpu_byte_cost_ns = 12;
+    token_base_bytes = 48;
+    token_rtr_entry_bytes = 6;
+    join_base_bytes = 24;
+    join_entry_bytes = 4;
+  }
+
+let frame_cpu_cost t ~payload_bytes =
+  Vtime.add t.cpu_frame_cost (Vtime.ns (payload_bytes * t.cpu_byte_cost_ns))
+
+let token_payload_bytes t ~rtr_len =
+  min Totem_net.Frame.max_payload_bytes
+    (t.token_base_bytes + (rtr_len * t.token_rtr_entry_bytes))
+
+let join_payload_bytes t ~entries =
+  min Totem_net.Frame.max_payload_bytes
+    (t.join_base_bytes + (entries * t.join_entry_bytes))

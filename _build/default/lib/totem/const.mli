@@ -1,0 +1,69 @@
+(** Protocol constants and tunables for the Totem SRP and the cost model.
+
+    Defaults reproduce the paper's testbed: 100 Mbit/s Ethernets, Linux
+    2.2 sockets, Pentium II/III-class per-packet processing costs. The
+    cost constants were calibrated once against the paper's headline
+    number (Sec. 2: > 9,000 one-Kbyte messages per second on a single
+    100 Mbit/s Ethernet) and are then held fixed across every experiment
+    and replication style. *)
+
+type t = {
+  (* --- packing --- *)
+  element_header_bytes : int;
+      (** per packed user message header inside a packet; 12 bytes, so
+          two 700-byte messages fill a 1424-byte frame exactly — the
+          source of the paper's 700/1400-byte throughput peaks *)
+  packing_enabled : bool;
+      (** when false every message (or fragment) rides alone in its
+          packet — the ablation that shows what packing buys (Sec. 8) *)
+  (* --- flow control --- *)
+  window_size : int;  (** global messages per token rotation *)
+  max_messages_per_token : int;  (** per-node cap per token visit *)
+  (* --- timers --- *)
+  token_loss_timeout : Totem_engine.Vtime.t;
+      (** no token for this long starts the membership protocol *)
+  token_retransmit_interval : Totem_engine.Vtime.t;
+      (** period for resending the last token while unacknowledged *)
+  join_interval : Totem_engine.Vtime.t;
+      (** period for rebroadcasting Join messages while gathering *)
+  consensus_timeout : Totem_engine.Vtime.t;
+      (** gather window after which the ring is formed from responders *)
+  merge_detect_interval : Totem_engine.Vtime.t;
+      (** period of the merge-detect probe multicast that lets rings
+          formed in a partition find each other after the networks heal
+          (Corosync's memb_merge_detect) *)
+  recovery_grace : Totem_engine.Vtime.t;
+      (** after the representative finishes its own recovery, how long
+          it waits before originating the new ring's token, giving the
+          other members time to complete the recovery exchange *)
+  (* --- CPU cost model --- *)
+  cpu_frame_cost : Totem_engine.Vtime.t;
+      (** UDP/IP stack traversal per frame, send or receive *)
+  cpu_message_cost : Totem_engine.Vtime.t;
+      (** ordering/delivery work per user message, send or receive *)
+  cpu_duplicate_cost : Totem_engine.Vtime.t;
+      (** discarding an already-seen message (sequence-number filter) *)
+  cpu_token_cost : Totem_engine.Vtime.t;
+      (** fixed part of processing one token visit *)
+  cpu_byte_cost_ns : int;
+      (** per-payload-byte copy cost (user/kernel crossing), charged on
+          every frame sent (per copy) and received — what caps
+          large-message throughput when the wire no longer does *)
+  (* --- wire sizes of protocol messages --- *)
+  token_base_bytes : int;
+  token_rtr_entry_bytes : int;
+  join_base_bytes : int;
+  join_entry_bytes : int;
+}
+
+val default : t
+
+val frame_cpu_cost : t -> payload_bytes:int -> Totem_engine.Vtime.t
+(** CPU time to push one frame of the given payload through the stack:
+    [cpu_frame_cost + payload_bytes * cpu_byte_cost_ns]. *)
+
+val token_payload_bytes : t -> rtr_len:int -> int
+(** UDP payload size of a token carrying [rtr_len] retransmission
+    requests, clamped to the maximum frame payload. *)
+
+val join_payload_bytes : t -> entries:int -> int

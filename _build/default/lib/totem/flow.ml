@@ -1,0 +1,18 @@
+type t = { mutable prev : int }
+
+let create () = { prev = 0 }
+
+let allowance (c : Const.t) t ~fcc ~members =
+  let by_window = c.window_size - (fcc - t.prev) in
+  let fair_share = c.window_size / max 1 members in
+  let floor = min c.max_messages_per_token fair_share in
+  max floor (min c.max_messages_per_token by_window) |> max 0
+
+let contribute t ~fcc ~sent =
+  let fcc = fcc - t.prev + sent in
+  t.prev <- sent;
+  max 0 fcc
+
+let previous_contribution t = t.prev
+
+let reset t = t.prev <- 0

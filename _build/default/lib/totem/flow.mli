@@ -1,0 +1,31 @@
+(** Totem's token-based flow control.
+
+    The token's [fcc] field holds the number of messages broadcast by
+    all nodes during the last rotation-sized window: on each visit a
+    node replaces its previous contribution with its new one. A node may
+    broadcast at most [window_size - (fcc - its own previous
+    contribution)] messages, and never more than
+    [max_messages_per_token]. This bounds the traffic in flight to
+    roughly one window, which is what lets Totem run an Ethernet near
+    saturation without receive-buffer collapse (Sec. 2).
+
+    The raw window rule can lock a saturated ring into an unfair fixed
+    point that starves the last nodes entirely, so the allowance is
+    floored at the node's fair share of the window ([window / members]);
+    the transient overshoot this permits is at most one fair share and
+    is covered by socket-buffer slack. *)
+
+type t
+
+val create : unit -> t
+
+val allowance : Const.t -> t -> fcc:int -> members:int -> int
+(** Messages this node may broadcast on this token visit. *)
+
+val contribute : t -> fcc:int -> sent:int -> int
+(** [contribute t ~fcc ~sent] replaces the node's previous contribution
+    in [fcc] with [sent], remembers [sent], and returns the new fcc. *)
+
+val previous_contribution : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  send_data : Wire.packet -> unit;
+  send_token : dst:Totem_net.Addr.node_id -> Token.t -> unit;
+  send_join : Wire.join -> unit;
+  send_probe : Wire.probe -> unit;
+  send_commit : dst:Totem_net.Addr.node_id -> Wire.commit -> unit;
+  copies_per_send : unit -> int;
+}
+
+let null =
+  {
+    send_data = (fun _ -> ());
+    send_token = (fun ~dst:_ _ -> ());
+    send_join = (fun _ -> ());
+    send_probe = (fun _ -> ());
+    send_commit = (fun ~dst:_ _ -> ());
+    copies_per_send = (fun () -> 1);
+  }

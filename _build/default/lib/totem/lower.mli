@@ -1,0 +1,30 @@
+(** The interface the SRP requires of whatever sits below it.
+
+    In the unreplicated system this is one network; in the Totem RRP it
+    is the replication layer of Figs. 2 and 4 — "the algorithm forms a
+    layer that resides between the Totem SRP and the networks". Keeping
+    it first-class is what lets one SRP implementation run over any
+    replication style. *)
+
+type t = {
+  send_data : Wire.packet -> unit;
+      (** broadcast a data packet to all ring members *)
+  send_token : dst:Totem_net.Addr.node_id -> Token.t -> unit;
+      (** unicast the token to the successor *)
+  send_join : Wire.join -> unit;
+      (** broadcast a membership Join — sent on every network regardless
+          of fault marking, because membership is the last resort *)
+  send_probe : Wire.probe -> unit;
+      (** broadcast a merge-detect probe; like Joins, on every network *)
+  send_commit : dst:Totem_net.Addr.node_id -> Wire.commit -> unit;
+      (** unicast the membership commit token to the next proposed
+          member; sent on every network (last-resort traffic) *)
+  copies_per_send : unit -> int;
+      (** how many copies one logical send will put on the wire right
+          now (1 unreplicated/passive, non-faulty-network count for
+          active, K for active-passive) — the SRP charges send CPU per
+          copy *)
+}
+
+val null : t
+(** Discards everything; for unit tests of the SRP state machine. *)

@@ -1,0 +1,30 @@
+module Iset = Set.Make (Int)
+
+let candidates ~me ~joins =
+  let senders =
+    List.fold_left (fun s (j : Wire.join) -> Iset.add j.sender s) (Iset.singleton me) joins
+  in
+  let failed =
+    List.fold_left
+      (fun s (j : Wire.join) -> List.fold_left (fun s n -> Iset.add n s) s j.fail_set)
+      Iset.empty joins
+  in
+  Iset.elements (Iset.diff senders failed)
+
+let representative = function
+  | [] -> invalid_arg "Membership.representative: empty candidate set"
+  | x :: rest -> List.fold_left min x rest
+
+let form_ring nodes = Array.of_list (List.sort_uniq Int.compare nodes)
+
+let next_on_ring ring ~me =
+  let n = Array.length ring in
+  let rec find i = if i >= n then raise Not_found else if ring.(i) = me then i else find (i + 1) in
+  ring.((find 0 + 1) mod n)
+
+let leader ring =
+  if Array.length ring = 0 then invalid_arg "Membership.leader: empty ring";
+  ring.(0)
+
+let max_ring_id joins floor =
+  List.fold_left (fun acc (j : Wire.join) -> max acc j.max_ring_id) floor joins

@@ -1,0 +1,30 @@
+(** Pure pieces of the membership protocol.
+
+    The stateful gather/commit machinery lives in {!Srp}; these are the
+    deterministic decisions it makes: which nodes form the next ring,
+    who leads its installation, and the token-passing order. *)
+
+val candidates :
+  me:Totem_net.Addr.node_id ->
+  joins:Wire.join list ->
+  Totem_net.Addr.node_id list
+(** The agreed set: this node plus every Join sender, minus every node
+    that appears in any fail set, sorted ascending. *)
+
+val representative : Totem_net.Addr.node_id list -> Totem_net.Addr.node_id
+(** Lowest id — the node that creates the new ring's token.
+    @raise Invalid_argument on the empty list. *)
+
+val form_ring : Totem_net.Addr.node_id list -> Totem_net.Addr.node_id array
+(** Token-passing order: ascending node id. *)
+
+val next_on_ring :
+  Totem_net.Addr.node_id array -> me:Totem_net.Addr.node_id -> Totem_net.Addr.node_id
+(** Successor of [me]; a singleton ring returns [me] itself.
+    @raise Not_found if [me] is not a member. *)
+
+val leader : Totem_net.Addr.node_id array -> Totem_net.Addr.node_id
+(** The member that increments the token's rotation counter: ring.(0). *)
+
+val max_ring_id : Wire.join list -> int -> int
+(** Highest ring id among the joins and the given floor. *)

@@ -1,0 +1,20 @@
+type data = ..
+
+type data += Blob
+
+type t = {
+  origin : Totem_net.Addr.node_id;
+  app_seq : int;
+  size : int;
+  safe : bool;
+  data : data;
+}
+
+let make ~origin ~app_seq ~size ?(safe = false) ?(data = Blob) () =
+  if size < 0 then invalid_arg "Message.make: negative size";
+  { origin; app_seq; size; safe; data }
+
+let pp ppf t =
+  Format.fprintf ppf "msg(%a #%d %dB%s)" Totem_net.Addr.pp_node t.origin
+    t.app_seq t.size
+    (if t.safe then " safe" else "")

@@ -1,0 +1,37 @@
+(** Application-level messages as the Totem stack sees them.
+
+    A message has an origin, a per-origin sequence number (for tracing
+    and for end-to-end assertions in tests — the protocol itself orders
+    by the ring sequence number), a size in bytes, and an extensible
+    data field so applications can attach real content while benchmarks
+    carry only sizes. *)
+
+type data = ..
+(** Extensible application content. *)
+
+type data += Blob
+(** Content-free filler; [size] alone is meaningful. *)
+
+type t = {
+  origin : Totem_net.Addr.node_id;
+  app_seq : int;  (** per-origin submission counter, starting at 1 *)
+  size : int;  (** application payload bytes; may exceed a frame *)
+  safe : bool;
+      (** delivery guarantee: agreed (false, the default — deliver as
+          soon as all predecessors are delivered) or safe (true —
+          deliver only once the token's aru proves every ring member
+          holds the message, Totem's stronger guarantee) *)
+  data : data;
+}
+
+val make :
+  origin:Totem_net.Addr.node_id ->
+  app_seq:int ->
+  size:int ->
+  ?safe:bool ->
+  ?data:data ->
+  unit ->
+  t
+(** @raise Invalid_argument if [size < 0]. *)
+
+val pp : Format.formatter -> t -> unit

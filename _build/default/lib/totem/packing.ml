@@ -1,0 +1,40 @@
+let capacity = Totem_net.Frame.max_payload_bytes
+
+let max_element_body_bytes (c : Const.t) = capacity - c.element_header_bytes
+
+let fragment_count c ~size =
+  if size < 0 then invalid_arg "Packing.fragment_count";
+  let body = max_element_body_bytes c in
+  if size <= body then 1 else (size + body - 1) / body
+
+let elements_of_message c (m : Message.t) : Wire.element list =
+  let body = max_element_body_bytes c in
+  if m.size <= body then [ { Wire.message = m; fragment = None } ]
+  else begin
+    let count = fragment_count c ~size:m.size in
+    List.init count (fun index ->
+        let bytes =
+          if index = count - 1 then m.size - (body * (count - 1)) else body
+        in
+        { Wire.message = m; fragment = Some { Wire.index; count; bytes } })
+  end
+
+let pack_elements (c : Const.t) elements =
+  if not c.packing_enabled then List.map (fun e -> [ e ]) elements
+  else
+  (* Greedy order-preserving bin fill. *)
+  let flush current packets =
+    match current with [] -> packets | es -> List.rev es :: packets
+  in
+  let rec go current used packets = function
+    | [] -> List.rev (flush current packets)
+    | e :: rest ->
+      let b = Wire.element_bytes c e in
+      if used + b <= capacity then go (e :: current) (used + b) packets rest
+      else go [ e ] b (flush current packets) rest
+  in
+  go [] 0 [] elements
+
+let pack c msgs = pack_elements c (List.concat_map (elements_of_message c) msgs)
+
+let packet_count c msgs = List.length (pack c msgs)

@@ -1,0 +1,33 @@
+(** The message packing and fragmentation algorithm (Sec. 8).
+
+    Small user messages are packed together into one packet so several
+    can ride in a single Ethernet frame; messages too large for one
+    frame are split into fragments, each filling a packet, with the last
+    fragment free to share its packet with subsequent messages. Packing
+    is greedy and order-preserving — Totem must broadcast messages in
+    submission order. *)
+
+val max_element_body_bytes : Const.t -> int
+(** Largest user-message (or fragment) body that fits one packet:
+    1424 minus the element header. *)
+
+val fragment_count : Const.t -> size:int -> int
+(** Number of fragments a message of [size] bytes needs (1 if it fits). *)
+
+val elements_of_message : Const.t -> Message.t -> Wire.element list
+(** The element stream for one message: a singleton for a small message,
+    or its fragment elements in index order. *)
+
+val pack_elements : Const.t -> Wire.element list -> Wire.element list list
+(** Group an element stream into packet contents, greedily and in order.
+    The SRP works at element granularity so that a message larger than
+    one flow-control window can cross the ring a few fragments per token
+    visit. *)
+
+val pack : Const.t -> Message.t list -> Wire.element list list
+(** [pack c msgs] groups the messages' elements into packet contents, in
+    order, each group's total {!Wire.element_bytes} at most the frame
+    payload capacity. *)
+
+val packet_count : Const.t -> Message.t list -> int
+(** [List.length (pack c msgs)] without building the packets. *)

@@ -1,0 +1,70 @@
+type t = {
+  packets : (int, Wire.packet) Hashtbl.t;
+  mutable aru : int;
+  mutable highest : int;
+  mutable delivered : int;  (* cursor: all <= delivered handed to app *)
+  mutable gc_horizon : int;
+}
+
+let create () =
+  { packets = Hashtbl.create 256; aru = 0; highest = 0; delivered = 0; gc_horizon = 0 }
+
+let advance_aru t =
+  while Hashtbl.mem t.packets (t.aru + 1) do
+    t.aru <- t.aru + 1
+  done
+
+let store t (p : Wire.packet) =
+  if p.seq <= t.gc_horizon || Hashtbl.mem t.packets p.seq then `Duplicate
+  else begin
+    Hashtbl.replace t.packets p.seq p;
+    if p.seq > t.highest then t.highest <- p.seq;
+    if p.seq = t.aru + 1 then advance_aru t;
+    `New
+  end
+
+let has t seq = seq <= t.gc_horizon || Hashtbl.mem t.packets seq
+
+let find t seq = Hashtbl.find_opt t.packets seq
+
+let my_aru t = t.aru
+
+let highest_seen t = t.highest
+
+let missing_up_to t seq =
+  let rec gaps i acc =
+    if i > seq then List.rev acc
+    else if Hashtbl.mem t.packets i then gaps (i + 1) acc
+    else gaps (i + 1) (i :: acc)
+  in
+  gaps (t.aru + 1) []
+
+let pop_deliverable t =
+  let rec collect i acc =
+    if i > t.aru then List.rev acc
+    else
+      match Hashtbl.find_opt t.packets i with
+      | Some p -> collect (i + 1) (p :: acc)
+      | None -> List.rev acc (* unreachable: aru guarantees presence *)
+  in
+  let out = collect (t.delivered + 1) [] in
+  t.delivered <- max t.delivered t.aru;
+  out
+
+let gc_below t bound =
+  let bound = min bound t.delivered in
+  if bound > t.gc_horizon then begin
+    for seq = t.gc_horizon + 1 to bound do
+      Hashtbl.remove t.packets seq
+    done;
+    t.gc_horizon <- bound
+  end
+
+let stored_count t = Hashtbl.length t.packets
+
+let reset t =
+  Hashtbl.reset t.packets;
+  t.aru <- 0;
+  t.highest <- 0;
+  t.delivered <- 0;
+  t.gc_horizon <- 0

@@ -1,0 +1,28 @@
+let rec merge a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys ->
+    if x < y then x :: merge xs b
+    else if x > y then y :: merge a ys
+    else x :: merge xs ys
+
+let rec remove rtr served =
+  match (rtr, served) with
+  | [], _ -> []
+  | rest, [] -> rest
+  | x :: xs, y :: ys ->
+    if x < y then x :: remove xs served
+    else if x = y then remove xs ys
+    else remove rtr ys
+
+let truncate n l =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  take n l
+
+let rec is_sorted_unique = function
+  | [] | [ _ ] -> true
+  | x :: (y :: _ as rest) -> x < y && is_sorted_unique rest

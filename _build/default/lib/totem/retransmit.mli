@@ -1,0 +1,16 @@
+(** Retransmission-request list bookkeeping.
+
+    The token carries the sorted list of sequence numbers whose
+    retransmission has been requested. These are pure operations on
+    sorted, duplicate-free integer lists. *)
+
+val merge : int list -> int list -> int list
+(** Sorted union. *)
+
+val remove : int list -> int list -> int list
+(** [remove rtr served] drops every element of [served] from [rtr]. *)
+
+val truncate : int -> int list -> int list
+(** Keep at most the first (lowest) [n] requests — bounds token growth. *)
+
+val is_sorted_unique : int list -> bool

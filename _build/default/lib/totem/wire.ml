@@ -1,0 +1,85 @@
+type fragment = {
+  index : int;
+  count : int;
+  bytes : int;
+}
+
+type element = {
+  message : Message.t;
+  fragment : fragment option;
+}
+
+let element_bytes (c : Const.t) e =
+  let body = match e.fragment with
+    | None -> e.message.Message.size
+    | Some f -> f.bytes
+  in
+  c.Const.element_header_bytes + body
+
+type packet = {
+  ring_id : int;
+  seq : int;
+  sender : Totem_net.Addr.node_id;
+  elements : element list;
+}
+
+let packet_payload_bytes c p =
+  List.fold_left (fun acc e -> acc + element_bytes c e) 0 p.elements
+
+type join = {
+  sender : Totem_net.Addr.node_id;
+  proc_set : Totem_net.Addr.node_id list;
+  fail_set : Totem_net.Addr.node_id list;
+  max_ring_id : int;
+}
+
+let join_payload_bytes c j =
+  Const.join_payload_bytes c
+    ~entries:(List.length j.proc_set + List.length j.fail_set)
+
+type probe = {
+  probe_sender : Totem_net.Addr.node_id;
+  probe_ring_id : int;
+}
+
+type member_info = {
+  mi_node : Totem_net.Addr.node_id;
+  mi_old_ring : int;
+  mi_aru : int;
+}
+
+type commit = {
+  cm_ring_id : int;
+  cm_ring : Totem_net.Addr.node_id array;
+  cm_round : int;  (* 1 = collecting member info, 2 = distributing it *)
+  cm_info : member_info list;
+}
+
+type Totem_net.Frame.payload +=
+  | Data of packet
+  | Tok of Token.t
+  | Join of join
+  | Probe of probe
+  | Commit of commit
+
+let data_frame c ~src p =
+  Totem_net.Frame.make ~src ~payload_bytes:(packet_payload_bytes c p) (Data p)
+
+let token_frame c ~src t =
+  Totem_net.Frame.make ~src ~payload_bytes:(Token.payload_bytes c t) (Tok t)
+
+let join_frame c ~src j =
+  Totem_net.Frame.make ~src ~payload_bytes:(join_payload_bytes c j) (Join j)
+
+let probe_frame (c : Const.t) ~src p =
+  ignore c;
+  Totem_net.Frame.make ~src ~payload_bytes:16 (Probe p)
+
+let commit_payload_bytes (c : Const.t) cm =
+  min Totem_net.Frame.max_payload_bytes
+    (c.Const.join_base_bytes
+    + (Array.length cm.cm_ring * c.Const.join_entry_bytes)
+    + (List.length cm.cm_info * 12))
+
+let commit_frame c ~src cm =
+  Totem_net.Frame.make ~src ~payload_bytes:(commit_payload_bytes c cm) (Commit cm)

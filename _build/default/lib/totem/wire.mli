@@ -1,0 +1,88 @@
+(** Wire-level protocol units and their frame encodings.
+
+    A {e packet} is the protocol broadcast unit: it owns one ring
+    sequence number and carries one or more {e elements} — whole user
+    messages packed together, or one fragment of a large user message.
+    Tokens and Join messages are the other frame kinds. Frames carry
+    these values directly (the simulation does not serialise bytes), but
+    every unit knows its exact payload size so that wire occupancy and
+    the packing peaks are faithful. *)
+
+type fragment = {
+  index : int;  (** 0-based fragment number *)
+  count : int;  (** total fragments of the message *)
+  bytes : int;  (** payload bytes carried by this fragment *)
+}
+
+type element = {
+  message : Message.t;
+  fragment : fragment option;  (** [None] for an unfragmented message *)
+}
+
+val element_bytes : Const.t -> element -> int
+(** Bytes the element occupies inside a packet, header included. *)
+
+type packet = {
+  ring_id : int;
+  seq : int;  (** the ring sequence number, unique per ring *)
+  sender : Totem_net.Addr.node_id;  (** broadcaster, not necessarily origin *)
+  elements : element list;
+}
+
+val packet_payload_bytes : Const.t -> packet -> int
+
+type join = {
+  sender : Totem_net.Addr.node_id;
+  proc_set : Totem_net.Addr.node_id list;  (** nodes believed reachable *)
+  fail_set : Totem_net.Addr.node_id list;  (** nodes declared failed *)
+  max_ring_id : int;  (** highest ring id the sender has seen *)
+}
+
+val join_payload_bytes : Const.t -> join -> int
+
+type probe = {
+  probe_sender : Totem_net.Addr.node_id;
+  probe_ring_id : int;
+}
+(** Merge detection (Corosync's [memb_merge_detect]): operational nodes
+    periodically multicast their ring id so that two rings that formed
+    during a partition discover each other once the networks heal, even
+    if both rings are otherwise idle. *)
+
+type member_info = {
+  mi_node : Totem_net.Addr.node_id;
+  mi_old_ring : int;  (** the ring the member comes from *)
+  mi_aru : int;  (** how far it received on that ring *)
+}
+
+type commit = {
+  cm_ring_id : int;  (** the new ring being installed *)
+  cm_ring : Totem_net.Addr.node_id array;
+  cm_round : int;  (** 1 = collecting member info, 2 = distributing it *)
+  cm_info : member_info list;
+}
+(** The commit token (Totem membership): after the gather phase agrees
+    on a member set, the representative circulates this around the
+    proposed ring — once to collect every member's old-ring position,
+    once to distribute the collected list — so that all members can run
+    the recovery exchange before the new ring goes operational. *)
+
+(** The frame payloads the Totem stack puts on the wire. *)
+type Totem_net.Frame.payload +=
+  | Data of packet
+  | Tok of Token.t
+  | Join of join
+  | Probe of probe
+  | Commit of commit
+
+val data_frame : Const.t -> src:Totem_net.Addr.node_id -> packet -> Totem_net.Frame.t
+
+val token_frame : Const.t -> src:Totem_net.Addr.node_id -> Token.t -> Totem_net.Frame.t
+
+val join_frame : Const.t -> src:Totem_net.Addr.node_id -> join -> Totem_net.Frame.t
+
+val probe_frame : Const.t -> src:Totem_net.Addr.node_id -> probe -> Totem_net.Frame.t
+
+val commit_payload_bytes : Const.t -> commit -> int
+
+val commit_frame : Const.t -> src:Totem_net.Addr.node_id -> commit -> Totem_net.Frame.t

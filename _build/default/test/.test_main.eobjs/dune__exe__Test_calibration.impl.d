@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Cluster Metrics Style Util Vtime Workload

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Config Metrics Result Scenario Srp Style Totem_cluster Totem_engine Totem_net Totem_rrp Util Vtime Workload

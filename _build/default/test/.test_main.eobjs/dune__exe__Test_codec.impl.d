@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Fun Gen List QCheck QCheck_alcotest String Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Sim Totem_engine Vtime

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue List QCheck QCheck_alcotest Totem_engine

@@ -1,0 +1,1 @@
+test/test_evs.ml: Alcotest Array Cluster Fun List Message Printf Scenario Style Totem_cluster Totem_engine Util Vtime

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Fabric Fault Frame List Network Sim Totem_engine Totem_net Vtime

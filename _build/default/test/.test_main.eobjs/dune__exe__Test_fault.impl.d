@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Fault List Totem_net

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Const Flow QCheck QCheck_alcotest Totem_srp

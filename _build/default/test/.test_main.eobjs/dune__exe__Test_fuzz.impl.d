@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Cluster List Printf Scenario Srp Style Totem_cluster Totem_engine Totem_rrp Util Vtime

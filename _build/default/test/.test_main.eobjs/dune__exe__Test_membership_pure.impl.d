@@ -1,0 +1,1 @@
+test/test_membership_pure.ml: Alcotest Array Gen List Membership QCheck QCheck_alcotest Totem_srp Wire

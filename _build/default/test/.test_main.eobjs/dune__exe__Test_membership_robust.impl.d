@@ -1,0 +1,1 @@
+test/test_membership_robust.ml: Alcotest Array Cluster List Srp Style Util Workload

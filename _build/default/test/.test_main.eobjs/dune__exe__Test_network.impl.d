@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Cpu Fault Frame Hashtbl List Network Nic Sim Totem_engine Totem_net Vtime

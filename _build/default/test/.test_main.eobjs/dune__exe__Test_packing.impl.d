@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Const Gen List Message Packing QCheck QCheck_alcotest Totem_net Totem_srp Wire

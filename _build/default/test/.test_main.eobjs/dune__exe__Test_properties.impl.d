@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Fun Gen List QCheck QCheck_alcotest Totem_engine Totem_net Totem_rrp Totem_srp Util

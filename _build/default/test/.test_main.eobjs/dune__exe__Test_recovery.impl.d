@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Cluster Format List Metrics Srp Style Totem_cluster Util Vtime Workload

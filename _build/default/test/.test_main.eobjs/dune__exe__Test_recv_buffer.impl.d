@@ -1,0 +1,1 @@
+test/test_recv_buffer.ml: Alcotest Array List Message QCheck QCheck_alcotest Recv_buffer Totem_engine Totem_srp Wire

@@ -1,0 +1,1 @@
+test/test_retransmit.ml: Alcotest List QCheck QCheck_alcotest Retransmit Totem_srp

@@ -1,0 +1,1 @@
+test/test_rrp_active.ml: Alcotest Array Cluster List Option Printf Srp Style Totem_engine Totem_net Totem_rrp Util Workload

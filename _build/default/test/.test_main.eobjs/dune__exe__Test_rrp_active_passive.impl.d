@@ -1,0 +1,1 @@
+test/test_rrp_active_passive.ml: Alcotest Array Cluster List Result Srp Style Totem_rrp Util Workload

@@ -1,0 +1,1 @@
+test/test_rrp_passive.ml: Alcotest Array Cluster Config List Message Printf Srp Style Totem_cluster Totem_engine Totem_net Totem_rrp Util Workload

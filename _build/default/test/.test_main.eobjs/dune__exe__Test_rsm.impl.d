@@ -1,0 +1,1 @@
+test/test_rsm.ml: Alcotest Array Cluster Style Totem_rsm Util Vtime Workload

@@ -1,0 +1,1 @@
+test/test_safe_delivery.ml: Alcotest Array Cluster List Message Printf Srp Style Util Vtime

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest List Printf Totem_engine Totem_net Totem_rrp Totem_srp

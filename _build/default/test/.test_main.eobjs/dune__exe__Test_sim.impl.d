@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Rng Sim Totem_engine Vtime

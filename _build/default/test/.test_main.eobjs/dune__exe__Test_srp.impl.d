@@ -1,0 +1,1 @@
+test/test_srp.ml: Alcotest Array Cluster List Srp Style Util Workload

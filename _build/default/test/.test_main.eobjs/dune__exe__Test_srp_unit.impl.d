@@ -1,0 +1,1 @@
+test/test_srp_unit.ml: Alcotest List Totem_engine Totem_srp

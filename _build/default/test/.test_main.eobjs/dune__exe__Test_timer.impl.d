@@ -1,0 +1,1 @@
+test/test_timer.ml: Alcotest Option Sim Timer Totem_engine Vtime

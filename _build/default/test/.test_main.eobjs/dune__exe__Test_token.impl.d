@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Const Fun List Token Totem_net Totem_srp

@@ -1,0 +1,1 @@
+test/test_vtime.ml: Alcotest Format Totem_engine Vtime

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Format String Totem_engine Totem_net Totem_rrp Totem_srp

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array List Totem_cluster Totem_engine Totem_rrp Totem_srp

@@ -1,0 +1,47 @@
+(* Calibration regression: the throughput model behind Figures 6-9 must
+   keep producing the paper's headline numbers and orderings. A change
+   that silently shifts the cost model fails here rather than in a
+   late bench run. *)
+
+open Util
+
+let measure ~style ~num_nets ~size =
+  let t = make ~num_nets ~style () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size;
+  let tp =
+    Metrics.measure_throughput t.cluster ~warmup:(Vtime.ms 300)
+      ~duration:(Vtime.ms 700)
+  in
+  (tp.Metrics.msgs_per_sec, Metrics.network_utilisation t.cluster ~net:0)
+
+let test_headline_band () =
+  let rate, util = measure ~style:Style.No_replication ~num_nets:2 ~size:1024 in
+  Alcotest.(check bool) "unreplicated 1KB rate in band (paper: >9000)" true
+    (rate > 8_500.0 && rate < 10_500.0);
+  Alcotest.(check bool) "utilisation near 90%" true (util > 0.80 && util < 0.95)
+
+let test_style_ordering_at_1k () =
+  let none, _ = measure ~style:Style.No_replication ~num_nets:2 ~size:1024 in
+  let active, _ = measure ~style:Style.Active ~num_nets:2 ~size:1024 in
+  let passive, _ = measure ~style:Style.Passive ~num_nets:2 ~size:1024 in
+  Alcotest.(check bool) "active < none < passive" true
+    (active < none && none < passive);
+  Alcotest.(check bool) "active gap in the paper's band" true
+    (none -. active > 500.0 && none -. active < 3_000.0);
+  Alcotest.(check bool) "passive gain in the paper's band (KB/s)" true
+    (passive -. none > 1_000.0 && passive -. none < 6_000.0)
+
+let test_packing_peak () =
+  (* Bandwidth at 700 B beats 400 B: the frame-fill peak. *)
+  let r700, _ = measure ~style:Style.No_replication ~num_nets:2 ~size:700 in
+  let r400, _ = measure ~style:Style.No_replication ~num_nets:2 ~size:400 in
+  Alcotest.(check bool) "700B peak" true (r700 *. 700.0 > r400 *. 400.0)
+
+let tests =
+  [
+    Alcotest.test_case "headline band (Sec. 2)" `Slow test_headline_band;
+    Alcotest.test_case "style ordering at 1KB (Sec. 8)" `Slow
+      test_style_ordering_at_1k;
+    Alcotest.test_case "packing peak at 700B" `Slow test_packing_peak;
+  ]

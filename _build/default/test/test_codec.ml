@@ -1,0 +1,263 @@
+(* The binary wire codec: round trips, size honesty against the
+   simulation's charging model, and malformed-input rejection. *)
+
+module Codec = Totem_srp.Codec
+module Wire = Totem_srp.Wire
+module Token = Totem_srp.Token
+module Message = Totem_srp.Message
+module Const = Totem_srp.Const
+module Packing = Totem_srp.Packing
+
+let const = Const.default
+
+let msg ?(origin = 1) ?(app_seq = 1) ?(safe = false) ~size () =
+  Message.make ~origin ~app_seq ~size ~safe ()
+
+let whole ?origin ?app_seq ?safe ~size () =
+  { Wire.message = msg ?origin ?app_seq ?safe ~size (); fragment = None }
+
+let packet ?(ring_id = 1) ?(seq = 42) ?(sender = 2) elements =
+  { Wire.ring_id; seq; sender; elements }
+
+(* Messages carry no comparable payload closure, so compare field by
+   field. *)
+let check_message name (a : Message.t) (b : Message.t) =
+  Alcotest.(check int) (name ^ " origin") a.origin b.origin;
+  Alcotest.(check int) (name ^ " app_seq") a.app_seq b.app_seq;
+  Alcotest.(check int) (name ^ " size") a.size b.size;
+  Alcotest.(check bool) (name ^ " safe") a.safe b.safe
+
+let check_packet name (a : Wire.packet) (b : Wire.packet) =
+  Alcotest.(check int) (name ^ " ring") a.ring_id b.ring_id;
+  Alcotest.(check int) (name ^ " seq") a.seq b.seq;
+  Alcotest.(check int) (name ^ " sender") a.sender b.sender;
+  Alcotest.(check int) (name ^ " count") (List.length a.elements)
+    (List.length b.elements);
+  List.iter2
+    (fun (x : Wire.element) (y : Wire.element) ->
+      check_message name x.message y.message;
+      Alcotest.(check bool) (name ^ " frag presence") (x.fragment <> None)
+        (y.fragment <> None);
+      match (x.fragment, y.fragment) with
+      | Some f, Some g ->
+        Alcotest.(check int) (name ^ " index") f.Wire.index g.Wire.index;
+        Alcotest.(check int) (name ^ " fcount") f.Wire.count g.Wire.count;
+        Alcotest.(check int) (name ^ " fbytes") f.Wire.bytes g.Wire.bytes
+      | _ -> ())
+    a.elements b.elements
+
+let test_packet_roundtrip () =
+  let p =
+    packet
+      [ whole ~size:700 (); whole ~origin:3 ~app_seq:9 ~safe:true ~size:700 () ]
+  in
+  match Codec.decode (Codec.encode_packet p) with
+  | Ok (Codec.Packet p') -> check_packet "packed pair" p p'
+  | Ok _ -> Alcotest.fail "wrong kind"
+  | Error e -> Alcotest.failf "decode error: %a" Codec.pp_error e
+
+let test_fragment_roundtrip () =
+  let elements = Packing.elements_of_message const (msg ~size:5000 ()) in
+  let p = packet elements in
+  match Codec.decode (Codec.encode_packet p) with
+  | Ok (Codec.Packet p') -> check_packet "fragments" p p'
+  | _ -> Alcotest.fail "decode failed"
+
+let test_token_roundtrip () =
+  let t =
+    {
+      (Token.initial ~ring:[| 0; 1; 2; 5 |] ~ring_id:129) with
+      Token.seq = 100_000;
+      rotation = 777;
+      hops = 3111;
+      aru = 99_998;
+      aru_setter = 5;
+      fcc = 50;
+      rtr = [ 99_999; 100_000 ];
+    }
+  in
+  match Codec.decode (Codec.encode_token t) with
+  | Ok (Codec.Token t') ->
+    Alcotest.(check bool) "identical" true (t = t')
+  | _ -> Alcotest.fail "decode failed"
+
+let test_join_roundtrip () =
+  let j = { Wire.sender = 3; proc_set = [ 0; 1; 3 ]; fail_set = [ 2 ]; max_ring_id = 640 } in
+  match Codec.decode (Codec.encode_join j) with
+  | Ok (Codec.Join j') -> Alcotest.(check bool) "identical" true (j = j')
+  | _ -> Alcotest.fail "decode failed"
+
+let test_probe_roundtrip () =
+  let p = { Wire.probe_sender = 4; probe_ring_id = 192 } in
+  match Codec.decode (Codec.encode_probe p) with
+  | Ok (Codec.Probe p') -> Alcotest.(check bool) "identical" true (p = p')
+  | _ -> Alcotest.fail "decode failed"
+
+(* Size honesty: for whole-message packets the encoded bytes must be at
+   most the size the simulation charges to the wire (packet header
+   within the 94-byte frame-overhead budget; 12 bytes per element). *)
+let test_size_honesty_whole () =
+  List.iter
+    (fun sizes ->
+      let elements = List.mapi (fun i s -> whole ~app_seq:(i + 1) ~size:s ()) sizes in
+      let p = packet elements in
+      let charged = Wire.packet_payload_bytes const p + 12 (* packet header *) in
+      let encoded = String.length (Codec.encode_packet p) in
+      if encoded > charged then
+        Alcotest.failf "sizes %s: encoded %d > charged %d"
+          (String.concat "," (List.map string_of_int sizes))
+          encoded charged)
+    [ [ 700; 700 ]; [ 100 ]; [ 0; 0; 0 ]; [ 1400 ]; [ 64; 128; 256; 512 ] ]
+
+let test_size_honesty_token () =
+  let t =
+    {
+      (Token.initial ~ring:[| 0; 1; 2; 3; 4; 5 |] ~ring_id:1) with
+      Token.rtr = List.init 100 Fun.id;
+    }
+  in
+  Alcotest.(check bool) "token fits its declared size" true
+    (String.length (Codec.encode_token t) <= Token.payload_bytes const t)
+
+let test_size_honesty_join () =
+  let j =
+    { Wire.sender = 0; proc_set = List.init 6 Fun.id; fail_set = [ 9 ]; max_ring_id = 3 }
+  in
+  Alcotest.(check bool) "join fits its declared size" true
+    (String.length (Codec.encode_join j) <= Wire.join_payload_bytes const j)
+
+let test_rejects_garbage () =
+  (match Codec.decode "" with
+  | Error Codec.Truncated -> ()
+  | _ -> Alcotest.fail "empty should be truncated");
+  (match Codec.decode "\xff___" with
+  | Error (Codec.Bad_tag 0xff) -> ()
+  | _ -> Alcotest.fail "bad tag expected");
+  let good = Codec.encode_probe { Wire.probe_sender = 1; probe_ring_id = 2 } in
+  (match Codec.decode (good ^ "x") with
+  | Error (Codec.Trailing_bytes 1) -> ()
+  | _ -> Alcotest.fail "trailing byte expected");
+  match Codec.decode (String.sub good 0 (String.length good - 1)) with
+  | Error Codec.Truncated -> ()
+  | _ -> Alcotest.fail "truncation expected"
+
+let qcheck_packet_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* sizes = list_size (return n) (int_range 0 1412) in
+      let* ring_id = int_range 0 100_000 in
+      let* seq = int_range 0 1_000_000 in
+      let* sender = int_range 0 63 in
+      return (ring_id, seq, sender, sizes))
+  in
+  QCheck.Test.make ~name:"packet encode/decode round trip" ~count:300
+    (QCheck.make gen) (fun (ring_id, seq, sender, sizes) ->
+      let elements =
+        List.mapi
+          (fun i s ->
+            whole ~origin:(i mod 7) ~app_seq:(i + 1) ~safe:(i mod 2 = 0) ~size:s ())
+          sizes
+      in
+      let p = packet ~ring_id ~seq ~sender elements in
+      match Codec.decode (Codec.encode_packet p) with
+      | Ok (Codec.Packet p') ->
+        p'.Wire.ring_id = ring_id && p'.Wire.seq = seq
+        && p'.Wire.sender = sender
+        && List.for_all2
+             (fun (a : Wire.element) (b : Wire.element) ->
+               a.message.Message.size = b.message.Message.size
+               && a.message.Message.origin = b.message.Message.origin
+               && a.message.Message.app_seq = b.message.Message.app_seq
+               && a.message.Message.safe = b.message.Message.safe)
+             p.elements p'.elements
+      | _ -> false)
+
+let qcheck_token_roundtrip =
+  QCheck.Test.make ~name:"token encode/decode round trip" ~count:300
+    QCheck.(
+      quad (int_range 0 100_000) (int_range 0 1_000_000) (int_range 0 10_000)
+        (list_of_size (Gen.int_range 0 50) (int_range 0 1_000_000)))
+    (fun (ring_id, seq, hops, rtr) ->
+      let t =
+        {
+          (Token.initial ~ring:[| 0; 1; 2 |] ~ring_id:(ring_id + 1)) with
+          Token.seq;
+          hops;
+          rtr = List.sort_uniq compare rtr;
+        }
+      in
+      Codec.decode (Codec.encode_token t) = Ok (Codec.Token t))
+
+let test_custom_data_codec () =
+  let module M = struct
+    type Message.data += Text of string
+  end in
+  Codec.set_data_codec
+    ~encode:(function M.Text s -> s | _ -> "")
+    ~decode:(fun s -> M.Text s);
+  Fun.protect
+    ~finally:(fun () ->
+      Codec.set_data_codec
+        ~encode:(fun _ -> "")
+        ~decode:(fun _ -> Message.Blob))
+    (fun () ->
+      let m = Message.make ~origin:1 ~app_seq:1 ~size:5 ~data:(M.Text "hello") () in
+      let p = packet [ { Wire.message = m; fragment = None } ] in
+      match Codec.decode (Codec.encode_packet p) with
+      | Ok (Codec.Packet p') -> (
+        match (List.hd p'.Wire.elements).Wire.message.Message.data with
+        | M.Text s -> Alcotest.(check string) "payload carried" "hello" s
+        | _ -> Alcotest.fail "wrong payload")
+      | _ -> Alcotest.fail "decode failed")
+
+(* The strongest codec validation: run a whole cluster — saturating
+   traffic, a network failure, a node crash forcing gather, commit and
+   recovery — with every frame's payload shadow-encoded and decoded.
+   Any byte-format defect aborts the run. *)
+let test_shadow_mode_full_protocol () =
+  let config =
+    Totem_cluster.Config.make ~num_nodes:4 ~num_nets:2
+      ~style:Totem_rrp.Style.Active ~codec_shadow:true ()
+  in
+  let cluster = Totem_cluster.Cluster.create config in
+  Totem_cluster.Cluster.start cluster;
+  Totem_cluster.Workload.saturate cluster ~size:700;
+  Totem_cluster.Cluster.run_for cluster (Totem_engine.Vtime.ms 300);
+  Totem_cluster.Cluster.fail_network cluster 0;
+  Totem_cluster.Cluster.run_for cluster (Totem_engine.Vtime.ms 500);
+  Totem_cluster.Cluster.crash_node cluster 2;
+  Totem_cluster.Cluster.run_for cluster (Totem_engine.Vtime.sec 2);
+  Alcotest.(check bool) "survived with shadow checks on every frame" true
+    (Totem_cluster.Cluster.delivered_at cluster 0 > 1000)
+
+let test_commit_roundtrip () =
+  let cm =
+    { Wire.cm_ring_id = 128; cm_ring = [| 0; 2; 3 |]; cm_round = 2;
+      cm_info =
+        [ { Wire.mi_node = 0; mi_old_ring = 64; mi_aru = 17 };
+          { Wire.mi_node = 3; mi_old_ring = 1; mi_aru = 0 } ] }
+  in
+  match Codec.decode (Codec.encode_commit cm) with
+  | Ok (Codec.Commit cm') -> Alcotest.(check bool) "identical" true (cm = cm')
+  | _ -> Alcotest.fail "decode failed"
+
+let tests =
+  [
+    Alcotest.test_case "packet round trip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "commit round trip" `Quick test_commit_roundtrip;
+    Alcotest.test_case "shadow mode over the full protocol" `Quick
+      test_shadow_mode_full_protocol;
+    Alcotest.test_case "fragment round trip" `Quick test_fragment_roundtrip;
+    Alcotest.test_case "token round trip" `Quick test_token_roundtrip;
+    Alcotest.test_case "join round trip" `Quick test_join_roundtrip;
+    Alcotest.test_case "probe round trip" `Quick test_probe_roundtrip;
+    Alcotest.test_case "size honesty: packets" `Quick test_size_honesty_whole;
+    Alcotest.test_case "size honesty: token" `Quick test_size_honesty_token;
+    Alcotest.test_case "size honesty: join" `Quick test_size_honesty_join;
+    Alcotest.test_case "rejects malformed input" `Quick test_rejects_garbage;
+    Alcotest.test_case "custom application payload codec" `Quick
+      test_custom_data_codec;
+    QCheck_alcotest.to_alcotest qcheck_packet_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_token_roundtrip;
+  ]

@@ -1,0 +1,64 @@
+open Totem_engine
+
+let test_serial_execution () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  let log = ref [] in
+  Cpu.submit cpu ~cost:(Vtime.ms 2) (fun () -> log := ("a", Sim.now sim) :: !log);
+  Cpu.submit cpu ~cost:(Vtime.ms 3) (fun () -> log := ("b", Sim.now sim) :: !log);
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check (list (pair string int)))
+    "completion instants"
+    [ ("b", Vtime.ms 5); ("a", Vtime.ms 2) ]
+    !log
+
+let test_busy_accounting () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  Cpu.charge cpu ~cost:(Vtime.ms 1);
+  Cpu.charge cpu ~cost:(Vtime.ms 2);
+  Alcotest.(check int) "busy time" (Vtime.ms 3) (Cpu.busy_time cpu);
+  Alcotest.(check int) "free_at" (Vtime.ms 3) (Cpu.free_at cpu)
+
+let test_idle_gap () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  Cpu.charge cpu ~cost:(Vtime.ms 1);
+  Sim.run_until sim (Vtime.ms 5);
+  (* CPU idled from 1 to 5; new work starts now. *)
+  Cpu.charge cpu ~cost:(Vtime.ms 2);
+  Alcotest.(check int) "free_at after gap" (Vtime.ms 7) (Cpu.free_at cpu);
+  Alcotest.(check int) "busy only charged" (Vtime.ms 3) (Cpu.busy_time cpu)
+
+let test_zero_cost_runs_at_drain () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  let at = ref (-1) in
+  Cpu.charge cpu ~cost:(Vtime.ms 4);
+  Cpu.submit cpu ~cost:Vtime.zero (fun () -> at := Sim.now sim);
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check int) "after backlog" (Vtime.ms 4) !at
+
+let test_negative_rejected () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  Alcotest.check_raises "negative" (Invalid_argument "Cpu.charge: negative cost on c")
+    (fun () -> Cpu.charge cpu ~cost:(-1))
+
+let test_utilisation () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~name:"c" in
+  Cpu.charge cpu ~cost:(Vtime.ms 3);
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check (float 0.001)) "30%" 0.3
+    (Cpu.utilisation cpu ~since:Vtime.zero ~now:(Sim.now sim))
+
+let tests =
+  [
+    Alcotest.test_case "serial FIFO execution" `Quick test_serial_execution;
+    Alcotest.test_case "busy accounting" `Quick test_busy_accounting;
+    Alcotest.test_case "idle gaps not charged" `Quick test_idle_gap;
+    Alcotest.test_case "zero cost runs at drain" `Quick test_zero_cost_runs_at_drain;
+    Alcotest.test_case "negative cost rejected" `Quick test_negative_rejected;
+    Alcotest.test_case "utilisation" `Quick test_utilisation;
+  ]

@@ -1,0 +1,107 @@
+open Totem_engine
+
+let drain q =
+  let rec go acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (t, v) -> go ((t, v) :: acc)
+  in
+  go []
+
+let test_time_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:30 "c");
+  ignore (Event_queue.push q ~time:10 "a");
+  ignore (Event_queue.push q ~time:20 "b");
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (10, "a"); (20, "b"); (30, "c") ] (drain q)
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.push q ~time:5 i)
+  done;
+  Alcotest.(check (list (pair int int)))
+    "insertion order preserved"
+    (List.init 10 (fun i -> (5, i)))
+    (drain q)
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~time:1 "a" in
+  let b = Event_queue.push q ~time:2 "b" in
+  let _c = Event_queue.push q ~time:3 "c" in
+  Alcotest.(check bool) "cancel live" true (Event_queue.cancel q b);
+  Alcotest.(check bool) "double cancel" false (Event_queue.cancel q b);
+  Alcotest.(check int) "length" 2 (Event_queue.length q);
+  Alcotest.(check (list (pair int string)))
+    "b skipped" [ (1, "a"); (3, "c") ] (drain q)
+
+let test_cancel_after_pop () =
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~time:1 "a" in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "cancel popped" false (Event_queue.cancel q a)
+
+let test_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty" None (Event_queue.peek_time q);
+  let a = Event_queue.push q ~time:7 "a" in
+  ignore (Event_queue.push q ~time:9 "b");
+  Alcotest.(check (option int)) "min" (Some 7) (Event_queue.peek_time q);
+  ignore (Event_queue.cancel q a);
+  Alcotest.(check (option int)) "skips cancelled" (Some 9) (Event_queue.peek_time q)
+
+let test_is_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "fresh" true (Event_queue.is_empty q);
+  let a = Event_queue.push q ~time:1 () in
+  Alcotest.(check bool) "one" false (Event_queue.is_empty q);
+  ignore (Event_queue.cancel q a);
+  Alcotest.(check bool) "cancelled counts as empty" true (Event_queue.is_empty q)
+
+let test_interleaved_growth () =
+  let q = Event_queue.create () in
+  (* Push enough to force several heap growths while popping. *)
+  for i = 0 to 999 do
+    ignore (Event_queue.push q ~time:(i mod 37) i)
+  done;
+  let out = drain q in
+  Alcotest.(check int) "all popped" 1000 (List.length out);
+  let times = List.map fst out in
+  Alcotest.(check bool) "non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b) (List.filteri (fun i _ -> i < 999) times)
+       (List.tl times))
+
+let qcheck_sorted =
+  QCheck.Test.make ~name:"pop order is (time, insertion) sorted" ~count:200
+    QCheck.(list (int_range 0 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> ignore (Event_queue.push q ~time:t i)) times;
+      let out =
+        let rec go acc =
+          match Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (t, i) -> go ((t, i) :: acc)
+        in
+        go []
+      in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.sort (fun (t1, i1) (t2, i2) ->
+               if t1 <> t2 then compare t1 t2 else compare i1 i2)
+      in
+      out = expected)
+
+let tests =
+  [
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "FIFO on equal times" `Quick test_fifo_ties;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancel after pop" `Quick test_cancel_after_pop;
+    Alcotest.test_case "peek_time" `Quick test_peek;
+    Alcotest.test_case "is_empty with cancels" `Quick test_is_empty;
+    Alcotest.test_case "growth under load" `Quick test_interleaved_growth;
+    QCheck_alcotest.to_alcotest qcheck_sorted;
+  ]

@@ -1,0 +1,82 @@
+open Totem_net
+
+let test_clean () =
+  let f = Fault.create () in
+  Alcotest.(check bool) "delivers" true (Fault.delivers f ~src:0 ~dst:1);
+  Alcotest.(check (float 0.0)) "no loss" 0.0 (Fault.loss_probability f)
+
+let test_down () =
+  let f = Fault.create () in
+  Fault.set_down f true;
+  Alcotest.(check bool) "nothing delivers" false (Fault.delivers f ~src:0 ~dst:1);
+  Fault.set_down f false;
+  Alcotest.(check bool) "back up" true (Fault.delivers f ~src:0 ~dst:1)
+
+let test_send_block () =
+  let f = Fault.create () in
+  Fault.block_send f 2;
+  Alcotest.(check bool) "blocked sender" false (Fault.delivers f ~src:2 ~dst:1);
+  Alcotest.(check bool) "other senders fine" true (Fault.delivers f ~src:0 ~dst:1);
+  Alcotest.(check bool) "can still receive" true (Fault.delivers f ~src:1 ~dst:2);
+  Fault.unblock_send f 2;
+  Alcotest.(check bool) "unblocked" true (Fault.delivers f ~src:2 ~dst:1)
+
+let test_recv_block () =
+  let f = Fault.create () in
+  Fault.block_recv f 3;
+  Alcotest.(check bool) "blocked receiver" false (Fault.delivers f ~src:0 ~dst:3);
+  Alcotest.(check bool) "can still send" true (Fault.delivers f ~src:3 ~dst:0);
+  Fault.unblock_recv f 3;
+  Alcotest.(check bool) "unblocked" true (Fault.delivers f ~src:0 ~dst:3)
+
+let test_pair_block_directed () =
+  let f = Fault.create () in
+  Fault.block_pair f ~src:0 ~dst:1;
+  Alcotest.(check bool) "0->1 blocked" false (Fault.delivers f ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->0 open (directed)" true (Fault.delivers f ~src:1 ~dst:0);
+  Fault.unblock_pair f ~src:0 ~dst:1;
+  Alcotest.(check bool) "unblocked" true (Fault.delivers f ~src:0 ~dst:1)
+
+let test_loss_validation () =
+  let f = Fault.create () in
+  Fault.set_loss_probability f 0.25;
+  Alcotest.(check (float 0.0)) "set" 0.25 (Fault.loss_probability f);
+  Alcotest.check_raises "negative" (Invalid_argument "Fault.set_loss_probability")
+    (fun () -> Fault.set_loss_probability f (-0.1));
+  Alcotest.check_raises "above one" (Invalid_argument "Fault.set_loss_probability")
+    (fun () -> Fault.set_loss_probability f 1.1)
+
+let test_heal () =
+  let f = Fault.create () in
+  Fault.set_down f true;
+  Fault.block_send f 0;
+  Fault.block_recv f 1;
+  Fault.block_pair f ~src:2 ~dst:3;
+  Fault.set_loss_probability f 0.5;
+  Fault.heal f;
+  Alcotest.(check bool) "delivers everywhere" true
+    (List.for_all
+       (fun (s, d) -> Fault.delivers f ~src:s ~dst:d)
+       [ (0, 1); (1, 0); (2, 3); (0, 3) ]);
+  Alcotest.(check (float 0.0)) "loss cleared" 0.0 (Fault.loss_probability f)
+
+let test_overlapping_faults () =
+  let f = Fault.create () in
+  Fault.block_send f 0;
+  Fault.block_recv f 1;
+  (* Both endpoint faults apply to the same path. *)
+  Alcotest.(check bool) "both" false (Fault.delivers f ~src:0 ~dst:1);
+  Fault.unblock_send f 0;
+  Alcotest.(check bool) "recv block remains" false (Fault.delivers f ~src:0 ~dst:1)
+
+let tests =
+  [
+    Alcotest.test_case "clean state" `Quick test_clean;
+    Alcotest.test_case "total network failure" `Quick test_down;
+    Alcotest.test_case "send-path fault (Sec. 3)" `Quick test_send_block;
+    Alcotest.test_case "receive-path fault (Sec. 3)" `Quick test_recv_block;
+    Alcotest.test_case "subset partition is directed" `Quick test_pair_block_directed;
+    Alcotest.test_case "loss probability validation" `Quick test_loss_validation;
+    Alcotest.test_case "heal clears everything" `Quick test_heal;
+    Alcotest.test_case "overlapping faults" `Quick test_overlapping_faults;
+  ]

@@ -1,0 +1,87 @@
+open Totem_srp
+
+let const = Const.default
+
+let test_initial_allowance () =
+  let f = Flow.create () in
+  Alcotest.(check int) "capped by per-visit max" const.Const.max_messages_per_token
+    (Flow.allowance const f ~fcc:0 ~members:4)
+
+let test_window_limits () =
+  let f = Flow.create () in
+  (* Other nodes consumed almost the whole window. *)
+  let fcc = const.Const.window_size - 5 in
+  (* The fair-share floor for one member of a large ring is small, so
+     the window rule dominates here. *)
+  let members = const.Const.window_size in
+  Alcotest.(check int) "leftover" 5 (Flow.allowance const f ~fcc ~members);
+  Alcotest.(check int) "window exhausted floors at fair share" 1
+    (Flow.allowance const f ~fcc:const.Const.window_size ~members);
+  Alcotest.(check int) "over-full window floors at fair share" 1
+    (Flow.allowance const f ~fcc:(const.Const.window_size + 10) ~members)
+
+let test_own_contribution_excluded () =
+  let f = Flow.create () in
+  let fcc = Flow.contribute f ~fcc:0 ~sent:20 in
+  Alcotest.(check int) "fcc counts us" 20 fcc;
+  (* On the next visit our own previous 20 must not count against us. *)
+  Alcotest.(check int) "own share comes back"
+    (min const.Const.max_messages_per_token const.Const.window_size)
+    (Flow.allowance const f ~fcc ~members:1)
+
+let test_contribute_replaces () =
+  let f = Flow.create () in
+  let fcc = Flow.contribute f ~fcc:10 ~sent:15 in
+  Alcotest.(check int) "10 + 15" 25 fcc;
+  let fcc = Flow.contribute f ~fcc ~sent:5 in
+  Alcotest.(check int) "replaces previous 15 with 5" 15 fcc;
+  Alcotest.(check int) "prev recorded" 5 (Flow.previous_contribution f)
+
+let test_reset () =
+  let f = Flow.create () in
+  ignore (Flow.contribute f ~fcc:0 ~sent:9);
+  Flow.reset f;
+  Alcotest.(check int) "prev cleared" 0 (Flow.previous_contribution f)
+
+let test_steady_state_fair_share () =
+  (* Four saturating nodes converge to window/4 each per rotation (when
+     under the per-visit cap): fcc stabilises at the window size. *)
+  let nodes = Array.init 4 (fun _ -> Flow.create ()) in
+  let fcc = ref 0 in
+  for _rotation = 1 to 50 do
+    Array.iter
+      (fun f ->
+        let a = Flow.allowance const f ~fcc:!fcc ~members:4 in
+        fcc := Flow.contribute f ~fcc:!fcc ~sent:a)
+      nodes
+  done;
+  (* The fair-share floor guarantees no node is starved and the window
+     is never under-used; transient overshoot is bounded by one share. *)
+  let share = const.Const.window_size / 4 in
+  Alcotest.(check bool) "window filled" true (!fcc >= const.Const.window_size);
+  Alcotest.(check bool) "bounded overshoot" true
+    (!fcc <= const.Const.window_size + share);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "no starvation" true
+        (Flow.previous_contribution f >= share))
+    nodes
+
+let qcheck_never_negative =
+  QCheck.Test.make ~name:"allowance is never negative" ~count:500
+    QCheck.(pair (int_range 0 500) (int_range 0 100))
+    (fun (fcc, prev) ->
+      let f = Flow.create () in
+      ignore (Flow.contribute f ~fcc:0 ~sent:prev);
+      Flow.allowance const f ~fcc ~members:4 >= 0)
+
+let tests =
+  [
+    Alcotest.test_case "initial allowance" `Quick test_initial_allowance;
+    Alcotest.test_case "window limits" `Quick test_window_limits;
+    Alcotest.test_case "own contribution excluded" `Quick test_own_contribution_excluded;
+    Alcotest.test_case "contribute replaces previous" `Quick test_contribute_replaces;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "steady state fair share" `Quick test_steady_state_fair_share;
+    QCheck_alcotest.to_alcotest qcheck_never_negative;
+  ]

@@ -1,0 +1,40 @@
+open Totem_net
+
+let test_constants () =
+  Alcotest.(check int) "max frame" 1518 Frame.max_frame_bytes;
+  Alcotest.(check int) "overhead" 94 Frame.header_overhead_bytes;
+  Alcotest.(check int) "max payload (paper Sec. 8)" 1424 Frame.max_payload_bytes;
+  Alcotest.(check int) "min frame" 64 Frame.min_frame_bytes
+
+let test_wire_bytes () =
+  let f = Frame.make ~src:0 ~payload_bytes:1424 (Frame.Opaque "x") in
+  Alcotest.(check int) "full frame" 1518 (Frame.wire_bytes f);
+  let small = Frame.make ~src:0 ~payload_bytes:0 (Frame.Opaque "x") in
+  Alcotest.(check int) "padded to minimum" 94 (Frame.wire_bytes small);
+  let tiny = Frame.make ~src:0 ~payload_bytes:10 (Frame.Opaque "x") in
+  Alcotest.(check int) "header+10" 104 (Frame.wire_bytes tiny)
+
+let test_bounds () =
+  Alcotest.check_raises "oversize"
+    (Invalid_argument "Frame.make: payload 1425 exceeds max 1424") (fun () ->
+      ignore (Frame.make ~src:0 ~payload_bytes:1425 (Frame.Opaque "")));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Frame.make: negative payload size") (fun () ->
+      ignore (Frame.make ~src:0 ~payload_bytes:(-1) (Frame.Opaque "")))
+
+let test_serialization_time () =
+  let f = Frame.make ~src:0 ~payload_bytes:1424 (Frame.Opaque "") in
+  (* 1518 + 20 preamble/IFG = 1538 bytes = 12304 bits at 100 Mbit/s
+     = 123040 ns. *)
+  Alcotest.(check int) "100Mbit full frame" 123040
+    (Frame.serialization_time ~bandwidth_bps:100_000_000 f);
+  Alcotest.(check int) "10Mbit is 10x" 1230400
+    (Frame.serialization_time ~bandwidth_bps:10_000_000 f)
+
+let tests =
+  [
+    Alcotest.test_case "paper constants" `Quick test_constants;
+    Alcotest.test_case "wire bytes" `Quick test_wire_bytes;
+    Alcotest.test_case "payload bounds" `Quick test_bounds;
+    Alcotest.test_case "serialization time" `Quick test_serialization_time;
+  ]

@@ -1,0 +1,73 @@
+open Totem_srp
+
+let join ~sender ?(proc = []) ?(fail = []) ?(max_ring = 1) () =
+  { Wire.sender; proc_set = proc; fail_set = fail; max_ring_id = max_ring }
+
+let test_candidates () =
+  let joins = [ join ~sender:2 (); join ~sender:0 () ] in
+  Alcotest.(check (list int)) "me + senders, sorted" [ 0; 1; 2 ]
+    (Membership.candidates ~me:1 ~joins)
+
+let test_candidates_fail_set () =
+  let joins = [ join ~sender:2 (); join ~sender:3 ~fail:[ 2 ] () ] in
+  Alcotest.(check (list int)) "failed excluded" [ 1; 3 ]
+    (Membership.candidates ~me:1 ~joins)
+
+let test_candidates_alone () =
+  Alcotest.(check (list int)) "just me" [ 5 ] (Membership.candidates ~me:5 ~joins:[])
+
+let test_representative () =
+  Alcotest.(check int) "minimum" 1 (Membership.representative [ 3; 1; 2 ]);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Membership.representative: empty candidate set") (fun () ->
+      ignore (Membership.representative []))
+
+let test_form_ring () =
+  Alcotest.(check (array int)) "sorted" [| 0; 2; 7 |] (Membership.form_ring [ 7; 0; 2 ]);
+  Alcotest.(check (array int)) "dedup" [| 1; 2 |] (Membership.form_ring [ 2; 1; 2 ])
+
+let test_next_on_ring () =
+  let ring = [| 0; 2; 5 |] in
+  Alcotest.(check int) "middle" 5 (Membership.next_on_ring ring ~me:2);
+  Alcotest.(check int) "wraps" 0 (Membership.next_on_ring ring ~me:5);
+  Alcotest.(check int) "singleton loops" 3 (Membership.next_on_ring [| 3 |] ~me:3);
+  Alcotest.check_raises "not a member" Not_found (fun () ->
+      ignore (Membership.next_on_ring ring ~me:9))
+
+let test_leader () =
+  Alcotest.(check int) "first" 0 (Membership.leader [| 0; 2; 5 |])
+
+let test_max_ring_id () =
+  let joins = [ join ~sender:0 ~max_ring:7 (); join ~sender:1 ~max_ring:3 () ] in
+  Alcotest.(check int) "max of joins" 7 (Membership.max_ring_id joins 2);
+  Alcotest.(check int) "floor wins" 9 (Membership.max_ring_id joins 9);
+  Alcotest.(check int) "no joins" 4 (Membership.max_ring_id [] 4)
+
+let qcheck_full_ring_rotation =
+  QCheck.Test.make ~name:"next_on_ring visits every member exactly once" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 1000))
+    (fun nodes ->
+      let ring = Membership.form_ring nodes in
+      let n = Array.length ring in
+      let start = ring.(0) in
+      let rec walk current steps acc =
+        if steps = n then List.rev acc
+        else
+          let next = Membership.next_on_ring ring ~me:current in
+          walk next (steps + 1) (current :: acc)
+      in
+      let visited = walk start 0 [] in
+      List.sort_uniq compare visited = Array.to_list ring)
+
+let tests =
+  [
+    Alcotest.test_case "candidates" `Quick test_candidates;
+    Alcotest.test_case "candidates respect fail sets" `Quick test_candidates_fail_set;
+    Alcotest.test_case "candidates alone" `Quick test_candidates_alone;
+    Alcotest.test_case "representative" `Quick test_representative;
+    Alcotest.test_case "form_ring" `Quick test_form_ring;
+    Alcotest.test_case "next_on_ring" `Quick test_next_on_ring;
+    Alcotest.test_case "leader" `Quick test_leader;
+    Alcotest.test_case "max_ring_id" `Quick test_max_ring_id;
+    QCheck_alcotest.to_alcotest qcheck_full_ring_rotation;
+  ]

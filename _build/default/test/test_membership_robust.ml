@@ -1,0 +1,118 @@
+(* Robustness of the gather/commit/recover membership machinery itself:
+   lost commit tokens, a representative dying mid-reconfiguration,
+   cascading crashes, and reformation under sustained loss. *)
+
+open Util
+
+let test_reformation_under_loss () =
+  (* 30% loss on the only network while the ring reforms: the commit
+     token retransmission and the phase deadlines must converge anyway. *)
+  let t = make ~num_nets:1 ~style:Style.No_replication ~seed:31 () in
+  Cluster.start t.cluster;
+  Cluster.set_network_loss t.cluster 0 0.3;
+  run_ms t 300;
+  Cluster.crash_node t.cluster 0;
+  run_ms t 10_000;
+  let srp1 = srp_of t 1 in
+  Alcotest.(check bool) "operational" true (Srp.is_operational srp1);
+  Alcotest.(check int) "three survivors" 3 (Array.length (Srp.members srp1));
+  (* And the reformed ring works. *)
+  Cluster.set_network_loss t.cluster 0 0.0;
+  submit_n t ~node:1 ~size:300 10;
+  run_ms t 1000;
+  let o1 = order t 1 and o2 = order t 2 and o3 = order t 3 in
+  Alcotest.(check bool) "survivors agree" true (o1 = o2 && o2 = o3);
+  Alcotest.(check bool) "new traffic delivered" true
+    (List.exists (fun (o, _) -> o = 1) o1)
+
+let test_representative_dies_mid_reconfiguration () =
+  let t = make ~num_nets:2 ~style:Style.Active () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 200;
+  (* Node 0 dies; node 1 becomes the representative of the survivors.
+     Kill node 1 just as the first reconfiguration should be in its
+     commit phase, leaving {2, 3} to start over. *)
+  Cluster.crash_node t.cluster 0;
+  run_ms t 285;
+  Cluster.crash_node t.cluster 1;
+  run_ms t 5000;
+  let srp2 = srp_of t 2 in
+  Alcotest.(check bool) "operational" true (Srp.is_operational srp2);
+  Alcotest.(check (array int)) "the last two found each other" [| 2; 3 |]
+    (Srp.members srp2);
+  let before = Cluster.delivered_at t.cluster 2 in
+  run_ms t 500;
+  Alcotest.(check bool) "two-node ring carries traffic" true
+    (Cluster.delivered_at t.cluster 2 > before)
+
+let test_cascade_to_singleton () =
+  let t = make ~num_nets:2 ~style:Style.Passive () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 200;
+  Cluster.crash_node t.cluster 0;
+  run_ms t 1500;
+  Cluster.crash_node t.cluster 1;
+  run_ms t 1500;
+  Cluster.crash_node t.cluster 2;
+  run_ms t 3000;
+  let srp3 = srp_of t 3 in
+  Alcotest.(check bool) "last node operational" true (Srp.is_operational srp3);
+  Alcotest.(check (array int)) "alone" [| 3 |] (Srp.members srp3);
+  (* A singleton ring still orders and delivers its own (saturated)
+     traffic at full tilt. *)
+  let before = Cluster.delivered_at t.cluster 3 in
+  run_ms t 1000;
+  Alcotest.(check bool) "self delivery on singleton ring" true
+    (Cluster.delivered_at t.cluster 3 - before > 1000)
+
+let test_simultaneous_crashes () =
+  let t = make ~num_nodes:6 ~num_nets:2 ~style:Style.Active () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 200;
+  Cluster.crash_node t.cluster 1;
+  Cluster.crash_node t.cluster 3;
+  Cluster.crash_node t.cluster 4;
+  run_ms t 5000;
+  let srp0 = srp_of t 0 in
+  Alcotest.(check (array int)) "three survivors in one ring" [| 0; 2; 5 |]
+    (Srp.members srp0);
+  let o0 = order t 0 and o2 = order t 2 and o5 = order t 5 in
+  let shortest = min (List.length o0) (min (List.length o2) (List.length o5)) in
+  let prefix l = List.filteri (fun i _ -> i < shortest) l in
+  Alcotest.(check bool) "orders consistent" true
+    (prefix o0 = prefix o2 && prefix o2 = prefix o5)
+
+let test_reformation_during_network_fault_and_loss () =
+  (* The worst combination: one network dead (masked by the RRP), loss
+     on the survivor, and then a node crash forcing membership to run
+     over the lossy survivor. *)
+  let t = make ~num_nets:2 ~style:Style.Active ~seed:77 () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  Cluster.set_network_loss t.cluster 1 0.15;
+  run_ms t 500;
+  Cluster.crash_node t.cluster 2;
+  run_ms t 10_000;
+  let srp0 = srp_of t 0 in
+  Alcotest.(check bool) "operational" true (Srp.is_operational srp0);
+  Alcotest.(check (array int)) "survivors" [| 0; 1; 3 |] (Srp.members srp0);
+  let before = Cluster.delivered_at t.cluster 0 in
+  run_ms t 1000;
+  Alcotest.(check bool) "traffic flows" true
+    (Cluster.delivered_at t.cluster 0 > before)
+
+let tests =
+  [
+    Alcotest.test_case "reformation under 30% loss" `Slow test_reformation_under_loss;
+    Alcotest.test_case "representative dies mid-reconfiguration" `Quick
+      test_representative_dies_mid_reconfiguration;
+    Alcotest.test_case "cascade down to a singleton" `Quick test_cascade_to_singleton;
+    Alcotest.test_case "three simultaneous crashes" `Quick test_simultaneous_crashes;
+    Alcotest.test_case "reformation over a lossy survivor network" `Slow
+      test_reformation_during_network_fault_and_loss;
+  ]

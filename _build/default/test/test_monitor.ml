@@ -1,0 +1,91 @@
+open Totem_rrp
+
+let test_balanced_is_healthy () =
+  let m = Monitor.create ~num_nets:2 ~threshold:5 in
+  for _ = 1 to 100 do
+    Monitor.note m ~net:0;
+    Monitor.note m ~net:1
+  done;
+  Alcotest.(check (list (pair int int))) "no lagging" [] (Monitor.lagging m)
+
+let test_lag_detection () =
+  let m = Monitor.create ~num_nets:2 ~threshold:5 in
+  for _ = 1 to 10 do
+    Monitor.note m ~net:0
+  done;
+  for _ = 1 to 4 do
+    Monitor.note m ~net:1
+  done;
+  (* Difference 6 > threshold 5. *)
+  Alcotest.(check (list (pair int int))) "net 1 behind by 6" [ (1, 6) ]
+    (Monitor.lagging m)
+
+let test_threshold_is_strict () =
+  let m = Monitor.create ~num_nets:2 ~threshold:5 in
+  for _ = 1 to 5 do
+    Monitor.note m ~net:0
+  done;
+  Alcotest.(check (list (pair int int))) "difference == threshold is fine" []
+    (Monitor.lagging m)
+
+let test_catch_up () =
+  let m = Monitor.create ~num_nets:3 ~threshold:10 in
+  for _ = 1 to 8 do
+    Monitor.note m ~net:0
+  done;
+  Monitor.note m ~net:1;
+  Monitor.catch_up m;
+  Alcotest.(check int) "lagging nudged" 2 (Monitor.count m ~net:1);
+  Alcotest.(check int) "zero net nudged" 1 (Monitor.count m ~net:2);
+  Alcotest.(check int) "leader untouched" 8 (Monitor.count m ~net:0)
+
+let test_catch_up_prevents_slow_accumulation () =
+  (* P5: sporadic loss must never condemn a healthy network as long as
+     catch-up outpaces the loss rate. *)
+  let m = Monitor.create ~num_nets:2 ~threshold:10 in
+  for round = 1 to 1000 do
+    Monitor.note m ~net:0;
+    (* Network 1 loses one frame in three. *)
+    if round mod 3 <> 0 then Monitor.note m ~net:1;
+    (* Time-driven catch-up every other round. *)
+    if round mod 2 = 0 then Monitor.catch_up m;
+    if Monitor.lagging m <> [] then
+      Alcotest.failf "healthy network condemned at round %d" round
+  done
+
+let test_dead_network_detected_despite_catch_up () =
+  (* P4 still holds: a truly dead network lags faster than catch-up. *)
+  let m = Monitor.create ~num_nets:2 ~threshold:10 in
+  let detected = ref None in
+  (try
+     for round = 1 to 100 do
+       Monitor.note m ~net:0;
+       if round mod 2 = 0 then Monitor.catch_up m;
+       if Monitor.lagging m <> [] then begin
+         detected := Some round;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !detected with
+  | Some round -> Alcotest.(check bool) "detected promptly" true (round < 30)
+  | None -> Alcotest.fail "dead network never detected"
+
+let test_validation () =
+  Alcotest.check_raises "nets" (Invalid_argument "Monitor.create: num_nets")
+    (fun () -> ignore (Monitor.create ~num_nets:0 ~threshold:1));
+  Alcotest.check_raises "threshold" (Invalid_argument "Monitor.create: threshold")
+    (fun () -> ignore (Monitor.create ~num_nets:1 ~threshold:0))
+
+let tests =
+  [
+    Alcotest.test_case "balanced traffic healthy" `Quick test_balanced_is_healthy;
+    Alcotest.test_case "lag detection (P4)" `Quick test_lag_detection;
+    Alcotest.test_case "threshold strict" `Quick test_threshold_is_strict;
+    Alcotest.test_case "catch-up nudges laggards" `Quick test_catch_up;
+    Alcotest.test_case "catch-up prevents false alarm (P5)" `Quick
+      test_catch_up_prevents_slow_accumulation;
+    Alcotest.test_case "dead network still detected (P4)" `Quick
+      test_dead_network_detected_despite_catch_up;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,166 @@
+open Totem_engine
+open Totem_net
+
+(* A network with three plain receivers that log (time, src, payload). *)
+let make ?(config = Network.default_config) ?(nodes = [ 0; 1; 2 ]) () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~id:0 ~config ~rng:(Sim.split_rng sim) in
+  let logs = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let nic = Nic.create sim ~node ~net:0 () in
+      let log = ref [] in
+      Hashtbl.replace logs node log;
+      Nic.set_receiver nic (fun frame ->
+          log := (Sim.now sim, frame.Frame.src, frame.Frame.payload) :: !log);
+      Network.attach net nic)
+    nodes;
+  (sim, net, fun node -> List.rev !(Hashtbl.find logs node))
+
+let frame ~src ?(bytes = 100) tag = Frame.make ~src ~payload_bytes:bytes (Frame.Opaque tag)
+
+let test_broadcast_excludes_sender () =
+  let sim, net, log = make () in
+  Network.broadcast net (frame ~src:0 "hello");
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "self excluded" 0 (List.length (log 0));
+  Alcotest.(check int) "node1 got it" 1 (List.length (log 1));
+  Alcotest.(check int) "node2 got it" 1 (List.length (log 2))
+
+let test_unicast () =
+  let sim, net, log = make () in
+  Network.unicast net ~dst:2 (frame ~src:0 "direct");
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "only node2" 0 (List.length (log 1));
+  Alcotest.(check int) "node2" 1 (List.length (log 2))
+
+let test_latency () =
+  let config =
+    { Network.default_config with Network.jitter = Vtime.zero; arp_delay = Vtime.zero }
+  in
+  let sim, net, log = make ~config () in
+  Network.broadcast net (frame ~src:0 ~bytes:100 "t");
+  Sim.run_until sim (Vtime.ms 1);
+  match log 1 with
+  | [ (t, _, _) ] ->
+    (* serialization of 194+20 bytes = 17120 ns, plus 30 us latency. *)
+    Alcotest.(check int) "arrival instant" (17120 + 30_000) t
+  | l -> Alcotest.failf "expected 1 frame, got %d" (List.length l)
+
+let test_fifo_per_receiver () =
+  let sim, net, log = make () in
+  for i = 0 to 9 do
+    Network.broadcast net (frame ~src:0 (string_of_int i))
+  done;
+  Sim.run_until sim (Vtime.ms 5);
+  let payloads =
+    List.map
+      (function _, _, Frame.Opaque s -> s | _ -> "?")
+      (log 1)
+  in
+  Alcotest.(check (list string)) "in order" (List.init 10 string_of_int) payloads
+
+let test_medium_serializes () =
+  let sim, net, _log = make () in
+  let f = frame ~src:0 ~bytes:1424 "big" in
+  Network.broadcast net f;
+  Network.broadcast net f;
+  (* Two full frames: busy until 2 * 123040 ns. *)
+  Alcotest.(check int) "busy_until" 246080 (Network.busy_until net);
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "frames counted" 2 (Network.frames_sent net)
+
+let test_loss () =
+  let sim, net, log = make () in
+  Fault.set_loss_probability (Network.fault net) 1.0;
+  Network.broadcast net (frame ~src:0 "gone");
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "nothing delivered" 0 (List.length (log 1));
+  Alcotest.(check int) "loss counted" 2 (Network.frames_lost net)
+
+let test_down_network_sends_nothing () =
+  let sim, net, log = make () in
+  Fault.set_down (Network.fault net) true;
+  Network.broadcast net (frame ~src:0 "x");
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "no frames on wire" 0 (Network.frames_sent net);
+  Alcotest.(check int) "nothing delivered" 0 (List.length (log 1))
+
+let test_partial_fault_counted () =
+  let sim, net, log = make () in
+  Fault.block_recv (Network.fault net) 1;
+  Network.broadcast net (frame ~src:0 "x");
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check int) "node1 blocked" 0 (List.length (log 1));
+  Alcotest.(check int) "node2 fine" 1 (List.length (log 2));
+  Alcotest.(check int) "fault counted" 1 (Network.frames_faulted net)
+
+let test_duplicate_attach_rejected () =
+  let sim, net, _ = make () in
+  let nic = Nic.create sim ~node:1 ~net:0 () in
+  Alcotest.check_raises "dup" (Invalid_argument "Network.attach: node 1 already attached")
+    (fun () -> Network.attach net nic)
+
+let test_nic_buffer_overflow () =
+  let sim = Sim.create () in
+  let net =
+    Network.create sim ~id:0 ~config:Network.default_config ~rng:(Sim.split_rng sim)
+  in
+  let sender = Nic.create sim ~node:0 ~net:0 () in
+  Network.attach net sender;
+  (* Receiver with a tiny buffer and a slow CPU: only what fits is kept. *)
+  let cpu = Cpu.create sim ~name:"slow" in
+  let nic = Nic.create sim ~node:1 ~net:0 ~buffer_bytes:3000 () in
+  let got = ref 0 in
+  Nic.set_receiver nic ~cpu ~recv_cost:(fun _ -> Vtime.ms 100) (fun _ -> incr got);
+  Network.attach net nic;
+  for _ = 1 to 10 do
+    Network.broadcast net (frame ~src:0 ~bytes:1000 "x")
+  done;
+  Sim.run_until sim (Vtime.sec 2);
+  Alcotest.(check int) "only buffer-fitting frames processed" 2 !got;
+  Alcotest.(check int) "dropped counted" 8 (Nic.frames_dropped_buffer nic);
+  Alcotest.(check int) "received counted" 2 (Nic.frames_received nic)
+
+(* Footnote 2 of the paper: the first unicast between a pair waits for
+   ARP; later unicasts do not. Broadcasts never do. *)
+let test_arp_first_contact () =
+  let config =
+    { Network.default_config with Network.jitter = Vtime.zero;
+      latency = Vtime.zero; arp_delay = Vtime.us 300 }
+  in
+  let sim, net, log = make ~config () in
+  Network.unicast net ~dst:1 (frame ~src:0 ~bytes:100 "first");
+  Sim.run_until sim (Vtime.ms 1);
+  Network.unicast net ~dst:1 (frame ~src:0 ~bytes:100 "second");
+  Sim.run_until sim (Vtime.ms 2);
+  (match log 1 with
+  | [ (t1, _, _); (t2, _, _) ] ->
+    let serialization = 17120 in
+    Alcotest.(check int) "first waits for ARP" (serialization + 300_000) t1;
+    Alcotest.(check int) "second goes straight through"
+      (Vtime.ms 1 + serialization) t2
+  | l -> Alcotest.failf "expected 2 frames, got %d" (List.length l));
+  (* ARP is per destination: a different receiver pays its own lookup,
+     and frames to it can overtake an ARP-delayed frame (the footnote's
+     reordering). *)
+  Network.unicast net ~dst:1 (frame ~src:2 ~bytes:100 "other-sender");
+  Sim.run_until sim (Vtime.ms 3);
+  Alcotest.(check int) "per-pair cache" 3 (List.length (log 1))
+
+let tests =
+  [
+    Alcotest.test_case "broadcast excludes sender" `Quick test_broadcast_excludes_sender;
+    Alcotest.test_case "ARP on first contact (footnote 2)" `Quick
+      test_arp_first_contact;
+    Alcotest.test_case "unicast" `Quick test_unicast;
+    Alcotest.test_case "latency model" `Quick test_latency;
+    Alcotest.test_case "per-receiver FIFO (Sec. 5 assumption)" `Quick
+      test_fifo_per_receiver;
+    Alcotest.test_case "shared medium serializes" `Quick test_medium_serializes;
+    Alcotest.test_case "sporadic loss" `Quick test_loss;
+    Alcotest.test_case "downed network" `Quick test_down_network_sends_nothing;
+    Alcotest.test_case "partial fault" `Quick test_partial_fault_counted;
+    Alcotest.test_case "duplicate attach rejected" `Quick test_duplicate_attach_rejected;
+    Alcotest.test_case "socket buffer overflow drops" `Quick test_nic_buffer_overflow;
+  ]

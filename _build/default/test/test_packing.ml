@@ -1,0 +1,134 @@
+open Totem_srp
+
+let const = Const.default
+let capacity = Totem_net.Frame.max_payload_bytes
+
+let msg ?(origin = 0) ~app_seq ~size () = Message.make ~origin ~app_seq ~size ()
+
+let msgs_of_sizes sizes = List.mapi (fun i s -> msg ~app_seq:(i + 1) ~size:s ()) sizes
+
+let packet_bytes elements =
+  List.fold_left (fun acc e -> acc + Wire.element_bytes const e) 0 elements
+
+let test_paper_boundaries () =
+  (* Two 700-byte messages fill one frame exactly: 2 * (700 + 12) = 1424.
+     This is the packing that produces the paper's 700-byte peak. *)
+  let packets = Packing.pack const (msgs_of_sizes [ 700; 700 ]) in
+  Alcotest.(check int) "two 700B messages -> one packet" 1 (List.length packets);
+  Alcotest.(check int) "exactly full" capacity (packet_bytes (List.hd packets));
+  (* A 1400-byte message fits one frame (1412 bytes used); 1413 does not. *)
+  Alcotest.(check int) "1400B unfragmented" 1
+    (Packing.fragment_count const ~size:1400);
+  Alcotest.(check int) "max single element" 1412 (Packing.max_element_body_bytes const);
+  Alcotest.(check int) "1412 fits" 1 (Packing.fragment_count const ~size:1412);
+  Alcotest.(check int) "1413 fragments" 2 (Packing.fragment_count const ~size:1413)
+
+let test_three_small () =
+  let packets = Packing.pack const (msgs_of_sizes [ 400; 400; 400 ]) in
+  Alcotest.(check int) "3 x 412 = 1236 fits one packet" 1 (List.length packets)
+
+let test_order_preserved () =
+  let packets = Packing.pack const (msgs_of_sizes [ 700; 700; 700 ]) in
+  let seqs =
+    List.concat_map
+      (fun es -> List.map (fun e -> e.Wire.message.Message.app_seq) es)
+      packets
+  in
+  Alcotest.(check (list int)) "submission order" [ 1; 2; 3 ] seqs;
+  Alcotest.(check int) "two packets" 2 (List.length packets)
+
+let test_fragmentation () =
+  let size = 5000 in
+  let elements = Packing.elements_of_message const (msg ~app_seq:1 ~size ()) in
+  Alcotest.(check int) "fragment count" 4 (List.length elements);
+  let total =
+    List.fold_left
+      (fun acc e ->
+        match e.Wire.fragment with
+        | Some f -> acc + f.Wire.bytes
+        | None -> Alcotest.fail "expected fragment")
+      0 elements
+  in
+  Alcotest.(check int) "bytes conserved" size total;
+  List.iteri
+    (fun i e ->
+      match e.Wire.fragment with
+      | Some f ->
+        Alcotest.(check int) "index" i f.Wire.index;
+        Alcotest.(check int) "count" 4 f.Wire.count
+      | None -> Alcotest.fail "fragment expected")
+    elements
+
+let test_last_fragment_shares_packet () =
+  (* 1500 = 1412 + 88; the 88-byte tail can share a packet with the next
+     message. *)
+  let packets = Packing.pack const (msgs_of_sizes [ 1500; 200 ]) in
+  Alcotest.(check int) "two packets" 2 (List.length packets);
+  match packets with
+  | [ _first; second ] ->
+    Alcotest.(check int) "tail + next message together" 2 (List.length second)
+  | _ -> Alcotest.fail "expected two packets"
+
+let test_zero_size () =
+  let packets = Packing.pack const (msgs_of_sizes [ 0; 0 ]) in
+  Alcotest.(check int) "zero-byte messages pack" 1 (List.length packets);
+  Alcotest.(check int) "two elements" 2 (List.length (List.hd packets))
+
+let test_empty () =
+  Alcotest.(check int) "no messages, no packets" 0
+    (List.length (Packing.pack const []))
+
+let qcheck_capacity =
+  QCheck.Test.make ~name:"no packet exceeds the frame payload" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 40) (int_range 0 20_000))
+    (fun sizes ->
+      let packets = Packing.pack const (msgs_of_sizes sizes) in
+      List.for_all (fun es -> packet_bytes es <= capacity) packets)
+
+let qcheck_conservation =
+  QCheck.Test.make ~name:"packing conserves every byte and message" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 40) (int_range 0 20_000))
+    (fun sizes ->
+      let msgs = msgs_of_sizes sizes in
+      let packets = Packing.pack const msgs in
+      let elements = List.concat packets in
+      (* Bytes conserved. *)
+      let body e =
+        match e.Wire.fragment with
+        | None -> e.Wire.message.Message.size
+        | Some f -> f.Wire.bytes
+      in
+      let total = List.fold_left (fun acc e -> acc + body e) 0 elements in
+      let expected = List.fold_left ( + ) 0 sizes in
+      (* Message order preserved across the element stream (by app_seq,
+         with fragments in index order). *)
+      let keys =
+        List.map
+          (fun e ->
+            ( e.Wire.message.Message.app_seq,
+              match e.Wire.fragment with None -> 0 | Some f -> f.Wire.index ))
+          elements
+      in
+      total = expected && keys = List.sort compare keys)
+
+let qcheck_packet_count_consistent =
+  QCheck.Test.make ~name:"packet_count agrees with pack" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_range 0 5000))
+    (fun sizes ->
+      let msgs = msgs_of_sizes sizes in
+      Packing.packet_count const msgs = List.length (Packing.pack const msgs))
+
+let tests =
+  [
+    Alcotest.test_case "paper's 700/1400-byte boundaries" `Quick test_paper_boundaries;
+    Alcotest.test_case "three small messages" `Quick test_three_small;
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+    Alcotest.test_case "fragmentation" `Quick test_fragmentation;
+    Alcotest.test_case "last fragment shares packet" `Quick
+      test_last_fragment_shares_packet;
+    Alcotest.test_case "zero-size messages" `Quick test_zero_size;
+    Alcotest.test_case "empty input" `Quick test_empty;
+    QCheck_alcotest.to_alcotest qcheck_capacity;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    QCheck_alcotest.to_alcotest qcheck_packet_count_consistent;
+  ]

@@ -1,0 +1,132 @@
+(* Cross-module property tests (qcheck): algebraic invariants that the
+   targeted unit suites do not already pin down. *)
+
+module Vtime = Totem_engine.Vtime
+module Stats = Totem_engine.Stats
+module Rng = Totem_engine.Rng
+module Monitor = Totem_rrp.Monitor
+module Frame = Totem_net.Frame
+module Packing = Totem_srp.Packing
+module Message = Totem_srp.Message
+module Const = Totem_srp.Const
+
+let qcheck_vtime_roundtrip =
+  QCheck.Test.make ~name:"Vtime float round trip" ~count:500
+    QCheck.(int_range 0 1_000_000_000)
+    (fun ns ->
+      let t = Vtime.ns ns in
+      abs (Vtime.of_float_sec (Vtime.to_float_sec t) - t) <= 1)
+
+let qcheck_monitor_matches_naive =
+  (* The monitor's lagging set equals a naive recomputation for any
+     sequence of receptions and catch-up steps. *)
+  QCheck.Test.make ~name:"Monitor.lagging = naive recompute" ~count:300
+    QCheck.(
+      pair (int_range 1 20)
+        (list_of_size (Gen.int_range 0 200) (int_range 0 3)))
+    (fun (threshold, events) ->
+      let num_nets = 3 in
+      let m = Monitor.create ~num_nets ~threshold in
+      let naive = Array.make num_nets 0 in
+      List.iter
+        (fun e ->
+          if e < num_nets then begin
+            Monitor.note m ~net:e;
+            naive.(e) <- naive.(e) + 1
+          end
+          else begin
+            Monitor.catch_up m;
+            let mx = Array.fold_left max 0 naive in
+            Array.iteri (fun i c -> if c < mx then naive.(i) <- c + 1) naive
+          end)
+        events;
+      let mx = Array.fold_left max 0 naive in
+      let expected =
+        List.filter (fun i -> mx - naive.(i) > threshold)
+          (List.init num_nets Fun.id)
+      in
+      List.map fst (Monitor.lagging m) = expected)
+
+let qcheck_histogram_quantiles_monotone =
+  QCheck.Test.make ~name:"Histogram quantiles monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (float_range 0.0 1000.0))
+    (fun values ->
+      let h = Stats.Histogram.create ~buckets:[| 1.; 10.; 100.; 500. |] in
+      List.iter (Stats.Histogram.observe h) values;
+      let q1 = Stats.Histogram.quantile h 0.25 in
+      let q2 = Stats.Histogram.quantile h 0.5 in
+      let q3 = Stats.Histogram.quantile h 0.9 in
+      q1 <= q2 && q2 <= q3)
+
+let qcheck_frame_wire_bytes =
+  QCheck.Test.make ~name:"Frame wire bytes bounded and monotone" ~count:300
+    QCheck.(pair (int_range 0 1424) (int_range 0 1424))
+    (fun (a, b) ->
+      let wa = Frame.wire_bytes (Frame.make ~src:0 ~payload_bytes:a (Frame.Opaque "")) in
+      let wb = Frame.wire_bytes (Frame.make ~src:0 ~payload_bytes:b (Frame.Opaque "")) in
+      wa >= Frame.min_frame_bytes
+      && wa <= Frame.max_frame_bytes
+      && (a > b || wa <= wb))
+
+let qcheck_packing_disabled_is_singletons =
+  QCheck.Test.make ~name:"packing disabled: one element per packet" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_range 0 5000))
+    (fun sizes ->
+      let const = { Const.default with Const.packing_enabled = false } in
+      let msgs =
+        List.mapi (fun i s -> Message.make ~origin:0 ~app_seq:(i + 1) ~size:s ()) sizes
+      in
+      List.for_all (fun es -> List.length es = 1) (Packing.pack const msgs))
+
+let qcheck_summary_total =
+  QCheck.Test.make ~name:"Summary total = fold sum" ~count:300
+    QCheck.(list (float_range (-100.0) 100.0))
+    (fun values ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.observe s) values;
+      abs_float (Stats.Summary.total s -. List.fold_left ( +. ) 0.0 values) < 1e-6)
+
+let qcheck_rng_split_streams_differ =
+  QCheck.Test.make ~name:"split streams differ from parent" ~count:100
+    QCheck.small_int (fun seed ->
+      let a = Rng.create ~seed in
+      let b = Rng.split a in
+      let xs = List.init 8 (fun _ -> Rng.int64 a) in
+      let ys = List.init 8 (fun _ -> Rng.int64 b) in
+      xs <> ys)
+
+(* Whole-stack property: for random small workloads over a random style,
+   every node delivers everything in the same order. *)
+let qcheck_cluster_total_order =
+  QCheck.Test.make ~name:"cluster delivers one total order" ~count:15
+    QCheck.(
+      pair (int_range 0 2)
+        (list_of_size (Gen.int_range 1 20)
+           (pair (int_range 0 3) (int_range 1 2000))))
+    (fun (style_ix, submissions) ->
+      let style =
+        [| Totem_rrp.Style.No_replication; Totem_rrp.Style.Active;
+           Totem_rrp.Style.Passive |].(style_ix)
+      in
+      let t = Util.make ~style () in
+      Util.Cluster.start t.Util.cluster;
+      List.iter
+        (fun (node, size) -> Util.submit t ~node ~size)
+        submissions;
+      Util.run_ms t 2000;
+      let reference = Util.order t 0 in
+      List.length reference = List.length submissions
+      && List.for_all (fun n -> Util.order t n = reference) [ 1; 2; 3 ])
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_vtime_roundtrip;
+      qcheck_monitor_matches_naive;
+      qcheck_histogram_quantiles_monotone;
+      qcheck_frame_wire_bytes;
+      qcheck_packing_disabled_is_singletons;
+      qcheck_summary_total;
+      qcheck_rng_split_streams_differ;
+      qcheck_cluster_total_order;
+    ]

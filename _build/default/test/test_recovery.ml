@@ -1,0 +1,93 @@
+(* Node crash + reboot (recovery), and the observability surfaces. *)
+
+open Util
+
+let test_crash_then_recover () =
+  let t = make ~style:Style.Active () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 300;
+  Cluster.crash_node t.cluster 2;
+  run_ms t 2000;
+  Alcotest.(check int) "survivors reformed" 3
+    (Array.length (Srp.members (srp_of t 0)));
+  Cluster.recover_node t.cluster 2;
+  run_ms t 3000;
+  Alcotest.(check int) "rebooted node readmitted" 4
+    (Array.length (Srp.members (srp_of t 0)));
+  Alcotest.(check bool) "same ring on both sides" true
+    (Srp.current_ring_id (srp_of t 2) = Srp.current_ring_id (srp_of t 0));
+  (* The rebooted node participates again. *)
+  let before = Cluster.delivered_at t.cluster 2 in
+  run_ms t 500;
+  Alcotest.(check bool) "rebooted node delivers traffic" true
+    (Cluster.delivered_at t.cluster 2 > before)
+
+let test_recover_requires_crash () =
+  let t = make () in
+  Cluster.start t.cluster;
+  Alcotest.check_raises "recover healthy node"
+    (Invalid_argument "Srp.recover: node is not crashed") (fun () ->
+      Cluster.recover_node t.cluster 1)
+
+let test_recovery_during_network_fault () =
+  (* A node reboot while one network is dead: membership runs over the
+     surviving network (joins go everywhere) and the ring reforms. *)
+  let t = make ~style:Style.Active () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:512;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  Cluster.crash_node t.cluster 3;
+  run_ms t 2000;
+  Cluster.recover_node t.cluster 3;
+  run_ms t 3000;
+  Alcotest.(check int) "all four back despite dead n'" 4
+    (Array.length (Srp.members (srp_of t 0)))
+
+let test_net_report () =
+  let t = make ~style:Style.Passive () in
+  Cluster.start t.cluster;
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 500;
+  Cluster.fail_network t.cluster 0;
+  run_ms t 1500;
+  let rows = Totem_cluster.Net_report.collect t.cluster in
+  Alcotest.(check int) "one row per network" 2 (List.length rows);
+  let r0 = List.nth rows 0 and r1 = List.nth rows 1 in
+  Alcotest.(check (list int)) "all nodes marked n'" [ 0; 1; 2; 3 ]
+    r0.Totem_cluster.Net_report.marked_faulty_by;
+  Alcotest.(check (list int)) "nobody marked n''" []
+    r1.Totem_cluster.Net_report.marked_faulty_by;
+  Alcotest.(check bool) "n'' carried the traffic" true
+    (r1.Totem_cluster.Net_report.frames_sent
+    > r0.Totem_cluster.Net_report.frames_sent);
+  Alcotest.(check bool) "utilisation sane" true
+    (r1.Totem_cluster.Net_report.utilisation > 0.3
+    && r1.Totem_cluster.Net_report.utilisation <= 1.0);
+  (* Printing must not raise. *)
+  Totem_cluster.Net_report.print
+    ~out:(Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()))
+    t.cluster
+
+let test_latency_percentiles () =
+  let t = make () in
+  Cluster.start t.cluster;
+  let probe = Metrics.install_latency t.cluster in
+  Workload.fixed_rate t.cluster ~node:0 ~size:512 ~interval:(Vtime.ms 3)
+    ~count:300 ();
+  run_ms t 2000;
+  let p50 = Metrics.latency_quantile probe 0.5 in
+  let p99 = Metrics.latency_quantile probe 0.99 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  Alcotest.(check bool) "p99 within LAN bounds" true (p99 > 0.01 && p99 < 100.0)
+
+let tests =
+  [
+    Alcotest.test_case "crash then recover" `Quick test_crash_then_recover;
+    Alcotest.test_case "recover requires crash" `Quick test_recover_requires_crash;
+    Alcotest.test_case "recovery during a network fault" `Quick
+      test_recovery_during_network_fault;
+    Alcotest.test_case "network report" `Quick test_net_report;
+    Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
+  ]

@@ -1,0 +1,116 @@
+open Totem_srp
+
+let packet ~seq =
+  {
+    Wire.ring_id = 1;
+    seq;
+    sender = 0;
+    elements =
+      [ { Wire.message = Message.make ~origin:0 ~app_seq:seq ~size:10 (); fragment = None } ];
+  }
+
+let test_in_order () =
+  let b = Recv_buffer.create () in
+  Alcotest.(check int) "aru starts 0" 0 (Recv_buffer.my_aru b);
+  ignore (Recv_buffer.store b (packet ~seq:1));
+  ignore (Recv_buffer.store b (packet ~seq:2));
+  Alcotest.(check int) "aru" 2 (Recv_buffer.my_aru b);
+  Alcotest.(check int) "deliverable" 2 (List.length (Recv_buffer.pop_deliverable b));
+  Alcotest.(check int) "pop once" 0 (List.length (Recv_buffer.pop_deliverable b))
+
+let test_gap_blocks_delivery () =
+  let b = Recv_buffer.create () in
+  ignore (Recv_buffer.store b (packet ~seq:1));
+  ignore (Recv_buffer.store b (packet ~seq:3));
+  Alcotest.(check int) "aru stuck" 1 (Recv_buffer.my_aru b);
+  Alcotest.(check int) "highest" 3 (Recv_buffer.highest_seen b);
+  Alcotest.(check (list int)) "missing" [ 2 ] (Recv_buffer.missing_up_to b 3);
+  Alcotest.(check int) "only seq1 deliverable" 1
+    (List.length (Recv_buffer.pop_deliverable b));
+  ignore (Recv_buffer.store b (packet ~seq:2));
+  Alcotest.(check int) "aru jumps" 3 (Recv_buffer.my_aru b);
+  let delivered = Recv_buffer.pop_deliverable b in
+  Alcotest.(check (list int)) "2 then 3"
+    [ 2; 3 ]
+    (List.map (fun p -> p.Wire.seq) delivered)
+
+let test_duplicates () =
+  let b = Recv_buffer.create () in
+  Alcotest.(check bool) "first new" true (Recv_buffer.store b (packet ~seq:1) = `New);
+  Alcotest.(check bool) "second dup" true
+    (Recv_buffer.store b (packet ~seq:1) = `Duplicate)
+
+let test_missing_ranges () =
+  let b = Recv_buffer.create () in
+  ignore (Recv_buffer.store b (packet ~seq:2));
+  ignore (Recv_buffer.store b (packet ~seq:5));
+  Alcotest.(check (list int)) "gaps" [ 1; 3; 4 ] (Recv_buffer.missing_up_to b 5);
+  Alcotest.(check (list int)) "beyond highest" [ 1; 3; 4; 6 ]
+    (Recv_buffer.missing_up_to b 6)
+
+let test_gc () =
+  let b = Recv_buffer.create () in
+  for seq = 1 to 10 do
+    ignore (Recv_buffer.store b (packet ~seq))
+  done;
+  ignore (Recv_buffer.pop_deliverable b);
+  Alcotest.(check int) "stored" 10 (Recv_buffer.stored_count b);
+  Recv_buffer.gc_below b 4;
+  Alcotest.(check int) "gc'd" 6 (Recv_buffer.stored_count b);
+  Alcotest.(check bool) "gc'd seqs count as present" true (Recv_buffer.has b 3);
+  Alcotest.(check bool) "re-store below horizon is duplicate" true
+    (Recv_buffer.store b (packet ~seq:2) = `Duplicate);
+  Alcotest.(check bool) "find below horizon gone" true
+    (Recv_buffer.find b 2 = None)
+
+let test_gc_never_drops_undelivered () =
+  let b = Recv_buffer.create () in
+  for seq = 1 to 5 do
+    ignore (Recv_buffer.store b (packet ~seq))
+  done;
+  (* Nothing delivered yet: gc must refuse. *)
+  Recv_buffer.gc_below b 5;
+  Alcotest.(check int) "all retained" 5 (Recv_buffer.stored_count b);
+  ignore (Recv_buffer.pop_deliverable b);
+  Recv_buffer.gc_below b 5;
+  Alcotest.(check int) "now gone" 0 (Recv_buffer.stored_count b)
+
+let test_reset () =
+  let b = Recv_buffer.create () in
+  ignore (Recv_buffer.store b (packet ~seq:1));
+  Recv_buffer.reset b;
+  Alcotest.(check int) "aru reset" 0 (Recv_buffer.my_aru b);
+  Alcotest.(check int) "empty" 0 (Recv_buffer.stored_count b);
+  Alcotest.(check bool) "seq 1 accepted again" true
+    (Recv_buffer.store b (packet ~seq:1) = `New)
+
+let qcheck_random_arrival_order =
+  QCheck.Test.make ~name:"delivery is 1..n in order for any arrival order"
+    ~count:200
+    QCheck.(int_range 1 60)
+    (fun n ->
+      let b = Recv_buffer.create () in
+      let order = Array.init n (fun i -> i + 1) in
+      let rng = Totem_engine.Rng.create ~seed:n in
+      Totem_engine.Rng.shuffle rng order;
+      let delivered = ref [] in
+      Array.iter
+        (fun seq ->
+          ignore (Recv_buffer.store b (packet ~seq));
+          delivered :=
+            !delivered @ List.map (fun p -> p.Wire.seq) (Recv_buffer.pop_deliverable b))
+        order;
+      !delivered = List.init n (fun i -> i + 1))
+
+let tests =
+  [
+    Alcotest.test_case "in-order path" `Quick test_in_order;
+    Alcotest.test_case "gap blocks delivery" `Quick test_gap_blocks_delivery;
+    Alcotest.test_case "duplicates filtered" `Quick test_duplicates;
+    Alcotest.test_case "missing ranges" `Quick test_missing_ranges;
+    Alcotest.test_case "garbage collection" `Quick test_gc;
+    Alcotest.test_case "gc never drops undelivered" `Quick
+      test_gc_never_drops_undelivered;
+    Alcotest.test_case "reset for new ring" `Quick test_reset;
+    QCheck_alcotest.to_alcotest qcheck_random_arrival_order;
+  ]

@@ -1,0 +1,86 @@
+(* The tabular/CSV/plot reporting used by the benchmark harness. *)
+
+module Report = Totem_cluster.Report
+
+let render f =
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  f out;
+  Format.pp_print_flush out ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i = (i + nl <= hl) && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let test_table () =
+  let s =
+    render (fun out ->
+        Report.print_table ~out ~title:"T" ~columns:[| "a"; "b" |]
+          [ { Report.label = "row1"; cells = [| 1.0; 2.5 |] } ])
+  in
+  Alcotest.(check bool) "title" true (contains s "T");
+  Alcotest.(check bool) "label" true (contains s "row1");
+  Alcotest.(check bool) "cell" true (contains s "2.5")
+
+let test_series () =
+  let s =
+    render (fun out ->
+        Report.print_series ~out ~title:"S" ~x_label:"bytes" ~xs:[| 100; 200 |]
+          [ ("one", [| 1.0; 2.0 |]); ("two", [| 3.0; 4.0 |]) ])
+  in
+  Alcotest.(check bool) "x label row" true (contains s "bytes=100");
+  Alcotest.(check bool) "column name" true (contains s "two")
+
+let test_csv () =
+  let csv =
+    Report.csv_of_series ~x_label:"bytes" ~xs:[| 100; 200 |]
+      ~series:[ ("one", [| 1.0; 2.0 |]); ("two", [| 3.5; 4.0 |]) ]
+  in
+  Alcotest.(check string) "exact csv"
+    "bytes,one,two\n100,1.00,3.50\n200,2.00,4.00\n" csv
+
+let test_ascii_plot () =
+  let s =
+    render (fun out ->
+        Report.ascii_plot ~out ~height:8 ~width:30 ~title:"P" ~log_y:true
+          ~xs:[| 100; 1000; 10000 |]
+          [ ("up", [| 10.0; 100.0; 1000.0 |]); ("down", [| 1000.0; 100.0; 10.0 |]) ])
+  in
+  Alcotest.(check bool) "title" true (contains s "P");
+  Alcotest.(check bool) "legend a" true (contains s "a = up");
+  Alcotest.(check bool) "legend b" true (contains s "b = down");
+  (* The two series cross in the middle: an overlap marker appears. *)
+  Alcotest.(check bool) "crossover marked" true (contains s "*");
+  Alcotest.(check bool) "axis" true (contains s "(bytes, log scale)")
+
+let test_ascii_plot_degenerate () =
+  (* One point or an empty series must not raise. *)
+  render (fun out ->
+      Report.ascii_plot ~out ~title:"d" ~log_y:false ~xs:[| 5 |]
+        [ ("x", [| 1.0 |]) ])
+  |> ignore;
+  render (fun out ->
+      Report.ascii_plot ~out ~title:"d" ~log_y:false ~xs:[||] [])
+  |> ignore;
+  (* Constant series: zero span handled. *)
+  render (fun out ->
+      Report.ascii_plot ~out ~title:"d" ~log_y:false ~xs:[| 1; 2 |]
+        [ ("c", [| 7.0; 7.0 |]) ])
+  |> ignore
+
+let test_ratio () =
+  Alcotest.(check (float 1e-9)) "normal" 2.0 (Report.ratio 4.0 2.0);
+  Alcotest.(check (float 1e-9)) "zero denominator" 0.0 (Report.ratio 4.0 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "table" `Quick test_table;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+    Alcotest.test_case "ascii plot degenerate inputs" `Quick
+      test_ascii_plot_degenerate;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+  ]

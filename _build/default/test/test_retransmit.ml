@@ -1,0 +1,54 @@
+open Totem_srp
+
+let test_merge () =
+  Alcotest.(check (list int)) "disjoint" [ 1; 2; 3; 4 ]
+    (Retransmit.merge [ 1; 3 ] [ 2; 4 ]);
+  Alcotest.(check (list int)) "overlap dedup" [ 1; 2; 3 ]
+    (Retransmit.merge [ 1; 2 ] [ 2; 3 ]);
+  Alcotest.(check (list int)) "empty left" [ 1 ] (Retransmit.merge [] [ 1 ]);
+  Alcotest.(check (list int)) "empty right" [ 1 ] (Retransmit.merge [ 1 ] [])
+
+let test_remove () =
+  Alcotest.(check (list int)) "served removed" [ 1; 4 ]
+    (Retransmit.remove [ 1; 2; 3; 4 ] [ 2; 3 ]);
+  Alcotest.(check (list int)) "absent served ignored" [ 1; 2 ]
+    (Retransmit.remove [ 1; 2 ] [ 5 ]);
+  Alcotest.(check (list int)) "remove all" [] (Retransmit.remove [ 1 ] [ 1 ])
+
+let test_truncate () =
+  Alcotest.(check (list int)) "keep lowest" [ 1; 2 ] (Retransmit.truncate 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "shorter untouched" [ 1 ] (Retransmit.truncate 5 [ 1 ])
+
+let test_is_sorted_unique () =
+  Alcotest.(check bool) "ok" true (Retransmit.is_sorted_unique [ 1; 2; 9 ]);
+  Alcotest.(check bool) "dup" false (Retransmit.is_sorted_unique [ 1; 1 ]);
+  Alcotest.(check bool) "unsorted" false (Retransmit.is_sorted_unique [ 2; 1 ]);
+  Alcotest.(check bool) "empty" true (Retransmit.is_sorted_unique [])
+
+let sorted_list = QCheck.(map (List.sort_uniq compare) (list small_nat))
+
+let qcheck_merge_sorted =
+  QCheck.Test.make ~name:"merge keeps sorted-unique" ~count:300
+    (QCheck.pair sorted_list sorted_list) (fun (a, b) ->
+      Retransmit.is_sorted_unique (Retransmit.merge a b))
+
+let qcheck_merge_is_union =
+  QCheck.Test.make ~name:"merge is set union" ~count:300
+    (QCheck.pair sorted_list sorted_list) (fun (a, b) ->
+      Retransmit.merge a b = List.sort_uniq compare (a @ b))
+
+let qcheck_remove_is_diff =
+  QCheck.Test.make ~name:"remove is set difference" ~count:300
+    (QCheck.pair sorted_list sorted_list) (fun (a, b) ->
+      Retransmit.remove a b = List.filter (fun x -> not (List.mem x b)) a)
+
+let tests =
+  [
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "is_sorted_unique" `Quick test_is_sorted_unique;
+    QCheck_alcotest.to_alcotest qcheck_merge_sorted;
+    QCheck_alcotest.to_alcotest qcheck_merge_is_union;
+    QCheck_alcotest.to_alcotest qcheck_remove_is_diff;
+  ]

@@ -1,0 +1,119 @@
+open Totem_engine
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (Rng.int64 a <> Rng.int64 b)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:99 in
+  (* Regression: Int64.to_int truncation used to produce negatives. *)
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 8 in
+    if v < 0 || v >= 8 then Alcotest.failf "out of bounds: %d" v
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_range () =
+  let rng = Rng.create ~seed:5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.0 in
+    if v < 0.0 || v >= 3.0 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_split_independence () =
+  let root = Rng.create ~seed:42 in
+  let child = Rng.split root in
+  (* Drawing from the child must not change what a copy of the root
+     draws next. *)
+  let root_copy = Rng.copy root in
+  for _ = 1 to 10 do
+    ignore (Rng.int64 child)
+  done;
+  Alcotest.(check int64) "root unaffected by child draws" (Rng.int64 root_copy)
+    (Rng.int64 root)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:8 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:21 in
+  let n = 100_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 2.0" true (abs_float (mean -. 2.0) < 0.05)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_pick () =
+  let rng = Rng.create ~seed:17 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng a in
+    Alcotest.(check bool) "picked element" true (Array.mem v a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always in [0,bound)" ~count:1000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds (sign regression)" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick" `Quick test_pick;
+    QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+  ]

@@ -1,0 +1,198 @@
+(* Active replication (Fig. 2) — requirements A1 through A6. *)
+
+open Util
+module Rrp = Totem_rrp.Rrp
+module Fault_report = Totem_rrp.Fault_report
+
+let start ?num_nets ?seed ?rrp ?net () =
+  let t = make ~style:Style.Active ?num_nets ?seed ?rrp ?net () in
+  Cluster.start t.cluster;
+  t
+
+let test_sends_on_all_networks () =
+  let t = start () in
+  submit_n t ~node:1 ~size:500 20;
+  run_ms t 500;
+  let rrp1 = rrp_of t 1 in
+  Alcotest.(check bool) "data on n'" true (Rrp.data_sent rrp1 ~net:0 > 0);
+  Alcotest.(check int) "same count on n''" (Rrp.data_sent rrp1 ~net:0)
+    (Rrp.data_sent rrp1 ~net:1);
+  Alcotest.(check int) "tokens duplicated too" (Rrp.tokens_sent rrp1 ~net:0)
+    (Rrp.tokens_sent rrp1 ~net:1)
+
+(* A1: each message delivered exactly once despite N copies. *)
+let test_a1_single_delivery () =
+  let t = start () in
+  submit_n t ~node:1 ~size:500 50;
+  submit_n t ~node:2 ~size:500 50;
+  run_ms t 1000;
+  check_delivered_everything t ~expected:100;
+  let dups = (Srp.stats (srp_of t 0)).Srp.duplicate_packets in
+  Alcotest.(check bool) "duplicates were filtered, not delivered" true (dups > 0)
+
+(* A2: losing a copy on one network must not trigger a retransmission. *)
+let test_a2_no_spurious_retransmission () =
+  let t = start ~seed:11 () in
+  (* n'' drops 30% of frames; every loss is masked by the copy on n'. *)
+  Cluster.set_network_loss t.cluster 1 0.3;
+  submit_n t ~node:1 ~size:700 100;
+  submit_n t ~node:3 ~size:700 100;
+  run_ms t 2000;
+  check_delivered_everything t ~expected:200;
+  let requested =
+    List.fold_left
+      (fun acc n -> acc + (Srp.stats (srp_of t n)).Srp.retransmissions_requested)
+      0 [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "no retransmission requests" 0 requested
+
+(* A4: progress although one network is completely dead. *)
+let test_a4_progress_through_total_failure () =
+  let t = start () in
+  submit_n t ~node:1 ~size:500 10;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  submit_n t ~node:2 ~size:500 30;
+  run_ms t 2000;
+  check_delivered_everything t ~expected:40;
+  Alcotest.(check int) "no membership change" 1
+    (Srp.stats (srp_of t 0)).Srp.ring_changes
+
+(* A5: a dead network is eventually declared faulty by every node. *)
+let test_a5_detection () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 1;
+  run_ms t 2000;
+  for node = 0 to 3 do
+    let faulty = Rrp.faulty (rrp_of t node) in
+    Alcotest.(check bool) (Printf.sprintf "node %d marked n''" node) true faulty.(1);
+    Alcotest.(check bool) (Printf.sprintf "node %d kept n'" node) false faulty.(0)
+  done;
+  let reports = Cluster.fault_reports t.cluster in
+  Alcotest.(check int) "one report per node" 4 (List.length reports);
+  List.iter
+    (fun (_, r) ->
+      match r.Fault_report.evidence with
+      | Fault_report.Token_timeouts n ->
+        Alcotest.(check bool) "threshold-sized evidence" true (n >= 10)
+      | _ -> Alcotest.fail "expected token-timeout evidence")
+    reports
+
+(* After the fault is marked, sending stops on that network. *)
+let test_marked_network_not_used_for_sending () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 1;
+  run_ms t 1500;
+  let sent_before = Rrp.data_sent (rrp_of t 0) ~net:1 in
+  run_ms t 500;
+  Alcotest.(check int) "no further sends on faulty net" sent_before
+    (Rrp.data_sent (rrp_of t 0) ~net:1)
+
+(* ...but reception is still accepted (Sec. 3): heal the fabric without
+   telling the nodes; traffic arriving on the still-marked network is
+   processed. *)
+let test_marked_network_still_receives () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  run_ms t 1500;
+  (* All nodes have marked n'. Now the switch silently recovers, and we
+     kill n'' instead: nodes still send only on n'' (marked n' faulty)...
+     nothing flows. But receptions on n' must still be accepted, so
+     un-mark just node 1 to make it the only sender on n'. *)
+  Totem_net.Fault.heal (Totem_net.Fabric.fault (Cluster.fabric t.cluster) 0);
+  Rrp.clear_fault (rrp_of t 1) ~net:0;
+  let before = Cluster.delivered_at t.cluster 2 in
+  run_ms t 500;
+  Alcotest.(check bool) "node 2 still delivers (receives via marked n')" true
+    (Cluster.delivered_at t.cluster 2 > before)
+
+(* A6: sporadic loss alone must never condemn a network. *)
+let test_a6_sporadic_loss_no_false_alarm () =
+  let t = start ~seed:5 () in
+  Cluster.set_network_loss t.cluster 0 0.01;
+  Cluster.set_network_loss t.cluster 1 0.01;
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 10_000;
+  Alcotest.(check int) "no fault reports" 0
+    (List.length (Cluster.fault_reports t.cluster));
+  Array.iteri
+    (fun i f -> if f then Alcotest.failf "network %d wrongly marked" i)
+    (Rrp.faulty (rrp_of t 0))
+
+(* The last non-faulty network is never marked: liveness. *)
+let test_last_network_guard () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  Cluster.fail_network t.cluster 1;
+  run_ms t 3000;
+  let faulty = Rrp.faulty (rrp_of t 0) in
+  Alcotest.(check bool) "at most one network marked" true
+    (not (faulty.(0) && faulty.(1)))
+
+(* Three networks: losing two is masked. *)
+let test_three_networks_two_failures () =
+  let t = start ~num_nets:3 () in
+  submit_n t ~node:1 ~size:500 10;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  Cluster.fail_network t.cluster 2;
+  submit_n t ~node:2 ~size:500 20;
+  run_ms t 3000;
+  check_delivered_everything t ~expected:30;
+  Alcotest.(check int) "single ring throughout" 1
+    (Srp.stats (srp_of t 0)).Srp.ring_changes
+
+(* The problem counter decays (A6 mechanism, "not shown in Fig. 2"). *)
+let test_problem_counter_decay () =
+  let rrp_config =
+    {
+      Totem_rrp.Rrp_config.default with
+      Totem_rrp.Rrp_config.active_decay_interval = Totem_engine.Vtime.ms 50;
+      active_problem_threshold = 1000;
+    }
+  in
+  let t = start ~rrp:rrp_config () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 200;
+  (* A short outage bumps the counters but stays under the threshold. *)
+  Cluster.fail_network t.cluster 1;
+  run_ms t 100;
+  Cluster.heal_network t.cluster 1;
+  let active = Option.get (Rrp.as_active (rrp_of t 0)) in
+  let counter = Totem_rrp.Active.problem_counter active ~net:1 in
+  Alcotest.(check bool) "counter accumulated" true (counter > 0);
+  run_ms t ((counter * 50) + 500);
+  Alcotest.(check int) "counter decayed to zero" 0
+    (Totem_rrp.Active.problem_counter active ~net:1)
+
+let tests =
+  [
+    Alcotest.test_case "messages and tokens sent on all networks" `Quick
+      test_sends_on_all_networks;
+    Alcotest.test_case "A1: exactly-once delivery" `Quick test_a1_single_delivery;
+    Alcotest.test_case "A2: loss on one network, no retransmission" `Quick
+      test_a2_no_spurious_retransmission;
+    Alcotest.test_case "A4: progress through total network failure" `Quick
+      test_a4_progress_through_total_failure;
+    Alcotest.test_case "A5: permanent failure detected everywhere" `Quick
+      test_a5_detection;
+    Alcotest.test_case "faulty network not used for sending" `Quick
+      test_marked_network_not_used_for_sending;
+    Alcotest.test_case "faulty network still receives (Sec. 3)" `Quick
+      test_marked_network_still_receives;
+    Alcotest.test_case "A6: sporadic loss never condemns" `Slow
+      test_a6_sporadic_loss_no_false_alarm;
+    Alcotest.test_case "last non-faulty network never marked" `Quick
+      test_last_network_guard;
+    Alcotest.test_case "N=3: two failures masked" `Quick
+      test_three_networks_two_failures;
+    Alcotest.test_case "problem counter decays" `Quick test_problem_counter_decay;
+  ]

@@ -1,0 +1,110 @@
+(* Active-passive replication (Sec. 7): K copies over N >= 3 networks. *)
+
+open Util
+module Rrp = Totem_rrp.Rrp
+
+let start ?(k = 2) ?(num_nets = 3) ?seed () =
+  let t = make ~style:(Style.Active_passive k) ~num_nets ?seed () in
+  Cluster.start t.cluster;
+  t
+
+let test_validation () =
+  Alcotest.(check bool) "needs three networks" true
+    (Result.is_error (Style.validate (Style.Active_passive 2) ~num_nets:2));
+  Alcotest.(check bool) "K must exceed one" true
+    (Result.is_error (Style.validate (Style.Active_passive 1) ~num_nets:3));
+  Alcotest.(check bool) "K must be under N" true
+    (Result.is_error (Style.validate (Style.Active_passive 3) ~num_nets:3));
+  Alcotest.(check bool) "K=2 N=3 valid" true
+    (Result.is_ok (Style.validate (Style.Active_passive 2) ~num_nets:3))
+
+let test_k_copies_per_send () =
+  let t = start () in
+  submit_n t ~node:1 ~size:500 30;
+  run_ms t 500;
+  let rrp1 = rrp_of t 1 in
+  let total =
+    Rrp.data_sent rrp1 ~net:0 + Rrp.data_sent rrp1 ~net:1 + Rrp.data_sent rrp1 ~net:2
+  in
+  Alcotest.(check int) "exactly K frames per packet"
+    (2 * (Srp.stats (srp_of t 1)).Srp.sent_packets)
+    total
+
+let test_round_robin_window () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 1000;
+  (* Over many sends the K-window rotation spreads the load evenly. *)
+  let rrp1 = rrp_of t 1 in
+  let counts = [| Rrp.data_sent rrp1 ~net:0; Rrp.data_sent rrp1 ~net:1;
+                  Rrp.data_sent rrp1 ~net:2 |] in
+  let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+  Alcotest.(check bool) "busy" true (mn > 100);
+  Alcotest.(check bool) "balanced within 5%" true
+    (float_of_int (mx - mn) /. float_of_int mx < 0.05)
+
+let test_total_order () =
+  let t = start () in
+  submit_n t ~node:0 ~size:700 25;
+  submit_n t ~node:2 ~size:700 25;
+  run_ms t 1000;
+  check_delivered_everything t ~expected:50
+
+(* K-1 network failures are masked with no retransmission delay. *)
+let test_masks_k_minus_one_losses () =
+  let t = start ~seed:9 () in
+  (* 30% loss on one network: the second copy masks every loss. *)
+  Cluster.set_network_loss t.cluster 1 0.3;
+  submit_n t ~node:1 ~size:700 100;
+  run_ms t 2000;
+  check_delivered_everything t ~expected:100;
+  let requested =
+    List.fold_left
+      (fun acc n -> acc + (Srp.stats (srp_of t n)).Srp.retransmissions_requested)
+      0 [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "losses masked without retransmission" 0 requested
+
+let test_total_network_failure_masked () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 2;
+  run_ms t 2000;
+  let before = Cluster.delivered_at t.cluster 0 in
+  run_ms t 1000;
+  Alcotest.(check bool) "service continues" true
+    (Cluster.delivered_at t.cluster 0 - before > 3000);
+  Alcotest.(check int) "no membership change" 1
+    (Srp.stats (srp_of t 0)).Srp.ring_changes;
+  (* Stage-1 monitors detected the dead network. *)
+  Alcotest.(check bool) "n''' marked faulty" true (Rrp.faulty (rrp_of t 0)).(2)
+
+let test_k3_of_4 () =
+  let t = make ~style:(Style.Active_passive 3) ~num_nets:4 () in
+  Cluster.start t.cluster;
+  submit_n t ~node:1 ~size:500 20;
+  run_ms t 500;
+  check_delivered_everything t ~expected:20;
+  let rrp1 = rrp_of t 1 in
+  let total =
+    Rrp.data_sent rrp1 ~net:0 + Rrp.data_sent rrp1 ~net:1
+    + Rrp.data_sent rrp1 ~net:2 + Rrp.data_sent rrp1 ~net:3
+  in
+  Alcotest.(check int) "three copies per packet"
+    (3 * (Srp.stats (srp_of t 1)).Srp.sent_packets)
+    total
+
+let tests =
+  [
+    Alcotest.test_case "style validation (Sec. 7 constraints)" `Quick test_validation;
+    Alcotest.test_case "K copies per send" `Quick test_k_copies_per_send;
+    Alcotest.test_case "K-window round robin balances load" `Quick
+      test_round_robin_window;
+    Alcotest.test_case "total order" `Quick test_total_order;
+    Alcotest.test_case "masks K-1 losses without retransmission" `Quick
+      test_masks_k_minus_one_losses;
+    Alcotest.test_case "total failure of one network masked" `Quick
+      test_total_network_failure_masked;
+    Alcotest.test_case "K=3 of N=4" `Quick test_k3_of_4;
+  ]

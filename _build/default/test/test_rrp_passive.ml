@@ -1,0 +1,216 @@
+(* Passive replication (Figs. 4 and 5) — requirements P1 through P5. *)
+
+open Util
+module Rrp = Totem_rrp.Rrp
+module Fault_report = Totem_rrp.Fault_report
+
+let start ?num_nets ?seed ?rrp ?net ?num_nodes () =
+  let t = make ~style:Style.Passive ?num_nets ?seed ?rrp ?net ?num_nodes () in
+  Cluster.start t.cluster;
+  t
+
+(* Round-robin: messages and tokens alternate over the networks. *)
+let test_round_robin_fairness () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 1000;
+  let rrp1 = rrp_of t 1 in
+  let a = Rrp.data_sent rrp1 ~net:0 and b = Rrp.data_sent rrp1 ~net:1 in
+  Alcotest.(check bool) "busy" true (a + b > 1000);
+  Alcotest.(check bool) "within one of each other" true (abs (a - b) <= 1);
+  let ta = Rrp.tokens_sent rrp1 ~net:0 and tb = Rrp.tokens_sent rrp1 ~net:1 in
+  Alcotest.(check bool) "tokens alternate too" true (abs (ta - tb) <= 1)
+
+(* Bandwidth cost equals the unreplicated system: one copy per send. *)
+let test_single_copy_per_send () =
+  let t = start () in
+  submit_n t ~node:1 ~size:500 40;
+  run_ms t 500;
+  let rrp1 = rrp_of t 1 in
+  let total = Rrp.data_sent rrp1 ~net:0 + Rrp.data_sent rrp1 ~net:1 in
+  Alcotest.(check int) "one frame per packet"
+    (Srp.stats (srp_of t 1)).Srp.sent_packets total
+
+(* P1: a token that overtakes messages on the other network must wait in
+   the token buffer, not trigger retransmission of delayed messages
+   (Fig. 3 scenario 1). We force overtaking with asymmetric latency. *)
+let test_p1_overtaking_token_buffered () =
+  let slow = { Totem_net.Network.default_config with
+               Totem_net.Network.latency = Totem_engine.Vtime.ms 2 } in
+  let fast = Totem_net.Network.default_config in
+  let config =
+    Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive
+      ~net_configs:[| slow; fast |] ()
+  in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  for _ = 1 to 50 do
+    Srp.submit (Cluster.srp (Cluster.node cluster 1)) ~size:700 ()
+  done;
+  Cluster.run_for cluster (Totem_engine.Vtime.sec 2);
+  (* Everything delivered, in order, and with zero retransmission
+     requests although tokens routinely overtook data on the fast net. *)
+  let requested =
+    List.fold_left
+      (fun acc n ->
+        acc
+        + (Srp.stats (Cluster.srp (Cluster.node cluster n)))
+            .Srp.retransmissions_requested)
+      0 [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "all delivered" 50 (Cluster.delivered_at cluster 0);
+  Alcotest.(check int) "P1: no spurious requests" 0 requested
+
+(* P2: networks of different speeds stay in lockstep (the slower network
+   cannot fall behind unboundedly, because the token rotates through
+   it). *)
+let test_p2_heterogeneous_speeds () =
+  let fast = Totem_net.Network.default_config in
+  let slow = { fast with Totem_net.Network.bandwidth_bps = 10_000_000 } in
+  let config =
+    Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive
+      ~net_configs:[| fast; slow |] ()
+  in
+  let cluster = Cluster.create config in
+  let orders = Array.init 4 (fun _ -> ref []) in
+  Cluster.on_deliver cluster (fun node m ->
+      orders.(node) :=
+        (m.Message.origin, m.Message.app_seq) :: !(orders.(node)));
+  Cluster.start cluster;
+  Workload.saturate cluster ~size:1024;
+  Cluster.run_for cluster (Totem_engine.Vtime.sec 2);
+  Alcotest.(check bool) "plenty delivered" true
+    (Cluster.delivered_at cluster 0 > 2000);
+  (* Nodes are cut off mid-stream, so compare the common prefix. *)
+  let lists = Array.map (fun o -> List.rev !o) orders in
+  let shortest = Array.fold_left (fun m l -> min m (List.length l)) max_int lists in
+  let prefix l = List.filteri (fun i _ -> i < shortest) l in
+  Array.iter
+    (fun l -> if prefix l <> prefix lists.(0) then Alcotest.fail "order diverged")
+    lists;
+  (* No false fault reports from mere speed difference. *)
+  Alcotest.(check int) "no reports" 0
+    (List.length (Cluster.fault_reports cluster))
+
+(* P3: progress when messages are lost — the buffered token is released
+   by the timer and the SRP then repairs the loss. *)
+let test_p3_progress_despite_loss () =
+  let t = start ~seed:13 () in
+  Cluster.set_network_loss t.cluster 0 0.1;
+  Cluster.set_network_loss t.cluster 1 0.1;
+  submit_n t ~node:1 ~size:700 100;
+  submit_n t ~node:2 ~size:700 100;
+  run_ms t 5000;
+  check_delivered_everything t ~expected:200
+
+(* P4: a dead network is detected by the reception-count monitors. *)
+let test_p4_detection () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 300;
+  Cluster.fail_network t.cluster 0;
+  run_ms t 2000;
+  for node = 0 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "node %d marked n'" node) true
+      (Rrp.faulty (rrp_of t node)).(0)
+  done;
+  let reports = Cluster.fault_reports t.cluster in
+  Alcotest.(check bool) "reports issued" true (List.length reports >= 4);
+  List.iter
+    (fun (_, r) ->
+      match r.Fault_report.evidence with
+      | Fault_report.Reception_lag { behind; _ } ->
+        Alcotest.(check bool) "lag exceeds threshold" true (behind > 50)
+      | Fault_report.Token_timeouts _ ->
+        Alcotest.fail "passive replication reports reception lag")
+    reports
+
+(* After detection the ring keeps running on the surviving network. *)
+let test_service_continues_after_detection () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 500;
+  Cluster.fail_network t.cluster 0;
+  run_ms t 2000;
+  let before = Cluster.delivered_at t.cluster 0 in
+  run_ms t 1000;
+  let rate = Cluster.delivered_at t.cluster 0 - before in
+  Alcotest.(check bool) "still above half speed" true (rate > 4000);
+  Alcotest.(check int) "no membership change" 1
+    (Srp.stats (srp_of t 0)).Srp.ring_changes
+
+(* P5: sporadic loss must not condemn a network even over a long run. *)
+let test_p5_sporadic_loss_no_false_alarm () =
+  let t = start ~seed:17 () in
+  Cluster.set_network_loss t.cluster 0 0.01;
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 10_000;
+  Alcotest.(check int) "no false reports" 0
+    (List.length (Cluster.fault_reports t.cluster))
+
+(* The token buffer really is used: with asymmetric latency the passive
+   layer must buffer tokens while data is in flight. *)
+let test_token_buffering_observable () =
+  let slow = { Totem_net.Network.default_config with
+               Totem_net.Network.latency = Totem_engine.Vtime.ms 3 } in
+  let config =
+    Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive
+      ~net_configs:[| slow; Totem_net.Network.default_config |] ()
+  in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  Totem_cluster.Workload.saturate cluster ~size:1024;
+  (* Sample the buffered state while running. *)
+  let seen_buffered = ref false in
+  let rec sample n =
+    if n > 0 then begin
+      Cluster.run_for cluster (Totem_engine.Vtime.ms 1);
+      for node = 0 to 3 do
+        match Rrp.as_passive (Cluster.rrp (Cluster.node cluster node)) with
+        | Some p -> if Totem_rrp.Passive.token_buffered p then seen_buffered := true
+        | None -> ()
+      done;
+      sample (n - 1)
+    end
+  in
+  sample 400;
+  Alcotest.(check bool) "token buffer exercised" true !seen_buffered
+
+(* Monitors are per sending node: M message monitors plus a token
+   monitor (Sec. 6). *)
+let test_monitor_structure () =
+  let t = start () in
+  Workload.saturate t.cluster ~size:1024;
+  run_ms t 500;
+  match Rrp.as_passive (rrp_of t 0) with
+  | None -> Alcotest.fail "expected passive layer"
+  | Some p ->
+    (* Node 0 hears messages from 1, 2, 3 — three message monitors. *)
+    List.iter
+      (fun sender ->
+        Alcotest.(check bool)
+          (Printf.sprintf "monitor for sender %d" sender)
+          true
+          (Totem_rrp.Passive.message_monitor p ~sender <> None))
+      [ 1; 2; 3 ];
+    let tm = Totem_rrp.Passive.token_monitor p in
+    Alcotest.(check bool) "token monitor counted both nets" true
+      (Totem_rrp.Monitor.count tm ~net:0 > 0 && Totem_rrp.Monitor.count tm ~net:1 > 0)
+
+let tests =
+  [
+    Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
+    Alcotest.test_case "single copy per send" `Quick test_single_copy_per_send;
+    Alcotest.test_case "P1: overtaking token buffered (Fig. 3)" `Quick
+      test_p1_overtaking_token_buffered;
+    Alcotest.test_case "P2: heterogeneous network speeds" `Quick
+      test_p2_heterogeneous_speeds;
+    Alcotest.test_case "P3: progress despite loss" `Slow test_p3_progress_despite_loss;
+    Alcotest.test_case "P4: dead network detected" `Quick test_p4_detection;
+    Alcotest.test_case "service continues after detection" `Quick
+      test_service_continues_after_detection;
+    Alcotest.test_case "P5: sporadic loss never condemns" `Slow
+      test_p5_sporadic_loss_no_false_alarm;
+    Alcotest.test_case "token buffer exercised" `Quick test_token_buffering_observable;
+    Alcotest.test_case "M+1 monitor modules (Sec. 6)" `Quick test_monitor_structure;
+  ]

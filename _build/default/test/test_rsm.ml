@@ -1,0 +1,121 @@
+(* The replicated-state-machine library: agreement, crash + reboot with
+   ordered-broadcast state transfer, and transfer under live traffic. *)
+
+open Util
+module Rsm = Totem_rsm.Rsm
+
+(* A pure counter machine: state = (sum, count). *)
+let counter_spec =
+  {
+    Rsm.initial = (0, 0);
+    apply = (fun (sum, n) c -> (sum + c, n + 1));
+    cmd_size = (fun _ -> 16);
+    state_size = (fun _ -> 32);
+  }
+
+let make_replicas ?(num_nodes = 4) ?style () =
+  let t = make ~num_nodes ?style () in
+  let g = Rsm.group counter_spec in
+  let reps =
+    Array.init num_nodes (fun node -> Rsm.attach t.cluster ~group:g ~node)
+  in
+  Cluster.start t.cluster;
+  (t, reps)
+
+let test_agreement () =
+  let t, reps = make_replicas () in
+  Rsm.submit reps.(0) 5;
+  Rsm.submit reps.(1) 7;
+  Rsm.submit reps.(3) 11;
+  run_ms t 500;
+  Array.iter
+    (fun r ->
+      Alcotest.(check (pair int int)) "same state" (23, 3) (Rsm.state r);
+      Alcotest.(check int) "applied" 3 (Rsm.applied r))
+    reps
+
+let test_many_commands_many_submitters () =
+  let t, reps = make_replicas ~num_nodes:5 () in
+  for i = 1 to 200 do
+    Rsm.submit reps.(i mod 5) i
+  done;
+  run_ms t 2000;
+  let expected = (200 * 201 / 2, 200) in
+  Array.iter
+    (fun r -> Alcotest.(check (pair int int)) "sum formula" expected (Rsm.state r))
+    reps
+
+let test_state_transfer_after_reboot () =
+  let t, reps = make_replicas () in
+  Rsm.submit reps.(0) 1;
+  run_ms t 200;
+  Cluster.crash_node t.cluster 2;
+  run_ms t 1000;
+  (* Commands the crashed replica never sees. *)
+  Rsm.submit reps.(0) 10;
+  Rsm.submit reps.(1) 100;
+  run_ms t 1000;
+  Cluster.recover_node t.cluster 2;
+  run_ms t 2000;
+  Alcotest.(check bool) "stale before transfer" true
+    (Rsm.state reps.(2) <> Rsm.state reps.(0));
+  Rsm.request_state_transfer reps.(2);
+  run_ms t 2000;
+  Alcotest.(check bool) "caught up" true (Rsm.is_caught_up reps.(2));
+  Alcotest.(check (pair int int)) "transferred state" (111, 3) (Rsm.state reps.(2));
+  (* And it tracks from here on. *)
+  Rsm.submit reps.(3) 1000;
+  run_ms t 500;
+  Array.iter
+    (fun r -> Alcotest.(check (pair int int)) "all level" (1111, 4) (Rsm.state r))
+    reps
+
+let test_transfer_under_live_traffic () =
+  (* Commands keep flowing while the snapshot is negotiated: the ones
+     ordered after the marker must be buffered and replayed, none lost,
+     none doubled. *)
+  let t, reps = make_replicas () in
+  Cluster.crash_node t.cluster 3;
+  for i = 1 to 50 do
+    Rsm.submit reps.(0) i
+  done;
+  run_ms t 1000;
+  Cluster.recover_node t.cluster 3;
+  run_ms t 1500;
+  Rsm.request_state_transfer reps.(3);
+  (* A steady stream through the whole transfer window. *)
+  Workload.fixed_rate t.cluster ~node:1 ~size:64 ~interval:(Vtime.ms 1) ~count:100 ();
+  for i = 51 to 100 do
+    Rsm.submit reps.(1) i
+  done;
+  run_ms t 3000;
+  let expected = (100 * 101 / 2, 100) in
+  Alcotest.(check (pair int int)) "replica 0" expected (Rsm.state reps.(0));
+  Alcotest.(check (pair int int)) "rebooted replica" expected (Rsm.state reps.(3))
+
+let test_transfer_through_network_fault () =
+  let t, reps = make_replicas ~style:Style.Active () in
+  Cluster.crash_node t.cluster 1;
+  Rsm.submit reps.(0) 42;
+  run_ms t 1000;
+  (* One network dies; the transfer must ride the survivor. *)
+  Cluster.fail_network t.cluster 0;
+  Cluster.recover_node t.cluster 1;
+  run_ms t 2000;
+  Rsm.request_state_transfer reps.(1);
+  run_ms t 3000;
+  Alcotest.(check (pair int int)) "transferred over one network" (42, 1)
+    (Rsm.state reps.(1))
+
+let tests =
+  [
+    Alcotest.test_case "replicas agree" `Quick test_agreement;
+    Alcotest.test_case "200 commands, 5 submitters" `Quick
+      test_many_commands_many_submitters;
+    Alcotest.test_case "state transfer after reboot" `Quick
+      test_state_transfer_after_reboot;
+    Alcotest.test_case "transfer under live traffic" `Quick
+      test_transfer_under_live_traffic;
+    Alcotest.test_case "transfer through a network fault" `Quick
+      test_transfer_through_network_fault;
+  ]

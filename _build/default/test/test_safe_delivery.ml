@@ -1,0 +1,123 @@
+(* Totem's safe-delivery guarantee: a message flagged safe is delivered
+   only once the token's aru has proven that every ring member holds it.
+   (The RRP inherits this from the SRP unchanged — replication styles
+   only change how packets travel.) *)
+
+open Util
+
+let submit_safe t ~node ~size =
+  Srp.submit (Cluster.srp (Cluster.node t.cluster node)) ~size ~safe:true ()
+
+(* Record each delivery with its simulated time. *)
+let make_timed ?(style = Style.Passive) ?num_nets () =
+  let t = make ~style ?num_nets () in
+  let times = Array.init 4 (fun _ -> ref []) in
+  Cluster.on_deliver t.cluster (fun node m ->
+      times.(node) :=
+        ((m.Message.origin, m.Message.app_seq), Cluster.now t.cluster)
+        :: !(times.(node)));
+  (t, times)
+
+let test_safe_delivered_everywhere () =
+  let t = make () in
+  Cluster.start t.cluster;
+  submit_safe t ~node:1 ~size:512;
+  submit_safe t ~node:2 ~size:512;
+  run_ms t 500;
+  check_delivered_everything t ~expected:2
+
+let test_safe_later_than_agreed () =
+  let t, times = make_timed () in
+  Cluster.start t.cluster;
+  run_ms t 50;
+  (* One agreed and one safe message from the same node, same instant. *)
+  submit t ~node:1 ~size:512;
+  submit_safe t ~node:1 ~size:512;
+  run_ms t 1000;
+  let at node key = List.assoc key (List.rev !(times.(node))) in
+  for node = 0 to 3 do
+    let agreed = at node (1, 1) and safe = at node (1, 2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d: safe strictly after agreed" node)
+      true
+      Vtime.(safe > agreed);
+    (* The wait is the stability delay: at least a rotation's worth. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d: stability delay visible" node)
+      true
+      (Vtime.sub safe agreed > Vtime.us 100)
+  done
+
+let test_order_preserved_across_guarantees () =
+  (* A held-back safe message must also hold back the agreed messages
+     ordered after it — total order beats delivery eagerness. *)
+  let t = make () in
+  Cluster.start t.cluster;
+  submit_safe t ~node:1 ~size:256;
+  submit t ~node:1 ~size:256;
+  submit t ~node:2 ~size:256;
+  run_ms t 1000;
+  check_delivered_everything t ~expected:3
+
+let test_safe_under_loss () =
+  let t = make ~seed:23 () in
+  Cluster.start t.cluster;
+  Cluster.set_network_loss t.cluster 0 0.1;
+  Cluster.set_network_loss t.cluster 1 0.1;
+  for _ = 1 to 30 do
+    submit_safe t ~node:1 ~size:700;
+    submit t ~node:3 ~size:700
+  done;
+  run_ms t 5000;
+  check_delivered_everything t ~expected:60
+
+let test_safe_horizon_advances () =
+  let t = make () in
+  Cluster.start t.cluster;
+  submit_n t ~node:1 ~size:512 20;
+  run_ms t 1000;
+  let srp = srp_of t 0 in
+  Alcotest.(check bool) "horizon reached the traffic" true
+    (Srp.safe_horizon srp > 0);
+  Alcotest.(check bool) "horizon never passes aru" true
+    (Srp.safe_horizon srp <= Srp.my_aru srp)
+
+let test_safe_through_network_failure () =
+  let t = make ~style:Style.Active () in
+  Cluster.start t.cluster;
+  run_ms t 100;
+  Cluster.fail_network t.cluster 0;
+  for _ = 1 to 20 do
+    submit_safe t ~node:1 ~size:512
+  done;
+  run_ms t 3000;
+  check_delivered_everything t ~expected:20;
+  Alcotest.(check int) "no membership change" 1
+    (Srp.stats (srp_of t 0)).Srp.ring_changes
+
+let test_safe_flag_travels () =
+  let t = make () in
+  let saw_safe = ref 0 in
+  Cluster.on_deliver t.cluster (fun _ m ->
+      if m.Message.safe then incr saw_safe);
+  Cluster.start t.cluster;
+  submit_safe t ~node:2 ~size:128;
+  submit t ~node:2 ~size:128;
+  run_ms t 500;
+  Alcotest.(check int) "safe flag visible at delivery (4 nodes x 1 msg)" 4 !saw_safe
+
+let tests =
+  [
+    Alcotest.test_case "safe messages delivered everywhere" `Quick
+      test_safe_delivered_everywhere;
+    Alcotest.test_case "safe delivered strictly after agreed" `Quick
+      test_safe_later_than_agreed;
+    Alcotest.test_case "total order across guarantees" `Quick
+      test_order_preserved_across_guarantees;
+    Alcotest.test_case "safe delivery under loss" `Slow test_safe_under_loss;
+    Alcotest.test_case "safe horizon advances, bounded by aru" `Quick
+      test_safe_horizon_advances;
+    Alcotest.test_case "safe through a network failure" `Quick
+      test_safe_through_network_failure;
+    Alcotest.test_case "safe flag travels to delivery" `Quick test_safe_flag_travels;
+  ]

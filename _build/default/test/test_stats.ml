@@ -1,0 +1,71 @@
+open Totem_engine
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 5;
+  Alcotest.(check int) "value" 6 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+let test_summary_basics () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.Summary.total s);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" 1.2909944487 (Stats.Summary.stddev s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 0.0)) "stddev of empty" 0.0 (Stats.Summary.stddev s)
+
+let test_summary_reset () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.observe s 9.0;
+  Stats.Summary.reset s;
+  Alcotest.(check int) "count" 0 (Stats.Summary.count s);
+  Stats.Summary.observe s 1.0;
+  Alcotest.(check (float 1e-9)) "mean after reset" 1.0 (Stats.Summary.mean s)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets:[| 1.0; 10.0; 100.0 |] in
+  List.iter (Stats.Histogram.observe h) [ 0.5; 5.0; 5.0; 50.0; 500.0 ];
+  Alcotest.(check int) "count" 5 (Stats.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "median bucket" 10.0 (Stats.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "q0.2" 1.0 (Stats.Histogram.quantile h 0.2);
+  Alcotest.(check bool) "q1.0 overflow" true
+    (Stats.Histogram.quantile h 1.0 = infinity)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Histogram.create: bounds must be increasing") (fun () ->
+      ignore (Stats.Histogram.create ~buckets:[| 2.0; 1.0 |]))
+
+let test_welford_against_naive () =
+  let rng = Rng.create ~seed:4 in
+  let values = List.init 1000 (fun _ -> Rng.float rng 100.0) in
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.observe s) values;
+  let n = float_of_int (List.length values) in
+  let mean = List.fold_left ( +. ) 0.0 values /. n in
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+    /. (n -. 1.0)
+  in
+  Alcotest.(check (float 1e-6)) "mean" mean (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt var) (Stats.Summary.stddev s)
+
+let tests =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "summary basics" `Quick test_summary_basics;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary reset" `Quick test_summary_reset;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "Welford matches naive" `Quick test_welford_against_naive;
+  ]

@@ -1,0 +1,82 @@
+open Totem_engine
+
+let make () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let timer = Timer.create sim ~name:"t" ~callback:(fun () -> incr fired) in
+  (sim, timer, fired)
+
+let test_fires () =
+  let sim, timer, fired = make () in
+  Timer.start timer (Vtime.ms 5);
+  Alcotest.(check bool) "running" true (Timer.is_running timer);
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check bool) "stopped after firing" false (Timer.is_running timer)
+
+let test_stop () =
+  let sim, timer, fired = make () in
+  Timer.start timer (Vtime.ms 5);
+  Timer.stop timer;
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check int) "never fired" 0 !fired;
+  Timer.stop timer (* idempotent *)
+
+let test_double_start_rejected () =
+  let _sim, timer, _ = make () in
+  Timer.start timer (Vtime.ms 5);
+  Alcotest.check_raises "double start"
+    (Invalid_argument "Timer.start: t already running") (fun () ->
+      Timer.start timer (Vtime.ms 5))
+
+let test_start_if_stopped () =
+  let sim, timer, fired = make () in
+  Timer.start_if_stopped timer (Vtime.ms 5);
+  Timer.start_if_stopped timer (Vtime.ms 1) (* no-op: already armed for 5 *);
+  Sim.run_until sim (Vtime.ms 2);
+  Alcotest.(check int) "not fired early" 0 !fired;
+  Sim.run_until sim (Vtime.ms 6);
+  Alcotest.(check int) "fired at original deadline" 1 !fired
+
+let test_restart () =
+  let sim, timer, fired = make () in
+  Timer.start timer (Vtime.ms 5);
+  Sim.run_until sim (Vtime.ms 3);
+  Timer.restart timer (Vtime.ms 5);
+  Sim.run_until sim (Vtime.ms 6);
+  Alcotest.(check int) "old deadline cancelled" 0 !fired;
+  Sim.run_until sim (Vtime.ms 9);
+  Alcotest.(check int) "new deadline fired" 1 !fired
+
+let test_fires_at () =
+  let sim, timer, _ = make () in
+  Alcotest.(check (option int)) "stopped" None (Timer.fires_at timer);
+  Sim.run_until sim (Vtime.ms 2);
+  Timer.start timer (Vtime.ms 5);
+  Alcotest.(check (option int)) "absolute expiry" (Some (Vtime.ms 7))
+    (Timer.fires_at timer)
+
+let test_callback_can_restart () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let timer_ref = ref None in
+  let timer =
+    Timer.create sim ~name:"periodic" ~callback:(fun () ->
+        incr fired;
+        if !fired < 3 then Timer.start (Option.get !timer_ref) (Vtime.ms 1))
+  in
+  timer_ref := Some timer;
+  Timer.start timer (Vtime.ms 1);
+  Sim.run_until sim (Vtime.ms 10);
+  Alcotest.(check int) "self-restarting" 3 !fired
+
+let tests =
+  [
+    Alcotest.test_case "fires once" `Quick test_fires;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "double start rejected" `Quick test_double_start_rejected;
+    Alcotest.test_case "start_if_stopped" `Quick test_start_if_stopped;
+    Alcotest.test_case "restart" `Quick test_restart;
+    Alcotest.test_case "fires_at" `Quick test_fires_at;
+    Alcotest.test_case "callback can restart" `Quick test_callback_can_restart;
+  ]

@@ -1,0 +1,57 @@
+open Totem_srp
+
+let ring = [| 0; 1; 2; 3 |]
+
+let test_initial () =
+  let t = Token.initial ~ring ~ring_id:1 in
+  Alcotest.(check int) "seq" 0 t.Token.seq;
+  Alcotest.(check int) "rotation" 0 t.Token.rotation;
+  Alcotest.(check int) "hops" 0 t.Token.hops;
+  Alcotest.(check int) "aru" 0 t.Token.aru;
+  Alcotest.(check (list int)) "rtr" [] t.Token.rtr;
+  Alcotest.check_raises "empty ring" (Invalid_argument "Token.initial: empty ring")
+    (fun () -> ignore (Token.initial ~ring:[||] ~ring_id:1))
+
+let test_newer_by_hops () =
+  let t0 = Token.initial ~ring ~ring_id:1 in
+  let t1 = { t0 with Token.hops = 1; seq = 0 } in
+  (* The idle-ring case of footnote 1: same seq, but the forwarded token
+     is newer. *)
+  Alcotest.(check bool) "forwarded is newer" true (Token.newer_than t1 ~than:t0);
+  Alcotest.(check bool) "not vice versa" false (Token.newer_than t0 ~than:t1);
+  Alcotest.(check bool) "not newer than itself" false (Token.newer_than t0 ~than:t0)
+
+let test_newer_by_ring () =
+  let t0 = Token.initial ~ring ~ring_id:1 in
+  let t1 = { (Token.initial ~ring ~ring_id:2) with Token.hops = 0 } in
+  Alcotest.(check bool) "newer ring wins" true (Token.newer_than t1 ~than:t0)
+
+let test_same_instance () =
+  let t0 = Token.initial ~ring ~ring_id:1 in
+  let copy = { t0 with Token.aru = 5 } in
+  (* A retransmitted copy is the same instance even if mutable-ish
+     bookkeeping fields were different when serialised. *)
+  Alcotest.(check bool) "same (ring, hops)" true (Token.same_instance t0 copy);
+  let next = { t0 with Token.hops = 1 } in
+  Alcotest.(check bool) "different hops" false (Token.same_instance t0 next)
+
+let test_payload_bytes () =
+  let c = Const.default in
+  let t0 = Token.initial ~ring ~ring_id:1 in
+  Alcotest.(check int) "base size" c.Const.token_base_bytes (Token.payload_bytes c t0);
+  let with_rtr = { t0 with Token.rtr = [ 1; 2; 3 ] } in
+  Alcotest.(check int) "rtr entries add up"
+    (c.Const.token_base_bytes + (3 * c.Const.token_rtr_entry_bytes))
+    (Token.payload_bytes c with_rtr);
+  let huge = { t0 with Token.rtr = List.init 10_000 Fun.id } in
+  Alcotest.(check int) "clamped to frame payload" Totem_net.Frame.max_payload_bytes
+    (Token.payload_bytes c huge)
+
+let tests =
+  [
+    Alcotest.test_case "initial token" `Quick test_initial;
+    Alcotest.test_case "newer by hops (footnote 1)" `Quick test_newer_by_hops;
+    Alcotest.test_case "newer by ring id" `Quick test_newer_by_ring;
+    Alcotest.test_case "same instance" `Quick test_same_instance;
+    Alcotest.test_case "payload size" `Quick test_payload_bytes;
+  ]

@@ -1,0 +1,71 @@
+open Totem_engine
+
+let test_disabled_by_default () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.emit tr ~component:"x" "hello";
+  Alcotest.(check int) "no records" 0 (List.length (Trace.records tr))
+
+let test_emit_and_order () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Trace.emit tr ~component:"a" "first";
+  ignore
+    (Sim.schedule sim ~delay:(Vtime.ms 1) (fun () ->
+         Trace.emit tr ~component:"b" "second"));
+  Sim.run_until sim (Vtime.ms 2);
+  match Trace.records tr with
+  | [ r1; r2 ] ->
+    Alcotest.(check string) "first" "first" r1.Trace.message;
+    Alcotest.(check string) "second" "second" r2.Trace.message;
+    Alcotest.(check int) "timestamped" (Vtime.ms 1) r2.Trace.time
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_ring_overwrite () =
+  let sim = Sim.create () in
+  let tr = Trace.create ~capacity:4 sim in
+  Trace.enable tr;
+  for i = 1 to 10 do
+    Trace.emit tr ~component:"x" (string_of_int i)
+  done;
+  let msgs = List.map (fun r -> r.Trace.message) (Trace.records tr) in
+  Alcotest.(check (list string)) "last four" [ "7"; "8"; "9"; "10" ] msgs
+
+let test_find () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Trace.emitf tr ~component:"srp0" "forward token seq=%d" 42;
+  Trace.emit tr ~component:"rrp1" "fault report";
+  Alcotest.(check bool) "found" true
+    (Trace.find tr ~component:"srp0" ~substring:"seq=42" <> None);
+  Alcotest.(check bool) "component filter" true
+    (Trace.find tr ~component:"srp1" ~substring:"seq=42" = None);
+  Alcotest.(check bool) "missing substring" true
+    (Trace.find tr ~component:"rrp1" ~substring:"nope" = None)
+
+let test_clear () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Trace.emit tr ~component:"x" "a";
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.records tr))
+
+let test_emitf_lazy_when_disabled () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  (* Must not raise or record even with formatting arguments. *)
+  Trace.emitf tr ~component:"x" "value %d %s" 1 "two";
+  Alcotest.(check int) "nothing" 0 (List.length (Trace.records tr))
+
+let tests =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "emit order and timestamps" `Quick test_emit_and_order;
+    Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "emitf disabled is lazy" `Quick test_emitf_lazy_when_disabled;
+  ]

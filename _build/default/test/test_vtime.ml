@@ -1,0 +1,39 @@
+open Totem_engine
+
+let check_int = Alcotest.(check int)
+
+let test_units () =
+  check_int "us" 1_000 (Vtime.us 1);
+  check_int "ms" 1_000_000 (Vtime.ms 1);
+  check_int "sec" 1_000_000_000 (Vtime.sec 1);
+  check_int "ns" 17 (Vtime.ns 17)
+
+let test_float_conversions () =
+  Alcotest.(check (float 1e-9)) "to_float_sec" 1.5 (Vtime.to_float_sec (Vtime.ms 1500));
+  Alcotest.(check (float 1e-9)) "to_float_ms" 2.5 (Vtime.to_float_ms (Vtime.us 2500));
+  check_int "of_float_sec" (Vtime.ms 250) (Vtime.of_float_sec 0.25);
+  check_int "of_float rounds" 1 (Vtime.of_float_sec 1.4e-9)
+
+let test_arithmetic () =
+  check_int "add" (Vtime.ms 3) (Vtime.add (Vtime.ms 1) (Vtime.ms 2));
+  check_int "sub negative" (-1_000_000) (Vtime.sub (Vtime.ms 1) (Vtime.ms 2));
+  Alcotest.(check bool) "lt" true Vtime.(Vtime.ms 1 < Vtime.ms 2);
+  Alcotest.(check bool) "ge" true Vtime.(Vtime.ms 2 >= Vtime.ms 2);
+  check_int "min" (Vtime.ms 1) (Vtime.min (Vtime.ms 1) (Vtime.ms 2));
+  check_int "max" (Vtime.ms 2) (Vtime.max (Vtime.ms 1) (Vtime.ms 2))
+
+let test_pp () =
+  let s v = Format.asprintf "%a" Vtime.pp v in
+  Alcotest.(check string) "ns" "500ns" (s (Vtime.ns 500));
+  Alcotest.(check string) "us" "1.500us" (s (Vtime.ns 1500));
+  Alcotest.(check string) "ms" "2.000ms" (s (Vtime.ms 2));
+  Alcotest.(check string) "s" "3.000s" (s (Vtime.sec 3));
+  Alcotest.(check string) "negative" "-1.000ms" (s (Vtime.ns (-1_000_000)))
+
+let tests =
+  [
+    Alcotest.test_case "unit constructors" `Quick test_units;
+    Alcotest.test_case "float conversions" `Quick test_float_conversions;
+    Alcotest.test_case "arithmetic and comparisons" `Quick test_arithmetic;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,106 @@
+(* Wire-level units: sizes, frame construction, pretty-printers. *)
+
+module Wire = Totem_srp.Wire
+module Const = Totem_srp.Const
+module Message = Totem_srp.Message
+module Token = Totem_srp.Token
+module Addr = Totem_net.Addr
+module Frame = Totem_net.Frame
+
+let const = Const.default
+
+let msg ~size = Message.make ~origin:1 ~app_seq:1 ~size ()
+
+let test_element_bytes () =
+  let whole = { Wire.message = msg ~size:700; fragment = None } in
+  Alcotest.(check int) "header + body" 712 (Wire.element_bytes const whole);
+  let frag =
+    { Wire.message = msg ~size:5000; fragment = Some { Wire.index = 0; count = 4; bytes = 1412 } }
+  in
+  Alcotest.(check int) "fragment counts its own bytes" 1424
+    (Wire.element_bytes const frag)
+
+let test_packet_payload () =
+  let p =
+    {
+      Wire.ring_id = 1;
+      seq = 7;
+      sender = 0;
+      elements =
+        [
+          { Wire.message = msg ~size:100; fragment = None };
+          { Wire.message = msg ~size:200; fragment = None };
+        ];
+    }
+  in
+  Alcotest.(check int) "sum of elements" (112 + 212) (Wire.packet_payload_bytes const p);
+  let f = Wire.data_frame const ~src:0 p in
+  Alcotest.(check int) "frame payload matches" 324 f.Frame.payload_bytes;
+  (match f.Frame.payload with
+  | Wire.Data p' -> Alcotest.(check int) "payload carried" 7 p'.Wire.seq
+  | _ -> Alcotest.fail "expected Data payload")
+
+let test_token_frame () =
+  let tok = { (Token.initial ~ring:[| 0; 1 |] ~ring_id:1) with Token.rtr = [ 1; 2 ] } in
+  let f = Wire.token_frame const ~src:1 tok in
+  Alcotest.(check int) "token size"
+    (const.Const.token_base_bytes + (2 * const.Const.token_rtr_entry_bytes))
+    f.Frame.payload_bytes
+
+let test_join_frame () =
+  let j = { Wire.sender = 2; proc_set = [ 0; 1; 2 ]; fail_set = [ 3 ]; max_ring_id = 5 } in
+  Alcotest.(check int) "join size"
+    (const.Const.join_base_bytes + (4 * const.Const.join_entry_bytes))
+    (Wire.join_payload_bytes const j);
+  let f = Wire.join_frame const ~src:2 j in
+  (match f.Frame.payload with
+  | Wire.Join j' -> Alcotest.(check int) "sender carried" 2 j'.Wire.sender
+  | _ -> Alcotest.fail "expected Join payload")
+
+let test_probe_frame () =
+  let p = { Wire.probe_sender = 1; probe_ring_id = 64 } in
+  let f = Wire.probe_frame const ~src:1 p in
+  Alcotest.(check int) "probe is tiny" 16 f.Frame.payload_bytes
+
+let test_addr_pp () =
+  let s pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "node" "N3" (s Addr.pp_node 3);
+  Alcotest.(check string) "first net" "n'" (s Addr.pp_net 0);
+  Alcotest.(check string) "second net" "n''" (s Addr.pp_net 1);
+  Alcotest.(check string) "third net" "n'''" (s Addr.pp_net 2);
+  Alcotest.(check string) "fourth net" "n#4" (s Addr.pp_net 3)
+
+let test_fault_report_pp () =
+  let r =
+    {
+      Totem_rrp.Fault_report.time = Totem_engine.Vtime.ms 5;
+      reporter = 2;
+      net = 0;
+      evidence = Totem_rrp.Fault_report.Token_timeouts 10;
+    }
+  in
+  let s = Format.asprintf "%a" Totem_rrp.Fault_report.pp r in
+  let contains sub =
+    let n = String.length sub and h = String.length s in
+    let rec at i = i + n <= h && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions the network" true (contains "n'");
+  Alcotest.(check bool) "mentions the evidence" true (contains "10 token timeouts")
+
+let test_message_pp () =
+  let m = Message.make ~origin:1 ~app_seq:3 ~size:64 ~safe:true () in
+  let s = Format.asprintf "%a" Message.pp m in
+  Alcotest.(check string) "safe marked" "msg(N1 #3 64B safe)" s
+
+let tests =
+  [
+    Alcotest.test_case "element bytes" `Quick test_element_bytes;
+    Alcotest.test_case "packet payload and frame" `Quick test_packet_payload;
+    Alcotest.test_case "token frame size" `Quick test_token_frame;
+    Alcotest.test_case "join frame size" `Quick test_join_frame;
+    Alcotest.test_case "probe frame size" `Quick test_probe_frame;
+    Alcotest.test_case "address printing (paper notation)" `Quick test_addr_pp;
+    Alcotest.test_case "fault report printing" `Quick test_fault_report_pp;
+    Alcotest.test_case "message printing" `Quick test_message_pp;
+  ]

@@ -1,0 +1,54 @@
+(* Shared helpers for protocol-level tests: build a cluster, record
+   deliveries, and make assertions about total order. *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Scenario = Totem_cluster.Scenario
+module Metrics = Totem_cluster.Metrics
+module Srp = Totem_srp.Srp
+module Message = Totem_srp.Message
+module Style = Totem_rrp.Style
+module Vtime = Totem_engine.Vtime
+
+type recorded = {
+  cluster : Cluster.t;
+  orders : (int * int) list ref array;  (* (origin, app_seq) oldest-first *)
+}
+
+let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Style.Passive) ?(seed = 42)
+    ?net ?const ?rrp () =
+  let config = Config.make ~num_nodes ~num_nets ~style ~seed ?net ?const ?rrp () in
+  let cluster = Cluster.create config in
+  let orders = Array.init num_nodes (fun _ -> ref []) in
+  Cluster.on_deliver cluster (fun node m ->
+      orders.(node) := (m.Message.origin, m.Message.app_seq) :: !(orders.(node)));
+  { cluster; orders }
+
+let order t node = List.rev !(t.orders.(node))
+
+let submit t ~node ~size = Srp.submit (Cluster.srp (Cluster.node t.cluster node)) ~size ()
+
+let submit_n t ~node ~size n =
+  for _ = 1 to n do
+    submit t ~node ~size
+  done
+
+let run_ms t ms = Cluster.run_for t.cluster (Vtime.ms ms)
+
+let check_same_total_order t =
+  let reference = order t 0 in
+  Array.iteri
+    (fun i o ->
+      if List.rev !o <> reference then
+        Alcotest.failf "node %d delivered a different order than node 0" i)
+    t.orders
+
+let check_delivered_everything t ~expected =
+  check_same_total_order t;
+  let n = List.length (order t 0) in
+  Alcotest.(check int) "all messages delivered" expected n
+
+let srp_of t node = Cluster.srp (Cluster.node t.cluster node)
+
+let rrp_of t node = Cluster.rrp (Cluster.node t.cluster node)
