@@ -9,6 +9,13 @@
      dune exec bench/main.exe -- fig6 fig8    # several
      dune exec bench/main.exe -- --quick all  # shorter simulations
      dune exec bench/main.exe -- --check all  # assert the paper's shape
+     dune exec bench/main.exe -- --jobs 8 all # sweep points across domains
+     dune exec bench/main.exe -- --json out.json all  # machine-readable results
+
+   Every sweep point builds its own self-contained Cluster (own
+   simulator, own split RNG streams), so points are independent:
+   [--jobs N] fans them out across OCaml 5 domains and produces
+   bitwise-identical figures to a sequential run.
 
    Targets: fig6 fig7 fig8 fig9 headline claims ablations micro all *)
 
@@ -26,7 +33,13 @@ module Const = Totem_srp.Const
 let quick = ref false
 let check = ref false
 let csv_dir = ref None
+let jobs = ref 1
+let json_path = ref None
 let failures = ref []
+
+(* Simulator events popped by every cluster this process ran; an atomic
+   because sweep points may execute on worker domains. *)
+let events_total = Atomic.make 0
 
 let duration () = if !quick then Vtime.ms 400 else Vtime.sec 1
 let warmup () = Vtime.ms 300
@@ -39,6 +52,31 @@ let expect name cond detail =
       failures := name :: !failures
     end
 
+(* Run [f items.(i)] for every i, fanning out across [jobs] domains.
+   Each item is independent and deterministic, and results land by
+   index, so the output — and every figure computed from it — is
+   bitwise-identical to the sequential run. *)
+let parallel_map ~jobs f items =
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f items.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
 let run_point ?(const = Const.default) ~num_nodes ~num_nets ~style ~size () =
   let config = Config.make ~num_nodes ~num_nets ~style ~const () in
   let cluster = Cluster.create config in
@@ -48,6 +86,7 @@ let run_point ?(const = Const.default) ~num_nodes ~num_nets ~style ~size () =
     Metrics.measure_throughput cluster ~warmup:(warmup ()) ~duration:(duration ())
   in
   let util = Metrics.network_utilisation cluster ~net:0 in
+  ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
   (tp, util)
 
 let sizes = [| 100; 200; 400; 700; 1024; 1400; 2048; 4096; 8192; 10240 |]
@@ -59,18 +98,22 @@ let styles =
     ("passive", Style.Passive);
   ]
 
-(* One sweep serves both the msgs/sec figure and the KB/sec figure. *)
+(* One sweep serves both the msgs/sec figure and the KB/sec figure.
+   The style x size grid is the unit of parallelism. *)
 let sweep ~num_nodes =
-  List.map
-    (fun (name, style) ->
-      let points =
-        Array.map
-          (fun size ->
-            let tp, _ = run_point ~num_nodes ~num_nets:2 ~style ~size () in
-            tp)
-          sizes
-      in
-      (name, style, points))
+  let tasks =
+    Array.concat
+      (List.map (fun (_, style) -> Array.map (fun size -> (style, size)) sizes)
+         styles)
+  in
+  let pts =
+    parallel_map ~jobs:!jobs
+      (fun (style, size) -> fst (run_point ~num_nodes ~num_nets:2 ~style ~size ()))
+      tasks
+  in
+  List.mapi
+    (fun si (name, style) ->
+      (name, style, Array.sub pts (si * Array.length sizes) (Array.length sizes)))
     styles
 
 let cache : (int, (string * Style.t * Metrics.throughput array) list) Hashtbl.t =
@@ -151,8 +194,15 @@ let shape_checks ~num_nodes s =
     (max_ratio < 1.9)
     (Printf.sprintf "max ratio %.2f" max_ratio)
 
+(* Figure sweeps executed so far, for the JSON emitter. *)
+let fig_results : (string, (string * Metrics.throughput array) list) Hashtbl.t =
+  Hashtbl.create 4
+
 let fig ~n ~num_nodes ~bandwidth () =
   let s = sweep_cached ~num_nodes in
+  Hashtbl.replace fig_results
+    (Printf.sprintf "fig%d" n)
+    (List.map (fun (name, _, pts) -> (name, pts)) s);
   let title =
     Printf.sprintf "Figure %d: transmission rate (%s) vs message length, %d nodes"
       n
@@ -220,26 +270,33 @@ let ablation_passive_token_timer () =
   Format.printf
     "@.Ablation: passive token-buffer timeout under 10%% loss (P3 trade-off)@.";
   Format.printf "  (the paper chose 10 ms, Sec. 6)@.";
-  List.iter
-    (fun ms ->
-      let rrp =
-        {
-          Totem_rrp.Rrp_config.default with
-          Totem_rrp.Rrp_config.passive_token_timeout = Vtime.ms ms;
-        }
-      in
-      let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive ~rrp () in
-      let cluster = Cluster.create config in
-      Cluster.start cluster;
-      Cluster.set_network_loss cluster 0 0.1;
-      Cluster.set_network_loss cluster 1 0.1;
-      Workload.saturate cluster ~size:1024;
-      let tp =
-        Metrics.measure_throughput cluster ~warmup:(warmup ())
-          ~duration:(duration ())
-      in
-      Format.printf "  timeout %3d ms: %8.0f msgs/sec@." ms tp.Metrics.msgs_per_sec)
-    [ 1; 5; 10; 50; 100 ]
+  let measure ms =
+    let rrp =
+      {
+        Totem_rrp.Rrp_config.default with
+        Totem_rrp.Rrp_config.passive_token_timeout = Vtime.ms ms;
+      }
+    in
+    let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive ~rrp () in
+    let cluster = Cluster.create config in
+    Cluster.start cluster;
+    Cluster.set_network_loss cluster 0 0.1;
+    Cluster.set_network_loss cluster 1 0.1;
+    Workload.saturate cluster ~size:1024;
+    let tp =
+      Metrics.measure_throughput cluster ~warmup:(warmup ())
+        ~duration:(duration ())
+    in
+    ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
+    tp
+  in
+  let timeouts = [| 1; 5; 10; 50; 100 |] in
+  let tps = parallel_map ~jobs:!jobs measure timeouts in
+  Array.iteri
+    (fun i ms ->
+      Format.printf "  timeout %3d ms: %8.0f msgs/sec@." ms
+        tps.(i).Metrics.msgs_per_sec)
+    timeouts
 
 let detection_latency ~style ~threshold =
   let rrp =
@@ -260,32 +317,44 @@ let detection_latency ~style ~threshold =
   let fail_at = Cluster.now cluster in
   Cluster.fail_network cluster 0;
   Cluster.run_for cluster (Vtime.sec 5);
+  ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
   Option.map (fun t -> Vtime.to_float_ms (Vtime.sub t fail_at)) !detected
 
 let ablation_detection_threshold () =
   Format.printf "@.Ablation: fault-detection threshold vs detection latency (A5/P4)@.";
-  List.iter
-    (fun threshold ->
-      let a = detection_latency ~style:Style.Active ~threshold in
-      let p = detection_latency ~style:Style.Passive ~threshold in
+  let thresholds = [| 5; 10; 50; 200 |] in
+  let results =
+    parallel_map ~jobs:!jobs
+      (fun threshold ->
+        ( detection_latency ~style:Style.Active ~threshold,
+          detection_latency ~style:Style.Passive ~threshold ))
+      thresholds
+  in
+  Array.iteri
+    (fun i threshold ->
+      let a, p = results.(i) in
       let show = function
         | Some ms -> Printf.sprintf "%7.1f ms" ms
         | None -> "   (none)"
       in
       Format.printf "  threshold %4d: active %s   passive %s@." threshold (show a)
         (show p))
-    [ 5; 10; 50; 200 ]
+    thresholds
 
 let ablation_active_passive_k () =
   Format.printf "@.Ablation: active-passive K on a 4-network fabric (Sec. 7)@.";
-  List.iter
-    (fun k ->
-      let tp, _ =
-        run_point ~num_nodes:4 ~num_nets:4 ~style:(Style.Active_passive k)
-          ~size:1024 ()
-      in
-      Format.printf "  K=%d: %8.0f msgs/sec@." k tp.Metrics.msgs_per_sec)
-    [ 2; 3 ];
+  let ks = [| 2; 3 |] in
+  let tps =
+    parallel_map ~jobs:!jobs
+      (fun k ->
+        fst
+          (run_point ~num_nodes:4 ~num_nets:4 ~style:(Style.Active_passive k)
+             ~size:1024 ()))
+      ks
+  in
+  Array.iteri
+    (fun i k -> Format.printf "  K=%d: %8.0f msgs/sec@." k tps.(i).Metrics.msgs_per_sec)
+    ks;
   let tp_act, _ =
     run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Active ~size:1024 ()
   in
@@ -297,40 +366,50 @@ let ablation_active_passive_k () =
 
 let ablation_packing () =
   Format.printf "@.Ablation: message packing on/off (the 700-byte peak's cause)@.";
-  let pair size =
-    let on, _ =
-      run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
-    in
-    let const = { Const.default with Const.packing_enabled = false } in
-    let off, _ =
-      run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
-    in
-    (on.Metrics.msgs_per_sec, off.Metrics.msgs_per_sec)
+  let pack_sizes = [| 100; 400; 700 |] in
+  let pairs =
+    parallel_map ~jobs:!jobs
+      (fun size ->
+        let on, _ =
+          run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
+        in
+        let const = { Const.default with Const.packing_enabled = false } in
+        let off, _ =
+          run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
+            ~size ()
+        in
+        (on.Metrics.msgs_per_sec, off.Metrics.msgs_per_sec))
+      pack_sizes
   in
-  List.iter
-    (fun size ->
-      let on, off = pair size in
+  Array.iteri
+    (fun i size ->
+      let on, off = pairs.(i) in
       Format.printf
         "  %5d bytes: packed %8.0f msgs/sec   unpacked %8.0f msgs/sec (%.1fx)@."
         size on off (Report.ratio on off))
-    [ 100; 400; 700 ];
+    pack_sizes;
   if !check then begin
-    let on, off = pair 100 in
+    let on, off = pairs.(0) in
     expect "packing wins at small sizes" (on > 1.5 *. off)
       (Printf.sprintf "on=%.0f off=%.0f" on off)
   end
 
 let ablation_window () =
   Format.printf "@.Ablation: flow-control window (packets per rotation)@.";
-  List.iter
-    (fun w ->
-      let const = { Const.default with Const.window_size = w } in
-      let tp, _ =
-        run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
-          ~size:1024 ()
-      in
-      Format.printf "  window %3d: %8.0f msgs/sec@." w tp.Metrics.msgs_per_sec)
-    [ 10; 25; 50; 100 ]
+  let windows = [| 10; 25; 50; 100 |] in
+  let tps =
+    parallel_map ~jobs:!jobs
+      (fun w ->
+        let const = { Const.default with Const.window_size = w } in
+        fst
+          (run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
+             ~size:1024 ()))
+      windows
+  in
+  Array.iteri
+    (fun i w ->
+      Format.printf "  window %3d: %8.0f msgs/sec@." w tps.(i).Metrics.msgs_per_sec)
+    windows
 
 let ablations () =
   ablation_passive_token_timer ();
@@ -376,6 +455,17 @@ let micro () =
              ()
            done))
   in
+  let wheel_test =
+    Test.make ~name:"Timer_wheel 256x arm/cancel"
+      (Staged.stage (fun () ->
+           let w = Totem_engine.Timer_wheel.create () in
+           for i = 0 to 255 do
+             let h =
+               Totem_engine.Timer_wheel.push w ~time:((i * 37 mod 101) + 1) ~tie:i i
+             in
+             ignore (Totem_engine.Timer_wheel.cancel w h)
+           done))
+  in
   let rng_test =
     let rng = Totem_engine.Rng.create ~seed:1 in
     Test.make ~name:"Rng.int 256x"
@@ -391,7 +481,9 @@ let micro () =
       (Staged.stage (fun () -> ignore (Totem_srp.Retransmit.merge a b)))
   in
   Format.printf "@.Micro-benchmarks (Bechamel, ns per run):@.";
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  (* 0.25 s x 6 tests: the same total quota budget as before the wheel
+     micro-benchmark was added (5 x 0.3 s). *)
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
   List.iter
     (fun test ->
       let results =
@@ -410,7 +502,73 @@ let micro () =
           | Some [ est ] -> Format.printf "  %-34s %12.1f ns@." name est
           | _ -> Format.printf "  %-34s (no estimate)@." name)
         ols)
-    [ pack_test; store_test; queue_test; rng_test; merge_test ]
+    [ pack_test; store_test; queue_test; wheel_test; rng_test; merge_test ]
+
+(* --- JSON emission ------------------------------------------------- *)
+
+type target_run = {
+  tr_name : string;
+  tr_wall_sec : float;
+  tr_events : int;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path runs =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"totem-bench/v1\",\n";
+  pf "  \"quick\": %b,\n" !quick;
+  pf "  \"jobs\": %d,\n" !jobs;
+  pf "  \"targets\": [\n";
+  let emit_target i { tr_name; tr_wall_sec; tr_events } =
+    pf "    {\n";
+    pf "      \"name\": \"%s\",\n" (json_escape tr_name);
+    pf "      \"wall_clock_sec\": %.6f,\n" tr_wall_sec;
+    pf "      \"sim_events\": %d,\n" tr_events;
+    pf "      \"events_per_sec\": %.1f"
+      (if tr_wall_sec > 0.0 then float_of_int tr_events /. tr_wall_sec else 0.0);
+    (match Hashtbl.find_opt fig_results tr_name with
+    | None -> pf "\n"
+    | Some series ->
+      pf ",\n      \"series\": [\n";
+      List.iteri
+        (fun si (style, pts) ->
+          pf "        {\n          \"style\": \"%s\",\n          \"points\": [\n"
+            (json_escape style);
+          Array.iteri
+            (fun pi (p : Metrics.throughput) ->
+              pf
+                "            {\"bytes\": %d, \"msgs_per_sec\": %.2f, \
+                 \"kbytes_per_sec\": %.2f}%s\n"
+                sizes.(pi) p.Metrics.msgs_per_sec p.Metrics.kbytes_per_sec
+                (if pi < Array.length pts - 1 then "," else ""))
+            pts;
+          pf "          ]\n        }%s\n"
+            (if si < List.length series - 1 then "," else ""))
+        series;
+      pf "      ]\n");
+    pf "    }%s\n" (if i < List.length runs - 1 then "," else "")
+  in
+  List.iteri emit_target runs;
+  pf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.(wrote %s)@." path
 
 (* --- driver -------------------------------------------------------- *)
 
@@ -426,37 +584,63 @@ let all_targets =
     ("micro", micro);
   ]
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--quick" ->
-          quick := true;
-          false
-        | "--check" ->
-          check := true;
-          false
-        | a when String.length a > 6 && String.sub a 0 6 = "--csv=" ->
-          csv_dir := Some (String.sub a 6 (String.length a - 6));
-          false
-        | _ -> true)
-      args
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--check" :: rest ->
+      check := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | a :: rest when starts_with ~prefix:"--jobs=" a ->
+      jobs := int_of_string (after ~prefix:"--jobs=" a);
+      parse rest
+    | a :: rest when starts_with ~prefix:"--json=" a ->
+      json_path := Some (after ~prefix:"--json=" a);
+      parse rest
+    | a :: rest when starts_with ~prefix:"--csv=" a ->
+      csv_dir := Some (after ~prefix:"--csv=" a);
+      parse rest
+    | a :: rest -> a :: parse rest
   in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
+  if !jobs < 1 then failwith "--jobs must be >= 1";
   let targets =
     if args = [] || List.mem "all" args then List.map fst all_targets else args
   in
+  let runs = ref [] in
   List.iter
     (fun t ->
       match List.assoc_opt t all_targets with
       | Some f ->
         Format.printf "@.=== %s ===@." t;
-        f ()
+        let ev0 = Atomic.get events_total in
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let wall_sec = Unix.gettimeofday () -. t0 in
+        let events = Atomic.get events_total - ev0 in
+        Report.print_sim_rate ~events ~wall_sec ();
+        runs := { tr_name = t; tr_wall_sec = wall_sec; tr_events = events } :: !runs
       | None ->
         Format.printf "unknown target %s (known: %s)@." t
           (String.concat " " (List.map fst all_targets)))
     targets;
+  (match !json_path with
+  | Some path -> write_json path (List.rev !runs)
+  | None -> ());
   if !check then
     if !failures = [] then Format.printf "@.All shape checks passed.@."
     else begin

@@ -37,6 +37,8 @@ let measure_throughput t ~warmup ~duration =
     messages = int_of_float per_node_msgs;
   }
 
+let events_processed t = Sim.events_processed (Cluster.sim t)
+
 type latency_probe = {
   summary : Stats.Summary.t;
   histogram : Stats.Histogram.t;

@@ -20,6 +20,11 @@ val measure_throughput :
     averages the per-node delivery deltas. The workload must already be
     installed (e.g. {!Workload.saturate}). *)
 
+val events_processed : Cluster.t -> int
+(** Total simulator events popped so far — the denominator for
+    events/sec, the simulator's own speed metric (as opposed to the
+    protocol's). *)
+
 type latency_probe
 
 val install_latency : Cluster.t -> latency_probe

@@ -16,7 +16,7 @@ let charge t ~cost =
 let submit t ~cost k =
   charge t ~cost;
   let delay = Vtime.sub t.free_at (Sim.now t.sim) in
-  ignore (Sim.schedule t.sim ~delay (fun () -> k ()))
+  ignore (Sim.schedule t.sim ~delay k)
 
 let free_at t = t.free_at
 let busy_time t = t.busy_time

@@ -18,33 +18,76 @@ let create () = { heap = [||]; size = 0; next_tie = 0; live = 0 }
 
 let is_empty t = t.live = 0
 let length t = t.live
+let physical_size t = t.size
 
 let precedes a b =
   a.time < b.time || (a.time = b.time && a.tie < b.tie)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Hole-based sifts: carry the moving entry in a register and write
+   each displaced entry once, instead of three barrier'd array writes
+   per level that swapping costs. *)
+let sift_up t i =
+  let e = t.heap.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = t.heap.(parent) in
+    if precedes e p then begin
+      t.heap.(!i) <- p;
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  t.heap.(!i) <- e
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && precedes t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && precedes t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_down t i =
+  let e = t.heap.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    let se = ref e in
+    if l < t.size && precedes t.heap.(l) !se then begin
+      smallest := l;
+      se := t.heap.(l)
+    end;
+    if r < t.size && precedes t.heap.(r) !se then begin
+      smallest := r;
+      se := t.heap.(r)
+    end;
+    if !smallest <> !i then begin
+      t.heap.(!i) <- !se;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  t.heap.(!i) <- e
+
+(* Drop dead entries and re-establish the heap property bottom-up
+   (Floyd). Handles stay valid: a handle points at its entry record, and
+   cancelled entries are simply no longer reachable from the array. *)
+let compact t =
+  let dst = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    if not e.dead then begin
+      t.heap.(!dst) <- e;
+      incr dst
+    end
+  done;
+  t.size <- !dst;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+(* Cancellation is lazy, so a cancel/re-arm workload would otherwise
+   grow the heap without bound: sift costs scale with log of the
+   *physical* size, dead entries included. Compact once the dead
+   outnumber the live. *)
+let maybe_compact t =
+  if t.size - t.live > t.live && t.size - t.live > 64 then compact t
 
 let grow t entry =
   let cap = Array.length t.heap in
@@ -55,9 +98,7 @@ let grow t entry =
     t.heap <- nheap
   end
 
-let push t ~time value =
-  let entry = { time; tie = t.next_tie; value; dead = false } in
-  t.next_tie <- t.next_tie + 1;
+let push_entry t entry =
   grow t entry;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
@@ -65,11 +106,21 @@ let push t ~time value =
   sift_up t (t.size - 1);
   H entry
 
+let push_tie t ~time ~tie value =
+  if tie >= t.next_tie then t.next_tie <- tie + 1;
+  push_entry t { time; tie; value; dead = false }
+
+let push t ~time value =
+  let entry = { time; tie = t.next_tie; value; dead = false } in
+  t.next_tie <- t.next_tie + 1;
+  push_entry t entry
+
 let cancel t (H entry) =
   if entry.dead then false
   else begin
     entry.dead <- true;
     t.live <- t.live - 1;
+    maybe_compact t;
     true
   end
 
@@ -94,10 +145,12 @@ let rec pop t =
       Some (root.time, root.value)
     end
 
-let rec peek_time t =
+let rec peek_key t =
   if t.size = 0 then None
   else if t.heap.(0).dead then begin
     ignore (pop_root t);
-    peek_time t
+    peek_key t
   end
-  else Some t.heap.(0).time
+  else Some (t.heap.(0).time, t.heap.(0).tie)
+
+let peek_time t = Option.map fst (peek_key t)

@@ -3,7 +3,11 @@
     A binary min-heap keyed on [(time, tie)] where [tie] is a strictly
     increasing insertion counter: events scheduled for the same virtual
     time fire in the order they were scheduled. That stability is what
-    makes whole-simulation runs replayable. *)
+    makes whole-simulation runs replayable.
+
+    Cancellation is lazy, and the heap compacts itself once dead entries
+    outnumber live ones, so cancel/re-arm churn cannot grow the heap
+    (and hence the per-operation sift cost) without bound. *)
 
 type 'a t
 
@@ -17,8 +21,22 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 
+val physical_size : 'a t -> int
+(** Number of array slots in use, cancelled-but-not-yet-collected
+    entries included. Exposed so tests can assert that compaction keeps
+    the heap bounded under cancel-heavy schedules. *)
+
 val push : 'a t -> time:Vtime.t -> 'a -> handle
-(** [push q ~time v] schedules [v] at [time] and returns a handle. *)
+(** [push q ~time v] schedules [v] at [time] and returns a handle. The
+    tie-break counter is internal: events at equal times pop in push
+    order. *)
+
+val push_tie : 'a t -> time:Vtime.t -> tie:int -> 'a -> handle
+(** [push_tie q ~time ~tie v] schedules [v] with an explicit tie-break
+    rank, for callers (the simulator) that interleave this queue with
+    another structure and need one global FIFO order at equal times.
+    Mixing [push] and [push_tie] on the same queue is supported: [push]
+    always allocates a tie above every tie seen so far. *)
 
 val cancel : 'a t -> handle -> bool
 (** [cancel q h] removes the event, returning [false] if it already
@@ -30,3 +48,6 @@ val pop : 'a t -> (Vtime.t * 'a) option
 
 val peek_time : 'a t -> Vtime.t option
 (** Time of the earliest live event without removing it. *)
+
+val peek_key : 'a t -> (Vtime.t * int) option
+(** [(time, tie)] of the earliest live event without removing it. *)

@@ -34,6 +34,15 @@ val schedule_at : t -> time:Vtime.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] at absolute [time].
     @raise Invalid_argument if [time < now t]. *)
 
+val schedule_timer : t -> delay:Vtime.t -> (unit -> unit) -> handle
+(** Like {!schedule}, but intended for cancel/re-arm protocol timers:
+    the event lands in a {!Timer_wheel} instead of the main heap, so
+    timer churn never inflates the heap the hot one-shot events (frame
+    deliveries, CPU completions) flow through. Firing order between the
+    two structures is the same global [(time, scheduling order)] as if
+    everything shared one queue.
+    @raise Invalid_argument if [delay < 0]. *)
+
 val cancel : t -> handle -> unit
 (** Cancels the event; no-op if it already fired or was cancelled. *)
 
@@ -49,4 +58,9 @@ val step : t -> bool
 (** Processes exactly one event; [false] if the queue was empty. *)
 
 val pending : t -> int
-(** Number of scheduled, not-yet-fired events. *)
+(** Number of scheduled, not-yet-fired events (timers included). *)
+
+val events_processed : t -> int
+(** Total events popped and run since [create] — the simulator's unit
+    of work, so wall-clock / [events_processed] measures simulator
+    speed itself independently of what the protocol achieved. *)

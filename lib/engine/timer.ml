@@ -7,7 +7,7 @@ type t = {
 
 let create sim ~name ~callback = { sim; name; callback; armed = None }
 
-let is_running t = t.armed <> None
+let is_running t = match t.armed with Some _ -> true | None -> false
 
 let fires_at t = Option.map snd t.armed
 
@@ -19,7 +19,7 @@ let start t delay =
   if is_running t then
     invalid_arg (Printf.sprintf "Timer.start: %s already running" t.name);
   let time = Vtime.add (Sim.now t.sim) delay in
-  let handle = Sim.schedule t.sim ~delay (fire t) in
+  let handle = Sim.schedule_timer t.sim ~delay (fire t) in
   t.armed <- Some (handle, time)
 
 let start_if_stopped t delay = if not (is_running t) then start t delay

@@ -1,0 +1,115 @@
+type 'a entry = {
+  time : Vtime.t;
+  tie : int;
+  value : 'a;
+  mutable dead : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  buckets : 'a entry list array;
+  mask : int;
+  shift : int;
+  mutable live : int;
+  mutable dead_count : int;
+  (* The earliest live entry, or [None] when unknown (empty, or the
+     cached minimum was popped/cancelled). Recomputed lazily by a full
+     bucket scan; the wheel holds tens of timers, so the scan is cheap
+     and rare relative to push/cancel traffic. *)
+  mutable cached_min : 'a entry option;
+}
+
+let default_shift = 17 (* 131 us buckets: well under any protocol timeout *)
+let default_buckets = 64
+
+let create ?(shift = default_shift) ?(buckets = default_buckets) () =
+  if buckets <= 0 || buckets land (buckets - 1) <> 0 then
+    invalid_arg "Timer_wheel.create: buckets must be a positive power of two";
+  {
+    buckets = Array.make buckets [];
+    mask = buckets - 1;
+    shift;
+    live = 0;
+    dead_count = 0;
+    cached_min = None;
+  }
+
+let length t = t.live
+let is_empty t = t.live = 0
+
+let bucket_of t time = (time lsr t.shift) land t.mask
+
+let precedes a b =
+  a.time < b.time || (a.time = b.time && a.tie < b.tie)
+
+(* Physically drop dead entries once they outnumber the live ones, so
+   cancel churn cannot grow the buckets without bound. *)
+let sweep t =
+  for i = 0 to t.mask do
+    t.buckets.(i) <- List.filter (fun e -> not e.dead) t.buckets.(i)
+  done;
+  t.dead_count <- 0
+
+let push t ~time ~tie value =
+  let entry = { time; tie; value; dead = false } in
+  let b = bucket_of t time in
+  t.buckets.(b) <- entry :: t.buckets.(b);
+  t.live <- t.live + 1;
+  (match t.cached_min with
+  | Some m when precedes m entry -> ()
+  | Some _ -> t.cached_min <- Some entry
+  | None -> if t.live = 1 then t.cached_min <- Some entry);
+  H entry
+
+let cancel t (H entry) =
+  if entry.dead then false
+  else begin
+    entry.dead <- true;
+    t.live <- t.live - 1;
+    t.dead_count <- t.dead_count + 1;
+    (match t.cached_min with
+    | Some m when m.time = entry.time && m.tie = entry.tie ->
+      t.cached_min <- None
+    | _ -> ());
+    if t.dead_count > t.live && t.dead_count > 32 then sweep t;
+    true
+  end
+
+let min_entry t =
+  match t.cached_min with
+  | Some m when not m.dead -> Some m
+  | _ ->
+    if t.live = 0 then None
+    else begin
+      let best = ref None in
+      for i = 0 to t.mask do
+        List.iter
+          (fun e ->
+            if not e.dead then
+              match !best with
+              | Some b when precedes b e -> ()
+              | _ -> best := Some e)
+          t.buckets.(i)
+      done;
+      t.cached_min <- !best;
+      !best
+    end
+
+let peek_key t =
+  match min_entry t with
+  | None -> None
+  | Some e -> Some (e.time, e.tie)
+
+let peek_time t = Option.map fst (peek_key t)
+
+let pop_min t =
+  match min_entry t with
+  | None -> None
+  | Some e ->
+    let b = bucket_of t e.time in
+    t.buckets.(b) <- List.filter (fun x -> x != e) t.buckets.(b);
+    e.dead <- true;
+    t.live <- t.live - 1;
+    t.cached_min <- None;
+    Some (e.time, e.value)

@@ -36,10 +36,14 @@ let set_loss_probability t p =
 let loss_probability t = t.loss_prob
 
 let delivers t ~src ~dst =
+  (* Checked once per frame delivery: guard each table by its O(1)
+     length so the fault-free fast path does no hashing and allocates
+     no key tuple. *)
   (not t.down)
-  && (not (send_blocked t src))
-  && (not (recv_blocked t dst))
-  && not (Hashtbl.mem t.pair_blocked (src, dst))
+  && (Hashtbl.length t.send_blocked = 0 || not (send_blocked t src))
+  && (Hashtbl.length t.recv_blocked = 0 || not (recv_blocked t dst))
+  && (Hashtbl.length t.pair_blocked = 0
+      || not (Hashtbl.mem t.pair_blocked (src, dst)))
 
 let heal t =
   t.down <- false;

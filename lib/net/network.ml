@@ -22,6 +22,9 @@ type t = {
   rng : Rng.t;
   fault : Fault.t;
   nics : (Addr.node_id, Nic.t) Hashtbl.t;
+  (* Receivers sorted by ascending node id, rebuilt on [attach]: the
+     broadcast fast path must not fold + sort the nic table per frame. *)
+  mutable receivers : Nic.t array;
   arp_cache : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
   mutable medium_free_at : Vtime.t;
   sent : Stats.Counter.t;
@@ -39,6 +42,7 @@ let create sim ~id ~config ~rng =
     rng;
     fault = Fault.create ();
     nics = Hashtbl.create 16;
+    receivers = [||];
     arp_cache = Hashtbl.create 32;
     medium_free_at = Vtime.zero;
     sent = Stats.Counter.create ();
@@ -56,7 +60,16 @@ let attach t nic =
   let node = Nic.node nic in
   if Hashtbl.mem t.nics node then
     invalid_arg (Printf.sprintf "Network.attach: node %d already attached" node);
-  Hashtbl.replace t.nics node nic
+  Hashtbl.replace t.nics node nic;
+  let rs = Array.make (Hashtbl.length t.nics) nic in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun _ nic ->
+      rs.(!i) <- nic;
+      incr i)
+    t.nics;
+  Array.sort (fun a b -> Int.compare (Nic.node a) (Nic.node b)) rs;
+  t.receivers <- rs
 
 (* Claim the shared medium for one frame; returns the instant the last
    bit leaves the wire. *)
@@ -72,8 +85,12 @@ let deliver_to t nic frame ~wire_done =
   let dst = Nic.node nic in
   if not (Fault.delivers t.fault ~src:frame.Frame.src ~dst) then
     Stats.Counter.incr t.faulted
-  else if Rng.bernoulli t.rng (Fault.loss_probability t.fault) then
-    Stats.Counter.incr t.lost
+  else if
+    (* Skip the random draw entirely on loss-free networks: one float
+       draw per delivery is pure overhead in the common case. *)
+    let p = Fault.loss_probability t.fault in
+    p > 0.0 && Rng.bernoulli t.rng p
+  then Stats.Counter.incr t.lost
   else begin
     let jitter =
       if t.config.jitter = Vtime.zero then Vtime.zero
@@ -95,16 +112,13 @@ let medium_accepts t frame =
 let broadcast t frame =
   if medium_accepts t frame then begin
     let wire_done = occupy_medium t frame in
-    (* Deterministic receiver order: ascending node id. *)
-    let nodes =
-      Hashtbl.fold (fun node _ acc -> node :: acc) t.nics []
-      |> List.sort Int.compare
-    in
-    let deliver node =
-      if node <> frame.Frame.src then
-        deliver_to t (Hashtbl.find t.nics node) frame ~wire_done
-    in
-    List.iter deliver nodes
+    (* Deterministic receiver order: ascending node id (the cached
+       array is kept sorted by [attach]). Zero allocation per frame. *)
+    let rs = t.receivers in
+    for i = 0 to Array.length rs - 1 do
+      let nic = rs.(i) in
+      if Nic.node nic <> frame.Frame.src then deliver_to t nic frame ~wire_done
+    done
   end
 
 (* The paper's footnote 2: a unicast to a peer whose MAC is not yet

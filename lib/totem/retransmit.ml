@@ -1,27 +1,38 @@
-let rec merge a b =
-  match (a, b) with
-  | [], rest | rest, [] -> rest
-  | x :: xs, y :: ys ->
-    if x < y then x :: merge xs b
-    else if x > y then y :: merge a ys
-    else x :: merge xs ys
+(* All operations are tail-recursive: under heavy loss the token's rtr
+   list and the served list can grow large, and these run on every
+   token visit — they must be stack-safe at any list length. *)
 
-let rec remove rtr served =
-  match (rtr, served) with
-  | [], _ -> []
-  | rest, [] -> rest
-  | x :: xs, y :: ys ->
-    if x < y then x :: remove xs served
-    else if x = y then remove xs ys
-    else remove rtr ys
+let merge a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+      if x < y then go (x :: acc) xs b
+      else if x > y then go (y :: acc) a ys
+      else go (x :: acc) xs ys
+  in
+  go [] a b
+
+let remove rtr served =
+  let rec go acc rtr served =
+    match (rtr, served) with
+    | [], _ -> List.rev acc
+    | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+      if x < y then go (x :: acc) xs served
+      else if x = y then go acc xs ys
+      else go acc rtr ys
+  in
+  go [] rtr served
 
 let truncate n l =
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: xs -> x :: take (n - 1) xs
+  let rec take acc n l =
+    match l with
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: xs -> take (x :: acc) (n - 1) xs
   in
-  take n l
+  take [] n l
 
 let rec is_sorted_unique = function
   | [] | [ _ ] -> true

@@ -73,6 +73,43 @@ let test_interleaved_growth () =
     (List.for_all2 (fun a b -> a <= b) (List.filteri (fun i _ -> i < 999) times)
        (List.tl times))
 
+let test_compaction_bounds_heap () =
+  (* The protocol's churn pattern: timers constantly cancelled and
+     re-armed. Lazy cancellation alone would grow the heap without
+     bound; compaction must keep physical size within a constant factor
+     of the live count. *)
+  let q = Event_queue.create () in
+  let h = ref (Event_queue.push q ~time:0 0) in
+  for i = 1 to 100_000 do
+    ignore (Event_queue.cancel q !h);
+    h := Event_queue.push q ~time:i i
+  done;
+  Alcotest.(check int) "one live event" 1 (Event_queue.length q);
+  Alcotest.(check bool)
+    (Printf.sprintf "physical size bounded (got %d)" (Event_queue.physical_size q))
+    true
+    (Event_queue.physical_size q <= 256);
+  Alcotest.(check (list (pair int int)))
+    "survivor intact" [ (100_000, 100_000) ] (drain q)
+
+let test_compaction_preserves_order () =
+  (* Cancel half of a large schedule, then verify pop order over the
+     survivors is untouched by the compactions that ran along the way. *)
+  let q = Event_queue.create () in
+  let handles =
+    Array.init 10_000 (fun i -> Event_queue.push q ~time:(i * 7 mod 997) i)
+  in
+  Array.iteri (fun i h -> if i mod 2 = 0 then ignore (Event_queue.cancel q h)) handles;
+  let expected =
+    Array.to_list handles
+    |> List.mapi (fun i _ -> (i * 7 mod 997, i))
+    |> List.filter (fun (_, i) -> i mod 2 = 1)
+    |> List.sort (fun (t1, i1) (t2, i2) ->
+           if t1 <> t2 then compare t1 t2 else compare i1 i2)
+  in
+  Alcotest.(check int) "live count" 5_000 (Event_queue.length q);
+  Alcotest.(check (list (pair int int))) "survivors in order" expected (drain q)
+
 let qcheck_sorted =
   QCheck.Test.make ~name:"pop order is (time, insertion) sorted" ~count:200
     QCheck.(list (int_range 0 50))
@@ -103,5 +140,9 @@ let tests =
     Alcotest.test_case "peek_time" `Quick test_peek;
     Alcotest.test_case "is_empty with cancels" `Quick test_is_empty;
     Alcotest.test_case "growth under load" `Quick test_interleaved_growth;
+    Alcotest.test_case "compaction bounds heap size" `Quick
+      test_compaction_bounds_heap;
+    Alcotest.test_case "compaction preserves order" `Quick
+      test_compaction_preserves_order;
     QCheck_alcotest.to_alcotest qcheck_sorted;
   ]

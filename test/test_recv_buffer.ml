@@ -84,6 +84,67 @@ let test_reset () =
   Alcotest.(check bool) "seq 1 accepted again" true
     (Recv_buffer.store b (packet ~seq:1) = `New)
 
+let test_ring_wraparound () =
+  (* Slide a delivery + gc window across several times the ring's
+     initial capacity: every seq must deliver exactly once, in order,
+     and slots freed by gc must be reusable by later seqs that hash to
+     the same ring index. *)
+  let b = Recv_buffer.create () in
+  let total = 5000 in
+  let delivered = ref 0 in
+  for seq = 1 to total do
+    Alcotest.(check bool)
+      (Printf.sprintf "seq %d is new" seq)
+      true
+      (Recv_buffer.store b (packet ~seq) = `New);
+    List.iter
+      (fun p ->
+        incr delivered;
+        if p.Wire.seq <> !delivered then
+          Alcotest.failf "delivered %d, expected %d" p.Wire.seq !delivered)
+      (Recv_buffer.pop_deliverable b);
+    (* Keep a trailing window of 100 seqs, as stability gc would. *)
+    if seq mod 100 = 0 then Recv_buffer.gc_below b (seq - 100)
+  done;
+  Alcotest.(check int) "every seq delivered once" total !delivered;
+  Alcotest.(check bool) "window stays small" true
+    (Recv_buffer.stored_count b <= 200)
+
+let test_growth_when_stability_stalls () =
+  (* No gc at all: the live window outgrows the initial ring and the
+     buffer must expand rather than let distant seqs collide. 1 and
+     1 + 4096 share a slot in any power-of-two ring up to 4096. *)
+  let b = Recv_buffer.create () in
+  ignore (Recv_buffer.store b (packet ~seq:1));
+  ignore (Recv_buffer.store b (packet ~seq:4097));
+  Alcotest.(check bool) "seq 1 still present" true (Recv_buffer.has b 1);
+  Alcotest.(check bool) "seq 4097 present" true (Recv_buffer.has b 4097);
+  Alcotest.(check int) "both stored" 2 (Recv_buffer.stored_count b);
+  Alcotest.(check bool) "dup detection across growth" true
+    (Recv_buffer.store b (packet ~seq:1) = `Duplicate);
+  (* The gap list is still exact after re-placement. *)
+  Alcotest.(check (list int)) "missing below grown seq"
+    (List.init 5 (fun i -> i + 2))
+    (Recv_buffer.missing_up_to b 6)
+
+let test_gc_horizon_vs_wrapped_slot () =
+  (* A seq at the same ring index as a gc'd one must read as absent
+     (missing), while the gc'd seq itself reads as present — the
+     horizon, not the slot, is authoritative below it. *)
+  let b = Recv_buffer.create () in
+  for seq = 1 to 10 do
+    ignore (Recv_buffer.store b (packet ~seq))
+  done;
+  ignore (Recv_buffer.pop_deliverable b);
+  Recv_buffer.gc_below b 10;
+  Alcotest.(check bool) "gc'd seq present via horizon" true (Recv_buffer.has b 7);
+  let wrapped = 7 + 1024 in
+  Alcotest.(check bool) "wrapped slot reads absent" false
+    (Recv_buffer.has b wrapped);
+  ignore (Recv_buffer.store b (packet ~seq:wrapped));
+  Alcotest.(check bool) "wrapped seq stored in freed slot" true
+    (Recv_buffer.has b wrapped)
+
 let qcheck_random_arrival_order =
   QCheck.Test.make ~name:"delivery is 1..n in order for any arrival order"
     ~count:200
@@ -112,5 +173,10 @@ let tests =
     Alcotest.test_case "gc never drops undelivered" `Quick
       test_gc_never_drops_undelivered;
     Alcotest.test_case "reset for new ring" `Quick test_reset;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "growth when stability stalls" `Quick
+      test_growth_when_stability_stalls;
+    Alcotest.test_case "gc horizon vs wrapped slot" `Quick
+      test_gc_horizon_vs_wrapped_slot;
     QCheck_alcotest.to_alcotest qcheck_random_arrival_order;
   ]

@@ -42,6 +42,46 @@ let qcheck_remove_is_diff =
     (QCheck.pair sorted_list sorted_list) (fun (a, b) ->
       Retransmit.remove a b = List.filter (fun x -> not (List.mem x b)) a)
 
+(* The operations run on every token rotation over whatever the rtr
+   list has grown to; they must not overflow the stack on pathological
+   lists (they were rewritten tail-recursively for exactly this). *)
+let big n = List.init n (fun i -> i)
+
+let test_deep_lists_no_overflow () =
+  let n = 10_000 in
+  let evens = List.init n (fun i -> 2 * i) in
+  let odds = List.init n (fun i -> (2 * i) + 1) in
+  Alcotest.(check int) "merge interleaved" (2 * n)
+    (List.length (Retransmit.merge evens odds));
+  Alcotest.(check (list int)) "remove everything" []
+    (Retransmit.remove (big n) (big n));
+  Alcotest.(check int) "truncate keeps prefix" n
+    (List.length (Retransmit.truncate n (big (2 * n))));
+  Alcotest.(check bool) "truncate prefix is lowest" true
+    (Retransmit.truncate n (big (2 * n)) = big n)
+
+let qcheck_truncate_10k =
+  QCheck.Test.make ~name:"truncate = sorted prefix, 10k elements" ~count:20
+    QCheck.(pair (int_range 0 12_000) (list_of_size (Gen.return 10_000) small_nat))
+    (fun (n, raw) ->
+      let l = List.sort_uniq compare raw in
+      let t = Retransmit.truncate n l in
+      List.length t = min n (List.length l)
+      && t = List.filteri (fun i _ -> i < n) l)
+
+let qcheck_merge_remove_10k =
+  QCheck.Test.make ~name:"remove (merge a b) b = a \\ b, 10k elements" ~count:20
+    (QCheck.pair
+       (QCheck.map (List.sort_uniq compare)
+          QCheck.(list_of_size (Gen.return 10_000) (int_bound 30_000)))
+       (QCheck.map (List.sort_uniq compare)
+          QCheck.(list_of_size (Gen.return 10_000) (int_bound 30_000))))
+    (fun (a, b) ->
+      let in_b = Hashtbl.create (List.length b) in
+      List.iter (fun x -> Hashtbl.replace in_b x ()) b;
+      let expected = List.filter (fun x -> not (Hashtbl.mem in_b x)) a in
+      Retransmit.remove (Retransmit.merge a b) b = expected)
+
 let tests =
   [
     Alcotest.test_case "merge" `Quick test_merge;
@@ -51,4 +91,8 @@ let tests =
     QCheck_alcotest.to_alcotest qcheck_merge_sorted;
     QCheck_alcotest.to_alcotest qcheck_merge_is_union;
     QCheck_alcotest.to_alcotest qcheck_remove_is_diff;
+    Alcotest.test_case "deep lists don't overflow" `Quick
+      test_deep_lists_no_overflow;
+    QCheck_alcotest.to_alcotest qcheck_truncate_10k;
+    QCheck_alcotest.to_alcotest qcheck_merge_remove_10k;
   ]

@@ -75,6 +75,46 @@ let test_run_until_no_events_advances_clock () =
   Sim.run_until sim (Vtime.sec 2);
   Alcotest.(check int) "clock" (Vtime.sec 2) (Sim.now sim)
 
+let test_timer_and_event_interleave () =
+  (* schedule_timer routes through the timing wheel, schedule through
+     the heap; at equal times the two must still fire in global
+     scheduling order. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule sim ~delay:(Vtime.ms 2) (note "event@2"));
+  ignore (Sim.schedule_timer sim ~delay:(Vtime.ms 1) (note "timer@1"));
+  ignore (Sim.schedule_timer sim ~delay:(Vtime.ms 2) (note "timer@2"));
+  ignore (Sim.schedule sim ~delay:(Vtime.ms 1) (note "event@1"));
+  Sim.run_until sim (Vtime.ms 5);
+  Alcotest.(check (list string)) "global FIFO at equal times"
+    [ "timer@1"; "event@1"; "event@2"; "timer@2" ]
+    (List.rev !log)
+
+let test_timer_cancel_and_pending () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_timer sim ~delay:(Vtime.ms 1) (fun () -> fired := true) in
+  ignore (Sim.schedule sim ~delay:(Vtime.ms 2) ignore);
+  Alcotest.(check int) "timers count as pending" 2 (Sim.pending sim);
+  Sim.cancel sim h;
+  Alcotest.(check int) "cancelled timer leaves" 1 (Sim.pending sim);
+  Sim.run_until sim (Vtime.ms 5);
+  Alcotest.(check bool) "cancelled timer never fires" false !fired
+
+let test_events_processed () =
+  let sim = Sim.create () in
+  Alcotest.(check int) "starts at zero" 0 (Sim.events_processed sim);
+  for _ = 1 to 3 do
+    ignore (Sim.schedule sim ~delay:(Vtime.ms 1) ignore)
+  done;
+  ignore (Sim.schedule_timer sim ~delay:(Vtime.ms 2) ignore);
+  let h = Sim.schedule_timer sim ~delay:(Vtime.ms 3) ignore in
+  Sim.cancel sim h;
+  Sim.run sim;
+  Alcotest.(check int) "counts fired events and timers, not cancels" 4
+    (Sim.events_processed sim)
+
 let test_split_rng_deterministic () =
   let a = Sim.create ~seed:7 () and b = Sim.create ~seed:7 () in
   Alcotest.(check int64) "same split streams"
@@ -93,5 +133,10 @@ let tests =
     Alcotest.test_case "run drains queue" `Quick test_run_drains;
     Alcotest.test_case "run_until without events" `Quick
       test_run_until_no_events_advances_clock;
+    Alcotest.test_case "timer/event interleave" `Quick
+      test_timer_and_event_interleave;
+    Alcotest.test_case "timer cancel and pending" `Quick
+      test_timer_cancel_and_pending;
+    Alcotest.test_case "events_processed counter" `Quick test_events_processed;
     Alcotest.test_case "split_rng deterministic" `Quick test_split_rng_deterministic;
   ]

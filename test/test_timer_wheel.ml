@@ -1,0 +1,134 @@
+open Totem_engine
+
+let drain w =
+  let rec go acc =
+    match Timer_wheel.pop_min w with
+    | None -> List.rev acc
+    | Some (t, v) -> go ((t, v) :: acc)
+  in
+  go []
+
+let test_time_order () =
+  let w = Timer_wheel.create () in
+  ignore (Timer_wheel.push w ~time:30 ~tie:0 "c");
+  ignore (Timer_wheel.push w ~time:10 ~tie:1 "a");
+  ignore (Timer_wheel.push w ~time:20 ~tie:2 "b");
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (10, "a"); (20, "b"); (30, "c") ] (drain w)
+
+let test_tie_order () =
+  let w = Timer_wheel.create () in
+  (* Same expiry: the tie rank decides, regardless of push order. *)
+  ignore (Timer_wheel.push w ~time:5 ~tie:2 "second");
+  ignore (Timer_wheel.push w ~time:5 ~tie:1 "first");
+  ignore (Timer_wheel.push w ~time:5 ~tie:3 "third");
+  Alcotest.(check (list (pair int string)))
+    "tie-ranked"
+    [ (5, "first"); (5, "second"); (5, "third") ]
+    (drain w)
+
+let test_cancel () =
+  let w = Timer_wheel.create () in
+  let _a = Timer_wheel.push w ~time:1 ~tie:0 "a" in
+  let b = Timer_wheel.push w ~time:2 ~tie:1 "b" in
+  let _c = Timer_wheel.push w ~time:3 ~tie:2 "c" in
+  Alcotest.(check bool) "cancel live" true (Timer_wheel.cancel w b);
+  Alcotest.(check bool) "double cancel" false (Timer_wheel.cancel w b);
+  Alcotest.(check int) "length" 2 (Timer_wheel.length w);
+  Alcotest.(check (list (pair int string)))
+    "b skipped" [ (1, "a"); (3, "c") ] (drain w)
+
+let test_cancel_after_pop () =
+  let w = Timer_wheel.create () in
+  let a = Timer_wheel.push w ~time:1 ~tie:0 "a" in
+  ignore (Timer_wheel.pop_min w);
+  Alcotest.(check bool) "cancel popped" false (Timer_wheel.cancel w a)
+
+let test_peek () =
+  let w = Timer_wheel.create () in
+  Alcotest.(check (option int)) "empty" None (Timer_wheel.peek_time w);
+  let a = Timer_wheel.push w ~time:7 ~tie:0 "a" in
+  ignore (Timer_wheel.push w ~time:9 ~tie:1 "b");
+  Alcotest.(check (option (pair int int)))
+    "min key" (Some (7, 0)) (Timer_wheel.peek_key w);
+  ignore (Timer_wheel.cancel w a);
+  Alcotest.(check (option int)) "skips cancelled" (Some 9) (Timer_wheel.peek_time w)
+
+let test_rearm_churn () =
+  (* The protocol's pattern: one timer cancelled and re-armed thousands
+     of times (token loss timeout on every token receipt). The wheel
+     must stay small and keep answering peeks correctly. *)
+  let w = Timer_wheel.create () in
+  let h = ref (Timer_wheel.push w ~time:200 ~tie:0 "loss") in
+  for i = 1 to 10_000 do
+    Alcotest.(check bool) "re-arm cancels live" true (Timer_wheel.cancel w !h);
+    h := Timer_wheel.push w ~time:(200 + i) ~tie:i "loss";
+    Alcotest.(check (option int))
+      "peek follows re-arm" (Some (200 + i)) (Timer_wheel.peek_time w)
+  done;
+  Alcotest.(check int) "one live timer" 1 (Timer_wheel.length w);
+  Alcotest.(check (list (pair int string)))
+    "fires once at final expiry" [ (10_200, "loss") ] (drain w)
+
+let test_wraparound () =
+  (* Far-apart expiries hash to the same buckets (the wheel is hashed,
+     not hierarchical); ordering must still be exact. *)
+  let w = Timer_wheel.create ~shift:4 ~buckets:8 () in
+  (* Bucket span = 8 * 16 = 128 ns: these all collide. *)
+  let times = [ 5; 133; 261; 5 + (128 * 40); 7; 134 ] in
+  List.iteri (fun i t -> ignore (Timer_wheel.push w ~time:t ~tie:i ())) times;
+  let popped = List.map fst (drain w) in
+  Alcotest.(check (list int)) "exact order despite collisions"
+    (List.sort compare times) popped
+
+let qcheck_wheel_matches_heap =
+  QCheck.Test.make
+    ~name:"wheel pops the same (time, tie) sequence as the heap" ~count:200
+    QCheck.(list (pair (int_range 0 5000) (int_range 0 2)))
+    (fun script ->
+      (* Interpret the script as pushes (op = 0, 1) and cancels of a
+         random earlier push (op = 2), applied identically to an
+         Event_queue and a Timer_wheel. *)
+      let q = Event_queue.create () in
+      let w = Timer_wheel.create ~shift:6 ~buckets:16 () in
+      let pushed = ref [] in
+      let n = ref 0 in
+      List.iter
+        (fun (time, op) ->
+          if op = 2 && !pushed <> [] then begin
+            let pick = time mod List.length !pushed in
+            let qh, wh = List.nth !pushed pick in
+            let a = Event_queue.cancel q qh and b = Timer_wheel.cancel w wh in
+            if a <> b then failwith "cancel results diverge"
+          end
+          else begin
+            let tie = !n in
+            incr n;
+            let qh = Event_queue.push_tie q ~time ~tie tie in
+            let wh = Timer_wheel.push w ~time ~tie tie in
+            pushed := (qh, wh) :: !pushed
+          end)
+        script;
+      let rec drain_both acc =
+        let kq = Event_queue.peek_key q and kw = Timer_wheel.peek_key w in
+        if kq <> kw then false
+        else
+          match Event_queue.pop q, Timer_wheel.pop_min w with
+          | None, None -> acc
+          | Some (t1, v1), Some (t2, v2) ->
+            drain_both (acc && t1 = t2 && v1 = v2)
+          | _ -> false
+      in
+      drain_both true)
+
+let tests =
+  [
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "tie-break ordering" `Quick test_tie_order;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancel after pop" `Quick test_cancel_after_pop;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "cancel/re-arm churn" `Quick test_rearm_churn;
+    Alcotest.test_case "hashed-bucket wraparound" `Quick test_wraparound;
+    QCheck_alcotest.to_alcotest qcheck_wheel_matches_heap;
+  ]
