@@ -17,7 +17,7 @@
    [--jobs N] fans them out across OCaml 5 domains and produces
    bitwise-identical figures to a sequential run.
 
-   Targets: fig6 fig7 fig8 fig9 headline claims ablations micro all *)
+   Targets: fig6 fig7 fig8 fig9 headline claims latency ablations micro all *)
 
 module Cluster = Totem_cluster.Cluster
 module Config = Totem_cluster.Config
@@ -26,6 +26,7 @@ module Metrics = Totem_cluster.Metrics
 module Report = Totem_cluster.Report
 module Style = Totem_rrp.Style
 module Vtime = Totem_engine.Vtime
+module Stats = Totem_engine.Stats
 module Const = Totem_srp.Const
 
 (* --- measurement -------------------------------------------------- *)
@@ -77,17 +78,26 @@ let parallel_map ~jobs f items =
     Array.map (function Some r -> r | None -> assert false) results
   end
 
+(* Every point carries its protocol telemetry out of the run: rotation
+   timing, retransmission counters, and a problemCounter trajectory
+   sampled every 50 ms of virtual time. The sampler is installed
+   unconditionally (it is read-only) so figures are bitwise identical
+   whether or not anyone looks at the telemetry. *)
 let run_point ?(const = Const.default) ~num_nodes ~num_nets ~style ~size () =
   let config = Config.make ~num_nodes ~num_nets ~style ~const () in
   let cluster = Cluster.create config in
+  let sampler = Metrics.install_fault_sampler cluster ~interval:(Vtime.ms 50) in
   Cluster.start cluster;
   Workload.saturate cluster ~size;
   let tp =
     Metrics.measure_throughput cluster ~warmup:(warmup ()) ~duration:(duration ())
   in
   let util = Metrics.network_utilisation cluster ~net:0 in
+  let pt = Metrics.collect_point_telemetry ~sampler cluster in
   ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
-  (tp, util)
+  (tp, util, pt)
+
+let tp_of_point (tp, _, _) = tp
 
 let sizes = [| 100; 200; 400; 700; 1024; 1400; 2048; 4096; 8192; 10240 |]
 
@@ -108,7 +118,9 @@ let sweep ~num_nodes =
   in
   let pts =
     parallel_map ~jobs:!jobs
-      (fun (style, size) -> fst (run_point ~num_nodes ~num_nets:2 ~style ~size ()))
+      (fun (style, size) ->
+        let tp, _, pt = run_point ~num_nodes ~num_nets:2 ~style ~size () in
+        (tp, pt))
       tasks
   in
   List.mapi
@@ -116,7 +128,11 @@ let sweep ~num_nodes =
       (name, style, Array.sub pts (si * Array.length sizes) (Array.length sizes)))
     styles
 
-let cache : (int, (string * Style.t * Metrics.throughput array) list) Hashtbl.t =
+let cache :
+    ( int,
+      (string * Style.t * (Metrics.throughput * Metrics.point_telemetry) array)
+      list )
+    Hashtbl.t =
   Hashtbl.create 4
 
 let sweep_cached ~num_nodes =
@@ -129,12 +145,14 @@ let sweep_cached ~num_nodes =
 
 let rate_series s =
   List.map
-    (fun (name, _, pts) -> (name, Array.map (fun p -> p.Metrics.msgs_per_sec) pts))
+    (fun (name, _, pts) ->
+      (name, Array.map (fun (p, _) -> p.Metrics.msgs_per_sec) pts))
     s
 
 let bw_series s =
   List.map
-    (fun (name, _, pts) -> (name, Array.map (fun p -> p.Metrics.kbytes_per_sec) pts))
+    (fun (name, _, pts) ->
+      (name, Array.map (fun (p, _) -> p.Metrics.kbytes_per_sec) pts))
     s
 
 let find_series s name = List.assoc name s
@@ -195,7 +213,10 @@ let shape_checks ~num_nodes s =
     (Printf.sprintf "max ratio %.2f" max_ratio)
 
 (* Figure sweeps executed so far, for the JSON emitter. *)
-let fig_results : (string, (string * Metrics.throughput array) list) Hashtbl.t =
+let fig_results :
+    ( string,
+      (string * (Metrics.throughput * Metrics.point_telemetry) array) list )
+    Hashtbl.t =
   Hashtbl.create 4
 
 let fig ~n ~num_nodes ~bandwidth () =
@@ -234,7 +255,7 @@ let fig9 () = fig ~n:9 ~num_nodes:6 ~bandwidth:true ()
 (* --- headline: Sec. 2's ">9,000 one-Kbyte msgs/sec, ~90%" --------- *)
 
 let headline () =
-  let tp, util =
+  let tp, util, _ =
     run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size:1024 ()
   in
   Format.printf "Headline (Sec. 2): unreplicated Totem, 4 nodes, 1 Kbyte messages:@.";
@@ -263,6 +284,48 @@ let claims () =
         (at rates "no repl" i -. at rates "active" i)
         (at bws "passive" i -. at bws "no repl" i))
     sizes
+
+(* --- latency: delivery-latency distribution ------------------------ *)
+
+(* A moderate fixed-rate stamped stream per node, so the probe sees
+   steady-state ordering latency rather than saturation queueing. The
+   full per-bucket histogram dump lands in the JSON, so baselines can be
+   compared distribution to distribution, not just by quantile edges. *)
+let latency_results : (string * Metrics.latency_probe) list ref = ref []
+
+let latency () =
+  let measure (name, style) =
+    let config = Config.make ~num_nodes:4 ~num_nets:2 ~style () in
+    let cluster = Cluster.create config in
+    Cluster.start cluster;
+    for node = 0 to 3 do
+      Workload.fixed_rate cluster ~node ~size:1024 ~interval:(Vtime.ms 2) ()
+    done;
+    Cluster.run_for cluster (warmup ());
+    let probe = Metrics.install_latency cluster in
+    Cluster.run_for cluster (duration ());
+    ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
+    (name, probe)
+  in
+  let results = parallel_map ~jobs:!jobs measure (Array.of_list styles) in
+  latency_results := Array.to_list results;
+  Format.printf
+    "Delivery latency: 4 nodes, 2 nets, 1 Kbyte messages, 500 msgs/s/node:@.";
+  Array.iter
+    (fun (name, probe) ->
+      let s = Metrics.latency_summary probe in
+      Format.printf
+        "  %-8s n=%6d  mean %6.3f ms   p50<=%.3f  p90<=%.3f  p99<=%.3f ms@." name
+        (Stats.Summary.count s) (Stats.Summary.mean s)
+        (Metrics.latency_quantile probe 0.5)
+        (Metrics.latency_quantile probe 0.9)
+        (Metrics.latency_quantile probe 0.99))
+    results;
+  expect "latency: all styles deliver"
+    (Array.for_all
+       (fun (_, probe) -> Stats.Summary.count (Metrics.latency_summary probe) > 0)
+       results)
+    "a style delivered nothing"
 
 (* --- ablations ----------------------------------------------------- *)
 
@@ -347,7 +410,7 @@ let ablation_active_passive_k () =
   let tps =
     parallel_map ~jobs:!jobs
       (fun k ->
-        fst
+        tp_of_point
           (run_point ~num_nodes:4 ~num_nets:4 ~style:(Style.Active_passive k)
              ~size:1024 ()))
       ks
@@ -355,11 +418,11 @@ let ablation_active_passive_k () =
   Array.iteri
     (fun i k -> Format.printf "  K=%d: %8.0f msgs/sec@." k tps.(i).Metrics.msgs_per_sec)
     ks;
-  let tp_act, _ =
-    run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Active ~size:1024 ()
+  let tp_act =
+    tp_of_point (run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Active ~size:1024 ())
   in
-  let tp_pas, _ =
-    run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Passive ~size:1024 ()
+  let tp_pas =
+    tp_of_point (run_point ~num_nodes:4 ~num_nets:4 ~style:Style.Passive ~size:1024 ())
   in
   Format.printf "  (passive = K=1 limit: %.0f; active = K=4 limit: %.0f)@."
     tp_pas.Metrics.msgs_per_sec tp_act.Metrics.msgs_per_sec
@@ -370,11 +433,11 @@ let ablation_packing () =
   let pairs =
     parallel_map ~jobs:!jobs
       (fun size ->
-        let on, _ =
+        let on, _, _ =
           run_point ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication ~size ()
         in
         let const = { Const.default with Const.packing_enabled = false } in
-        let off, _ =
+        let off, _, _ =
           run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
             ~size ()
         in
@@ -401,7 +464,7 @@ let ablation_window () =
     parallel_map ~jobs:!jobs
       (fun w ->
         let const = { Const.default with Const.window_size = w } in
-        fst
+        tp_of_point
           (run_point ~const ~num_nodes:4 ~num_nets:2 ~style:Style.No_replication
              ~size:1024 ()))
       windows
@@ -526,9 +589,111 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* NaN (empty histogram) becomes null; an overflow-bucket edge becomes
+   the string "inf", matching the telemetry metrics exporter. *)
+let json_num f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "\"inf\""
+  else Printf.sprintf "%.6g" f
+
+let quantile_of_dump dump total q =
+  if total = 0 then nan
+  else begin
+    let target = q *. float_of_int total in
+    let acc = ref 0 in
+    let result = ref infinity in
+    (try
+       Array.iter
+         (fun (le, n) ->
+           acc := !acc + n;
+           if float_of_int !acc >= target then begin
+             result := le;
+             raise Exit
+           end)
+         dump
+     with Exit -> ());
+    !result
+  end
+
+(* Collapse one style's per-size telemetry into a single block: rotation
+   histograms merged bucket-wise, counters summed, and the
+   problemCounter trajectory taken from the paper's headline 1024-byte
+   point. *)
+let merge_style_telemetry (pts : Metrics.point_telemetry array) =
+  let merged = ref [||] in
+  Array.iter
+    (fun pt ->
+      let d = pt.Metrics.pt_rotation_buckets in
+      if Array.length !merged = 0 then merged := Array.copy d
+      else
+        Array.iteri
+          (fun i (le, c) ->
+            let _, c0 = !merged.(i) in
+            !merged.(i) <- (le, c0 + c))
+          d)
+    pts;
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 !merged in
+  let sum f = Array.fold_left (fun acc pt -> acc + f pt) 0 pts in
+  let trajectory =
+    let i = idx_of_size 1024 in
+    if i >= 0 && i < Array.length pts then pts.(i).Metrics.pt_trajectory else []
+  in
+  {
+    Metrics.pt_rotation_count = total;
+    pt_rotation_p50 = quantile_of_dump !merged total 0.5;
+    pt_rotation_p90 = quantile_of_dump !merged total 0.9;
+    pt_rotation_p99 = quantile_of_dump !merged total 0.99;
+    pt_rotation_buckets = !merged;
+    pt_retransmits_served = sum (fun pt -> pt.Metrics.pt_retransmits_served);
+    pt_retransmits_requested = sum (fun pt -> pt.Metrics.pt_retransmits_requested);
+    pt_token_retransmits = sum (fun pt -> pt.Metrics.pt_token_retransmits);
+    pt_duplicate_packets = sum (fun pt -> pt.Metrics.pt_duplicate_packets);
+    pt_duplicate_tokens = sum (fun pt -> pt.Metrics.pt_duplicate_tokens);
+    pt_trajectory = trajectory;
+  }
+
 let write_json path runs =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let emit_buckets label buckets =
+    let non_empty =
+      Array.to_list buckets |> List.filter (fun (_, c) -> c > 0)
+    in
+    pf "            \"%s\": [" label;
+    List.iteri
+      (fun i (le, c) ->
+        pf "%s{\"le_ms\": %s, \"n\": %d}"
+          (if i = 0 then "" else ", ")
+          (json_num le) c)
+      non_empty;
+    pf "]"
+  in
+  let emit_telemetry (pt : Metrics.point_telemetry) =
+    pf "          \"telemetry\": {\n";
+    pf "            \"rotation_count\": %d,\n" pt.Metrics.pt_rotation_count;
+    pf "            \"rotation_p50_ms\": %s,\n" (json_num pt.Metrics.pt_rotation_p50);
+    pf "            \"rotation_p90_ms\": %s,\n" (json_num pt.Metrics.pt_rotation_p90);
+    pf "            \"rotation_p99_ms\": %s,\n" (json_num pt.Metrics.pt_rotation_p99);
+    emit_buckets "rotation_buckets" pt.Metrics.pt_rotation_buckets;
+    pf ",\n";
+    pf "            \"retransmits_served\": %d,\n" pt.Metrics.pt_retransmits_served;
+    pf "            \"retransmits_requested\": %d,\n"
+      pt.Metrics.pt_retransmits_requested;
+    pf "            \"token_retransmits\": %d,\n" pt.Metrics.pt_token_retransmits;
+    pf "            \"duplicate_packets\": %d,\n" pt.Metrics.pt_duplicate_packets;
+    pf "            \"duplicate_tokens\": %d,\n" pt.Metrics.pt_duplicate_tokens;
+    pf "            \"problem_trajectory\": [";
+    List.iteri
+      (fun i (t_ms, nets) ->
+        pf "%s{\"t_ms\": %s, \"worst\": [%s]}"
+          (if i = 0 then "" else ", ")
+          (json_num t_ms)
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int nets))))
+      pt.Metrics.pt_trajectory;
+    pf "]\n";
+    pf "          }"
+  in
   pf "{\n";
   pf "  \"schema\": \"totem-bench/v1\",\n";
   pf "  \"quick\": %b,\n" !quick;
@@ -542,7 +707,7 @@ let write_json path runs =
     pf "      \"events_per_sec\": %.1f"
       (if tr_wall_sec > 0.0 then float_of_int tr_events /. tr_wall_sec else 0.0);
     (match Hashtbl.find_opt fig_results tr_name with
-    | None -> pf "\n"
+    | None -> ()
     | Some series ->
       pf ",\n      \"series\": [\n";
       List.iteri
@@ -550,18 +715,39 @@ let write_json path runs =
           pf "        {\n          \"style\": \"%s\",\n          \"points\": [\n"
             (json_escape style);
           Array.iteri
-            (fun pi (p : Metrics.throughput) ->
+            (fun pi ((p : Metrics.throughput), _) ->
               pf
                 "            {\"bytes\": %d, \"msgs_per_sec\": %.2f, \
                  \"kbytes_per_sec\": %.2f}%s\n"
                 sizes.(pi) p.Metrics.msgs_per_sec p.Metrics.kbytes_per_sec
                 (if pi < Array.length pts - 1 then "," else ""))
             pts;
-          pf "          ]\n        }%s\n"
-            (if si < List.length series - 1 then "," else ""))
+          pf "          ],\n";
+          emit_telemetry (merge_style_telemetry (Array.map snd pts));
+          pf "\n        }%s\n" (if si < List.length series - 1 then "," else ""))
         series;
-      pf "      ]\n");
-    pf "    }%s\n" (if i < List.length runs - 1 then "," else "")
+      pf "      ]");
+    if tr_name = "latency" && !latency_results <> [] then begin
+      pf ",\n      \"latency\": [\n";
+      let n = List.length !latency_results in
+      List.iteri
+        (fun i (style, probe) ->
+          let s = Metrics.latency_summary probe in
+          pf "        {\n          \"style\": \"%s\",\n" (json_escape style);
+          pf "          \"count\": %d,\n" (Stats.Summary.count s);
+          pf "          \"mean_ms\": %s,\n" (json_num (Stats.Summary.mean s));
+          pf "          \"p50_ms\": %s,\n"
+            (json_num (Metrics.latency_quantile probe 0.5));
+          pf "          \"p90_ms\": %s,\n"
+            (json_num (Metrics.latency_quantile probe 0.9));
+          pf "          \"p99_ms\": %s,\n"
+            (json_num (Metrics.latency_quantile probe 0.99));
+          emit_buckets "histogram" (Metrics.latency_histogram_dump probe);
+          pf "\n        }%s\n" (if i < n - 1 then "," else ""))
+        !latency_results;
+      pf "      ]"
+    end;
+    pf "\n    }%s\n" (if i < List.length runs - 1 then "," else "")
   in
   List.iteri emit_target runs;
   pf "  ]\n}\n";
@@ -580,6 +766,7 @@ let all_targets =
     ("fig9", fig9);
     ("headline", headline);
     ("claims", claims);
+    ("latency", latency);
     ("ablations", ablations);
     ("micro", micro);
   ]

@@ -78,8 +78,24 @@ let make_cluster ~style ~nodes ~nets ~seed =
 
 (* --- throughput ----------------------------------------------------- *)
 
-let throughput style nodes nets size seconds seed loss =
+(* "-" routes machine-readable output to stdout (and suppresses the
+   human-readable report so the stream stays parseable). *)
+let open_sink = function
+  | "-" -> (stdout, false)
+  | path -> (open_out path, true)
+
+let close_sink (oc, owned) = if owned then close_out oc else flush oc
+
+let throughput style nodes nets size seconds seed loss trace_out metrics_out =
   let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  let telemetry = Cluster.telemetry cluster in
+  let trace_sink = Option.map open_sink trace_out in
+  (match trace_sink with
+  | Some (oc, _) ->
+    Totem_engine.Telemetry.set_sink telemetry
+      (Totem_engine.Telemetry.jsonl_sink oc)
+  | None -> ());
+  let quiet = trace_out = Some "-" || metrics_out = Some "-" in
   Cluster.start cluster;
   if loss > 0.0 then
     for net = 0 to nets - 1 do
@@ -90,11 +106,44 @@ let throughput style nodes nets size seconds seed loss =
     Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
       ~duration:(Vtime.of_float_sec seconds)
   in
-  Format.printf "style=%s nodes=%d nets=%d size=%dB loss=%.2f@." (style_name style)
-    nodes nets size loss;
-  Format.printf "throughput: %.0f msgs/sec, %.0f Kbytes/sec@." tp.Metrics.msgs_per_sec
-    tp.Metrics.kbytes_per_sec;
-  Totem_cluster.Net_report.print cluster
+  if not quiet then begin
+    Format.printf "style=%s nodes=%d nets=%d size=%dB loss=%.2f@."
+      (style_name style) nodes nets size loss;
+    Format.printf "throughput: %.0f msgs/sec, %.0f Kbytes/sec@."
+      tp.Metrics.msgs_per_sec tp.Metrics.kbytes_per_sec;
+    Totem_cluster.Net_report.print cluster;
+    Totem_cluster.Net_report.print_protocol cluster
+  end;
+  (match trace_sink with
+  | Some sink ->
+    Totem_engine.Telemetry.clear_sink telemetry;
+    close_sink sink
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+    let sink = open_sink path in
+    output_string (fst sink) (Totem_engine.Telemetry.metrics_json telemetry);
+    close_sink sink
+  | None -> ()
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream every structured trace event as one JSON line to $(docv) \
+           (\"-\" for stdout, which suppresses the human-readable report).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry registry (counters, gauges, histograms) as \
+           JSON to $(docv) (\"-\" for stdout, which suppresses the \
+           human-readable report).")
 
 let throughput_cmd =
   let doc = "Measure saturated throughput (the Sec. 8 experiment, one point)." in
@@ -102,7 +151,7 @@ let throughput_cmd =
     (Cmd.info "throughput" ~doc)
     Term.(
       const throughput $ style_t $ nodes_t $ nets_t $ size_t $ seconds_t $ seed_t
-      $ loss_t)
+      $ loss_t $ trace_out_t $ metrics_out_t)
 
 (* --- failover -------------------------------------------------------- *)
 
@@ -176,7 +225,7 @@ let latency_cmd =
 
 (* --- trace ----------------------------------------------------------- *)
 
-let trace style nodes nets seed millis =
+let trace style nodes nets seed millis jsonl spans =
   let cluster = make_cluster ~style ~nodes ~nets ~seed in
   Totem_engine.Trace.enable (Cluster.trace cluster);
   Cluster.start cluster;
@@ -184,17 +233,37 @@ let trace style nodes nets seed millis =
     Totem_srp.Srp.submit (Cluster.srp (Cluster.node cluster node)) ~size:256 ()
   done;
   Cluster.run_for cluster (Vtime.ms millis);
-  Totem_engine.Trace.dump Format.std_formatter (Cluster.trace cluster)
+  let telemetry = Cluster.telemetry cluster in
+  if jsonl then Totem_engine.Telemetry.write_jsonl stdout telemetry
+  else if spans then
+    Totem_engine.Telemetry.pp_spans Format.std_formatter
+      (Totem_engine.Telemetry.token_spans telemetry)
+  else Totem_engine.Trace.dump Format.std_formatter (Cluster.trace cluster)
 
 let millis_t =
   Arg.(
     value & opt int 5
     & info [ "millis"; "t" ] ~docv:"MS" ~doc:"How long to run (simulated milliseconds).")
 
+let jsonl_t =
+  Arg.(
+    value & flag
+    & info [ "jsonl" ] ~doc:"Dump the event ring as JSON lines instead of text.")
+
+let spans_t =
+  Arg.(
+    value & flag
+    & info [ "spans" ]
+        ~doc:
+          "Render the token-rotation span view (one bar per rotation, \
+           nested retransmit/hold activity) instead of the flat log.")
+
 let trace_cmd =
   let doc = "Run briefly with protocol tracing enabled and dump the log." in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const trace $ style_t $ nodes_t $ nets_t $ seed_t $ millis_t)
+    Term.(
+      const trace $ style_t $ nodes_t $ nets_t $ seed_t $ millis_t $ jsonl_t
+      $ spans_t)
 
 (* --- sweep ------------------------------------------------------------ *)
 

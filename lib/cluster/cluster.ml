@@ -78,17 +78,20 @@ let create config =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
   let sim = Sim.create ~seed:config.Config.seed () in
+  (* One telemetry hub per cluster; [Trace.t] is an alias for it, so the
+     legacy trace API and the structured registry share the stream. *)
+  let telemetry = Telemetry.create sim in
   let fabric =
     Totem_net.Fabric.create sim ~num_nodes:config.Config.num_nodes
       ~num_nets:config.Config.num_nets ~config:config.Config.net
-      ?configs:config.Config.net_configs ()
+      ?configs:config.Config.net_configs ~telemetry ()
   in
   let t =
     {
       config;
       sim;
       fabric;
-      trace = Trace.create sim;
+      trace = telemetry;
       nodes = [||];
       deliver_hooks = [];
       report_hooks = [];
@@ -97,6 +100,19 @@ let create config =
     }
   in
   t.nodes <- Array.init config.Config.num_nodes (build_node t);
+  for i = 0 to config.Config.num_nets - 1 do
+    let net = Totem_net.Fabric.network fabric i in
+    let g name read =
+      Telemetry.gauge telemetry
+        (Printf.sprintf "net.%d.%s" i name)
+        (fun () -> float_of_int (read net))
+    in
+    g "frames_sent" Totem_net.Network.frames_sent;
+    g "frames_delivered" Totem_net.Network.frames_delivered;
+    g "frames_lost" Totem_net.Network.frames_lost;
+    g "frames_faulted" Totem_net.Network.frames_faulted;
+    g "wire_bytes" Totem_net.Network.bytes_on_wire
+  done;
   t
 
 let all_members t = Array.init (Array.length t.nodes) (fun i -> i)
@@ -117,6 +133,7 @@ let run_until t time = Sim.run_until t.sim time
 let run_for t d = Sim.run_until t.sim (Vtime.add (Sim.now t.sim) d)
 let config t = t.config
 let trace t = t.trace
+let telemetry t = t.trace
 
 let num_nodes t = Array.length t.nodes
 let node t id = t.nodes.(id)

@@ -34,6 +34,10 @@ val run_for : t -> Totem_engine.Vtime.t -> unit
 val config : t -> Config.t
 
 val trace : t -> Totem_engine.Trace.t
+
+val telemetry : t -> Totem_engine.Telemetry.t
+(** The cluster-wide telemetry hub (the same object as [trace]):
+    structured events from every layer plus the metrics registry. *)
 (** Disabled unless {!Totem_engine.Trace.enable}d. *)
 
 (** {1 Nodes} *)

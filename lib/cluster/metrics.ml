@@ -70,6 +70,117 @@ let latency_summary probe = probe.summary
 
 let latency_quantile probe q = Stats.Histogram.quantile probe.histogram q
 
+let latency_histogram_dump probe = Stats.Histogram.dump probe.histogram
+
+(* --- per-point protocol telemetry ----------------------------------- *)
+
+type fault_sampler = {
+  fsam_interval : Vtime.t;
+  mutable fsam_samples : (Vtime.t * int array) list;  (* newest first *)
+}
+
+(* Periodically snapshot the worst per-network problemCounter across all
+   nodes (active replication only; other styles sample zeros). The
+   sampler is read-only and is installed unconditionally by the bench
+   driver, so its scheduled ticks exist whether or not tracing is on —
+   figures stay bitwise identical either way. *)
+let install_fault_sampler t ~interval =
+  let num_nets = (Cluster.config t).Config.num_nets in
+  let sampler = { fsam_interval = interval; fsam_samples = [] } in
+  let rec tick () =
+    let nets = Array.make num_nets 0 in
+    Cluster.iter_nodes t (fun n ->
+        match Totem_rrp.Rrp.as_active (Cluster.rrp n) with
+        | Some a ->
+          for net = 0 to num_nets - 1 do
+            nets.(net) <-
+              max nets.(net) (Totem_rrp.Active.problem_counter a ~net)
+          done
+        | None -> ());
+    sampler.fsam_samples <- (Cluster.now t, nets) :: sampler.fsam_samples;
+    ignore (Sim.schedule (Cluster.sim t) ~delay:interval tick)
+  in
+  ignore (Sim.schedule (Cluster.sim t) ~delay:interval tick);
+  sampler
+
+let fault_trajectory sampler = List.rev sampler.fsam_samples
+
+type point_telemetry = {
+  pt_rotation_count : int;
+  pt_rotation_p50 : float;
+  pt_rotation_p90 : float;
+  pt_rotation_p99 : float;
+  pt_rotation_buckets : (float * int) array;
+  pt_retransmits_served : int;
+  pt_retransmits_requested : int;
+  pt_token_retransmits : int;
+  pt_duplicate_packets : int;
+  pt_duplicate_tokens : int;
+  pt_trajectory : (float * int array) list;
+}
+
+let quantile_of_dump dump total q =
+  if total = 0 then nan
+  else begin
+    let target = q *. float_of_int total in
+    let acc = ref 0 in
+    let result = ref infinity in
+    (try
+       Array.iter
+         (fun (le, n) ->
+           acc := !acc + n;
+           if float_of_int !acc >= target then begin
+             result := le;
+             raise Exit
+           end)
+         dump
+     with Exit -> ());
+    !result
+  end
+
+let collect_point_telemetry ?sampler t =
+  (* Rotation histograms live per node but only ring leaders observe;
+     merging bucket-wise covers leadership changes. *)
+  let merged = ref [||] in
+  let served = ref 0 and requested = ref 0 and tok_rtr = ref 0 in
+  let dup_p = ref 0 and dup_t = ref 0 in
+  Cluster.iter_nodes t (fun n ->
+      let srp = Cluster.srp n in
+      let d = Stats.Histogram.dump (Srp.Srp.rotation_histogram srp) in
+      if Array.length !merged = 0 then merged := Array.copy d
+      else
+        Array.iteri
+          (fun i (le, c) ->
+            let _, c0 = !merged.(i) in
+            !merged.(i) <- (le, c0 + c))
+          d;
+      let s = Srp.Srp.stats srp in
+      served := !served + s.Srp.Srp.retransmissions_served;
+      requested := !requested + s.Srp.Srp.retransmissions_requested;
+      tok_rtr := !tok_rtr + s.Srp.Srp.token_retransmits;
+      dup_p := !dup_p + s.Srp.Srp.duplicate_packets;
+      dup_t := !dup_t + s.Srp.Srp.duplicate_tokens);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 !merged in
+  {
+    pt_rotation_count = total;
+    pt_rotation_p50 = quantile_of_dump !merged total 0.5;
+    pt_rotation_p90 = quantile_of_dump !merged total 0.9;
+    pt_rotation_p99 = quantile_of_dump !merged total 0.99;
+    pt_rotation_buckets = !merged;
+    pt_retransmits_served = !served;
+    pt_retransmits_requested = !requested;
+    pt_token_retransmits = !tok_rtr;
+    pt_duplicate_packets = !dup_p;
+    pt_duplicate_tokens = !dup_t;
+    pt_trajectory =
+      (match sampler with
+      | None -> []
+      | Some s ->
+        List.map
+          (fun (time, nets) -> (Vtime.to_float_ms time, nets))
+          (fault_trajectory s));
+  }
+
 let network_utilisation t ~net =
   let network = Totem_net.Fabric.network (Cluster.fabric t) net in
   let elapsed = Vtime.to_float_sec (Cluster.now t) in

@@ -38,6 +38,48 @@ val latency_quantile : latency_probe -> float -> float
 (** Upper bound (log-spaced bucket edge) on the given latency quantile,
     in milliseconds — e.g. [latency_quantile probe 0.99]. *)
 
+val latency_histogram_dump : latency_probe -> (float * int) array
+(** Per-bucket latency counts, [(upper_bound_ms, count)] including the
+    trailing overflow bucket ([infinity]); the full distribution, so
+    baselines in different BENCH_*.json files can be compared bucket by
+    bucket rather than only through quantile upper bounds. *)
+
+(** {1 Per-point protocol telemetry} *)
+
+type fault_sampler
+
+val install_fault_sampler :
+  Cluster.t -> interval:Totem_engine.Vtime.t -> fault_sampler
+(** Samples, every [interval] of virtual time, the maximum per-network
+    problemCounter across all nodes (active replication; other styles
+    record zeros). Read-only: never perturbs protocol state or RNG
+    draws, so results are identical with or without tracing. *)
+
+val fault_trajectory : fault_sampler -> (Totem_engine.Vtime.t * int array) list
+(** Samples oldest first: (time, worst problemCounter per network). *)
+
+type point_telemetry = {
+  pt_rotation_count : int;  (** completed token rotations observed *)
+  pt_rotation_p50 : float;  (** rotation-time quantiles, milliseconds *)
+  pt_rotation_p90 : float;
+  pt_rotation_p99 : float;
+  pt_rotation_buckets : (float * int) array;
+      (** merged rotation-time histogram, as {!latency_histogram_dump} *)
+  pt_retransmits_served : int;
+  pt_retransmits_requested : int;
+  pt_token_retransmits : int;
+  pt_duplicate_packets : int;
+  pt_duplicate_tokens : int;
+  pt_trajectory : (float * int array) list;
+      (** problemCounter trajectory: (time in ms, worst count per net) *)
+}
+
+val collect_point_telemetry : ?sampler:fault_sampler -> Cluster.t -> point_telemetry
+(** Aggregate the protocol-level telemetry of a finished run: rotation
+    histograms merged across nodes, retransmission/duplicate counters
+    summed, and the fault trajectory from [sampler] if one was
+    installed. *)
+
 val network_utilisation : Cluster.t -> net:Totem_net.Addr.net_id -> float
 (** Bytes-on-wire (including Ethernet overheads) over elapsed time, as a
     fraction of the network's bandwidth. *)

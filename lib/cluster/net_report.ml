@@ -47,3 +47,26 @@ let print ?(out = Format.std_formatter) t =
         r.kbytes_on_wire (100.0 *. r.utilisation) r.buffer_drops
         (String.concat ";" (List.map string_of_int r.marked_faulty_by)))
     (collect t)
+
+(* Per-node protocol dashboard: the SRP counters plus rotation timing,
+   one row per node, followed by the telemetry registry dump. *)
+let print_protocol ?(out = Format.std_formatter) t =
+  Format.fprintf out "%-6s %10s %10s %8s %8s %8s %8s %10s@." "node"
+    "delivered" "sent" "dup pkt" "dup tok" "rtr out" "rtr req" "tok visits";
+  Cluster.iter_nodes t (fun n ->
+      let module Srp = Totem_srp.Srp in
+      let s = Srp.stats (Cluster.srp n) in
+      Format.fprintf out "%-6s %10d %10d %8d %8d %8d %8d %10d@."
+        (Printf.sprintf "N%d" (Srp.me (Cluster.srp n)))
+        s.Srp.delivered_messages s.Srp.sent_messages s.Srp.duplicate_packets
+        s.Srp.duplicate_tokens s.Srp.retransmissions_served
+        s.Srp.retransmissions_requested s.Srp.token_visits);
+  let pt = Metrics.collect_point_telemetry t in
+  if pt.Metrics.pt_rotation_count > 0 then
+    Format.fprintf out
+      "token rotations: %d  p50=%.3fms p90=%.3fms p99=%.3fms@."
+      pt.Metrics.pt_rotation_count pt.Metrics.pt_rotation_p50
+      pt.Metrics.pt_rotation_p90 pt.Metrics.pt_rotation_p99
+
+let print_telemetry ?(out = Format.std_formatter) t =
+  Totem_engine.Telemetry.pp_metrics out (Cluster.telemetry t)

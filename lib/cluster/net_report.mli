@@ -19,3 +19,11 @@ val collect : Cluster.t -> network_row list
 
 val print : ?out:Format.formatter -> Cluster.t -> unit
 (** A table, one row per network. *)
+
+val print_protocol : ?out:Format.formatter -> Cluster.t -> unit
+(** Per-node protocol dashboard: SRP delivery/duplicate/retransmission
+    counters and merged token-rotation quantiles. *)
+
+val print_telemetry : ?out:Format.formatter -> Cluster.t -> unit
+(** Dump the cluster's telemetry registry (counters, gauges,
+    histograms) as a name/value table. *)

@@ -103,6 +103,15 @@ module Histogram = struct
       !result
     end
 
+  let dump t =
+    Array.mapi
+      (fun i c ->
+        let le =
+          if i < Array.length t.bounds then t.bounds.(i) else infinity
+        in
+        (le, c))
+      t.counts
+
   let pp ppf t =
     Format.fprintf ppf "n=%d" t.n;
     Array.iteri

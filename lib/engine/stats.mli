@@ -42,5 +42,10 @@ module Histogram : sig
   (** [quantile t q] is an upper bound on the [q]-quantile (bucket upper
       edge); [q] in [0,1]. Returns [infinity] for overflow values. *)
 
+  val dump : t -> (float * int) array
+  (** [dump t] is one [(upper_bound, count)] pair per bucket, in bound
+      order, including empty buckets; the final pair has upper bound
+      [infinity] (the overflow bucket). *)
+
   val pp : Format.formatter -> t -> unit
 end

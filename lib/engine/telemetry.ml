@@ -1,0 +1,503 @@
+(* Typed telemetry: a metrics registry (counters, gauges, log-bucketed
+   histograms) plus a structured trace-event stream with exporters
+   (JSONL, metrics JSON/text, token-rotation span view).
+
+   Two delivery paths for events:
+   - a bounded ring (like the old string Trace), enabled with
+     [set_tracing], read back with [events] — what tests assert on;
+   - an optional streaming sink (e.g. a JSONL writer), which sees every
+     event regardless of the ring flag — what long runs export through.
+
+   The hot-path contract: when neither is on, [active] is false and
+   instrumented code skips constructing the event entirely, so disabled
+   telemetry costs one branch per site, exactly like [Trace.emitf]. *)
+
+(* --- events --------------------------------------------------------- *)
+
+type token_info = { ring_id : int; seq : int; rotation : int; hops : int }
+
+type release_trigger = Release_timer | Release_caught_up
+type drop_kind = Drop_token | Drop_packet
+
+type event =
+  (* token life cycle (SRP view; per-network copies are Token_copy_rx) *)
+  | Token_rx of { node : int; tok : token_info }
+  | Token_tx of { node : int; tok : token_info; rtr_len : int }
+  | Token_copy_rx of { node : int; net : int; tok : token_info }
+  | Token_retransmit of { node : int; tok : token_info }
+  | Token_loss of { node : int; ring_id : int }
+  (* passive-mode token buffering (Fig. 4) *)
+  | Token_hold of { node : int; tok : token_info; aru : int }
+  | Token_release of { node : int; ring_id : int; trigger : release_trigger }
+  (* message path *)
+  | Msg_tx of { node : int; seq : int; bytes : int }
+  | Msg_deliver of { node : int; origin : int; bytes : int }
+  | Dup_drop of { node : int; kind : drop_kind; seq : int }
+  | Rtr_request of { node : int; count : int; low : int; high : int }
+  | Rtr_serve of { node : int; seq : int }
+  (* fault monitors (Figs. 2 and 5) *)
+  | Problem_incr of { node : int; net : int; count : int }
+  | Problem_decay of { node : int; net : int; count : int }
+  | Problem_threshold of { node : int; net : int; count : int; threshold : int }
+  | Recv_lag of { node : int; net : int; behind : int; source : string }
+  | Net_fault_marked of { node : int; net : int; evidence : string }
+  (* membership *)
+  | Memb_transition of { node : int; phase : string; ring_id : int; detail : string }
+  | Ring_installed of { node : int; ring_id : int; members : int }
+  (* network layer *)
+  | Frame_loss of { net : int; src : int }
+  | Frame_blocked of { net : int; src : int; dst : int }
+  | Buffer_drop of { node : int; net : int; bytes : int }
+  | Net_status of { net : int; status : string }
+  (* escape hatch; also carries the legacy string Trace *)
+  | Custom of { component : string; message : string }
+
+type entry = { time : Vtime.t; event : event }
+
+(* --- metrics -------------------------------------------------------- *)
+
+type metric =
+  | Counter of Stats.Counter.t
+  | Gauge of (unit -> float)
+  | Histogram of Stats.Histogram.t
+
+(* Log-spaced millisecond buckets from 10 us to ~10 s; the same spacing
+   the latency probe uses, so distributions are comparable. *)
+let default_ms_buckets = Array.init 60 (fun i -> 0.01 *. (1.26 ** float_of_int i))
+
+type t = {
+  sim : Sim.t;
+  capacity : int;
+  mutable tracing : bool;
+  ring : entry option array;
+  mutable next : int;
+  mutable count : int;
+  mutable sink : (Vtime.t -> event -> unit) option;
+  registry : (string, metric) Hashtbl.t;
+  mutable names : string list;  (* registration order, newest first *)
+}
+
+let create ?(capacity = 4096) sim =
+  if capacity <= 0 then
+    invalid_arg "Telemetry.create: capacity must be positive";
+  {
+    sim;
+    capacity;
+    tracing = false;
+    ring = Array.make capacity None;
+    next = 0;
+    count = 0;
+    sink = None;
+    registry = Hashtbl.create 64;
+    names = [];
+  }
+
+let sim t = t.sim
+let set_tracing t b = t.tracing <- b
+let tracing t = t.tracing
+let set_sink t f = t.sink <- Some f
+let clear_sink t = t.sink <- None
+
+let[@inline] active t = t.tracing || t.sink <> None
+
+let emit t event =
+  (match t.sink with Some f -> f (Sim.now t.sim) event | None -> ());
+  if t.tracing then begin
+    t.ring.(t.next) <- Some { time = Sim.now t.sim; event };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- min (t.count + 1) t.capacity
+  end
+
+let custom t ~component message =
+  if active t then emit t (Custom { component; message })
+
+let customf t ~component fmt =
+  if active t then Format.kasprintf (fun s -> custom t ~component s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events_seq t =
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  let rec at i () =
+    if i >= t.count then Seq.Nil
+    else
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> Seq.Cons (e, at (i + 1))
+      | None -> at (i + 1) ()
+  in
+  at 0
+
+let events t = List.of_seq (events_seq t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+(* --- registry ------------------------------------------------------- *)
+
+let register t name m =
+  if not (Hashtbl.mem t.registry name) then t.names <- name :: t.names;
+  Hashtbl.replace t.registry name m
+
+let counter t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Counter c) -> c
+  | _ ->
+    let c = Stats.Counter.create () in
+    register t name (Counter c);
+    c
+
+let gauge t name f = register t name (Gauge f)
+
+let histogram ?(buckets = default_ms_buckets) t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Histogram h) -> h
+  | _ ->
+    let h = Stats.Histogram.create ~buckets in
+    register t name (Histogram h);
+    h
+
+let find_metric t name = Hashtbl.find_opt t.registry name
+
+let metrics t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.registry name)) t.names
+
+(* --- rendering ------------------------------------------------------ *)
+
+let type_name = function
+  | Token_rx _ -> "token_rx"
+  | Token_tx _ -> "token_tx"
+  | Token_copy_rx _ -> "token_copy_rx"
+  | Token_retransmit _ -> "token_retransmit"
+  | Token_loss _ -> "token_loss"
+  | Token_hold _ -> "token_hold"
+  | Token_release _ -> "token_release"
+  | Msg_tx _ -> "msg_tx"
+  | Msg_deliver _ -> "msg_deliver"
+  | Dup_drop _ -> "dup_drop"
+  | Rtr_request _ -> "rtr_request"
+  | Rtr_serve _ -> "rtr_serve"
+  | Problem_incr _ -> "problem_incr"
+  | Problem_decay _ -> "problem_decay"
+  | Problem_threshold _ -> "problem_threshold"
+  | Recv_lag _ -> "recv_lag"
+  | Net_fault_marked _ -> "net_fault_marked"
+  | Memb_transition _ -> "memb_transition"
+  | Ring_installed _ -> "ring_installed"
+  | Frame_loss _ -> "frame_loss"
+  | Frame_blocked _ -> "frame_blocked"
+  | Buffer_drop _ -> "buffer_drop"
+  | Net_status _ -> "net_status"
+  | Custom _ -> "custom"
+
+(* Component naming convention (see OBSERVABILITY.md): srp<N> for
+   single-ring protocol events at node N, rrp<N> for replication-layer
+   events, memb<N> for membership, net<I> for network I. *)
+let component_of = function
+  | Token_rx { node; _ } | Token_tx { node; _ } | Token_retransmit { node; _ }
+  | Token_loss { node; _ } | Msg_tx { node; _ } | Msg_deliver { node; _ }
+  | Dup_drop { node; _ } | Rtr_request { node; _ } | Rtr_serve { node; _ } ->
+    Printf.sprintf "srp%d" node
+  | Token_copy_rx { node; _ } | Token_hold { node; _ }
+  | Token_release { node; _ } | Problem_incr { node; _ }
+  | Problem_decay { node; _ } | Problem_threshold { node; _ }
+  | Recv_lag { node; _ } | Net_fault_marked { node; _ } ->
+    Printf.sprintf "rrp%d" node
+  | Memb_transition { node; _ } | Ring_installed { node; _ } ->
+    Printf.sprintf "memb%d" node
+  | Frame_loss { net; _ } | Frame_blocked { net; _ } | Net_status { net; _ } ->
+    Printf.sprintf "net%d" net
+  | Buffer_drop { net; _ } -> Printf.sprintf "net%d" net
+  | Custom { component; _ } -> component
+
+let pp_tok ppf (tk : token_info) =
+  Format.fprintf ppf "ring=%d rot=%d hop=%d seq=%d" tk.ring_id tk.rotation
+    tk.hops tk.seq
+
+let trigger_name = function
+  | Release_timer -> "timer"
+  | Release_caught_up -> "caught-up"
+
+let message_of ev =
+  Format.asprintf "%t"
+    (fun ppf ->
+      match ev with
+      | Token_rx { tok; _ } -> Format.fprintf ppf "token rx (%a)" pp_tok tok
+      | Token_tx { tok; rtr_len; _ } ->
+        Format.fprintf ppf "token tx (%a rtr=%d)" pp_tok tok rtr_len
+      | Token_copy_rx { net; tok; _ } ->
+        Format.fprintf ppf "token copy on net%d (%a)" net pp_tok tok
+      | Token_retransmit { tok; _ } ->
+        Format.fprintf ppf "token retransmit (%a)" pp_tok tok
+      | Token_loss { ring_id; _ } ->
+        Format.fprintf ppf "token loss timeout (ring=%d)" ring_id
+      | Token_hold { tok; aru; _ } ->
+        Format.fprintf ppf "token held (%a aru=%d)" pp_tok tok aru
+      | Token_release { ring_id; trigger; _ } ->
+        Format.fprintf ppf "token released (ring=%d by %s)" ring_id
+          (trigger_name trigger)
+      | Msg_tx { seq; bytes; _ } ->
+        Format.fprintf ppf "packet tx seq=%d bytes=%d" seq bytes
+      | Msg_deliver { origin; bytes; _ } ->
+        Format.fprintf ppf "deliver origin=N%d bytes=%d" origin bytes
+      | Dup_drop { kind; seq; _ } ->
+        Format.fprintf ppf "duplicate %s dropped (seq=%d)"
+          (match kind with Drop_token -> "token" | Drop_packet -> "packet")
+          seq
+      | Rtr_request { count; low; high; _ } ->
+        Format.fprintf ppf "rtr request count=%d range=[%d..%d]" count low high
+      | Rtr_serve { seq; _ } -> Format.fprintf ppf "rtr serve seq=%d" seq
+      | Problem_incr { net; count; _ } ->
+        Format.fprintf ppf "problemCounter[net%d] -> %d" net count
+      | Problem_decay { net; count; _ } ->
+        Format.fprintf ppf "problemCounter[net%d] decayed -> %d" net count
+      | Problem_threshold { net; count; threshold; _ } ->
+        Format.fprintf ppf "problemCounter[net%d]=%d crossed threshold=%d" net
+          count threshold
+      | Recv_lag { net; behind; source; _ } ->
+        Format.fprintf ppf "recvCount lag on net%d: %d behind (%s)" net behind
+          source
+      | Net_fault_marked { net; evidence; _ } ->
+        Format.fprintf ppf "marked net%d faulty: %s" net evidence
+      | Memb_transition { phase; ring_id; detail; _ } ->
+        Format.fprintf ppf "-> %s (ring=%d): %s" phase ring_id detail
+      | Ring_installed { ring_id; members; _ } ->
+        Format.fprintf ppf "installed ring %d (%d members)" ring_id members
+      | Frame_loss { src; _ } -> Format.fprintf ppf "frame lost (src=N%d)" src
+      | Frame_blocked { src; dst; _ } ->
+        Format.fprintf ppf "frame blocked (N%d -> N%d)" src dst
+      | Buffer_drop { bytes; _ } ->
+        Format.fprintf ppf "recv buffer overflow, dropped %d bytes" bytes
+      | Net_status { status; _ } -> Format.fprintf ppf "status: %s" status
+      | Custom { message; _ } -> Format.pp_print_string ppf message)
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%-10s %s" (component_of ev) (message_of ev)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %a" Vtime.pp e.time pp_event e.event
+
+(* --- JSONL export --------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Flat field list per event; every line carries t_ns + type. *)
+let fields_of_event ev =
+  let i k v = (k, string_of_int v) in
+  let s k v = (k, Printf.sprintf "\"%s\"" (json_escape v)) in
+  let tokf (tk : token_info) =
+    [ i "ring_id" tk.ring_id; i "seq" tk.seq; i "rotation" tk.rotation;
+      i "hops" tk.hops ]
+  in
+  match ev with
+  | Token_rx { node; tok } -> i "node" node :: tokf tok
+  | Token_tx { node; tok; rtr_len } ->
+    (i "node" node :: tokf tok) @ [ i "rtr_len" rtr_len ]
+  | Token_copy_rx { node; net; tok } ->
+    i "node" node :: i "net" net :: tokf tok
+  | Token_retransmit { node; tok } -> i "node" node :: tokf tok
+  | Token_loss { node; ring_id } -> [ i "node" node; i "ring_id" ring_id ]
+  | Token_hold { node; tok; aru } ->
+    (i "node" node :: tokf tok) @ [ i "aru" aru ]
+  | Token_release { node; ring_id; trigger } ->
+    [ i "node" node; i "ring_id" ring_id; s "trigger" (trigger_name trigger) ]
+  | Msg_tx { node; seq; bytes } -> [ i "node" node; i "seq" seq; i "bytes" bytes ]
+  | Msg_deliver { node; origin; bytes } ->
+    [ i "node" node; i "origin" origin; i "bytes" bytes ]
+  | Dup_drop { node; kind; seq } ->
+    [ i "node" node;
+      s "kind" (match kind with Drop_token -> "token" | Drop_packet -> "packet");
+      i "seq" seq ]
+  | Rtr_request { node; count; low; high } ->
+    [ i "node" node; i "count" count; i "low" low; i "high" high ]
+  | Rtr_serve { node; seq } -> [ i "node" node; i "seq" seq ]
+  | Problem_incr { node; net; count } | Problem_decay { node; net; count } ->
+    [ i "node" node; i "net" net; i "count" count ]
+  | Problem_threshold { node; net; count; threshold } ->
+    [ i "node" node; i "net" net; i "count" count; i "threshold" threshold ]
+  | Recv_lag { node; net; behind; source } ->
+    [ i "node" node; i "net" net; i "behind" behind; s "source" source ]
+  | Net_fault_marked { node; net; evidence } ->
+    [ i "node" node; i "net" net; s "evidence" evidence ]
+  | Memb_transition { node; phase; ring_id; detail } ->
+    [ i "node" node; s "phase" phase; i "ring_id" ring_id; s "detail" detail ]
+  | Ring_installed { node; ring_id; members } ->
+    [ i "node" node; i "ring_id" ring_id; i "members" members ]
+  | Frame_loss { net; src } -> [ i "net" net; i "src" src ]
+  | Frame_blocked { net; src; dst } -> [ i "net" net; i "src" src; i "dst" dst ]
+  | Buffer_drop { node; net; bytes } ->
+    [ i "node" node; i "net" net; i "bytes" bytes ]
+  | Net_status { net; status } -> [ i "net" net; s "status" status ]
+  | Custom { component; message } ->
+    [ s "component" component; s "message" message ]
+
+let json_of_event time ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"t_ns\":%d,\"type\":\"%s\"" time (type_name ev));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" k v))
+    (fields_of_event ev);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let jsonl_sink oc time ev =
+  output_string oc (json_of_event time ev);
+  output_char oc '\n'
+
+let write_jsonl oc t =
+  Seq.iter (fun e -> jsonl_sink oc e.time e.event) (events_seq t)
+
+(* --- metrics export ------------------------------------------------- *)
+
+let metrics_json t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n  \"schema\": \"totem-metrics/v1\",\n  \"metrics\": [\n";
+  let ms = metrics t in
+  List.iteri
+    (fun i (name, m) ->
+      pf "    {\"name\": \"%s\", " (json_escape name);
+      (match m with
+      | Counter c -> pf "\"type\": \"counter\", \"value\": %d" (Stats.Counter.value c)
+      | Gauge f -> pf "\"type\": \"gauge\", \"value\": %.6g" (f ())
+      | Histogram h ->
+        pf "\"type\": \"histogram\", \"count\": %d, \"buckets\": ["
+          (Stats.Histogram.count h);
+        let first = ref true in
+        Array.iter
+          (fun (le, n) ->
+            if n > 0 then begin
+              if not !first then pf ", ";
+              first := false;
+              if le = infinity then pf "{\"le\": \"inf\", \"n\": %d}" n
+              else pf "{\"le\": %.6g, \"n\": %d}" le n
+            end)
+          (Stats.Histogram.dump h);
+        pf "]");
+      pf "}%s\n" (if i < List.length ms - 1 then "," else ""))
+    ms;
+  pf "  ]\n}\n";
+  Buffer.contents buf
+
+let pp_metrics ppf t =
+  Format.fprintf ppf "%-40s %12s@." "metric" "value";
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+        Format.fprintf ppf "%-40s %12d@." name (Stats.Counter.value c)
+      | Gauge f -> Format.fprintf ppf "%-40s %12.6g@." name (f ())
+      | Histogram h ->
+        Format.fprintf ppf "%-40s %12s %a@." name
+          (Printf.sprintf "n=%d" (Stats.Histogram.count h))
+          Stats.Histogram.pp h)
+    (metrics t)
+
+(* --- token-rotation span view --------------------------------------- *)
+
+type span = {
+  sp_ring_id : int;
+  sp_rotation : int;
+  sp_start : Vtime.t;
+  sp_end : Vtime.t;
+  sp_visits : int;
+  sp_subs : entry list;  (* retransmit / hold / stall activity, oldest first *)
+}
+
+let spans_of_events entries =
+  (* Group the stream into one span per (ring, rotation), delimited by
+     the token-visit events that carry the rotation counter. Sub-events
+     (retransmissions, holds, losses, problem counters) between two
+     rotation boundaries belong to the enclosing span. *)
+  let spans = ref [] in
+  let current = ref None in
+  let flush till =
+    match !current with
+    | Some (ring_id, rot, t0, t1, visits, subs) ->
+      let t1 = match till with Some t -> t | None -> t1 in
+      spans :=
+        {
+          sp_ring_id = ring_id;
+          sp_rotation = rot;
+          sp_start = t0;
+          sp_end = t1;
+          sp_visits = visits;
+          sp_subs = List.rev subs;
+        }
+        :: !spans;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun e ->
+      let boundary ring_id rot =
+        match !current with
+        | Some (r, ro, t0, _, visits, subs) when r = ring_id && ro = rot ->
+          current := Some (r, ro, t0, e.time, visits + 1, subs)
+        | Some _ ->
+          flush (Some e.time);
+          current := Some (ring_id, rot, e.time, e.time, 1, [])
+        | None -> current := Some (ring_id, rot, e.time, e.time, 1, [])
+      in
+      match e.event with
+      | Token_rx { tok; _ } -> boundary tok.ring_id tok.rotation
+      | Token_retransmit _ | Token_loss _ | Token_hold _ | Token_release _
+      | Rtr_request _ | Rtr_serve _ | Problem_incr _ | Problem_threshold _
+      | Dup_drop { kind = Drop_token; _ } -> (
+        match !current with
+        | Some (r, ro, t0, _, visits, subs) ->
+          current := Some (r, ro, t0, e.time, visits, e :: subs)
+        | None -> ())
+      | _ -> ())
+    entries;
+  flush None;
+  List.rev !spans
+
+let token_spans t = spans_of_events (events t)
+
+let pp_spans ppf spans =
+  match spans with
+  | [] -> Format.fprintf ppf "(no token rotations recorded)@."
+  | _ ->
+    let dur sp = Vtime.sub sp.sp_end sp.sp_start in
+    let max_dur = List.fold_left (fun acc sp -> max acc (dur sp)) 1 spans in
+    Format.fprintf ppf
+      "token rotation spans (virtual time; bar = rotation duration):@.";
+    let last_ring = ref (-1) in
+    List.iter
+      (fun sp ->
+        if sp.sp_ring_id <> !last_ring then begin
+          last_ring := sp.sp_ring_id;
+          Format.fprintf ppf "ring %d:@." sp.sp_ring_id
+        end;
+        let width = 30 in
+        let filled =
+          max 1 (dur sp * width / max_dur)
+        in
+        Format.fprintf ppf "  rot %5d  %8.3fms .. %8.3fms  %8.3fms |%s%s| visits=%d@."
+          sp.sp_rotation
+          (Vtime.to_float_ms sp.sp_start)
+          (Vtime.to_float_ms sp.sp_end)
+          (Vtime.to_float_ms (dur sp))
+          (String.make (min filled width) '#')
+          (String.make (width - min filled width) ' ')
+          sp.sp_visits;
+        List.iter
+          (fun e ->
+            Format.fprintf ppf "      +%8.3fms %a@."
+              (Vtime.to_float_ms (Vtime.sub e.time sp.sp_start))
+              pp_event e.event)
+          sp.sp_subs)
+      spans

@@ -1,0 +1,188 @@
+(** Typed telemetry: metrics registry plus structured trace events.
+
+    One [Telemetry.t] serves a whole simulation. Components register
+    named metrics (counters, gauges, histograms) at construction time
+    and emit structured [event]s from their hot paths, guarded by
+    [active] so that disabled telemetry costs a single branch per site.
+
+    Events travel two ways: into a bounded ring (enabled with
+    [set_tracing], read back with [events] / [events_seq]) and into an
+    optional streaming [sink] such as [jsonl_sink]. Neither path may
+    influence protocol behaviour: telemetry never draws randomness,
+    never schedules events, and only reads simulation state, so figures
+    are bitwise identical with tracing on or off.
+
+    See OBSERVABILITY.md for the event taxonomy and naming scheme. *)
+
+type token_info = { ring_id : int; seq : int; rotation : int; hops : int }
+(** Snapshot of the token fields relevant to tracing. [hops] counts
+    token visits since this ring formed; [rotation] full circuits. *)
+
+type release_trigger =
+  | Release_timer  (** passive buffer released by the 10 ms timeout *)
+  | Release_caught_up  (** released early: missing messages arrived *)
+
+type drop_kind = Drop_token | Drop_packet
+
+type event =
+  | Token_rx of { node : int; tok : token_info }
+  | Token_tx of { node : int; tok : token_info; rtr_len : int }
+  | Token_copy_rx of { node : int; net : int; tok : token_info }
+  | Token_retransmit of { node : int; tok : token_info }
+  | Token_loss of { node : int; ring_id : int }
+  | Token_hold of { node : int; tok : token_info; aru : int }
+  | Token_release of { node : int; ring_id : int; trigger : release_trigger }
+  | Msg_tx of { node : int; seq : int; bytes : int }
+  | Msg_deliver of { node : int; origin : int; bytes : int }
+  | Dup_drop of { node : int; kind : drop_kind; seq : int }
+  | Rtr_request of { node : int; count : int; low : int; high : int }
+  | Rtr_serve of { node : int; seq : int }
+  | Problem_incr of { node : int; net : int; count : int }
+  | Problem_decay of { node : int; net : int; count : int }
+  | Problem_threshold of { node : int; net : int; count : int; threshold : int }
+  | Recv_lag of { node : int; net : int; behind : int; source : string }
+  | Net_fault_marked of { node : int; net : int; evidence : string }
+  | Memb_transition of {
+      node : int;
+      phase : string;
+      ring_id : int;
+      detail : string;
+    }
+  | Ring_installed of { node : int; ring_id : int; members : int }
+  | Frame_loss of { net : int; src : int }
+  | Frame_blocked of { net : int; src : int; dst : int }
+  | Buffer_drop of { node : int; net : int; bytes : int }
+  | Net_status of { net : int; status : string }
+  | Custom of { component : string; message : string }
+
+type entry = { time : Vtime.t; event : event }
+
+type t
+
+val create : ?capacity:int -> Sim.t -> t
+(** [create sim] makes a telemetry hub whose event ring holds
+    [capacity] (default 4096) entries, overwriting the oldest.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val sim : t -> Sim.t
+
+val set_tracing : t -> bool -> unit
+(** Turn ring capture on or off. Off by default. *)
+
+val tracing : t -> bool
+
+val set_sink : t -> (Vtime.t -> event -> unit) -> unit
+(** Install a streaming sink; it observes every event, including when
+    ring tracing is off. *)
+
+val clear_sink : t -> unit
+
+val active : t -> bool
+(** True when tracing is on or a sink is installed — the guard
+    instrumented code checks before building an event. *)
+
+val emit : t -> event -> unit
+(** Record [event] at the current simulation time. Callers normally
+    guard with [if Telemetry.active t then ...] to avoid allocating the
+    event when nobody is listening. *)
+
+val custom : t -> component:string -> string -> unit
+(** [custom t ~component msg] emits a [Custom] event (no-op when not
+    [active]); the compatibility path for legacy string traces. *)
+
+val customf :
+  t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Printf-style [custom]; the format arguments are not evaluated when
+    telemetry is inactive. *)
+
+val events : t -> entry list
+(** Ring contents, oldest first. *)
+
+val events_seq : t -> entry Seq.t
+(** Allocation-free iteration over the ring, oldest first. *)
+
+val clear : t -> unit
+(** Empty the event ring (metrics are untouched). *)
+
+(** {1 Metrics registry}
+
+    Metric names are dot-separated paths: [<component>.<instance>.<what>],
+    e.g. [srp.3.retransmits_served] or [net.0.frames_lost]. *)
+
+type metric =
+  | Counter of Stats.Counter.t
+  | Gauge of (unit -> float)
+  | Histogram of Stats.Histogram.t
+
+val counter : t -> string -> Stats.Counter.t
+(** [counter t name] registers (or retrieves) the counter [name]. The
+    returned counter is incremented directly — O(1), no lookup on the
+    hot path. *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register a gauge read lazily at export time; the closure must be
+    read-only. *)
+
+val histogram : ?buckets:float array -> t -> string -> Stats.Histogram.t
+(** [histogram t name] registers (or retrieves) a histogram; default
+    buckets are [default_ms_buckets]. *)
+
+val default_ms_buckets : float array
+(** 60 log-spaced bucket bounds from 0.01 ms to ~10 s (ratio 1.26), the
+    same spacing the cluster latency probe uses. *)
+
+val find_metric : t -> string -> metric option
+
+val metrics : t -> (string * metric) list
+(** All registered metrics in registration order. *)
+
+(** {1 Exporters} *)
+
+val json_of_event : Vtime.t -> event -> string
+(** One JSON object (no trailing newline): [{"t_ns":..,"type":..,...}]. *)
+
+val jsonl_sink : out_channel -> Vtime.t -> event -> unit
+(** A sink that writes one JSON line per event to the channel. *)
+
+val write_jsonl : out_channel -> t -> unit
+(** Dump the current ring contents as JSON lines. *)
+
+val metrics_json : t -> string
+(** The registry as a JSON document (schema ["totem-metrics/v1"]):
+    counters and gauges with values, histograms with non-empty
+    per-bucket counts. *)
+
+val pp_metrics : Format.formatter -> t -> unit
+(** Text dashboard of the registry. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val component_of : event -> string
+(** Component label, e.g. ["srp3"], ["rrp0"], ["net1"]. *)
+
+val message_of : event -> string
+(** Human-readable rendering, matching the legacy [Trace] style. *)
+
+val type_name : event -> string
+(** Stable snake_case tag used in JSONL output, e.g. ["token_rx"]. *)
+
+(** {1 Token-rotation span view}
+
+    A flamegraph-style view over virtual time: one span per (ring,
+    rotation counter), delimited by [Token_rx] events, with nested
+    sub-events (retransmissions, holds/releases, losses, problem
+    counters) attributed to the enclosing rotation. *)
+
+type span = {
+  sp_ring_id : int;
+  sp_rotation : int;
+  sp_start : Vtime.t;
+  sp_end : Vtime.t;
+  sp_visits : int;  (** token visits observed within the span *)
+  sp_subs : entry list;  (** nested activity, oldest first *)
+}
+
+val spans_of_events : entry list -> span list
+val token_spans : t -> span list
+val pp_spans : Format.formatter -> span list -> unit

@@ -1,53 +1,33 @@
+(* Compatibility shim over [Telemetry]. A [Trace.t] *is* a telemetry
+   hub: legacy string emits become [Custom] events in the shared
+   structured stream, and [records] renders whatever the ring holds —
+   including structured events from instrumented components — back into
+   the historical [(time, component, message)] form. *)
+
 type record = {
   time : Vtime.t;
   component : string;
   message : string;
 }
 
-type t = {
-  sim : Sim.t;
-  capacity : int;
-  mutable enabled : bool;
-  mutable ring : record option array;
-  mutable next : int;
-  mutable count : int;
-}
+type t = Telemetry.t
 
-let create ?(capacity = 4096) sim =
+let create ?(capacity = 4096) sim = Telemetry.create ~capacity sim
+let enable t = Telemetry.set_tracing t true
+let disable t = Telemetry.set_tracing t false
+let enabled = Telemetry.tracing
+let emit t ~component message = Telemetry.custom t ~component message
+let emitf t ~component fmt = Telemetry.customf t ~component fmt
+
+let record_of_entry (e : Telemetry.entry) =
   {
-    sim;
-    capacity;
-    enabled = false;
-    ring = Array.make capacity None;
-    next = 0;
-    count = 0;
+    time = e.Telemetry.time;
+    component = Telemetry.component_of e.Telemetry.event;
+    message = Telemetry.message_of e.Telemetry.event;
   }
 
-let enable t = t.enabled <- true
-let disable t = t.enabled <- false
-let enabled t = t.enabled
-
-let emit t ~component message =
-  if t.enabled then begin
-    t.ring.(t.next) <- Some { time = Sim.now t.sim; component; message };
-    t.next <- (t.next + 1) mod t.capacity;
-    t.count <- min (t.count + 1) t.capacity
-  end
-
-let emitf t ~component fmt =
-  if t.enabled then
-    Format.kasprintf (fun s -> emit t ~component s) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-
-let records t =
-  let out = ref [] in
-  let start = (t.next - t.count + t.capacity) mod t.capacity in
-  for i = t.count - 1 downto 0 do
-    match t.ring.((start + i) mod t.capacity) with
-    | Some r -> out := r :: !out
-    | None -> ()
-  done;
-  !out
+let to_seq t = Seq.map record_of_entry (Telemetry.events_seq t)
+let records t = List.of_seq (to_seq t)
 
 let find t ~component ~substring =
   let contains haystack needle =
@@ -55,17 +35,14 @@ let find t ~component ~substring =
     let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
     nl = 0 || at 0
   in
-  List.find_opt
+  Seq.find
     (fun r -> r.component = component && contains r.message substring)
-    (records t)
+    (to_seq t)
 
 let dump ppf t =
-  List.iter
+  Seq.iter
     (fun r ->
       Format.fprintf ppf "[%a] %-12s %s@." Vtime.pp r.time r.component r.message)
-    (records t)
+    (to_seq t)
 
-let clear t =
-  Array.fill t.ring 0 t.capacity None;
-  t.next <- 0;
-  t.count <- 0
+let clear = Telemetry.clear

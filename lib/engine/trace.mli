@@ -1,11 +1,16 @@
-(** Lightweight event tracing.
+(** Lightweight event tracing (compatibility layer).
 
-    A bounded ring of [(time, component, message)] records, disabled by
-    default so that benchmark runs pay only a branch. Tests enable it to
-    assert on protocol event sequences; examples enable it to narrate
-    runs. *)
+    Historically a standalone ring of [(time, component, message)]
+    strings; now a thin view over {!Telemetry}: a [Trace.t] is the
+    telemetry hub itself, string emits become [Telemetry.Custom]
+    events, and [records] renders the shared structured event ring —
+    including events emitted by instrumented protocol components — in
+    the legacy string form. Disabled by default so that benchmark runs
+    pay only a branch. *)
 
-type t
+type t = Telemetry.t
+(** A trace is the underlying telemetry hub; pass it to
+    [Telemetry] functions for structured access. *)
 
 type record = {
   time : Vtime.t;
@@ -14,7 +19,8 @@ type record = {
 }
 
 val create : ?capacity:int -> Sim.t -> t
-(** Default capacity is 4096 records; older records are overwritten. *)
+(** Default capacity is 4096 records; older records are overwritten.
+    @raise Invalid_argument if [capacity <= 0]. *)
 
 val enable : t -> unit
 val disable : t -> unit
@@ -30,6 +36,9 @@ val emitf :
 
 val records : t -> record list
 (** Oldest first. *)
+
+val to_seq : t -> record Seq.t
+(** Allocation-free iteration, oldest first. *)
 
 val find : t -> component:string -> substring:string -> record option
 (** First record from [component] whose message contains [substring]. *)

@@ -5,9 +5,11 @@ type t = {
   networks : Network.t array;
   nics : Nic.t option array array; (* nics.(node).(net) *)
   num_nodes : int;
+  telemetry : Telemetry.t option;
 }
 
-let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs () =
+let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
+    ?telemetry () =
   if num_nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
   if num_nets <= 0 then invalid_arg "Fabric.create: need at least one network";
   (match configs with
@@ -21,11 +23,15 @@ let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs 
     Array.init num_nets (fun i ->
         Network.create sim ~id:i ~config:(config_of i) ~rng:(Sim.split_rng sim))
   in
+  (match telemetry with
+  | Some tl -> Array.iter (fun n -> Network.set_telemetry n tl) networks
+  | None -> ());
   {
     sim;
     networks;
     nics = Array.make_matrix num_nodes num_nets None;
     num_nodes;
+    telemetry;
   }
 
 let num_nodes t = t.num_nodes
@@ -42,6 +48,9 @@ let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
   Array.iteri
     (fun net_id network ->
       let nic = Nic.create t.sim ~node ~net:net_id ?buffer_bytes () in
+      (match t.telemetry with
+      | Some tl -> Nic.set_telemetry nic tl
+      | None -> ());
       Nic.set_receiver nic ?cpu ?recv_cost (fun frame ->
           handler ~net:net_id frame);
       Network.attach network nic;

@@ -13,11 +13,14 @@ val create :
   num_nets:int ->
   ?config:Network.config ->
   ?configs:Network.config array ->
+  ?telemetry:Totem_engine.Telemetry.t ->
   unit ->
   t
 (** [configs], when given, sets per-network parameters (length must be
     [num_nets]); otherwise every network uses [config] (default
-    {!Network.default_config}). *)
+    {!Network.default_config}). [telemetry], when given, is propagated
+    to every network and NIC so the net layer emits structured events
+    (frame loss/block, buffer drops, fault-state changes). *)
 
 val num_nodes : t -> int
 

@@ -4,6 +4,7 @@ type t = {
   recv_blocked : (Addr.node_id, unit) Hashtbl.t;
   pair_blocked : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
   mutable loss_prob : float;
+  mutable notify : (string -> unit) option;
 }
 
 let create () =
@@ -13,9 +14,17 @@ let create () =
     recv_blocked = Hashtbl.create 8;
     pair_blocked = Hashtbl.create 8;
     loss_prob = 0.0;
+    notify = None;
   }
 
-let set_down t b = t.down <- b
+let set_notify t f = t.notify <- Some f
+
+let notify t msg = match t.notify with Some f -> f msg | None -> ()
+
+let set_down t b =
+  if t.down <> b then notify t (if b then "down" else "up");
+  t.down <- b
+
 let is_down t = t.down
 
 let block_send t n = Hashtbl.replace t.send_blocked n ()
@@ -31,6 +40,7 @@ let unblock_pair t ~src ~dst = Hashtbl.remove t.pair_blocked (src, dst)
 
 let set_loss_probability t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Fault.set_loss_probability";
+  if t.loss_prob <> p then notify t (Printf.sprintf "loss probability %.3g" p);
   t.loss_prob <- p
 
 let loss_probability t = t.loss_prob
@@ -46,6 +56,12 @@ let delivers t ~src ~dst =
       || not (Hashtbl.mem t.pair_blocked (src, dst)))
 
 let heal t =
+  if
+    t.down || t.loss_prob > 0.0
+    || Hashtbl.length t.send_blocked > 0
+    || Hashtbl.length t.recv_blocked > 0
+    || Hashtbl.length t.pair_blocked > 0
+  then notify t "healed";
   t.down <- false;
   Hashtbl.reset t.send_blocked;
   Hashtbl.reset t.recv_blocked;

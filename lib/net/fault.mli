@@ -51,3 +51,9 @@ val delivers : t -> src:Addr.node_id -> dst:Addr.node_id -> bool
 
 val heal : t -> unit
 (** Clears every fault and the loss probability. *)
+
+val set_notify : t -> (string -> unit) -> unit
+(** Install an observer called with a short status string whenever the
+    fault state changes observably ([set_down], [set_loss_probability],
+    [heal]); used by telemetry to record [Net_status] events. The
+    observer must not mutate fault state. *)

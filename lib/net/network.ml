@@ -32,6 +32,7 @@ type t = {
   lost : Stats.Counter.t;
   faulted : Stats.Counter.t;
   mutable wire_bytes : int;
+  mutable telemetry : Telemetry.t option;
 }
 
 let create sim ~id ~config ~rng =
@@ -50,11 +51,19 @@ let create sim ~id ~config ~rng =
     lost = Stats.Counter.create ();
     faulted = Stats.Counter.create ();
     wire_bytes = 0;
+    telemetry = None;
   }
 
 let id t = t.net_id
 let config t = t.config
 let fault t = t.fault
+
+let set_telemetry t tl =
+  t.telemetry <- Some tl;
+  (* Fault-state changes (down/heal/loss) become Net_status events. *)
+  Fault.set_notify t.fault (fun status ->
+      if Telemetry.active tl then
+        Telemetry.emit tl (Telemetry.Net_status { net = t.net_id; status }))
 
 let attach t nic =
   let node = Nic.node nic in
@@ -83,14 +92,27 @@ let occupy_medium t frame =
 
 let deliver_to t nic frame ~wire_done =
   let dst = Nic.node nic in
-  if not (Fault.delivers t.fault ~src:frame.Frame.src ~dst) then
-    Stats.Counter.incr t.faulted
+  if not (Fault.delivers t.fault ~src:frame.Frame.src ~dst) then begin
+    Stats.Counter.incr t.faulted;
+    match t.telemetry with
+    | Some tl when Telemetry.active tl ->
+      Telemetry.emit tl
+        (Telemetry.Frame_blocked { net = t.net_id; src = frame.Frame.src; dst })
+    | _ -> ()
+  end
   else if
     (* Skip the random draw entirely on loss-free networks: one float
        draw per delivery is pure overhead in the common case. *)
     let p = Fault.loss_probability t.fault in
     p > 0.0 && Rng.bernoulli t.rng p
-  then Stats.Counter.incr t.lost
+  then begin
+    Stats.Counter.incr t.lost;
+    match t.telemetry with
+    | Some tl when Telemetry.active tl ->
+      Telemetry.emit tl
+        (Telemetry.Frame_loss { net = t.net_id; src = frame.Frame.src })
+    | _ -> ()
+  end
   else begin
     let jitter =
       if t.config.jitter = Vtime.zero then Vtime.zero

@@ -39,6 +39,10 @@ val config : t -> config
 val fault : t -> Fault.t
 (** The network's mutable fault state, for injection by scenarios. *)
 
+val set_telemetry : t -> Totem_engine.Telemetry.t -> unit
+(** Emit structured events for dropped deliveries ([Frame_loss],
+    [Frame_blocked]) and fault-state changes ([Net_status]). *)
+
 val attach : t -> Nic.t -> unit
 (** @raise Invalid_argument if a NIC for the same node is attached. *)
 

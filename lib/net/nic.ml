@@ -16,6 +16,7 @@ type t = {
   mutable last_arrival : Vtime.t;
   received : Stats.Counter.t;
   dropped : Stats.Counter.t;
+  mutable telemetry : Telemetry.t option;
 }
 
 let create sim ~node ~net ?(buffer_bytes = 65536) () =
@@ -29,10 +30,12 @@ let create sim ~node ~net ?(buffer_bytes = 65536) () =
     last_arrival = Vtime.zero;
     received = Stats.Counter.create ();
     dropped = Stats.Counter.create ();
+    telemetry = None;
   }
 
 let node t = t.node_id
 let net t = t.net_id
+let set_telemetry t tl = t.telemetry <- Some tl
 
 let set_receiver t ?cpu ?(recv_cost = fun _ -> Vtime.zero) handler =
   t.receiver <- Some { cpu; recv_cost; handler }
@@ -45,7 +48,15 @@ let arrive t frame =
     handler frame
   | Some { cpu = Some cpu; recv_cost; handler } ->
     let size = Frame.wire_bytes frame in
-    if t.in_use + size > t.buffer_bytes then Stats.Counter.incr t.dropped
+    if t.in_use + size > t.buffer_bytes then begin
+      Stats.Counter.incr t.dropped;
+      match t.telemetry with
+      | Some tl when Telemetry.active tl ->
+        Telemetry.emit tl
+          (Telemetry.Buffer_drop
+             { node = t.node_id; net = t.net_id; bytes = size })
+      | _ -> ()
+    end
     else begin
       t.in_use <- t.in_use + size;
       Stats.Counter.incr t.received;

@@ -21,6 +21,9 @@ val node : t -> Addr.node_id
 
 val net : t -> Addr.net_id
 
+val set_telemetry : t -> Totem_engine.Telemetry.t -> unit
+(** Emit [Buffer_drop] events for buffer-full drops. *)
+
 val set_receiver :
   t ->
   ?cpu:Totem_engine.Cpu.t ->

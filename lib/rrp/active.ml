@@ -29,20 +29,48 @@ let rec create base =
      accumulated over a long run do not condemn a healthy network (A6;
      "not shown in Figure 2"). *)
   Layer.every base (Layer.config base).Rrp_config.active_decay_interval (fun () ->
-      Array.iteri (fun i c -> if c > 0 then t.problem.(i) <- c - 1) t.problem);
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            t.problem.(i) <- c - 1;
+            if Layer.tel_active base then
+              Layer.tel_emit base
+                (Telemetry.Problem_decay
+                   { node = Layer.node base; net = i; count = c - 1 })
+          end)
+        t.problem);
+  (match Layer.telemetry base with
+  | Some tl ->
+    for i = 0 to n - 1 do
+      Telemetry.gauge tl
+        (Printf.sprintf "rrp.active.%d.problem.net%d" (Layer.node base) i)
+        (fun () -> float_of_int t.problem.(i))
+    done
+  | None -> ());
   t
 
 (* Fig. 2 tokenTimerExpired *)
 and token_timer_expired t =
+  let node = Layer.node t.base in
   Array.iteri
     (fun i received ->
-      if not received then t.problem.(i) <- t.problem.(i) + 1)
+      if not received then begin
+        t.problem.(i) <- t.problem.(i) + 1;
+        if Layer.tel_active t.base then
+          Layer.tel_emit t.base
+            (Telemetry.Problem_incr { node; net = i; count = t.problem.(i) })
+      end)
     t.recv_last;
   Array.iteri
     (fun i c ->
-      if c >= (Layer.config t.base).Rrp_config.active_problem_threshold then
+      let threshold = (Layer.config t.base).Rrp_config.active_problem_threshold in
+      if c >= threshold then begin
+        if Layer.tel_active t.base && not (Layer.is_faulty t.base ~net:i) then
+          Layer.tel_emit t.base
+            (Telemetry.Problem_threshold { node; net = i; count = c; threshold });
         Layer.mark_faulty t.base ~net:i
-          ~evidence:(Fault_report.Token_timeouts c))
+          ~evidence:(Fault_report.Token_timeouts c)
+      end)
     t.problem;
   match t.last_token with
   | Some tok -> (Layer.callbacks t.base).Callbacks.deliver_token tok
@@ -73,6 +101,10 @@ let timer t = Option.get t.token_timer
 
 (* Fig. 2 recvToken *)
 let on_token t ~net tok =
+  if Layer.tel_active t.base then
+    Layer.tel_emit t.base
+      (Telemetry.Token_copy_rx
+         { node = Layer.node t.base; net; tok = Layer.tok_info tok });
   let is_new =
     match t.last_token with
     | None -> true

@@ -49,6 +49,14 @@ and token_timer_expired t =
   match t.last_token with
   | Some tok when not t.delivered_last ->
     t.delivered_last <- true;
+    if Layer.tel_active t.base then
+      Layer.tel_emit t.base
+        (Telemetry.Token_release
+           {
+             node = Layer.node t.base;
+             ring_id = tok.Srp.Token.ring_id;
+             trigger = Telemetry.Release_timer;
+           });
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | _ -> ()
 
@@ -95,9 +103,22 @@ let lower t =
       (fun () -> min t.k (Layer.non_faulty_count base));
   }
 
+let source_string = function
+  | Fault_report.Token_traffic -> "token traffic"
+  | Fault_report.Message_traffic n -> Printf.sprintf "messages from N%d" n
+
 let check_monitor t monitor ~source =
   List.iter
     (fun (net, behind) ->
+      if Layer.tel_active t.base && not (Layer.is_faulty t.base ~net) then
+        Layer.tel_emit t.base
+          (Telemetry.Recv_lag
+             {
+               node = Layer.node t.base;
+               net;
+               behind;
+               source = source_string source;
+             });
       Layer.mark_faulty t.base ~net
         ~evidence:(Fault_report.Reception_lag { source; behind }))
     (Monitor.lagging monitor)
@@ -118,6 +139,10 @@ let copies_received t =
 
 (* Stage 2: the active-style wait for K copies. *)
 let on_token t ~net tok =
+  if Layer.tel_active t.base then
+    Layer.tel_emit t.base
+      (Telemetry.Token_copy_rx
+         { node = Layer.node t.base; net; tok = Layer.tok_info tok });
   Monitor.note t.token_monitor ~net;
   check_monitor t t.token_monitor ~source:Fault_report.Token_traffic;
   let is_new =

@@ -48,6 +48,29 @@ let emit b fmt =
   | Some tr -> Trace.emitf tr ~component:(Printf.sprintf "rrp%d" b.node) fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
+let telemetry b = b.trace
+
+let[@inline] tel_active b =
+  match b.trace with Some tl -> Telemetry.active tl | None -> false
+
+let tel_emit b ev =
+  match b.trace with Some tl -> Telemetry.emit tl ev | None -> ()
+
+let tok_info (tok : Srp.Token.t) =
+  {
+    Telemetry.ring_id = tok.ring_id;
+    seq = tok.seq;
+    rotation = tok.rotation;
+    hops = tok.hops;
+  }
+
+let evidence_string = function
+  | Fault_report.Token_timeouts n -> Printf.sprintf "%d token timeouts" n
+  | Fault_report.Reception_lag { source = Token_traffic; behind } ->
+    Printf.sprintf "token traffic lagging by %d" behind
+  | Fault_report.Reception_lag { source = Message_traffic n; behind } ->
+    Printf.sprintf "messages from N%d lagging by %d" n behind
+
 let mark_faulty b ~net ~evidence =
   if (not b.faulty.(net)) && non_faulty_count b > 1 then begin
     b.faulty.(net) <- true;
@@ -55,6 +78,10 @@ let mark_faulty b ~net ~evidence =
       { Fault_report.time = Sim.now b.sim; reporter = b.node; net; evidence }
     in
     b.reports <- b.reports @ [ report ];
+    if tel_active b then
+      tel_emit b
+        (Telemetry.Net_fault_marked
+           { node = b.node; net; evidence = evidence_string evidence });
     emit b "fault report: %a" Fault_report.pp report;
     b.callbacks.Callbacks.on_fault_report report
   end

@@ -24,6 +24,18 @@ val config : base -> Rrp_config.t
 val callbacks : base -> Callbacks.t
 val num_nets : base -> int
 
+val telemetry : base -> Totem_engine.Telemetry.t option
+(** The telemetry hub the base was built with (the [?trace] argument —
+    a [Trace.t] is a [Telemetry.t]). *)
+
+val tel_active : base -> bool
+(** Hot-path guard: true when structured events have a listener. *)
+
+val tel_emit : base -> Totem_engine.Telemetry.event -> unit
+
+val tok_info : Totem_srp.Token.t -> Totem_engine.Telemetry.token_info
+(** Snapshot the traced token fields. *)
+
 val is_faulty : base -> net:Totem_net.Addr.net_id -> bool
 val faulty_snapshot : base -> bool array
 val non_faulty_count : base -> int

@@ -42,6 +42,14 @@ and token_timer_expired t =
   match t.buffered with
   | Some tok ->
     t.buffered <- None;
+    if Layer.tel_active t.base then
+      Layer.tel_emit t.base
+        (Telemetry.Token_release
+           {
+             node = Layer.node t.base;
+             ring_id = tok.Srp.Token.ring_id;
+             trigger = Telemetry.Release_timer;
+           });
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | None -> ()
 
@@ -70,9 +78,22 @@ let lower t =
     copies_per_send = (fun () -> 1);
   }
 
+let source_string = function
+  | Fault_report.Token_traffic -> "token traffic"
+  | Fault_report.Message_traffic n -> Printf.sprintf "messages from N%d" n
+
 let check_monitor t monitor ~source =
   List.iter
     (fun (net, behind) ->
+      if Layer.tel_active t.base && not (Layer.is_faulty t.base ~net) then
+        Layer.tel_emit t.base
+          (Telemetry.Recv_lag
+             {
+               node = Layer.node t.base;
+               net;
+               behind;
+               source = source_string source;
+             });
       Layer.mark_faulty t.base ~net
         ~evidence:(Fault_report.Reception_lag { source; behind }))
     (Monitor.lagging monitor)
@@ -107,17 +128,37 @@ let on_data t ~net ~sender p =
   | Some tok when Timer.is_running (timer t) && nothing_missing_for t tok ->
     Timer.stop (timer t);
     t.buffered <- None;
+    if Layer.tel_active t.base then
+      Layer.tel_emit t.base
+        (Telemetry.Token_release
+           {
+             node = Layer.node t.base;
+             ring_id = tok.Srp.Token.ring_id;
+             trigger = Telemetry.Release_caught_up;
+           });
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | _ -> ()
 
 (* Fig. 4 recvToken *)
 let on_token t ~net tok =
+  if Layer.tel_active t.base then
+    Layer.tel_emit t.base
+      (Telemetry.Token_copy_rx
+         { node = Layer.node t.base; net; tok = Layer.tok_info tok });
   Monitor.note t.token_monitor ~net;
   check_monitor t t.token_monitor ~source:Fault_report.Token_traffic;
   if nothing_missing_for t tok then
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   else begin
     t.buffered <- Some tok;
+    if Layer.tel_active t.base then
+      Layer.tel_emit t.base
+        (Telemetry.Token_hold
+           {
+             node = Layer.node t.base;
+             tok = Layer.tok_info tok;
+             aru = (Layer.callbacks t.base).Callbacks.my_aru ();
+           });
     (* "The token timer is never restarted while it is active." *)
     Timer.start_if_stopped (timer t)
       (Layer.config t.base).Rrp_config.passive_token_timeout

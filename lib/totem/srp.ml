@@ -65,6 +65,11 @@ type t = {
   mutable safe_horizon : int;
       (* seqs at or below this are held by every ring member: the
          minimum of the last two arus the token showed us *)
+  rotation_hist : Stats.Histogram.t;
+      (* wall time of each full token rotation, observed at the leader *)
+  mutable rotation_started : Vtime.t;  (* negative = not yet seen *)
+  allowance_hist : Stats.Histogram.t;
+      (* flow-control allowance granted per token visit *)
   flow : Flow.t;
   send_queue : Message.t Queue.t;
   mutable pending_elements : Wire.element list;
@@ -98,6 +103,22 @@ let trace t fmt =
   | Some tr -> Trace.emitf tr ~component:(Printf.sprintf "srp%d" t.me) fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
+(* Structured telemetry. [tel_active] is the hot-path guard: call sites
+   only build an event value when someone is listening. *)
+let[@inline] tel_active t =
+  match t.trace with Some tl -> Telemetry.active tl | None -> false
+
+let tel_emit t ev =
+  match t.trace with Some tl -> Telemetry.emit tl ev | None -> ()
+
+let tok_info (tok : Token.t) =
+  {
+    Telemetry.ring_id = tok.ring_id;
+    seq = tok.seq;
+    rotation = tok.rotation;
+    hops = tok.hops;
+  }
+
 let me t = t.me
 let my_aru t = Recv_buffer.my_aru t.store
 let safe_horizon t = t.safe_horizon
@@ -106,6 +127,8 @@ let current_ring_id t = t.ring_id
 let members t = t.ring
 let is_operational t = t.state = Operational
 let stats t = t.stats
+let rotation_histogram t = t.rotation_hist
+let allowance_histogram t = t.allowance_hist
 let is_crashed t = t.crashed
 let send_queue_length t = Queue.length t.send_queue
 
@@ -127,6 +150,9 @@ let stop_all_timers t =
 let deliver_message t (m : Message.t) =
   t.stats.delivered_messages <- t.stats.delivered_messages + 1;
   t.stats.delivered_bytes <- t.stats.delivered_bytes + m.size;
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Msg_deliver { node = t.me; origin = m.origin; bytes = m.size });
   t.callbacks.on_deliver m
 
 let deliver_element t (e : Wire.element) =
@@ -190,6 +216,9 @@ let token_retransmit_expired t () =
     | None -> ()
     | Some tok ->
       t.stats.token_retransmits <- t.stats.token_retransmits + 1;
+      if tel_active t then
+        tel_emit t
+          (Telemetry.Token_retransmit { node = t.me; tok = tok_info tok });
       trace t "retransmit token %a" Token.pp tok;
       t.lower.send_token ~dst:(Membership.next_on_ring t.ring ~me:t.me) tok;
       Timer.start_if_stopped (get_timer t.token_retransmit_timer)
@@ -227,6 +256,10 @@ let send_join t =
 let rec enter_gather t ~reason =
   if not t.crashed then begin
     trace t "enter gather: %s" reason;
+    if tel_active t then
+      tel_emit t
+        (Telemetry.Memb_transition
+           { node = t.me; phase = "gather"; ring_id = t.ring_id; detail = reason });
     t.stats.gather_entries <- t.stats.gather_entries + 1;
     t.state <- Gather;
     t.joins <- [];
@@ -303,6 +336,15 @@ and send_commit_next t (cm : Wire.commit) =
   t.lower.send_commit ~dst cm
 
 and begin_commit_phase t ~ring ~ring_id =
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Memb_transition
+         {
+           node = t.me;
+           phase = "commit";
+           ring_id;
+           detail = Printf.sprintf "%d members" (Array.length ring);
+         });
   t.state <- Commit_phase;
   (match t.join_timer with Some tm -> Timer.stop tm | None -> ());
   let cm =
@@ -357,6 +399,15 @@ and begin_recover t (cm : Wire.commit) =
   in
   trace t "recover: ring %d, target=%d low=%d rebroadcaster=N%d" cm.cm_ring_id
     target low chosen;
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Memb_transition
+         {
+           node = t.me;
+           phase = "recover";
+           ring_id = cm.cm_ring_id;
+           detail = Printf.sprintf "target=%d low=%d" target low;
+         });
   if chosen = t.me && target > low then
     for seq = low + 1 to target do
       match Recv_buffer.find t.store seq with
@@ -396,8 +447,11 @@ and finish_recovery t =
   | _ -> ()
 
 and token_loss_expired t () =
-  if (not t.crashed) && t.state = Operational then
+  if (not t.crashed) && t.state = Operational then begin
+    if tel_active t then
+      tel_emit t (Telemetry.Token_loss { node = t.me; ring_id = t.ring_id });
     enter_gather t ~reason:"token loss timeout"
+  end
 
 (* Adopt a new ring: reset the sequence space, flush what is deliverable
    from the old ring, and go operational. *)
@@ -433,7 +487,12 @@ and install_new_ring t ~ring_id ~members =
   stop_all_timers t;
   Timer.start (get_timer t.token_loss_timer) t.const.token_loss_timeout;
   Timer.start (get_timer t.probe_timer) t.const.merge_detect_interval;
+  t.rotation_started <- Vtime.ns (-1);
   trace t "installed ring %d (%d members)" ring_id (Array.length members);
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Ring_installed
+         { node = t.me; ring_id; members = Array.length members });
   t.callbacks.on_ring_change ~ring_id ~members
 
 (* --- the token visit ------------------------------------------------ *)
@@ -500,11 +559,23 @@ and collect_for_packets t max_packets =
 and process_token t (tok : Token.t) =
   t.stats.token_visits <- t.stats.token_visits + 1;
   t.last_rx_token <- Some tok;
+  if tel_active t then
+    tel_emit t (Telemetry.Token_rx { node = t.me; tok = tok_info tok });
   (* The leader counts completed rotations. *)
   let rotation =
     if t.me = Membership.leader t.ring && tok.hops > 0 then tok.rotation + 1
     else tok.rotation
   in
+  (* Rotation timing is an always-on metric: the leader sees the token
+     exactly once per circuit, so its inter-visit gap is the rotation
+     time. *)
+  if rotation > tok.rotation then begin
+    let now = Sim.now t.sim in
+    if t.rotation_started >= Vtime.zero then
+      Stats.Histogram.observe t.rotation_hist
+        (Vtime.to_float_ms (Vtime.sub now t.rotation_started));
+    t.rotation_started <- now
+  end;
   Timer.restart (get_timer t.token_loss_timer) t.const.token_loss_timeout;
   (match t.token_retransmit_timer with Some tm -> Timer.stop tm | None -> ());
   (* Serve retransmission requests we can satisfy. *)
@@ -519,6 +590,7 @@ and process_token t (tok : Token.t) =
   let allowance =
     Flow.allowance t.const t.flow ~fcc:tok.fcc ~members:(Array.length t.ring)
   in
+  Stats.Histogram.observe t.allowance_hist (float_of_int allowance);
   let elements = collect_for_packets t allowance in
   let groups = Packing.pack_elements t.const elements in
   let copies = max 1 (t.lower.copies_per_send ()) in
@@ -547,6 +619,8 @@ and process_token t (tok : Token.t) =
       Cpu.submit t.cpu ~cost:(packet_cost p) (fun () ->
           if still_valid () then begin
             t.stats.retransmissions_served <- t.stats.retransmissions_served + 1;
+            if tel_active t then
+              tel_emit t (Telemetry.Rtr_serve { node = t.me; seq = p.seq });
             trace t "retransmit seq=%d" p.seq;
             t.lower.send_data p
           end))
@@ -563,6 +637,14 @@ and process_token t (tok : Token.t) =
          messages in the same total order and serves retransmissions. *)
       ignore (Recv_buffer.store t.store packet);
       t.stats.sent_packets <- t.stats.sent_packets + 1;
+      if tel_active t then
+        tel_emit t
+          (Telemetry.Msg_tx
+             {
+               node = t.me;
+               seq = !seq;
+               bytes = Wire.packet_payload_bytes t.const packet;
+             });
       Cpu.submit t.cpu ~cost:(packet_cost packet) (fun () ->
           if still_valid () then t.lower.send_data packet))
     groups;
@@ -588,6 +670,15 @@ and complete_token_visit t tok ~rotation ~rtr_left ~new_seq ~sent =
   let missing = Recv_buffer.missing_up_to t.store !seq in
   t.stats.retransmissions_requested <-
     t.stats.retransmissions_requested + List.length missing;
+  if tel_active t && missing <> [] then
+    tel_emit t
+      (Telemetry.Rtr_request
+         {
+           node = t.me;
+           count = List.length missing;
+           low = List.fold_left min max_int missing;
+           high = List.fold_left max min_int missing;
+         });
   let rtr = Retransmit.truncate 200 (Retransmit.merge rtr_left missing) in
   (* aru: lower it to our own, or raise it if we set it last. *)
   let aru, aru_setter =
@@ -628,6 +719,10 @@ and complete_token_visit t tok ~rotation ~rtr_left ~new_seq ~sent =
     t.aru_history <- Retransmit.truncate 4 t.aru_history
   | _ -> ());
   let dst = Membership.next_on_ring t.ring ~me:t.me in
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Token_tx
+         { node = t.me; tok = tok_info tok'; rtr_len = List.length rtr });
   trace t "forward %a to N%d" Token.pp tok' dst;
   t.lower.send_token ~dst tok';
   t.last_sent_token <- Some tok';
@@ -748,6 +843,10 @@ let rec token_arrived t (tok : Token.t) =
     if fresh then process_token t tok
     else begin
       t.stats.duplicate_tokens <- t.stats.duplicate_tokens + 1;
+      if tel_active t then
+        tel_emit t
+          (Telemetry.Dup_drop
+             { node = t.me; kind = Telemetry.Drop_token; seq = tok.seq });
       Cpu.charge t.cpu ~cost:t.const.cpu_duplicate_cost
     end
 
@@ -773,6 +872,10 @@ let recv_data t (p : Wire.packet) =
     match Recv_buffer.store t.store p with
     | `Duplicate ->
       t.stats.duplicate_packets <- t.stats.duplicate_packets + 1;
+      if tel_active t then
+        tel_emit t
+          (Telemetry.Dup_drop
+             { node = t.me; kind = Telemetry.Drop_packet; seq = p.seq });
       Cpu.charge t.cpu ~cost:t.const.cpu_duplicate_cost
     | `New ->
       Cpu.charge t.cpu
@@ -814,7 +917,19 @@ let recv_join t (j : Wire.join) =
 
 (* --- construction and control -------------------------------------- *)
 
+let allowance_buckets = Array.init 33 float_of_int
+
 let create sim ~cpu ~const ~me ~lower ?trace callbacks =
+  let rotation_hist, allowance_hist =
+    match trace with
+    | Some tl ->
+      ( Telemetry.histogram tl (Printf.sprintf "srp.%d.rotation_ms" me),
+        Telemetry.histogram ~buckets:allowance_buckets tl
+          (Printf.sprintf "flow.%d.allowance" me) )
+    | None ->
+      ( Stats.Histogram.create ~buckets:Telemetry.default_ms_buckets,
+        Stats.Histogram.create ~buckets:allowance_buckets )
+  in
   let t =
     {
       sim;
@@ -828,6 +943,9 @@ let create sim ~cpu ~const ~me ~lower ?trace callbacks =
       store = Recv_buffer.create ();
       pending_delivery = Queue.create ();
       safe_horizon = 0;
+      rotation_hist;
+      rotation_started = Vtime.ns (-1);
+      allowance_hist;
       flow = Flow.create ();
       send_queue = Queue.create ();
       pending_elements = [];
@@ -870,6 +988,33 @@ let create sim ~cpu ~const ~me ~lower ?trace callbacks =
     Some
       (Timer.create sim ~name:"commit-retry"
          ~callback:(fun () -> commit_retry_expired t));
+  (* Expose the protocol counters through the registry as gauges; the
+     counters themselves stay plain record fields so the hot path never
+     pays a lookup. *)
+  (match trace with
+  | Some tl ->
+    let g name read =
+      Telemetry.gauge tl
+        (Printf.sprintf "srp.%d.%s" me name)
+        (fun () -> float_of_int (read ()))
+    in
+    g "delivered_messages" (fun () -> t.stats.delivered_messages);
+    g "delivered_bytes" (fun () -> t.stats.delivered_bytes);
+    g "sent_messages" (fun () -> t.stats.sent_messages);
+    g "sent_packets" (fun () -> t.stats.sent_packets);
+    g "duplicate_packets" (fun () -> t.stats.duplicate_packets);
+    g "duplicate_tokens" (fun () -> t.stats.duplicate_tokens);
+    g "retransmissions_served" (fun () -> t.stats.retransmissions_served);
+    g "retransmissions_requested" (fun () -> t.stats.retransmissions_requested);
+    g "token_visits" (fun () -> t.stats.token_visits);
+    g "token_retransmits" (fun () -> t.stats.token_retransmits);
+    Telemetry.gauge tl
+      (Printf.sprintf "membership.%d.ring_changes" me)
+      (fun () -> float_of_int t.stats.ring_changes);
+    Telemetry.gauge tl
+      (Printf.sprintf "membership.%d.gather_entries" me)
+      (fun () -> float_of_int t.stats.gather_entries)
+  | None -> ());
   t
 
 let submit t ~size ?(safe = false) ?(data = Message.Blob) () =

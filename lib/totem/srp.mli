@@ -140,3 +140,12 @@ val is_operational : t -> bool
 (** False while the membership protocol is running. *)
 
 val stats : t -> stats
+
+val rotation_histogram : t -> Totem_engine.Stats.Histogram.t
+(** Distribution of full token-rotation times in milliseconds, observed
+    at the ring leader (one sample per completed circuit). Always
+    collected, independent of tracing. *)
+
+val allowance_histogram : t -> Totem_engine.Stats.Histogram.t
+(** Distribution of the flow-control allowance (packets permitted per
+    token visit); buckets are packet counts, not milliseconds. *)

@@ -1,0 +1,180 @@
+open Totem_engine
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Style = Totem_rrp.Style
+module Rrp_config = Totem_rrp.Rrp_config
+
+(* --- registry ------------------------------------------------------- *)
+
+let test_registry () =
+  let sim = Sim.create () in
+  let tl = Telemetry.create sim in
+  let c = Telemetry.counter tl "x.count" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  (* Registering the same name again retrieves the same counter. *)
+  let c' = Telemetry.counter tl "x.count" in
+  Stats.Counter.incr c';
+  Alcotest.(check int) "counter value" 6 (Stats.Counter.value c);
+  Telemetry.gauge tl "x.level" (fun () -> 2.5);
+  (match Telemetry.find_metric tl "x.level" with
+  | Some (Telemetry.Gauge f) ->
+    Alcotest.(check (float 0.0)) "gauge reads" 2.5 (f ())
+  | _ -> Alcotest.fail "gauge not registered");
+  let h = Telemetry.histogram ~buckets:[| 1.0; 2.0; 4.0 |] tl "x.hist" in
+  List.iter (Stats.Histogram.observe h) [ 0.5; 1.5; 3.0; 9.0 ];
+  Alcotest.(check int) "histogram count" 4 (Stats.Histogram.count h);
+  (match Stats.Histogram.dump h with
+  | [| (le0, n0); (le1, n1); (le2, n2); (le3, n3) |] ->
+    Alcotest.(check (float 0.0)) "bucket 0 bound" 1.0 le0;
+    Alcotest.(check (float 0.0)) "bucket 1 bound" 2.0 le1;
+    Alcotest.(check (float 0.0)) "bucket 2 bound" 4.0 le2;
+    Alcotest.(check (float 0.0)) "overflow bound" infinity le3;
+    Alcotest.(check (list int)) "bucket counts" [ 1; 1; 1; 1 ] [ n0; n1; n2; n3 ]
+  | d -> Alcotest.failf "expected 4 buckets, got %d" (Array.length d));
+  Alcotest.(check int) "registry size" 3 (List.length (Telemetry.metrics tl))
+
+(* --- disabled mode -------------------------------------------------- *)
+
+let test_disabled_no_effect () =
+  let sim = Sim.create () in
+  let tl = Telemetry.create sim in
+  Alcotest.(check bool) "inactive by default" false (Telemetry.active tl);
+  Telemetry.emit tl (Telemetry.Token_loss { node = 0; ring_id = 1 });
+  Telemetry.custom tl ~component:"x" "nobody listening";
+  Telemetry.customf tl ~component:"x" "still %s" "nobody";
+  Alcotest.(check int) "ring stays empty" 0 (List.length (Telemetry.events tl));
+  Alcotest.(check bool) "seq stays empty" true
+    (Seq.is_empty (Telemetry.events_seq tl))
+
+(* --- scripted active-mode fault: exact event sequence ---------------- *)
+
+type problem_ev =
+  | Incr of int * int  (* net, count *)
+  | Thresh of int * int * int  (* net, count, threshold *)
+  | Marked of int  (* net *)
+
+(* Fail network 1 under active replication with threshold 3 and decay
+   effectively off: every node must log exactly
+   incr(1) incr(2) incr(3) threshold marked for network 1 — and nothing
+   at all for the healthy network 0. *)
+let test_active_threshold_sequence () =
+  let rrp =
+    {
+      Rrp_config.default with
+      Rrp_config.active_problem_threshold = 3;
+      active_decay_interval = Vtime.sec 1000;
+    }
+  in
+  let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Active ~rrp () in
+  let cluster = Cluster.create config in
+  let tl = Cluster.telemetry cluster in
+  let log = ref [] in
+  Telemetry.set_sink tl (fun _time ev ->
+      match ev with
+      | Telemetry.Problem_incr { node; net; count } ->
+        log := (node, Incr (net, count)) :: !log
+      | Telemetry.Problem_threshold { node; net; count; threshold } ->
+        log := (node, Thresh (net, count, threshold)) :: !log
+      | Telemetry.Net_fault_marked { node; net; _ } ->
+        log := (node, Marked net) :: !log
+      | _ -> ());
+  Cluster.start cluster;
+  Cluster.run_for cluster (Vtime.ms 100);
+  Alcotest.(check int) "quiet while healthy" 0 (List.length !log);
+  Cluster.fail_network cluster 1;
+  Cluster.run_for cluster (Vtime.ms 500);
+  let expected = [ Incr (1, 1); Incr (1, 2); Incr (1, 3); Thresh (1, 3, 3); Marked 1 ] in
+  for node = 0 to 3 do
+    let seen =
+      List.rev
+        (List.filter_map
+           (fun (n, ev) -> if n = node then Some ev else None)
+           !log)
+    in
+    if seen <> expected then
+      Alcotest.failf "node %d: unexpected problem-event sequence (%d events)"
+        node (List.length seen)
+  done;
+  List.iter
+    (fun (_, ev) ->
+      let net = match ev with Incr (n, _) | Thresh (n, _, _) | Marked n -> n in
+      Alcotest.(check int) "only network 1 implicated" 1 net)
+    !log
+
+(* --- passive-mode token-hold spans ----------------------------------- *)
+
+(* Under sporadic loss the passive layer buffers tokens waiting for
+   missing messages; every hold must resolve within the 10 ms
+   passive_token_timeout (Sec. 6) — by the timer if not sooner by the
+   catch-up fast path. *)
+let test_passive_hold_spans () =
+  let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive () in
+  let timeout = Rrp_config.default.Rrp_config.passive_token_timeout in
+  let cluster = Cluster.create config in
+  let tl = Cluster.telemetry cluster in
+  let pending = Hashtbl.create 8 in
+  let spans = ref [] in
+  Telemetry.set_sink tl (fun time ev ->
+      match ev with
+      | Telemetry.Token_hold { node; _ } -> Hashtbl.replace pending node time
+      | Telemetry.Token_release { node; _ } -> (
+        match Hashtbl.find_opt pending node with
+        | Some t0 ->
+          Hashtbl.remove pending node;
+          spans := Vtime.sub time t0 :: !spans
+        | None -> ())
+      | _ -> ());
+  Cluster.start cluster;
+  Cluster.set_network_loss cluster 0 0.05;
+  Cluster.set_network_loss cluster 1 0.05;
+  Workload.saturate cluster ~size:512;
+  Cluster.run_for cluster (Vtime.ms 300);
+  Alcotest.(check bool) "observed token holds" true (!spans <> []);
+  List.iter
+    (fun dt ->
+      if dt < Vtime.zero || dt > timeout then
+        Alcotest.failf "hold span %.3f ms outside [0, %.0f ms]"
+          (Vtime.to_float_ms dt) (Vtime.to_float_ms timeout))
+    !spans
+
+(* --- determinism: telemetry must not change the simulation ----------- *)
+
+let run_instrumented ~telemetry_on =
+  let config = Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Active () in
+  let cluster = Cluster.create config in
+  let seen = ref 0 in
+  if telemetry_on then begin
+    let tl = Cluster.telemetry cluster in
+    Telemetry.set_tracing tl true;
+    Telemetry.set_sink tl (fun _ _ -> incr seen)
+  end;
+  Cluster.start cluster;
+  Workload.saturate cluster ~size:700;
+  Cluster.run_for cluster (Vtime.ms 200);
+  let delivered = List.init 4 (fun i -> Cluster.delivered_at cluster i) in
+  let bytes = List.init 4 (fun i -> Cluster.delivered_bytes_at cluster i) in
+  (delivered, bytes, Sim.events_processed (Cluster.sim cluster), !seen)
+
+let test_determinism () =
+  let d_off, b_off, ev_off, seen_off = run_instrumented ~telemetry_on:false in
+  let d_on, b_on, ev_on, seen_on = run_instrumented ~telemetry_on:true in
+  Alcotest.(check (list int)) "deliveries identical" d_off d_on;
+  Alcotest.(check (list int)) "bytes identical" b_off b_on;
+  Alcotest.(check int) "simulator event count identical" ev_off ev_on;
+  Alcotest.(check int) "off-run saw nothing" 0 seen_off;
+  Alcotest.(check bool) "on-run saw events" true (seen_on > 0)
+
+let tests =
+  [
+    Alcotest.test_case "metrics registry" `Quick test_registry;
+    Alcotest.test_case "disabled mode has no effect" `Quick
+      test_disabled_no_effect;
+    Alcotest.test_case "active problemCounter event sequence" `Quick
+      test_active_threshold_sequence;
+    Alcotest.test_case "passive token-hold spans within timeout" `Quick
+      test_passive_hold_spans;
+    Alcotest.test_case "telemetry preserves determinism" `Quick
+      test_determinism;
+  ]

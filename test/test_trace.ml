@@ -60,9 +60,35 @@ let test_emitf_lazy_when_disabled () =
   Trace.emitf tr ~component:"x" "value %d %s" 1 "two";
   Alcotest.(check int) "nothing" 0 (List.length (Trace.records tr))
 
+let test_capacity_guard () =
+  let sim = Sim.create () in
+  let expect_invalid capacity =
+    match Trace.create ~capacity sim with
+    | _ -> Alcotest.failf "capacity %d accepted" capacity
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid 0;
+  expect_invalid (-3)
+
+let test_to_seq () =
+  let sim = Sim.create () in
+  let tr = Trace.create ~capacity:4 sim in
+  Trace.enable tr;
+  for i = 1 to 6 do
+    Trace.emit tr ~component:"x" (string_of_int i)
+  done;
+  let msgs =
+    List.of_seq (Seq.map (fun r -> r.Trace.message) (Trace.to_seq tr))
+  in
+  Alcotest.(check (list string)) "seq follows ring" [ "3"; "4"; "5"; "6" ] msgs;
+  Alcotest.(check bool) "seq agrees with records" true
+    (msgs = List.map (fun r -> r.Trace.message) (Trace.records tr))
+
 let tests =
   [
     Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "capacity must be positive" `Quick test_capacity_guard;
+    Alcotest.test_case "to_seq" `Quick test_to_seq;
     Alcotest.test_case "emit order and timestamps" `Quick test_emit_and_order;
     Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
     Alcotest.test_case "find" `Quick test_find;
