@@ -4,7 +4,9 @@
      throughput   measure saturated throughput for one configuration
      failover     run a fault-injection timeline and report the outcome
      latency      measure end-to-end delivery latency under light load
-     trace        run briefly with protocol tracing and dump the events *)
+     trace        run briefly with protocol tracing and dump the events
+     chaos        drive random fault campaigns under the online invariant
+                  monitors; shrink and replay counterexamples *)
 
 module Cluster = Totem_cluster.Cluster
 module Config = Totem_cluster.Config
@@ -313,6 +315,200 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const sweep $ style_t $ nodes_t $ nets_t $ seconds_t $ seed_t $ csv_t)
 
+(* --- chaos ------------------------------------------------------------ *)
+
+module Campaign = Totem_chaos.Campaign
+module Invariant = Totem_chaos.Invariant
+module Runner = Totem_chaos.Runner
+
+let seed_range_conv =
+  let parse s =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i > 0 ->
+      let a = String.sub s 0 i
+      and b = String.sub s (i + 2) (String.length s - i - 2) in
+      (match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a <= b -> Ok (a, b)
+      | _ -> Error (`Msg "expected A..B with A <= B"))
+    | _ -> (
+      match int_of_string_opt s with
+      | Some a -> Ok (a, a)
+      | None -> Error (`Msg "expected a seed or a range A..B"))
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d..%d" a b in
+  Arg.conv (parse, print)
+
+let monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max =
+  {
+    Invariant.default with
+    Invariant.token_gap =
+      (match token_gap_ms with
+      | Some ms -> Some (Vtime.ms ms)
+      | None -> Invariant.default.Invariant.token_gap);
+    lag_limit;
+    condemn_within = Option.map Vtime.ms condemn_ms;
+    sporadic_loss_max = sporadic_max;
+  }
+
+let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
+    token_gap_ms lag_limit condemn_ms sporadic_max =
+  match replay_path with
+  | Some path -> (
+    match Runner.replay_file ~path with
+    | Error m ->
+      Format.eprintf "chaos: %s@." m;
+      exit 2
+    | Ok (Runner.Reproduced r) ->
+      Format.printf "reproduced: %a@."
+        Invariant.pp_violation (List.hd r.Runner.violations);
+      exit 0
+    | Ok (Runner.Clean_replay r) ->
+      Format.printf "clean replay: %a@." Runner.pp_result r;
+      exit 0
+    | Ok (Runner.Diverged (_, why)) ->
+      Format.printf "DIVERGED: %s@." why;
+      exit 1)
+  | None ->
+    let lo, hi = seed_range in
+    let monitor = monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max in
+    let failures = ref 0 in
+    for seed = lo to hi do
+      let campaign =
+        Campaign.random ~seed ~duration:(Vtime.ms duration_ms)
+          ~quiesce:(Vtime.ms quiesce_ms) ()
+      in
+      let r = Runner.run ~monitor campaign in
+      (match r.Runner.violations with
+      | [] ->
+        if not quiet then Format.printf "seed %d: %a@." seed Runner.pp_result r
+      | violation :: _ ->
+        incr failures;
+        Format.printf "seed %d: %a@." seed Invariant.pp_violation violation;
+        let cx_campaign, shrunk =
+          if no_shrink then (campaign, false)
+          else begin
+            let s = Runner.shrink ~monitor campaign violation in
+            Format.printf
+              "seed %d: shrunk %d steps -> %d in %d re-executions@." seed
+              s.Runner.original_steps s.Runner.minimized_steps s.Runner.runs_used;
+            (s.Runner.minimized, true)
+          end
+        in
+        (* Re-run the minimized campaign so the recorded violation is the
+           one the file reproduces. *)
+        let final = Runner.run ~monitor cx_campaign in
+        let path = Filename.concat out_dir (Printf.sprintf "seed%d.chaos.json" seed) in
+        Runner.write_counterexample ~path
+          {
+            Runner.cx_campaign;
+            cx_monitor = monitor;
+            cx_violation =
+              (match final.Runner.violations with v :: _ -> Some v | [] -> None);
+            cx_shrunk = shrunk;
+          };
+        Format.printf "seed %d: wrote %s@." seed path)
+    done;
+    if !failures > 0 then begin
+      Format.printf "%d of %d campaigns violated an invariant@." !failures
+        (hi - lo + 1);
+      exit 1
+    end
+    else if not quiet then
+      Format.printf "%d campaigns, zero invariant violations@." (hi - lo + 1)
+
+let seed_range_t =
+  Arg.(
+    value
+    & opt seed_range_conv (1, 8)
+    & info [ "seed-range" ] ~docv:"A..B"
+        ~doc:"Run one random campaign per seed in the inclusive range.")
+
+let replay_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"PATH"
+        ~doc:
+          "Re-execute the counterexample file bit-for-bit and report \
+           whether the recorded violation reproduces.")
+
+let out_dir_t =
+  Arg.(
+    value & opt string "."
+    & info [ "out" ] ~docv:"DIR" ~doc:"Where counterexample files are written.")
+
+let duration_ms_t =
+  Arg.(
+    value & opt int 2000
+    & info [ "duration-ms" ] ~docv:"MS"
+        ~doc:"Fault-and-traffic window of each campaign (simulated).")
+
+let quiesce_ms_t =
+  Arg.(
+    value & opt int 5000
+    & info [ "quiesce-ms" ] ~docv:"MS"
+        ~doc:"Heal-and-drain tail before the end-of-run checks.")
+
+let no_shrink_t =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:
+          "Write counterexamples without delta-debugging them first \
+           (marked shrunk=false; chaos-smoke rejects such files in-tree).")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only report violations.")
+
+let token_gap_ms_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "token-gap-ms" ] ~docv:"MS"
+        ~doc:
+          "Token-liveness bound: max simulated time without any token \
+           reception (default 250).")
+
+let lag_limit_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lag-limit" ] ~docv:"N"
+        ~doc:
+          "Arm the P4/P5 check: a never-faulted network may lag at most \
+           $(docv) receptions behind the best network.")
+
+let condemn_ms_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "condemn-ms" ] ~docv:"MS"
+        ~doc:
+          "Arm the A6 check: a fully-failed network must be condemned \
+           within $(docv) of downtime.")
+
+let sporadic_max_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "sporadic-max" ] ~docv:"P"
+        ~doc:
+          "Injected loss at or below $(docv) still counts a network as \
+           never-faulted for the A5 check.")
+
+let chaos_cmd =
+  let doc =
+    "Run random fault campaigns under online invariant monitors; shrink \
+     and replay counterexamples."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const chaos $ seed_range_t $ replay_t $ out_dir_t $ duration_ms_t
+      $ quiesce_ms_t $ no_shrink_t $ quiet_t $ token_gap_ms_t $ lag_limit_t
+      $ condemn_ms_t $ sporadic_max_t)
+
 (* --- main ------------------------------------------------------------ *)
 
 let () =
@@ -321,4 +517,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ throughput_cmd; sweep_cmd; failover_cmd; latency_cmd; trace_cmd ]))
+          [
+            throughput_cmd;
+            sweep_cmd;
+            failover_cmd;
+            latency_cmd;
+            trace_cmd;
+            chaos_cmd;
+          ]))

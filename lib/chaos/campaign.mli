@@ -1,0 +1,176 @@
+(** Fault campaigns: a serializable schedule of correlated faults plus
+    the cluster shape and workload that make the run reproducible.
+
+    A campaign is everything the chaos runner needs to re-execute a run
+    bit-for-bit: cluster configuration (nodes, networks, replication
+    style, PRNG seed), the traffic, the fault schedule, and how long to
+    run. Unlike {!Totem_cluster.Scenario.action}, every operation here
+    is a plain datum — no closures — so a campaign round-trips through
+    the [.chaos.json] counterexample format (see CHAOS.md). *)
+
+type op =
+  | Fail_net of int  (** total network failure *)
+  | Heal_net of int  (** administrator repair: clears faults and marks *)
+  | Set_loss of int * float  (** sporadic per-frame loss probability *)
+  | Block_send of int * int  (** node, net: transmit-path fault (Sec. 3) *)
+  | Unblock_send of int * int
+  | Block_recv of int * int  (** node, net: receive-path fault (Sec. 3) *)
+  | Unblock_recv of int * int
+  | Partition of int * int list * int list
+      (** net, from, to: directed subset-to-subset delivery fault *)
+  | Unpartition of int * int list * int list
+  | Crash of int  (** processor fault — outside the masked fault model *)
+  | Recover of int
+
+type step = { at : Totem_engine.Vtime.t; op : op }
+
+type traffic =
+  | Bursts of (int * int * int * Totem_engine.Vtime.t) list
+      (** (node, size, count, at): finite workload, enables the
+          everything-delivered end check *)
+  | Saturate of int
+      (** every node always ready with a message of this size *)
+
+type t = {
+  num_nodes : int;
+  num_nets : int;
+  style : Totem_rrp.Style.t;
+  seed : int;
+  duration : Totem_engine.Vtime.t;  (** fault-and-traffic window *)
+  quiesce : Totem_engine.Vtime.t;
+      (** after [duration] everything is healed and the cluster runs
+          this much longer before the end-of-run checks *)
+  traffic : traffic;
+  steps : step list;
+}
+
+val make :
+  ?num_nodes:int ->
+  ?num_nets:int ->
+  ?style:Totem_rrp.Style.t ->
+  ?seed:int ->
+  ?duration:Totem_engine.Vtime.t ->
+  ?quiesce:Totem_engine.Vtime.t ->
+  ?traffic:traffic ->
+  step list ->
+  t
+(** Steps are stably sorted by time; same-instant steps keep their list
+    order, which is also their execution order. Defaults mirror
+    {!Totem_cluster.Config.make}: 4 nodes, 2 nets, passive, seed 42,
+    2 s window, 5 s quiesce, 1 KB saturation. *)
+
+val validate : t -> (unit, string) result
+(** Bounds-checks every node/net index, burst, loss value and the style
+    against the network count. *)
+
+(** {1 Combinators}
+
+    Each combinator returns a step list; concatenate freely and hand the
+    result to {!make}. *)
+
+val flap :
+  net:int ->
+  period:Totem_engine.Vtime.t ->
+  ?duty:float ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  unit ->
+  step list
+(** Network flapping: fail at each period start, heal after
+    [duty * period] (default 0.5), repeating in [\[from_, until)]. A
+    trailing down window is healed at [until].
+    @raise Invalid_argument unless [0 < duty < 1] and [period > 0]. *)
+
+val rolling_partition :
+  net:int ->
+  nodes:int list ->
+  dwell:Totem_engine.Vtime.t ->
+  from_:Totem_engine.Vtime.t ->
+  rounds:int ->
+  step list
+(** Round [r] blocks delivery from [nodes[r mod n]] to
+    [nodes[(r+1) mod n]] (via the fabric's [block_pair]) for [dwell],
+    then lifts it as the next round starts — a partition that rotates
+    through the membership. *)
+
+val loss_ramp :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  stages:int ->
+  peak:float ->
+  step list
+(** Loss climbing linearly to [peak] in [stages] equal stages across
+    [\[from_, until)], then cleared at [until]. *)
+
+val send_block_window :
+  node:int ->
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  step list
+(** Asymmetric fault: the node can hear but not speak on [net] for the
+    window. *)
+
+val recv_block_window :
+  node:int ->
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  step list
+
+val kill_window :
+  node:int ->
+  at:Totem_engine.Vtime.t ->
+  ?recover_at:Totem_engine.Vtime.t ->
+  unit ->
+  step list
+(** Processor kill (timed against the token by choosing [at] relative to
+    the measured rotation period); note this leaves the paper's masked
+    fault model, so {!tolerated} becomes false. *)
+
+val random : seed:int -> ?duration:Totem_engine.Vtime.t -> ?quiesce:Totem_engine.Vtime.t -> unit -> t
+(** The fuzz generator: random cluster shape (2–5 nodes, 2–3 nets,
+    random style), random burst traffic, and a random fault timeline
+    drawn from the full op set that {e never touches the last network} —
+    the paper's operating assumption that one network survives. Equal
+    seeds give equal campaigns. *)
+
+(** {1 Static analysis} *)
+
+val tolerated : t -> bool
+(** True when the campaign stays inside the fault hypothesis the paper
+    masks: no [Crash] steps, and after every step at least one network
+    carries no fault at all (not even sporadic loss). The invariant
+    monitor arms the masking invariants (agreement, no membership
+    change, liveness) only for tolerated campaigns. *)
+
+val touched_nets : ?sporadic_loss_max:float -> t -> bool array
+(** Per-network: does any step inject a hard fault on it, or loss above
+    [sporadic_loss_max] (default 0)? Untouched networks are "virgin":
+    requirement A5/P5 says they must never be declared faulty. *)
+
+val has_crashes : t -> bool
+
+val submitted_messages : t -> int option
+(** Total burst submissions; [None] for saturation traffic. *)
+
+val to_action : op -> Totem_cluster.Scenario.action
+(** The executable form; the runner schedules these through
+    {!Totem_cluster.Scenario.apply}. *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp_step : Format.formatter -> step -> unit
+
+(** {1 Serialization} *)
+
+val style_to_string : Totem_rrp.Style.t -> string
+
+val style_of_string : string -> (Totem_rrp.Style.t, string) result
+
+val to_json : t -> Chaos_json.t
+
+val of_json : Chaos_json.t -> string -> t
+(** [of_json v where] decodes; [where] contextualizes errors.
+    @raise Chaos_json.Parse_error on malformed input. *)

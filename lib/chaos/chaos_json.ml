@@ -1,0 +1,280 @@
+(* Minimal JSON reader/writer for the chaos counterexample files.
+   Deliberately dependency-free, like test/validate_telemetry.ml: the
+   replay path must work in any environment that can build the library,
+   and the format is small enough that a hand-rolled parser is clearer
+   than a vendored one. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- parser --------------------------------------------------------- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "at byte %d: expected '%c', found '%c'" c.pos ch x
+  | None -> fail "at byte %d: expected '%c', found end of input" c.pos ch
+
+let literal c word value =
+  String.iter (fun ch -> expect c ch) word;
+  value
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string at byte %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.text then
+          fail "truncated \\u escape at byte %d" c.pos;
+        let hex = String.sub c.text (c.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+        | Some _ -> Buffer.add_char buf '?'
+        | None -> fail "bad \\u escape \"%s\" at byte %d" hex c.pos);
+        c.pos <- c.pos + 4
+      | _ -> fail "bad escape at byte %d" c.pos);
+      advance c;
+      go ()
+    | Some ch when Char.code ch < 0x20 ->
+      fail "unescaped control character 0x%02x at byte %d" (Char.code ch) c.pos
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let numeric = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when numeric ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> fail "bad number \"%s\" at byte %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input at byte %d" c.pos
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected ',' or '}' at byte %d" c.pos
+      in
+      members []
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements (v :: acc)
+        | Some ']' ->
+          advance c;
+          Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']' at byte %d" c.pos
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse text =
+  try
+    let c = { text; pos = 0 } in
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length text then
+      fail "trailing garbage at byte %d" c.pos;
+    Ok v
+  with Parse_error m -> Error m
+
+(* --- writer --------------------------------------------------------- *)
+
+let escape buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec write buf indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr vs ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        write buf (indent + 2) v)
+      vs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\": ";
+        write buf (indent + 2) v)
+      kvs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- accessors ------------------------------------------------------ *)
+
+let field v name = match v with Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+let get_num v name where =
+  match field v name with
+  | Some (Num f) -> f
+  | Some _ -> fail "%s: \"%s\" is not a number" where name
+  | None -> fail "%s: missing \"%s\"" where name
+
+let get_int v name where =
+  let f = get_num v name where in
+  if Float.is_integer f then int_of_float f
+  else fail "%s: \"%s\" is not an integer" where name
+
+let get_str v name where =
+  match field v name with
+  | Some (Str s) -> s
+  | Some _ -> fail "%s: \"%s\" is not a string" where name
+  | None -> fail "%s: missing \"%s\"" where name
+
+let get_bool v name where =
+  match field v name with
+  | Some (Bool b) -> b
+  | Some _ -> fail "%s: \"%s\" is not a boolean" where name
+  | None -> fail "%s: missing \"%s\"" where name
+
+let get_list v name where =
+  match field v name with
+  | Some (Arr vs) -> vs
+  | Some _ -> fail "%s: \"%s\" is not an array" where name
+  | None -> fail "%s: missing \"%s\"" where name
+
+let get_int_list v name where =
+  List.map
+    (function
+      | Num f when Float.is_integer f -> int_of_float f
+      | _ -> fail "%s: \"%s\" holds a non-integer" where name)
+    (get_list v name where)
+
+let int n = Num (float_of_int n)
+let str s = Str s

@@ -1,0 +1,43 @@
+(** Dependency-free JSON for the [.chaos.json] counterexample files.
+
+    The parser is the same strict, minimal design as
+    [test/validate_telemetry.ml]; the writer pretty-prints with
+    two-space indentation so counterexamples diff cleanly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+(** Pretty-printed document with a trailing newline. *)
+
+val field : t -> string -> t option
+(** [field obj name] when [obj] is an [Obj]; [None] otherwise. *)
+
+(** The [get_*] accessors raise {!Parse_error} with [where] as context
+    when the field is missing or of the wrong shape — decode errors
+    surface as one typed exception the replay path reports cleanly. *)
+
+val get_num : t -> string -> string -> float
+
+val get_int : t -> string -> string -> int
+
+val get_str : t -> string -> string -> string
+
+val get_bool : t -> string -> string -> bool
+
+val get_list : t -> string -> string -> t list
+
+val get_int_list : t -> string -> string -> int list
+
+val int : int -> t
+
+val str : string -> t

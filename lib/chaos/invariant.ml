@@ -1,0 +1,271 @@
+module Vtime = Totem_engine.Vtime
+module Sim = Totem_engine.Sim
+module Telemetry = Totem_engine.Telemetry
+module Cluster = Totem_cluster.Cluster
+
+(* Invariant identifiers name the paper requirement they operationalize;
+   CHAOS.md carries the catalog. *)
+let inv_agreement = "A1-agreement"
+let inv_delivery = "A1-delivery"
+let inv_membership = "A2-membership"
+let inv_virgin = "A5-virgin-condemned"
+let inv_detection = "A6-detection"
+let inv_lag = "P4-lag"
+let inv_liveness = "L-token-liveness"
+
+type violation = { invariant : string; at : Vtime.t; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%a] %s: %s" Vtime.pp v.at v.invariant v.detail
+
+type config = {
+  agreement : bool;
+  membership : bool;
+  virgin_net : bool;
+  sporadic_loss_max : float;
+  lag_limit : int option;
+  condemn_within : Vtime.t option;
+  token_gap : Vtime.t option;
+  check_every : Vtime.t;
+}
+
+(* token_gap defaults just above token_loss_timeout (200 ms): under a
+   tolerated campaign the token is never lost outright, so a quarter
+   second without a single Token_rx anywhere means rotation stalled. *)
+let default =
+  {
+    agreement = true;
+    membership = true;
+    virgin_net = true;
+    sporadic_loss_max = 0.0;
+    lag_limit = None;
+    condemn_within = None;
+    token_gap = Some (Vtime.ms 250);
+    check_every = Vtime.ms 25;
+  }
+
+type t = {
+  cluster : Cluster.t;
+  config : config;
+  tolerated : bool;
+  touched : bool array;
+  num_nodes : int;
+  mutable violations_rev : violation list;
+  (* online total-order agreement: first delivery at position k fixes
+     the reference; divergence is flagged the instant it happens *)
+  order_log : (int, int * int) Hashtbl.t;
+  positions : int array;
+  (* membership *)
+  ring_installs : int array;
+  (* liveness *)
+  mutable last_token : Vtime.t;
+  (* A6 detection bookkeeping *)
+  down_since : Vtime.t option array;
+  marked : bool array;
+  mutable detached : bool;
+  mutable subscription : Telemetry.subscription option;
+}
+
+let violate t invariant fmt =
+  Format.kasprintf
+    (fun detail ->
+      t.violations_rev <-
+        { invariant; at = Cluster.now t.cluster; detail } :: t.violations_rev)
+    fmt
+
+let violations t = List.rev t.violations_rev
+
+let clean t = t.violations_rev = []
+
+let on_event t _time event =
+  match event with
+  | Telemetry.Token_rx _ -> t.last_token <- Cluster.now t.cluster
+  | Telemetry.Net_fault_marked { node; net; evidence } ->
+    t.marked.(net) <- true;
+    if t.config.virgin_net && t.tolerated && not t.touched.(net) then
+      violate t inv_virgin
+        "node %d condemned network %d which never saw an injected fault (%s)"
+        node net evidence
+  | Telemetry.Recv_lag { node; net; behind; source } -> (
+    match t.config.lag_limit with
+    | Some limit when t.tolerated && (not t.touched.(net)) && behind > limit ->
+      violate t inv_lag
+        "network %d lags %d behind at node %d (%s), limit %d for a \
+         never-faulted network"
+        net behind node source limit
+    | _ -> ())
+  | _ -> ()
+
+let on_ring_change t node ~ring_id ~members:_ =
+  t.ring_installs.(node) <- t.ring_installs.(node) + 1;
+  (* The install from Cluster.start is expected; anything after it means
+     the tolerated faults caused a reconfiguration. *)
+  if t.config.membership && t.tolerated && t.ring_installs.(node) > 1 then
+    violate t inv_membership
+      "node %d installed ring %d (%d installs) under tolerated faults" node
+      ring_id t.ring_installs.(node)
+
+let on_deliver t node m =
+  if t.config.agreement && t.tolerated then begin
+    let pos = t.positions.(node) in
+    t.positions.(node) <- pos + 1;
+    let key = (m.Totem_srp.Message.origin, m.Totem_srp.Message.app_seq) in
+    match Hashtbl.find_opt t.order_log pos with
+    | None -> Hashtbl.add t.order_log pos key
+    | Some reference when reference = key -> ()
+    | Some (r_origin, r_seq) ->
+      violate t inv_agreement
+        "node %d delivered (%d,%d) at position %d where (%d,%d) was \
+         delivered first"
+        node (fst key) (snd key) pos r_origin r_seq
+  end
+
+let check_detection t ~net ~now =
+  match (t.config.condemn_within, t.down_since.(net)) with
+  | Some bound, Some t0
+    when t.tolerated
+         && Vtime.( >= ) (Vtime.sub now t0) bound
+         && not t.marked.(net) ->
+    violate t inv_detection
+      "network %d failed at %a and no node condemned it within %a" net Vtime.pp
+      t0 Vtime.pp bound
+  | _ -> ()
+
+(* The runner reports every fault-schedule step as it executes, keeping
+   the monitor's picture of injected state exact (A6 needs to know when
+   a network went down and when the administrator repaired it). *)
+let note_step t (op : Campaign.op) =
+  let now = Cluster.now t.cluster in
+  match op with
+  | Campaign.Fail_net net ->
+    if t.down_since.(net) = None then t.down_since.(net) <- Some now
+  | Campaign.Heal_net net ->
+    check_detection t ~net ~now;
+    t.down_since.(net) <- None;
+    (* heal_network clears every node's faulty mark for the net *)
+    t.marked.(net) <- false
+  | _ -> ()
+
+let tick t =
+  let now = Cluster.now t.cluster in
+  (match t.config.token_gap with
+  | Some gap when t.tolerated ->
+    let silent = Vtime.sub now t.last_token in
+    if Vtime.( > ) silent gap then
+      violate t inv_liveness "no token reception anywhere for %a (bound %a)"
+        Vtime.pp silent Vtime.pp gap
+  | _ -> ());
+  Array.iteri (fun net _ -> check_detection t ~net ~now) t.down_since
+
+let rec arm_tick t =
+  if not t.detached then
+    ignore
+      (Sim.schedule_timer (Cluster.sim t.cluster) ~delay:t.config.check_every
+         (fun () ->
+           if not t.detached then begin
+             tick t;
+             arm_tick t
+           end))
+
+let attach cluster config campaign =
+  let num_nets = campaign.Campaign.num_nets in
+  let t =
+    {
+      cluster;
+      config;
+      tolerated = Campaign.tolerated campaign;
+      touched =
+        Campaign.touched_nets ~sporadic_loss_max:config.sporadic_loss_max
+          campaign;
+      num_nodes = campaign.Campaign.num_nodes;
+      violations_rev = [];
+      order_log = Hashtbl.create 256;
+      positions = Array.make campaign.Campaign.num_nodes 0;
+      ring_installs = Array.make campaign.Campaign.num_nodes 0;
+      last_token = Sim.now (Cluster.sim cluster);
+      down_since = Array.make num_nets None;
+      marked = Array.make num_nets false;
+      detached = false;
+      subscription = None;
+    }
+  in
+  t.subscription <-
+    Some (Telemetry.subscribe (Cluster.telemetry cluster) (on_event t));
+  Cluster.on_ring_change cluster (on_ring_change t);
+  Cluster.on_deliver cluster (on_deliver t);
+  arm_tick t;
+  t
+
+let tolerated t = t.tolerated
+
+let final_checks t ~submitted =
+  (match submitted with
+  | Some expected when t.config.agreement && t.tolerated ->
+    for node = 0 to t.num_nodes - 1 do
+      let got = Cluster.delivered_at t.cluster node in
+      if got <> expected then
+        violate t inv_delivery "node %d delivered %d of %d submitted messages"
+          node got expected
+    done
+  | _ -> ());
+  let now = Cluster.now t.cluster in
+  Array.iteri (fun net _ -> check_detection t ~net ~now) t.down_since
+
+let detach t =
+  t.detached <- true;
+  match t.subscription with
+  | Some s ->
+    Telemetry.unsubscribe (Cluster.telemetry t.cluster) s;
+    t.subscription <- None
+  | None -> ()
+
+(* --- config serialization ------------------------------------------- *)
+
+module J = Chaos_json
+
+let opt_int = function None -> J.Null | Some v -> J.int v
+
+let config_to_json c =
+  J.Obj
+    [
+      ("agreement", J.Bool c.agreement);
+      ("membership", J.Bool c.membership);
+      ("virgin_net", J.Bool c.virgin_net);
+      ("sporadic_loss_max", J.Num c.sporadic_loss_max);
+      ("lag_limit", opt_int c.lag_limit);
+      ("condemn_within_ns", opt_int c.condemn_within);
+      ("token_gap_ns", opt_int c.token_gap);
+      ("check_every_ns", J.int c.check_every);
+    ]
+
+let opt_int_of v name where =
+  match J.field v name with
+  | None | Some J.Null -> None
+  | Some _ -> Some (J.get_int v name where)
+
+let config_of_json v where =
+  {
+    agreement = J.get_bool v "agreement" where;
+    membership = J.get_bool v "membership" where;
+    virgin_net = J.get_bool v "virgin_net" where;
+    sporadic_loss_max = J.get_num v "sporadic_loss_max" where;
+    lag_limit = opt_int_of v "lag_limit" where;
+    condemn_within = opt_int_of v "condemn_within_ns" where;
+    token_gap = opt_int_of v "token_gap_ns" where;
+    check_every = J.get_int v "check_every_ns" where;
+  }
+
+let violation_to_json v =
+  J.Obj
+    [
+      ("invariant", J.str v.invariant);
+      ("at_ns", J.int v.at);
+      ("detail", J.str v.detail);
+    ]
+
+let violation_of_json v where =
+  {
+    invariant = J.get_str v "invariant" where;
+    at = J.get_int v "at_ns" where;
+    detail = J.get_str v "detail" where;
+  }

@@ -1,0 +1,104 @@
+(** Online invariant monitors: the paper's requirements checked {e
+    during} a chaos run, not just at its end.
+
+    A monitor attaches to a cluster before [Cluster.start]: it
+    subscribes to the {!Totem_engine.Telemetry} hub, installs delivery
+    and ring-change hooks, and arms a read-only periodic check. It
+    never draws randomness and never mutates protocol state, so an
+    instrumented run is bit-for-bit the run you would have had without
+    it — which is what makes counterexamples replayable.
+
+    The masking invariants (agreement, membership, liveness, detection)
+    are armed only when {!Campaign.tolerated} holds — they are exactly
+    the paper's claims about campaigns inside the fault hypothesis.
+    CHAOS.md maps each invariant id to its requirement number. *)
+
+type violation = {
+  invariant : string;  (** e.g. ["A2-membership"]; see CHAOS.md *)
+  at : Totem_engine.Vtime.t;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Invariant identifiers, as recorded in [violation.invariant]. *)
+
+val inv_agreement : string
+(** A1 (online): all nodes deliver the same message at the same
+    position of the total order. *)
+
+val inv_delivery : string
+(** A1 (end of run): every submitted message was delivered everywhere. *)
+
+val inv_membership : string
+(** A2: tolerated network faults cause no membership change. *)
+
+val inv_virgin : string
+(** A5/P5: a network with no injected fault (or only sporadic loss
+    below [sporadic_loss_max]) is never declared faulty. *)
+
+val inv_detection : string
+(** A6/P4: a really-failed network is condemned within the bound. *)
+
+val inv_lag : string
+(** P4/P5: a never-faulted network's reception count never lags beyond
+    the configured limit. *)
+
+val inv_liveness : string
+(** Token liveness: rotation progresses under any tolerated fault. *)
+
+type config = {
+  agreement : bool;
+  membership : bool;
+  virgin_net : bool;
+  sporadic_loss_max : float;
+      (** loss at or below this still counts as "virgin" for A5 *)
+  lag_limit : int option;  (** arm {!inv_lag} with this bound *)
+  condemn_within : Totem_engine.Vtime.t option;
+      (** arm {!inv_detection}: a fully-failed network must be condemned
+          by some node within this much downtime *)
+  token_gap : Totem_engine.Vtime.t option;
+      (** arm {!inv_liveness}: max virtual time without any [Token_rx] *)
+  check_every : Totem_engine.Vtime.t;  (** periodic check interval *)
+}
+
+val default : config
+(** Agreement, membership and virgin-net checks on; liveness bound
+    250 ms (just above the 200 ms token-loss timeout); lag and
+    detection bounds unarmed — arm them per campaign. *)
+
+type t
+
+val attach : Totem_cluster.Cluster.t -> config -> Campaign.t -> t
+(** Install the monitor. Must run before [Cluster.start] so the initial
+    ring install and first deliveries are observed. *)
+
+val note_step : t -> Campaign.op -> unit
+(** The runner calls this as each campaign step executes; keeps the
+    monitor's view of injected fault state exact (A6 timing). *)
+
+val tolerated : t -> bool
+
+val violations : t -> violation list
+(** Chronological. *)
+
+val clean : t -> bool
+(** No violations so far. *)
+
+val final_checks : t -> submitted:int option -> unit
+(** End-of-run pass after heal-and-quiesce: everything-delivered (for
+    burst traffic) and outstanding detection bounds. *)
+
+val detach : t -> unit
+(** Unsubscribe from telemetry and stop the periodic check. *)
+
+(** {1 Serialization} — thresholds ride along in the counterexample
+    file so a replay re-arms the exact monitor that fired. *)
+
+val config_to_json : config -> Chaos_json.t
+
+val config_of_json : Chaos_json.t -> string -> config
+
+val violation_to_json : violation -> Chaos_json.t
+
+val violation_of_json : Chaos_json.t -> string -> violation

@@ -1,0 +1,92 @@
+(** The chaos engine: execute a {!Campaign} deterministically under the
+    online {!Invariant} monitors, shrink any violation to a minimal
+    schedule, and round-trip counterexamples through [.chaos.json]
+    files that replay bit-for-bit.
+
+    A run builds a fresh cluster from the campaign (shape, style, seed),
+    attaches the monitors, schedules the fault steps and traffic, and
+    drives simulated time in fixed slices so a violation stops the run
+    promptly. Violation-free runs finish like the fuzz harness always
+    did: heal everything, quiesce, then the end-of-run checks. *)
+
+type result = {
+  campaign : Campaign.t;
+  monitor : Invariant.config;
+  violations : Invariant.violation list;  (** chronological; [] = pass *)
+  submitted : int option;  (** burst total; [None] for saturation *)
+  delivered : int;  (** messages delivered at node 0 *)
+  finished_at : Totem_engine.Vtime.t;
+  events : int;
+      (** simulator events processed — with [delivered] and
+          [finished_at], a cheap determinism fingerprint *)
+}
+
+val passed : result -> bool
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?monitor:Invariant.config ->
+  ?sink:(Totem_engine.Vtime.t -> Totem_engine.Telemetry.event -> unit) ->
+  Campaign.t ->
+  result
+(** Deterministic: equal campaigns and monitor configs give equal
+    results, violations included. [sink] additionally streams every
+    telemetry event (e.g. {!Totem_engine.Telemetry.jsonl_sink}).
+    @raise Invalid_argument if {!Campaign.validate} rejects the
+    campaign. *)
+
+(** {1 Shrinking} *)
+
+type shrink_report = {
+  minimized : Campaign.t;
+  runs_used : int;
+  original_steps : int;
+  minimized_steps : int;
+}
+
+val shrink :
+  ?monitor:Invariant.config ->
+  ?budget:int ->
+  Campaign.t ->
+  Invariant.violation ->
+  shrink_report
+(** Greedy delta debugging over the step schedule: drop chunks of
+    decreasing size, re-executing after each candidate, keeping any drop
+    after which the same invariant still fires first. [budget] caps
+    re-executions (default 160). The result reproduces the violation by
+    construction (or is the original campaign if nothing could be
+    dropped). *)
+
+(** {1 Counterexample files} *)
+
+val schema : string
+(** ["totem-chaos/v1"]. *)
+
+type counterexample = {
+  cx_campaign : Campaign.t;
+  cx_monitor : Invariant.config;
+  cx_violation : Invariant.violation option;
+      (** what the original run observed first; [None] for a saved
+          baseline expected to pass *)
+  cx_shrunk : bool;
+      (** false marks an unshrunk capture — the chaos-smoke alias fails
+          if one is left in the tree *)
+}
+
+val counterexample_to_json : counterexample -> Chaos_json.t
+
+val write_counterexample : path:string -> counterexample -> unit
+
+val read_counterexample : path:string -> (counterexample, string) Stdlib.result
+
+type replay_outcome =
+  | Reproduced of result
+      (** the replay hit the same invariant at the same virtual time
+          with the same detail *)
+  | Diverged of result * string
+  | Clean_replay of result
+
+val replay : counterexample -> replay_outcome
+
+val replay_file : path:string -> (replay_outcome, string) Stdlib.result

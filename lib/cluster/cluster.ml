@@ -167,11 +167,24 @@ let block_send t ~node ~net =
 let block_recv t ~node ~net =
   Totem_net.Fault.block_recv (Totem_net.Fabric.fault t.fabric net) node
 
+let unblock_send t ~node ~net =
+  Totem_net.Fault.unblock_send (Totem_net.Fabric.fault t.fabric net) node
+
+let unblock_recv t ~node ~net =
+  Totem_net.Fault.unblock_recv (Totem_net.Fabric.fault t.fabric net) node
+
 let partition t ~net ~from_nodes ~to_nodes =
   let fault = Totem_net.Fabric.fault t.fabric net in
   List.iter
     (fun src ->
       List.iter (fun dst -> Totem_net.Fault.block_pair fault ~src ~dst) to_nodes)
+    from_nodes
+
+let unpartition t ~net ~from_nodes ~to_nodes =
+  let fault = Totem_net.Fabric.fault t.fabric net in
+  List.iter
+    (fun src ->
+      List.iter (fun dst -> Totem_net.Fault.unblock_pair fault ~src ~dst) to_nodes)
     from_nodes
 
 let total_delivered_messages t =

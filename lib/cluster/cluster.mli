@@ -93,6 +93,14 @@ val block_send : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -
 
 val block_recv : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
 
+val unblock_send :
+  t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
+(** Repair one node's transmit path — the inverse of {!block_send},
+    without clearing any other fault the way {!heal_network} does. *)
+
+val unblock_recv :
+  t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
+
 val partition :
   t ->
   net:Totem_net.Addr.net_id ->
@@ -101,6 +109,15 @@ val partition :
   unit
 (** The network cannot deliver from any of [from_nodes] to any of
     [to_nodes] (directed), Sec. 3's subset-to-subset fault. *)
+
+val unpartition :
+  t ->
+  net:Totem_net.Addr.net_id ->
+  from_nodes:Totem_net.Addr.node_id list ->
+  to_nodes:Totem_net.Addr.node_id list ->
+  unit
+(** Lift exactly the pair blocks a matching {!partition} installed;
+    rolling-partition campaigns alternate the two. *)
 
 (** {1 Aggregate statistics} *)
 

@@ -3,8 +3,15 @@ type action =
   | Heal_network of Totem_net.Addr.net_id
   | Set_loss of Totem_net.Addr.net_id * float
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Unblock_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Partition of {
+      net : Totem_net.Addr.net_id;
+      from_nodes : Totem_net.Addr.node_id list;
+      to_nodes : Totem_net.Addr.node_id list;
+    }
+  | Unpartition of {
       net : Totem_net.Addr.net_id;
       from_nodes : Totem_net.Addr.node_id list;
       to_nodes : Totem_net.Addr.node_id list;
@@ -21,11 +28,22 @@ let pp_action ppf = function
   | Block_send (node, net) ->
     Format.fprintf ppf "block send %a on %a" Totem_net.Addr.pp_node node
       Totem_net.Addr.pp_net net
+  | Unblock_send (node, net) ->
+    Format.fprintf ppf "unblock send %a on %a" Totem_net.Addr.pp_node node
+      Totem_net.Addr.pp_net net
   | Block_recv (node, net) ->
     Format.fprintf ppf "block recv %a on %a" Totem_net.Addr.pp_node node
       Totem_net.Addr.pp_net net
+  | Unblock_recv (node, net) ->
+    Format.fprintf ppf "unblock recv %a on %a" Totem_net.Addr.pp_node node
+      Totem_net.Addr.pp_net net
   | Partition { net; from_nodes; to_nodes } ->
     Format.fprintf ppf "partition on %a: [%s] -x-> [%s]" Totem_net.Addr.pp_net
+      net
+      (String.concat "," (List.map string_of_int from_nodes))
+      (String.concat "," (List.map string_of_int to_nodes))
+  | Unpartition { net; from_nodes; to_nodes } ->
+    Format.fprintf ppf "unpartition on %a: [%s] -> [%s]" Totem_net.Addr.pp_net
       net
       (String.concat "," (List.map string_of_int from_nodes))
       (String.concat "," (List.map string_of_int to_nodes))
@@ -38,9 +56,13 @@ let apply t = function
   | Heal_network n -> Cluster.heal_network t n
   | Set_loss (n, p) -> Cluster.set_network_loss t n p
   | Block_send (node, net) -> Cluster.block_send t ~node ~net
+  | Unblock_send (node, net) -> Cluster.unblock_send t ~node ~net
   | Block_recv (node, net) -> Cluster.block_recv t ~node ~net
+  | Unblock_recv (node, net) -> Cluster.unblock_recv t ~node ~net
   | Partition { net; from_nodes; to_nodes } ->
     Cluster.partition t ~net ~from_nodes ~to_nodes
+  | Unpartition { net; from_nodes; to_nodes } ->
+    Cluster.unpartition t ~net ~from_nodes ~to_nodes
   | Crash_node n -> Cluster.crash_node t n
   | Recover_node n -> Cluster.recover_node t n
   | Custom f -> f t

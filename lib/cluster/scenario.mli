@@ -7,8 +7,15 @@ type action =
   | Heal_network of Totem_net.Addr.net_id
   | Set_loss of Totem_net.Addr.net_id * float
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
+  | Unblock_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Partition of {
+      net : Totem_net.Addr.net_id;
+      from_nodes : Totem_net.Addr.node_id list;
+      to_nodes : Totem_net.Addr.node_id list;
+    }
+  | Unpartition of {
       net : Totem_net.Addr.net_id;
       from_nodes : Totem_net.Addr.node_id list;
       to_nodes : Totem_net.Addr.node_id list;

@@ -73,9 +73,14 @@ type t = {
   mutable next : int;
   mutable count : int;
   mutable sink : (Vtime.t -> event -> unit) option;
+  mutable subscribers : (int * (Vtime.t -> event -> unit)) list;
+      (* observer fan-out, oldest first; ids make removal exact *)
+  mutable next_subscriber : int;
   registry : (string, metric) Hashtbl.t;
   mutable names : string list;  (* registration order, newest first *)
 }
+
+type subscription = int
 
 let create ?(capacity = 4096) sim =
   if capacity <= 0 then
@@ -88,6 +93,8 @@ let create ?(capacity = 4096) sim =
     next = 0;
     count = 0;
     sink = None;
+    subscribers = [];
+    next_subscriber = 0;
     registry = Hashtbl.create 64;
     names = [];
   }
@@ -98,10 +105,24 @@ let tracing t = t.tracing
 let set_sink t f = t.sink <- Some f
 let clear_sink t = t.sink <- None
 
-let[@inline] active t = t.tracing || t.sink <> None
+let subscribe t f =
+  let id = t.next_subscriber in
+  t.next_subscriber <- id + 1;
+  t.subscribers <- t.subscribers @ [ (id, f) ];
+  id
+
+let unsubscribe t id =
+  t.subscribers <- List.filter (fun (id', _) -> id' <> id) t.subscribers
+
+let[@inline] active t = t.tracing || t.sink <> None || t.subscribers <> []
 
 let emit t event =
   (match t.sink with Some f -> f (Sim.now t.sim) event | None -> ());
+  (match t.subscribers with
+  | [] -> ()
+  | subs ->
+    let now = Sim.now t.sim in
+    List.iter (fun (_, f) -> f now event) subs);
   if t.tracing then begin
     t.ring.(t.next) <- Some { time = Sim.now t.sim; event };
     t.next <- (t.next + 1) mod t.capacity;

@@ -77,9 +77,23 @@ val set_sink : t -> (Vtime.t -> event -> unit) -> unit
 
 val clear_sink : t -> unit
 
+type subscription
+(** Handle for one registered observer; see {!subscribe}. *)
+
+val subscribe : t -> (Vtime.t -> event -> unit) -> subscription
+(** Register an additional observer that sees every event, independently
+    of the single {!set_sink} slot and of ring tracing. Observers fire in
+    subscription order, after the sink. Like sinks, observers must be
+    read-only with respect to the simulation: the chaos invariant
+    monitors ([lib/chaos]) are the canonical client. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Remove a {!subscribe}d observer; no-op if already removed. *)
+
 val active : t -> bool
-(** True when tracing is on or a sink is installed — the guard
-    instrumented code checks before building an event. *)
+(** True when tracing is on, a sink is installed or a subscriber is
+    registered — the guard instrumented code checks before building an
+    event. *)
 
 val emit : t -> event -> unit
 (** Record [event] at the current simulation time. Callers normally

@@ -45,6 +45,11 @@ let set_loss_probability t p =
 
 let loss_probability t = t.loss_prob
 
+let set_loss t p =
+  set_loss_probability t (if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p)
+
+let loss_rate = loss_probability
+
 let delivers t ~src ~dst =
   (* Checked once per frame delivery: guard each table by its O(1)
      length so the fault-free fast path does no hashing and allocates

@@ -45,6 +45,16 @@ val set_loss_probability : t -> float -> unit
 
 val loss_probability : t -> float
 
+val set_loss : t -> float -> unit
+(** Like {!set_loss_probability}, but clamps the argument to [\[0,1\]]
+    instead of raising — the forgiving variant fault campaigns use when
+    ramping loss by computed increments. *)
+
+val loss_rate : t -> float
+(** The current loss probability; alias of {!loss_probability}, paired
+    with {!set_loss} so campaigns can snapshot and restore loss state
+    symmetrically. *)
+
 val delivers : t -> src:Addr.node_id -> dst:Addr.node_id -> bool
 (** Whether the deterministic fault state permits delivery on the path
     [src -> dst] (loss probability not included). *)

@@ -1,0 +1,259 @@
+(* The chaos engine: DSL combinators, campaign serialization, the
+   violation -> shrink -> replay round trip, and replay determinism. *)
+
+module Vtime = Totem_engine.Vtime
+module Telemetry = Totem_engine.Telemetry
+module Campaign = Totem_chaos.Campaign
+module Invariant = Totem_chaos.Invariant
+module Runner = Totem_chaos.Runner
+
+(* --- DSL ------------------------------------------------------------- *)
+
+let test_flap_duty_cycle () =
+  let steps =
+    Campaign.flap ~net:0 ~period:(Vtime.ms 100) ~duty:0.3 ~from_:Vtime.zero
+      ~until:(Vtime.ms 300) ()
+  in
+  let expected =
+    [
+      (Vtime.ms 0, Campaign.Fail_net 0);
+      (Vtime.ms 30, Campaign.Heal_net 0);
+      (Vtime.ms 100, Campaign.Fail_net 0);
+      (Vtime.ms 130, Campaign.Heal_net 0);
+      (Vtime.ms 200, Campaign.Fail_net 0);
+      (Vtime.ms 230, Campaign.Heal_net 0);
+    ]
+  in
+  Alcotest.(check int) "step count" (List.length expected) (List.length steps);
+  List.iter2
+    (fun (at, op) s ->
+      Alcotest.(check bool)
+        (Format.asprintf "step %a" Campaign.pp_op op)
+        true
+        (s.Campaign.at = at && s.Campaign.op = op))
+    expected steps
+
+let test_rolling_partition () =
+  let steps =
+    Campaign.rolling_partition ~net:1 ~nodes:[ 0; 1; 2 ] ~dwell:(Vtime.ms 50)
+      ~from_:(Vtime.ms 100) ~rounds:3
+  in
+  let expected =
+    [
+      (Vtime.ms 100, Campaign.Partition (1, [ 0 ], [ 1 ]));
+      (Vtime.ms 150, Campaign.Unpartition (1, [ 0 ], [ 1 ]));
+      (Vtime.ms 150, Campaign.Partition (1, [ 1 ], [ 2 ]));
+      (Vtime.ms 200, Campaign.Unpartition (1, [ 1 ], [ 2 ]));
+      (Vtime.ms 200, Campaign.Partition (1, [ 2 ], [ 0 ]));
+      (Vtime.ms 250, Campaign.Unpartition (1, [ 2 ], [ 0 ]));
+    ]
+  in
+  Alcotest.(check int) "step count" 6 (List.length steps);
+  List.iter2
+    (fun (at, op) s ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Campaign.pp_op op)
+        true
+        (s.Campaign.at = at && s.Campaign.op = op))
+    expected steps
+
+let test_loss_ramp () =
+  let steps =
+    Campaign.loss_ramp ~net:0 ~from_:(Vtime.ms 100) ~until:(Vtime.ms 500)
+      ~stages:4 ~peak:0.4
+  in
+  Alcotest.(check int) "stages + clear" 5 (List.length steps);
+  let last = List.nth steps 4 in
+  Alcotest.(check bool) "cleared at until" true
+    (last.Campaign.op = Campaign.Set_loss (0, 0.0) && last.Campaign.at = Vtime.ms 500);
+  (match (List.nth steps 3).Campaign.op with
+  | Campaign.Set_loss (0, p) ->
+    Alcotest.(check (float 1e-9)) "peak reached" 0.4 p
+  | _ -> Alcotest.fail "expected Set_loss")
+
+let test_tolerated () =
+  let mk steps = Campaign.make ~num_nets:2 steps in
+  Alcotest.(check bool) "no faults tolerated" true (Campaign.tolerated (mk []));
+  Alcotest.(check bool) "one net down tolerated" true
+    (Campaign.tolerated (mk [ { Campaign.at = Vtime.ms 10; op = Campaign.Fail_net 0 } ]));
+  Alcotest.(check bool) "both nets down not tolerated" false
+    (Campaign.tolerated
+       (mk
+          [
+            { Campaign.at = Vtime.ms 10; op = Campaign.Fail_net 0 };
+            { Campaign.at = Vtime.ms 20; op = Campaign.Fail_net 1 };
+          ]));
+  Alcotest.(check bool) "heal restores tolerance" true
+    (Campaign.tolerated
+       (mk
+          [
+            { Campaign.at = Vtime.ms 10; op = Campaign.Fail_net 0 };
+            { Campaign.at = Vtime.ms 20; op = Campaign.Heal_net 0 };
+            { Campaign.at = Vtime.ms 30; op = Campaign.Fail_net 1 };
+          ]));
+  Alcotest.(check bool) "loss everywhere not tolerated" false
+    (Campaign.tolerated
+       (mk
+          [
+            { Campaign.at = Vtime.ms 10; op = Campaign.Set_loss (0, 0.1) };
+            { Campaign.at = Vtime.ms 20; op = Campaign.Set_loss (1, 0.1) };
+          ]));
+  Alcotest.(check bool) "crash not tolerated" false
+    (Campaign.tolerated (mk [ { Campaign.at = Vtime.ms 10; op = Campaign.Crash 0 } ]))
+
+let test_touched_nets () =
+  let c =
+    Campaign.make ~num_nets:3
+      [
+        { Campaign.at = Vtime.ms 10; op = Campaign.Set_loss (0, 0.03) };
+        { Campaign.at = Vtime.ms 20; op = Campaign.Block_send (1, 1) };
+      ]
+  in
+  let strict = Campaign.touched_nets c in
+  Alcotest.(check bool) "loss touches under strict" true strict.(0);
+  let lenient = Campaign.touched_nets ~sporadic_loss_max:0.05 c in
+  Alcotest.(check bool) "sporadic loss stays virgin" false lenient.(0);
+  Alcotest.(check bool) "hard fault always touches" true lenient.(1);
+  Alcotest.(check bool) "untouched net virgin" false lenient.(2)
+
+(* --- serialization --------------------------------------------------- *)
+
+let test_json_round_trip () =
+  List.iter
+    (fun seed ->
+      let c = Campaign.random ~seed () in
+      let text = Totem_chaos.Chaos_json.to_string (Campaign.to_json c) in
+      match Totem_chaos.Chaos_json.parse text with
+      | Error m -> Alcotest.failf "seed %d: reparse failed: %s" seed m
+      | Ok v ->
+        let c' = Campaign.of_json v "round-trip" in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d round-trips" seed)
+          true (c = c'))
+    [ 1; 2; 3; 7; 11 ]
+
+(* --- violation -> shrink -> replay ----------------------------------- *)
+
+(* A deliberately mis-thresholded monitor: no protocol can condemn a
+   failed network within 1 ms, so requirement A6 "fires" on any campaign
+   that takes a network down for longer than that. *)
+let broken_monitor =
+  { Invariant.default with Invariant.condemn_within = Some (Vtime.ms 1) }
+
+let find_violating_campaign () =
+  (* Seed 1's random campaign keeps network 0 down long enough. *)
+  let campaign = Campaign.random ~seed:1 () in
+  match (Runner.run ~monitor:broken_monitor campaign).Runner.violations with
+  | v :: _ -> (campaign, v)
+  | [] -> Alcotest.fail "expected the mis-thresholded monitor to fire"
+
+let test_shrink_round_trip () =
+  let campaign, violation = find_violating_campaign () in
+  Alcotest.(check string)
+    "A6 fired" Invariant.inv_detection violation.Invariant.invariant;
+  let s = Runner.shrink ~monitor:broken_monitor campaign violation in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to %d steps (<= 8)" s.Runner.minimized_steps)
+    true
+    (s.Runner.minimized_steps <= 8
+    && s.Runner.minimized_steps < s.Runner.original_steps);
+  (* The minimized campaign still violates the same invariant... *)
+  let r = Runner.run ~monitor:broken_monitor s.Runner.minimized in
+  let v' =
+    match r.Runner.violations with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "minimized campaign no longer violates"
+  in
+  Alcotest.(check string)
+    "same invariant" violation.Invariant.invariant v'.Invariant.invariant;
+  (* ...and round-trips through a .chaos.json file into a bit-for-bit
+     reproduction. *)
+  let path = Filename.temp_file "totem" ".chaos.json" in
+  Runner.write_counterexample ~path
+    {
+      Runner.cx_campaign = s.Runner.minimized;
+      cx_monitor = broken_monitor;
+      cx_violation = Some v';
+      cx_shrunk = true;
+    };
+  let outcome = Runner.replay_file ~path in
+  Sys.remove path;
+  match outcome with
+  | Ok (Runner.Reproduced _) -> ()
+  | Ok (Runner.Diverged (_, why)) -> Alcotest.failf "replay diverged: %s" why
+  | Ok (Runner.Clean_replay _) -> Alcotest.fail "replay came back clean"
+  | Error m -> Alcotest.failf "replay failed: %s" m
+
+let test_liveness_misthreshold_shrinks_to_nothing () =
+  (* token_gap = 0 condemns any instant without a token reception: the
+     fault schedule is irrelevant, so ddmin must strip it entirely. *)
+  let monitor =
+    { Invariant.default with Invariant.token_gap = Some Vtime.zero }
+  in
+  let campaign = Campaign.random ~seed:3 () in
+  match (Runner.run ~monitor campaign).Runner.violations with
+  | [] -> Alcotest.fail "zero token gap must fire"
+  | v :: _ ->
+    Alcotest.(check string) "liveness" Invariant.inv_liveness v.Invariant.invariant;
+    let s = Runner.shrink ~monitor campaign v in
+    Alcotest.(check int) "schedule shrinks away" 0 s.Runner.minimized_steps
+
+(* --- determinism ------------------------------------------------------ *)
+
+let dump_run campaign monitor =
+  let buf = Buffer.create 4096 in
+  let sink time event =
+    Buffer.add_string buf (Telemetry.json_of_event time event);
+    Buffer.add_char buf '\n'
+  in
+  let r = Runner.run ~monitor ~sink campaign in
+  (r, Buffer.contents buf)
+
+let test_replay_determinism () =
+  let campaign = Campaign.random ~seed:2 () in
+  let r1, dump1 = dump_run campaign Invariant.default in
+  let r2, dump2 = dump_run campaign Invariant.default in
+  Alcotest.(check int) "same event count" r1.Runner.events r2.Runner.events;
+  Alcotest.(check int) "same deliveries" r1.Runner.delivered r2.Runner.delivered;
+  Alcotest.(check bool) "same violations" true
+    (r1.Runner.violations = r2.Runner.violations);
+  Alcotest.(check bool)
+    (Printf.sprintf "identical telemetry dumps (%d bytes)" (String.length dump1))
+    true (String.equal dump1 dump2);
+  Alcotest.(check bool) "dump is non-trivial" true (String.length dump1 > 10_000)
+
+let test_stock_campaign_passes () =
+  let campaign = Campaign.random ~seed:4 () in
+  let monitor =
+    {
+      Invariant.default with
+      Invariant.condemn_within = Some (Vtime.ms 1500);
+      lag_limit = Some 100;
+    }
+  in
+  let r = Runner.run ~monitor campaign in
+  (match r.Runner.violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "stock campaign violated %a" Invariant.pp_violation v);
+  match r.Runner.submitted with
+  | Some n -> Alcotest.(check int) "all delivered" n r.Runner.delivered
+  | None -> Alcotest.fail "burst campaign must know its submission count"
+
+let tests =
+  [
+    Alcotest.test_case "flap emits the duty cycle" `Quick test_flap_duty_cycle;
+    Alcotest.test_case "rolling partition rotates pairs" `Quick test_rolling_partition;
+    Alcotest.test_case "loss ramp climbs then clears" `Quick test_loss_ramp;
+    Alcotest.test_case "tolerated matches the fault hypothesis" `Quick test_tolerated;
+    Alcotest.test_case "touched nets vs sporadic loss" `Quick test_touched_nets;
+    Alcotest.test_case "campaign JSON round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "violation -> shrink -> replay round trip" `Slow
+      test_shrink_round_trip;
+    Alcotest.test_case "liveness mis-threshold shrinks to empty" `Slow
+      test_liveness_misthreshold_shrinks_to_nothing;
+    Alcotest.test_case "replay determinism (identical dumps)" `Slow
+      test_replay_determinism;
+    Alcotest.test_case "stock campaign passes armed monitors" `Slow
+      test_stock_campaign_passes;
+  ]

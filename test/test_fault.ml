@@ -46,6 +46,21 @@ let test_loss_validation () =
   Alcotest.check_raises "above one" (Invalid_argument "Fault.set_loss_probability")
     (fun () -> Fault.set_loss_probability f 1.1)
 
+let test_loss_clamp () =
+  let f = Fault.create () in
+  Fault.set_loss f 0.3;
+  Alcotest.(check (float 0.0)) "in range passes through" 0.3 (Fault.loss_rate f);
+  Fault.set_loss f (-0.5);
+  Alcotest.(check (float 0.0)) "below zero clamps to 0" 0.0 (Fault.loss_rate f);
+  Fault.set_loss f 1.7;
+  Alcotest.(check (float 0.0)) "above one clamps to 1" 1.0 (Fault.loss_rate f);
+  (* snapshot/restore round trip: loss_rate feeds back into set_loss *)
+  Fault.set_loss f 0.125;
+  let snapshot = Fault.loss_rate f in
+  Fault.heal f;
+  Fault.set_loss f snapshot;
+  Alcotest.(check (float 0.0)) "restored" 0.125 (Fault.loss_probability f)
+
 let test_heal () =
   let f = Fault.create () in
   Fault.set_down f true;
@@ -77,6 +92,7 @@ let tests =
     Alcotest.test_case "receive-path fault (Sec. 3)" `Quick test_recv_block;
     Alcotest.test_case "subset partition is directed" `Quick test_pair_block_directed;
     Alcotest.test_case "loss probability validation" `Quick test_loss_validation;
+    Alcotest.test_case "set_loss clamps, loss_rate round-trips" `Quick test_loss_clamp;
     Alcotest.test_case "heal clears everything" `Quick test_heal;
     Alcotest.test_case "overlapping faults" `Quick test_overlapping_faults;
   ]

@@ -1,99 +1,51 @@
-(* Randomised fault-injection: for many seeds, build a random cluster,
-   hit it with a random sequence of network faults (always leaving the
-   last network untouched, per the paper's operating assumption that one
-   network survives), drive random traffic, then heal and quiesce.
+(* Randomised fault-injection, now driven through the chaos engine:
+   [Campaign.random] builds a random cluster shape, burst traffic and a
+   random fault timeline (always leaving the last network untouched, per
+   the paper's operating assumption that one network survives), and
+   [Runner.run] executes it with the paper's requirements armed as
+   online monitors instead of end-of-run assertions:
 
-   Invariants asserted for every run:
-     - every submitted message is delivered at every node,
-     - all nodes delivered the identical total order,
-     - the network faults caused no membership change,
-     - the never-faulted network was never marked faulty. *)
+     - A1: every burst delivered, in one identical total order,
+     - A2: tolerated network faults cause no membership change,
+     - A5/P5: the never-faulted network is never declared faulty,
+     - A6: a fully-failed network is condemned within 1.5 s of downtime,
+     - P4: reception lag on healthy networks stays bounded,
+     - token liveness throughout.
 
-open Util
-module Rng = Totem_engine.Rng
-module Rrp = Totem_rrp.Rrp
+   When a seed fails, the schedule is shrunk first so the failure
+   message carries a minimal, replayable campaign. *)
 
-let styles_for num_nets =
-  if num_nets >= 3 then
-    [| Style.Passive; Style.Active; Style.Active_passive 2 |]
-  else [| Style.Passive; Style.Active |]
+module Vtime = Totem_engine.Vtime
+module Campaign = Totem_chaos.Campaign
+module Invariant = Totem_chaos.Invariant
+module Runner = Totem_chaos.Runner
 
-let random_action rng ~num_nets ~num_nodes =
-  (* Only networks 0 .. num_nets-2 are ever faulted. *)
-  let net = Rng.int rng (num_nets - 1) in
-  let node = Rng.int rng num_nodes in
-  match Rng.int rng 6 with
-  | 0 -> Totem_cluster.Scenario.Fail_network net
-  | 1 -> Totem_cluster.Scenario.Heal_network net
-  | 2 -> Totem_cluster.Scenario.Set_loss (net, Rng.float rng 0.4)
-  | 3 -> Totem_cluster.Scenario.Block_send (node, net)
-  | 4 -> Totem_cluster.Scenario.Block_recv (node, net)
-  | 5 ->
-    let other = (node + 1 + Rng.int rng (num_nodes - 1)) mod num_nodes in
-    Totem_cluster.Scenario.Partition
-      { net; from_nodes = [ node ]; to_nodes = [ other ] }
-  | _ -> assert false
+let monitor =
+  {
+    Invariant.default with
+    Invariant.condemn_within = Some (Vtime.ms 1500);
+    lag_limit = Some 100;
+    sporadic_loss_max = 0.05;
+  }
 
 let run_one ~seed =
-  let rng = Rng.create ~seed in
-  let num_nodes = 2 + Rng.int rng 4 in
-  let num_nets = 2 + Rng.int rng 2 in
-  let style = Rng.pick rng (styles_for num_nets) in
-  let t = make ~num_nodes ~num_nets ~style ~seed () in
-  Cluster.start t.cluster;
-  (* Random fault timeline over the first 2 simulated seconds. *)
-  let events =
-    List.init
-      (3 + Rng.int rng 6)
-      (fun _ ->
-        ( Vtime.ms (100 + Rng.int rng 1900),
-          random_action rng ~num_nets ~num_nodes ))
-  in
-  Scenario.schedule t.cluster events;
-  (* Random traffic: several bursts from random nodes. *)
-  let submitted = ref 0 in
-  for _ = 1 to 5 + Rng.int rng 10 do
-    let node = Rng.int rng num_nodes in
-    let count = 5 + Rng.int rng 30 in
-    let size = 64 + Rng.int rng 2000 in
-    let at = Vtime.ms (Rng.int rng 2000) in
-    Totem_cluster.Workload.burst t.cluster ~node ~size ~count ~at;
-    submitted := !submitted + count
-  done;
-  run_ms t 2200;
-  (* Heal everything and let the system quiesce. *)
-  for net = 0 to num_nets - 1 do
-    Cluster.heal_network t.cluster net
-  done;
-  run_ms t 5000;
-  let ctx =
-    Printf.sprintf "seed=%d nodes=%d nets=%d style=%s" seed num_nodes num_nets
-      (match style with
-      | Style.Passive -> "passive"
-      | Style.Active -> "active"
-      | Style.Active_passive k -> Printf.sprintf "ap%d" k
-      | Style.No_replication -> "none")
-  in
-  (* All delivered, identically, everywhere. *)
-  let reference = order t 0 in
-  if List.length reference <> !submitted then
-    Alcotest.failf "%s: delivered %d of %d" ctx (List.length reference) !submitted;
-  for node = 1 to num_nodes - 1 do
-    if order t node <> reference then Alcotest.failf "%s: order diverged at node %d" ctx node
-  done;
-  (* Network faults never caused reconfiguration. *)
-  for node = 0 to num_nodes - 1 do
-    let changes = (Srp.stats (srp_of t node)).Srp.ring_changes in
-    if changes <> 1 then
-      Alcotest.failf "%s: node %d saw %d ring changes" ctx node changes;
-    (* The untouched network was never condemned. *)
-    if (Totem_rrp.Rrp.faulty (rrp_of t node)).(num_nets - 1) then
-      Alcotest.failf "%s: node %d marked the healthy network" ctx node
-  done
+  let campaign = Campaign.random ~seed () in
+  let r = Runner.run ~monitor campaign in
+  match r.Runner.violations with
+  | [] -> ()
+  | v :: _ ->
+    let s = Runner.shrink ~monitor campaign v in
+    Alcotest.failf "seed %d: %a@.minimal schedule (%d of %d steps):@.%s" seed
+      Invariant.pp_violation v s.Runner.minimized_steps s.Runner.original_steps
+      (Totem_chaos.Chaos_json.to_string (Campaign.to_json s.Runner.minimized))
 
 let test_fuzz_seeds () =
-  for seed = 1 to 12 do
+  for seed = 1 to 24 do
     run_one ~seed
   done
 
-let tests = [ Alcotest.test_case "12 random fault timelines" `Slow test_fuzz_seeds ]
+let tests =
+  [
+    Alcotest.test_case "24 random fault campaigns, online monitors" `Slow
+      test_fuzz_seeds;
+  ]

@@ -118,6 +118,33 @@ let qcheck_cluster_total_order =
       List.length reference = List.length submissions
       && List.for_all (fun n -> Util.order t n = reference) [ 1; 2; 3 ])
 
+(* Chaos property (paper requirements A5/P5): [Campaign.random] never
+   faults the last network, so whatever the replication style, no online
+   monitor may ever see that network condemned. Styles are overridden on
+   top of the generated campaign so every schedule is tried under all
+   three. *)
+let qcheck_chaos_virgin_net_never_condemned =
+  QCheck.Test.make ~name:"never-faulted net never condemned (all styles)"
+    ~count:9
+    QCheck.(pair (int_range 1 500) (int_range 0 2))
+    (fun (seed, style_ix) ->
+      let base = Totem_chaos.Campaign.random ~seed () in
+      let style =
+        match style_ix with
+        | 0 -> Totem_rrp.Style.Passive
+        | 1 -> Totem_rrp.Style.Active
+        | _ when base.Totem_chaos.Campaign.num_nets >= 3 ->
+          Totem_rrp.Style.Active_passive 2
+        | _ -> Totem_rrp.Style.Active
+      in
+      let campaign = { base with Totem_chaos.Campaign.style } in
+      let r = Totem_chaos.Runner.run campaign in
+      List.for_all
+        (fun v ->
+          v.Totem_chaos.Invariant.invariant
+          <> Totem_chaos.Invariant.inv_virgin)
+        r.Totem_chaos.Runner.violations)
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -129,4 +156,5 @@ let tests =
       qcheck_summary_total;
       qcheck_rng_split_streams_differ;
       qcheck_cluster_total_order;
+      qcheck_chaos_virgin_net_never_condemned;
     ]
