@@ -83,8 +83,9 @@ let parallel_map ~jobs f items =
    sampled every 50 ms of virtual time. The sampler is installed
    unconditionally (it is read-only) so figures are bitwise identical
    whether or not anyone looks at the telemetry. *)
-let run_point ?(const = Const.default) ~num_nodes ~num_nets ~style ~size () =
-  let config = Config.make ~num_nodes ~num_nets ~style ~const () in
+let run_point ?(const = Const.default) ?(wire = false) ~num_nodes ~num_nets
+    ~style ~size () =
+  let config = Config.make ~num_nodes ~num_nets ~style ~const ~wire_bytes:wire () in
   let cluster = Cluster.create config in
   let sampler = Metrics.install_fault_sampler cluster ~interval:(Vtime.ms 50) in
   Cluster.start cluster;
@@ -110,7 +111,7 @@ let styles =
 
 (* One sweep serves both the msgs/sec figure and the KB/sec figure.
    The style x size grid is the unit of parallelism. *)
-let sweep ~num_nodes =
+let sweep ?(wire = false) ~num_nodes () =
   let tasks =
     Array.concat
       (List.map (fun (_, style) -> Array.map (fun size -> (style, size)) sizes)
@@ -119,7 +120,7 @@ let sweep ~num_nodes =
   let pts =
     parallel_map ~jobs:!jobs
       (fun (style, size) ->
-        let tp, _, pt = run_point ~num_nodes ~num_nets:2 ~style ~size () in
+        let tp, _, pt = run_point ~wire ~num_nodes ~num_nets:2 ~style ~size () in
         (tp, pt))
       tasks
   in
@@ -129,18 +130,18 @@ let sweep ~num_nodes =
     styles
 
 let cache :
-    ( int,
+    ( int * bool,
       (string * Style.t * (Metrics.throughput * Metrics.point_telemetry) array)
       list )
     Hashtbl.t =
   Hashtbl.create 4
 
-let sweep_cached ~num_nodes =
-  match Hashtbl.find_opt cache num_nodes with
+let sweep_cached ?(wire = false) ~num_nodes () =
+  match Hashtbl.find_opt cache (num_nodes, wire) with
   | Some s -> s
   | None ->
-    let s = sweep ~num_nodes in
-    Hashtbl.replace cache num_nodes s;
+    let s = sweep ~wire ~num_nodes () in
+    Hashtbl.replace cache (num_nodes, wire) s;
     s
 
 let rate_series s =
@@ -220,7 +221,7 @@ let fig_results :
   Hashtbl.create 4
 
 let fig ~n ~num_nodes ~bandwidth () =
-  let s = sweep_cached ~num_nodes in
+  let s = sweep_cached ~num_nodes () in
   Hashtbl.replace fig_results
     (Printf.sprintf "fig%d" n)
     (List.map (fun (name, _, pts) -> (name, pts)) s);
@@ -252,6 +253,40 @@ let fig7 () = fig ~n:7 ~num_nodes:6 ~bandwidth:false ()
 let fig8 () = fig ~n:8 ~num_nodes:4 ~bandwidth:true ()
 let fig9 () = fig ~n:9 ~num_nodes:6 ~bandwidth:true ()
 
+(* --- wire: byte-faithful mode, the encode+CRC overhead --------------- *)
+
+(* The fig6 sweep re-run in byte-wire mode: every payload serialized
+   through the binary codec with a CRC-32 trailer at the sending NIC,
+   CRC-checked and totally decoded at the receiver. Serialization is
+   host CPU work, not simulated time, so the simulated figures must be
+   bitwise the reference sweep — the overhead is this target's
+   wall-clock (events_per_sec) against fig6's in the JSON. *)
+let wire () =
+  let s = sweep_cached ~wire:true ~num_nodes:4 () in
+  Hashtbl.replace fig_results "wire"
+    (List.map (fun (name, _, pts) -> (name, pts)) s);
+  Report.print_series
+    ~title:
+      "Byte-wire mode: transmission rate (msgs/sec) vs message length, 4 nodes"
+    ~x_label:"bytes" ~xs:sizes (rate_series s);
+  let reference = sweep_cached ~num_nodes:4 () in
+  let identical =
+    List.for_all2
+      (fun (_, _, pa) (_, _, pb) ->
+        Array.length pa = Array.length pb
+        && Array.for_all Fun.id
+             (Array.init (Array.length pa) (fun i ->
+                  (fst pa.(i)).Metrics.msgs_per_sec
+                  = (fst pb.(i)).Metrics.msgs_per_sec
+                  && (fst pa.(i)).Metrics.kbytes_per_sec
+                     = (fst pb.(i)).Metrics.kbytes_per_sec)))
+      s reference
+  in
+  Format.printf "  wire-mode figures %s the reference sweep@."
+    (if identical then "are bitwise identical to" else "DIVERGE from");
+  expect "wire mode is timing-neutral" identical
+    "a wire-mode point differs from its reference point"
+
 (* --- headline: Sec. 2's ">9,000 one-Kbyte msgs/sec, ~90%" --------- *)
 
 let headline () =
@@ -271,7 +306,7 @@ let headline () =
 (* --- claims table: the numeric sentences of Sec. 8 ---------------- *)
 
 let claims () =
-  let s = sweep_cached ~num_nodes:4 in
+  let s = sweep_cached ~num_nodes:4 () in
   let rates = rate_series s and bws = bw_series s in
   let at series name i = (List.assoc name series).(i) in
   Format.printf "Sec. 8 claim checks (4 nodes):@.";
@@ -764,6 +799,7 @@ let all_targets =
     ("fig7", fig7);
     ("fig8", fig8);
     ("fig9", fig9);
+    ("wire", wire);
     ("headline", headline);
     ("claims", claims);
     ("latency", latency);

@@ -68,14 +68,35 @@ let loss_t =
     value & opt float 0.0
     & info [ "loss" ] ~docv:"P" ~doc:"Sporadic frame-loss probability on every network.")
 
+let wire_bytes_t =
+  Arg.(
+    value & flag
+    & info [ "wire-bytes" ]
+        ~doc:
+          "Byte-faithful wire mode: serialize every payload through the \
+           binary codec with a CRC-32 trailer at the sending NIC; the \
+           receiving NIC CRC-checks and totally decodes it, discarding \
+           damaged frames exactly as loss.")
+
+let corrupt_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "corrupt" ] ~docv:"P"
+        ~doc:
+          "Per-frame in-flight corruption probability on every network \
+           (bit flips, truncation, garbage; bit-accurate under \
+           $(b,--wire-bytes)).")
+
 let style_name = function
   | Style.No_replication -> "none"
   | Style.Active -> "active"
   | Style.Passive -> "passive"
   | Style.Active_passive k -> Printf.sprintf "active-passive K=%d" k
 
-let make_cluster ~style ~nodes ~nets ~seed =
-  let config = Config.make ~num_nodes:nodes ~num_nets:nets ~style ~seed () in
+let make_cluster ?(wire = false) ~style ~nodes ~nets ~seed () =
+  let config =
+    Config.make ~num_nodes:nodes ~num_nets:nets ~style ~seed ~wire_bytes:wire ()
+  in
   Cluster.create config
 
 (* --- throughput ----------------------------------------------------- *)
@@ -88,8 +109,9 @@ let open_sink = function
 
 let close_sink (oc, owned) = if owned then close_out oc else flush oc
 
-let throughput style nodes nets size seconds seed loss trace_out metrics_out =
-  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+let throughput style nodes nets size seconds seed loss wire corrupt trace_out
+    metrics_out =
+  let cluster = make_cluster ~wire ~style ~nodes ~nets ~seed () in
   let telemetry = Cluster.telemetry cluster in
   let trace_sink = Option.map open_sink trace_out in
   (match trace_sink with
@@ -103,14 +125,20 @@ let throughput style nodes nets size seconds seed loss trace_out metrics_out =
     for net = 0 to nets - 1 do
       Cluster.set_network_loss cluster net loss
     done;
+  if corrupt > 0.0 then
+    for net = 0 to nets - 1 do
+      Cluster.set_network_corruption cluster net corrupt
+    done;
   Workload.saturate cluster ~size;
   let tp =
     Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
       ~duration:(Vtime.of_float_sec seconds)
   in
   if not quiet then begin
-    Format.printf "style=%s nodes=%d nets=%d size=%dB loss=%.2f@."
-      (style_name style) nodes nets size loss;
+    Format.printf "style=%s nodes=%d nets=%d size=%dB loss=%.2f%s%s@."
+      (style_name style) nodes nets size loss
+      (if wire then " wire-bytes" else "")
+      (if corrupt > 0.0 then Printf.sprintf " corrupt=%.2f" corrupt else "");
     Format.printf "throughput: %.0f msgs/sec, %.0f Kbytes/sec@."
       tp.Metrics.msgs_per_sec tp.Metrics.kbytes_per_sec;
     Totem_cluster.Net_report.print cluster;
@@ -153,12 +181,12 @@ let throughput_cmd =
     (Cmd.info "throughput" ~doc)
     Term.(
       const throughput $ style_t $ nodes_t $ nets_t $ size_t $ seconds_t $ seed_t
-      $ loss_t $ trace_out_t $ metrics_out_t)
+      $ loss_t $ wire_bytes_t $ corrupt_t $ trace_out_t $ metrics_out_t)
 
 (* --- failover -------------------------------------------------------- *)
 
 let failover style nodes nets seed fail_at heal_at =
-  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  let cluster = make_cluster ~style ~nodes ~nets ~seed () in
   Cluster.on_fault_report cluster (fun node report ->
       Format.printf "[%a] ALARM at node %d: %a@." Vtime.pp (Cluster.now cluster) node
         Totem_rrp.Fault_report.pp report);
@@ -205,7 +233,7 @@ let failover_cmd =
 (* --- latency --------------------------------------------------------- *)
 
 let latency style nodes nets size seed =
-  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  let cluster = make_cluster ~style ~nodes ~nets ~seed () in
   Cluster.start cluster;
   let probe = Metrics.install_latency cluster in
   Workload.fixed_rate cluster ~node:0 ~size ~interval:(Vtime.ms 5) ~count:500 ();
@@ -228,7 +256,7 @@ let latency_cmd =
 (* --- trace ----------------------------------------------------------- *)
 
 let trace style nodes nets seed millis jsonl spans =
-  let cluster = make_cluster ~style ~nodes ~nets ~seed in
+  let cluster = make_cluster ~style ~nodes ~nets ~seed () in
   Totem_engine.Trace.enable (Cluster.trace cluster);
   Cluster.start cluster;
   for node = 0 to nodes - 1 do
@@ -274,7 +302,7 @@ let sweep style nodes nets seconds seed csv =
   let rates =
     Array.map
       (fun size ->
-        let cluster = make_cluster ~style ~nodes ~nets ~seed in
+        let cluster = make_cluster ~style ~nodes ~nets ~seed () in
         Cluster.start cluster;
         Workload.saturate cluster ~size;
         let tp =
@@ -354,7 +382,7 @@ let monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max =
   }
 
 let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
-    token_gap_ms lag_limit condemn_ms sporadic_max =
+    token_gap_ms lag_limit condemn_ms sporadic_max wire shadow =
   match replay_path with
   | Some path -> (
     match Runner.replay_file ~path with
@@ -378,9 +406,9 @@ let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
     for seed = lo to hi do
       let campaign =
         Campaign.random ~seed ~duration:(Vtime.ms duration_ms)
-          ~quiesce:(Vtime.ms quiesce_ms) ()
+          ~quiesce:(Vtime.ms quiesce_ms) ~wire ~corrupt:wire ()
       in
-      let r = Runner.run ~monitor campaign in
+      let r = Runner.run ~monitor ~shadow campaign in
       (match r.Runner.violations with
       | [] ->
         if not quiet then Format.printf "seed %d: %a@." seed Runner.pp_result r
@@ -498,6 +526,24 @@ let sporadic_max_t =
           "Injected loss at or below $(docv) still counts a network as \
            never-faulted for the A5 check.")
 
+let chaos_wire_t =
+  Arg.(
+    value & flag
+    & info [ "wire-bytes" ]
+        ~doc:
+          "Generate byte-wire campaigns: the cluster runs with serialized \
+           CRC-checked payloads, and the random fault timeline additionally \
+           draws corruption windows and ramps.")
+
+let chaos_shadow_t =
+  Arg.(
+    value & flag
+    & info [ "shadow" ]
+        ~doc:
+          "Round-trip every frame through the binary codec during the run \
+           and abort on any mismatch (testing aid; under $(b,--wire-bytes) \
+           the check runs on what the receiving NIC decoded).")
+
 let chaos_cmd =
   let doc =
     "Run random fault campaigns under online invariant monitors; shrink \
@@ -507,7 +553,7 @@ let chaos_cmd =
     Term.(
       const chaos $ seed_range_t $ replay_t $ out_dir_t $ duration_ms_t
       $ quiesce_ms_t $ no_shrink_t $ quiet_t $ token_gap_ms_t $ lag_limit_t
-      $ condemn_ms_t $ sporadic_max_t)
+      $ condemn_ms_t $ sporadic_max_t $ chaos_wire_t $ chaos_shadow_t)
 
 (* --- main ------------------------------------------------------------ *)
 

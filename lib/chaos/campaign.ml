@@ -10,6 +10,7 @@ type op =
   | Fail_net of int
   | Heal_net of int
   | Set_loss of int * float
+  | Set_corrupt of int * float
   | Block_send of int * int
   | Unblock_send of int * int
   | Block_recv of int * int
@@ -34,12 +35,14 @@ type t = {
   quiesce : Vtime.t;
   traffic : traffic;
   steps : step list;
+  wire : bool;
 }
 
 let to_action = function
   | Fail_net n -> Scenario.Fail_network n
   | Heal_net n -> Scenario.Heal_network n
   | Set_loss (n, p) -> Scenario.Set_loss (n, p)
+  | Set_corrupt (n, p) -> Scenario.Set_corrupt (n, p)
   | Block_send (node, net) -> Scenario.Block_send (node, net)
   | Unblock_send (node, net) -> Scenario.Unblock_send (node, net)
   | Block_recv (node, net) -> Scenario.Block_recv (node, net)
@@ -57,12 +60,12 @@ let pp_step ppf s = Format.fprintf ppf "@[%a %a@]" Vtime.pp s.at pp_op s.op
 
 let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Style.Passive) ?(seed = 42)
     ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
-    ?(traffic = Saturate 1024) steps =
+    ?(traffic = Saturate 1024) ?(wire = false) steps =
   (* Stable sort by time: steps keep their list order within an instant,
      which is also the order the runner schedules them in, so the
      serialized form is canonical. *)
   let steps = List.stable_sort (fun a b -> compare a.at b.at) steps in
-  { num_nodes; num_nets; style; seed; duration; quiesce; traffic; steps }
+  { num_nodes; num_nets; style; seed; duration; quiesce; traffic; steps; wire }
 
 (* --- combinators ---------------------------------------------------- *)
 
@@ -112,6 +115,32 @@ let loss_ramp ~net ~from_ ~until ~stages ~peak =
   in
   ramp @ [ { at = until; op = Set_loss (net, 0.0) } ]
 
+let corrupt_window ~net ~from_ ~until ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Campaign.corrupt_window: p in [0,1]";
+  [
+    { at = from_; op = Set_corrupt (net, p) };
+    { at = until; op = Set_corrupt (net, 0.0) };
+  ]
+
+let corruption_ramp ~net ~from_ ~until ~stages ~peak =
+  if stages < 1 then invalid_arg "Campaign.corruption_ramp: stages >= 1";
+  if peak < 0.0 || peak > 1.0 then
+    invalid_arg "Campaign.corruption_ramp: peak in [0,1]";
+  let span = Vtime.to_float_sec (Vtime.sub until from_) in
+  if span <= 0.0 then invalid_arg "Campaign.corruption_ramp: until after from_";
+  let ramp =
+    List.init stages (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int stages in
+        {
+          at =
+            Vtime.add from_
+              (Vtime.of_float_sec
+                 (span *. float_of_int i /. float_of_int stages));
+          op = Set_corrupt (net, peak *. frac);
+        })
+  in
+  ramp @ [ { at = until; op = Set_corrupt (net, 0.0) } ]
+
 let send_block_window ~node ~net ~from_ ~until =
   [
     { at = from_; op = Block_send (node, net) };
@@ -134,7 +163,7 @@ let kill_window ~node ~at ?recover_at () =
 (* --- static analysis ------------------------------------------------ *)
 
 let nets_of_op = function
-  | Fail_net n | Heal_net n | Set_loss (n, _) -> [ n ]
+  | Fail_net n | Heal_net n | Set_loss (n, _) | Set_corrupt (n, _) -> [ n ]
   | Block_send (_, n) | Unblock_send (_, n) -> [ n ]
   | Block_recv (_, n) | Unblock_recv (_, n) -> [ n ]
   | Partition (n, _, _) | Unpartition (n, _, _) -> [ n ]
@@ -149,11 +178,25 @@ let touched_nets ?(sporadic_loss_max = 0.0) t =
   List.iter
     (fun { op; _ } ->
       match op with
-      | Set_loss (n, p) -> if p > sporadic_loss_max then touched.(n) <- true
+      | Set_loss (n, p) | Set_corrupt (n, p) ->
+        if p > sporadic_loss_max then touched.(n) <- true
       | Heal_net _ -> ()
       | op -> List.iter (fun n -> touched.(n) <- true) (nets_of_op op))
     t.steps;
   touched
+
+(* Networks on which the campaign ever injects corruption: the
+   corruption-confinement invariant requires every corruption artifact
+   (in-flight mutation, CRC/decode discard) to land on one of these. *)
+let corrupt_nets t =
+  let hit = Array.make t.num_nets false in
+  List.iter
+    (fun { op; _ } ->
+      match op with
+      | Set_corrupt (n, p) -> if p > 0.0 then hit.(n) <- true
+      | _ -> ())
+    t.steps;
+  hit
 
 let has_crashes t =
   List.exists (fun { op; _ } -> match op with Crash _ -> true | _ -> false) t.steps
@@ -169,8 +212,11 @@ let tolerated t =
     (* Per-net fault state replayed over the sorted step list. *)
     let down = Array.make t.num_nets false in
     let loss = Array.make t.num_nets 0.0 in
+    let corrupt = Array.make t.num_nets 0.0 in
     let blocks = Array.make t.num_nets 0 in
-    let clean n = (not down.(n)) && loss.(n) = 0.0 && blocks.(n) <= 0 in
+    let clean n =
+      (not down.(n)) && loss.(n) = 0.0 && corrupt.(n) = 0.0 && blocks.(n) <= 0
+    in
     let some_clean () =
       let ok = ref false in
       for n = 0 to t.num_nets - 1 do
@@ -183,8 +229,10 @@ let tolerated t =
       | Heal_net n ->
         down.(n) <- false;
         loss.(n) <- 0.0;
+        corrupt.(n) <- 0.0;
         blocks.(n) <- 0
       | Set_loss (n, p) -> loss.(n) <- p
+      | Set_corrupt (n, p) -> corrupt.(n) <- p
       | Block_send (_, n) | Block_recv (_, n) -> blocks.(n) <- blocks.(n) + 1
       | Unblock_send (_, n) | Unblock_recv (_, n) ->
         blocks.(n) <- blocks.(n) - 1
@@ -240,7 +288,9 @@ let validate t =
                 | _ -> true
               in
               let loss_ok =
-                match op with Set_loss (_, p) -> p >= 0.0 && p <= 1.0 | _ -> true
+                match op with
+                | Set_loss (_, p) | Set_corrupt (_, p) -> p >= 0.0 && p <= 1.0
+                | _ -> true
               in
               if not nets_ok then Some "step net out of range"
               else if not nodes_ok then Some "step node out of range"
@@ -263,7 +313,8 @@ let validate t =
    paper's operating assumption that one network survives) — but draws
    from the richer op set, including windowed blocks and rolling
    partitions. *)
-let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5) () =
+let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
+    ?(wire = false) ?(corrupt = false) () =
   let rng = Rng.create ~seed in
   let num_nodes = 2 + Rng.int rng 4 in
   let num_nets = 2 + Rng.int rng 2 in
@@ -277,10 +328,14 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5) () =
   let rand_time () = Vtime.ms (100 + Rng.int rng (max 1 (dur_ms - 200))) in
   let rand_net () = Rng.int rng (num_nets - 1) in
   let rand_node () = Rng.int rng num_nodes in
+  (* With [corrupt] the op draw widens by two corruption shapes; without
+     it the draw is [Rng.int rng 8] exactly as before, so existing seeds
+     keep their campaigns bit-for-bit. *)
+  let op_cases = if corrupt then 10 else 8 in
   let random_steps () =
     let net = rand_net () and node = rand_node () in
     let at = rand_time () in
-    match Rng.int rng 8 with
+    match Rng.int rng op_cases with
     | 0 -> [ { at; op = Fail_net net } ]
     | 1 -> [ { at; op = Heal_net net } ]
     | 2 -> [ { at; op = Set_loss (net, Rng.float rng 0.4) } ]
@@ -305,6 +360,15 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5) () =
         ~duty:(0.2 +. Rng.float rng 0.6) ~from_:at
         ~until:(Vtime.add at (Vtime.ms (200 + Rng.int rng 600)))
         ()
+    | 8 ->
+      corrupt_window ~net ~from_:at
+        ~until:(Vtime.add at (Vtime.ms (100 + Rng.int rng 600)))
+        ~p:(0.05 +. Rng.float rng 0.45)
+    | 9 ->
+      corruption_ramp ~net ~from_:at
+        ~until:(Vtime.add at (Vtime.ms (200 + Rng.int rng 600)))
+        ~stages:(2 + Rng.int rng 3)
+        ~peak:(0.1 +. Rng.float rng 0.4)
     | _ -> assert false
   in
   let steps =
@@ -320,7 +384,7 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5) () =
           Vtime.ms (Rng.int rng dur_ms) ))
   in
   make ~num_nodes ~num_nets ~style ~seed ~duration ~quiesce
-    ~traffic:(Bursts bursts) steps
+    ~traffic:(Bursts bursts) ~wire steps
 
 let submitted_messages t =
   match t.traffic with
@@ -354,6 +418,8 @@ let json_of_op op =
   | Fail_net n -> o [ ("op", J.str "fail_net"); ("net", J.int n) ]
   | Heal_net n -> o [ ("op", J.str "heal_net"); ("net", J.int n) ]
   | Set_loss (n, p) -> o [ ("op", J.str "set_loss"); ("net", J.int n); ("p", J.Num p) ]
+  | Set_corrupt (n, p) ->
+    o [ ("op", J.str "set_corrupt"); ("net", J.int n); ("p", J.Num p) ]
   | Block_send (node, net) ->
     o [ ("op", J.str "block_send"); ("node", J.int node); ("net", J.int net) ]
   | Unblock_send (node, net) ->
@@ -388,6 +454,7 @@ let op_of_json v where =
   | "fail_net" -> Fail_net (net ())
   | "heal_net" -> Heal_net (net ())
   | "set_loss" -> Set_loss (net (), J.get_num v "p" where)
+  | "set_corrupt" -> Set_corrupt (net (), J.get_num v "p" where)
   | "block_send" -> Block_send (node (), net ())
   | "unblock_send" -> Unblock_send (node (), net ())
   | "block_recv" -> Block_recv (node (), net ())
@@ -436,6 +503,7 @@ let to_json t =
       ("seed", J.int t.seed);
       ("duration_ns", J.int t.duration);
       ("quiesce_ns", J.int t.quiesce);
+      ("wire_bytes", J.Bool t.wire);
       ("traffic", traffic);
       ("steps", J.Arr (List.map step t.steps));
     ]
@@ -478,4 +546,6 @@ let of_json v where =
     quiesce = J.get_int v "quiesce_ns" where;
     traffic;
     steps;
+    (* Absent in pre-wire-mode files: default to reference mode. *)
+    wire = (match J.field v "wire_bytes" with Some (J.Bool b) -> b | _ -> false);
   }

@@ -12,6 +12,11 @@ type op =
   | Fail_net of int  (** total network failure *)
   | Heal_net of int  (** administrator repair: clears faults and marks *)
   | Set_loss of int * float  (** sporadic per-frame loss probability *)
+  | Set_corrupt of int * float
+      (** per-frame in-flight corruption probability; in byte-wire
+          campaigns ([wire = true]) frames are damaged and discarded by
+          the receiving NIC's CRC/decode check, in reference mode they
+          are dropped — either way the RRP sees loss (Sec. 3) *)
   | Block_send of int * int  (** node, net: transmit-path fault (Sec. 3) *)
   | Unblock_send of int * int
   | Block_recv of int * int  (** node, net: receive-path fault (Sec. 3) *)
@@ -42,6 +47,10 @@ type t = {
           this much longer before the end-of-run checks *)
   traffic : traffic;
   steps : step list;
+  wire : bool;
+      (** run the cluster in byte-faithful wire mode
+          ([Config.wire_bytes]): payloads serialized + CRC-checked at
+          the NICs, corruption bit-accurate *)
 }
 
 val make :
@@ -52,6 +61,7 @@ val make :
   ?duration:Totem_engine.Vtime.t ->
   ?quiesce:Totem_engine.Vtime.t ->
   ?traffic:traffic ->
+  ?wire:bool ->
   step list ->
   t
 (** Steps are stably sorted by time; same-instant steps keep their list
@@ -103,6 +113,27 @@ val loss_ramp :
 (** Loss climbing linearly to [peak] in [stages] equal stages across
     [\[from_, until)], then cleared at [until]. *)
 
+val corrupt_window :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  p:float ->
+  step list
+(** Per-frame corruption probability [p] on [net] for the window,
+    cleared at [until].
+    @raise Invalid_argument unless [p] is in [\[0,1\]]. *)
+
+val corruption_ramp :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  stages:int ->
+  peak:float ->
+  step list
+(** Corruption climbing linearly to [peak] in [stages] equal stages
+    across [\[from_, until)], then cleared at [until] — the corruption
+    analogue of {!loss_ramp}. *)
+
 val send_block_window :
   node:int ->
   net:int ->
@@ -129,12 +160,23 @@ val kill_window :
     the measured rotation period); note this leaves the paper's masked
     fault model, so {!tolerated} becomes false. *)
 
-val random : seed:int -> ?duration:Totem_engine.Vtime.t -> ?quiesce:Totem_engine.Vtime.t -> unit -> t
+val random :
+  seed:int ->
+  ?duration:Totem_engine.Vtime.t ->
+  ?quiesce:Totem_engine.Vtime.t ->
+  ?wire:bool ->
+  ?corrupt:bool ->
+  unit ->
+  t
 (** The fuzz generator: random cluster shape (2–5 nodes, 2–3 nets,
     random style), random burst traffic, and a random fault timeline
     drawn from the full op set that {e never touches the last network} —
     the paper's operating assumption that one network survives. Equal
-    seeds give equal campaigns. *)
+    seeds give equal campaigns. [wire] (default false) marks the
+    campaign byte-wire; [corrupt] (default false) widens the op draw
+    with corruption windows and ramps. With both off, the generator is
+    bit-for-bit the historical one, so existing seeds keep their
+    campaigns. *)
 
 (** {1 Static analysis} *)
 
@@ -146,9 +188,16 @@ val tolerated : t -> bool
     change, liveness) only for tolerated campaigns. *)
 
 val touched_nets : ?sporadic_loss_max:float -> t -> bool array
-(** Per-network: does any step inject a hard fault on it, or loss above
-    [sporadic_loss_max] (default 0)? Untouched networks are "virgin":
-    requirement A5/P5 says they must never be declared faulty. *)
+(** Per-network: does any step inject a hard fault on it, or loss {e or
+    corruption} above [sporadic_loss_max] (default 0)? Untouched
+    networks are "virgin": requirement A5/P5 says they must never be
+    declared faulty. *)
+
+val corrupt_nets : t -> bool array
+(** Per-network: does any step set a positive corruption probability on
+    it? The corruption-confinement invariant requires every corruption
+    artifact (in-flight mutation, CRC or decode discard) to land on one
+    of these networks. *)
 
 val has_crashes : t -> bool
 

@@ -12,6 +12,7 @@ let inv_virgin = "A5-virgin-condemned"
 let inv_detection = "A6-detection"
 let inv_lag = "P4-lag"
 let inv_liveness = "L-token-liveness"
+let inv_corruption = "C1-corruption-confined"
 
 type violation = { invariant : string; at : Vtime.t; detail : string }
 
@@ -49,6 +50,9 @@ type t = {
   config : config;
   tolerated : bool;
   touched : bool array;
+  (* nets where the campaign ever injects corruption; artifacts anywhere
+     else mean the codec or fault model leaked (C1) *)
+  corrupt_ok : bool array;
   num_nodes : int;
   mutable violations_rev : violation list;
   (* online total-order agreement: first delivery at position k fixes
@@ -94,6 +98,28 @@ let on_event t _time event =
          never-faulted network"
         net behind node source limit
     | _ -> ())
+  (* C1: corruption artifacts are confined to the networks the campaign
+     corrupts. Armed unconditionally — a CRC or decode reject on a net
+     with no injected corruption signals a codec defect (a sender
+     emitting images its own receiver rejects), not a tolerated fault. *)
+  | Telemetry.Frame_corrupt { net; src; kind } ->
+    if not t.corrupt_ok.(net) then
+      violate t inv_corruption
+        "frame from node %d corrupted (%s) on network %d where the campaign \
+         injects no corruption"
+        src kind net
+  | Telemetry.Frame_crc_reject { node; net; src } ->
+    if not t.corrupt_ok.(net) then
+      violate t inv_corruption
+        "node %d rejected a frame from node %d by CRC on network %d where \
+         the campaign injects no corruption"
+        node src net
+  | Telemetry.Frame_decode_reject { node; net; src; error } ->
+    if not t.corrupt_ok.(net) then
+      violate t inv_corruption
+        "node %d rejected a frame from node %d on network %d where the \
+         campaign injects no corruption: %s"
+        node src net error
   | _ -> ()
 
 let on_ring_change t node ~ring_id ~members:_ =
@@ -177,6 +203,7 @@ let attach cluster config campaign =
       touched =
         Campaign.touched_nets ~sporadic_loss_max:config.sporadic_loss_max
           campaign;
+      corrupt_ok = Campaign.corrupt_nets campaign;
       num_nodes = campaign.Campaign.num_nodes;
       violations_rev = [];
       order_log = Hashtbl.create 256;

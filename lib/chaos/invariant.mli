@@ -47,6 +47,12 @@ val inv_lag : string
 val inv_liveness : string
 (** Token liveness: rotation progresses under any tolerated fault. *)
 
+val inv_corruption : string
+(** C1: corruption artifacts (in-flight mutation, CRC rejects, decode
+    rejects) appear only on networks where the campaign injects
+    corruption. Armed unconditionally — an artifact elsewhere signals a
+    codec defect, not a tolerated fault. *)
+
 type config = {
   agreement : bool;
   membership : bool;

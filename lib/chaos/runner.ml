@@ -32,14 +32,15 @@ let pp_result ppf r =
    what the simulation computes, only when we look at it. *)
 let slice = Vtime.ms 25
 
-let run ?(monitor = Invariant.default) ?sink campaign =
+let run ?(monitor = Invariant.default) ?sink ?(shadow = false) campaign =
   (match Campaign.validate campaign with
   | Ok () -> ()
   | Error m -> invalid_arg ("Runner.run: invalid campaign: " ^ m));
   let config =
     Config.make ~num_nodes:campaign.Campaign.num_nodes
       ~num_nets:campaign.Campaign.num_nets ~style:campaign.Campaign.style
-      ~seed:campaign.Campaign.seed ()
+      ~seed:campaign.Campaign.seed ~wire_bytes:campaign.Campaign.wire
+      ~codec_shadow:shadow ()
   in
   let cluster = Cluster.create config in
   let mon = Invariant.attach cluster monitor campaign in

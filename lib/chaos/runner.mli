@@ -28,11 +28,16 @@ val pp_result : Format.formatter -> result -> unit
 val run :
   ?monitor:Invariant.config ->
   ?sink:(Totem_engine.Vtime.t -> Totem_engine.Telemetry.event -> unit) ->
+  ?shadow:bool ->
   Campaign.t ->
   result
 (** Deterministic: equal campaigns and monitor configs give equal
     results, violations included. [sink] additionally streams every
     telemetry event (e.g. {!Totem_engine.Telemetry.jsonl_sink}).
+    [shadow] (default false) arms [Config.codec_shadow]: every frame the
+    cluster carries is round-tripped through the binary codec, and in
+    byte-wire campaigns ([Campaign.wire]) the check runs on what the
+    receiving NIC actually decoded.
     @raise Invalid_argument if {!Campaign.validate} rejects the
     campaign. *)
 

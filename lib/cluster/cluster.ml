@@ -63,14 +63,48 @@ let build_node t id =
     Srp.Const.frame_cpu_cost config.Config.const
       ~payload_bytes:frame.Totem_net.Frame.payload_bytes
   in
+  let shadow frame =
+    if config.Config.codec_shadow then begin
+      match Srp.Codec.shadow_check frame.Totem_net.Frame.payload with
+      | Ok () -> ()
+      | Error msg -> failwith ("codec shadow check failed: " ^ msg)
+    end
+  in
+  (* The receiving-NIC end of wire mode: CRC check, total decode and
+     semantic validation; any failure discards the frame before the RRP
+     sees it, which is how corruption becomes the loss that feeds
+     problemCounter (active) and stalls recvCount (passive). *)
+  let receive ~net frame =
+    match frame.Totem_net.Frame.payload with
+    | Totem_net.Frame.Bytes _ -> (
+      match
+        Srp.Codec.decode_frame ~max_node:(config.Config.num_nodes - 1) frame
+      with
+      | Ok frame ->
+        shadow frame;
+        Rrp.Rrp.frame_received rrp ~net frame
+      | Error err ->
+        let tl = t.trace in
+        if Telemetry.active tl then
+          Telemetry.emit tl
+            (match err with
+            | Srp.Codec.Crc_mismatch ->
+              Telemetry.Frame_crc_reject
+                { node = id; net; src = frame.Totem_net.Frame.src }
+            | Srp.Codec.Malformed e ->
+              Telemetry.Frame_decode_reject
+                {
+                  node = id;
+                  net;
+                  src = frame.Totem_net.Frame.src;
+                  error = Format.asprintf "%a" Srp.Codec.pp_error e;
+                }))
+    | _ ->
+      shadow frame;
+      Rrp.Rrp.frame_received rrp ~net frame
+  in
   Totem_net.Fabric.attach_node t.fabric ~node:id ~cpu ~recv_cost
-    ~buffer_bytes:config.Config.buffer_bytes (fun ~net frame ->
-      if config.Config.codec_shadow then begin
-        match Srp.Codec.shadow_check frame.Totem_net.Frame.payload with
-        | Ok () -> ()
-        | Error msg -> failwith ("codec shadow check failed: " ^ msg)
-      end;
-      Rrp.Rrp.frame_received rrp ~net frame);
+    ~buffer_bytes:config.Config.buffer_bytes receive;
   { id; cpu; srp; rrp }
 
 let create config =
@@ -99,6 +133,8 @@ let create config =
       reports = [];
     }
   in
+  if config.Config.wire_bytes then
+    Totem_net.Fabric.set_wire_encoder fabric Srp.Codec.encode_frame;
   t.nodes <- Array.init config.Config.num_nodes (build_node t);
   for i = 0 to config.Config.num_nets - 1 do
     let net = Totem_net.Fabric.network fabric i in
@@ -111,6 +147,7 @@ let create config =
     g "frames_delivered" Totem_net.Network.frames_delivered;
     g "frames_lost" Totem_net.Network.frames_lost;
     g "frames_faulted" Totem_net.Network.frames_faulted;
+    g "frames_corrupted" Totem_net.Network.frames_corrupted;
     g "wire_bytes" Totem_net.Network.bytes_on_wire
   done;
   t
@@ -160,6 +197,11 @@ let heal_network t net =
 
 let set_network_loss t net p =
   Totem_net.Fault.set_loss_probability (Totem_net.Fabric.fault t.fabric net) p
+
+let set_network_corruption t net p =
+  Totem_net.Fault.set_corruption_probability
+    (Totem_net.Fabric.fault t.fabric net)
+    p
 
 let block_send t ~node ~net =
   Totem_net.Fault.block_send (Totem_net.Fabric.fault t.fabric net) node

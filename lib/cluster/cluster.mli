@@ -89,6 +89,12 @@ val heal_network : t -> Totem_net.Addr.net_id -> unit
 
 val set_network_loss : t -> Totem_net.Addr.net_id -> float -> unit
 
+val set_network_corruption : t -> Totem_net.Addr.net_id -> float -> unit
+(** Per-frame in-flight corruption probability on one network (see
+    {!Totem_net.Fault.set_corruption_probability}). Observable as frame
+    discards only when the cluster runs with [Config.wire_bytes]; in
+    reference mode corrupted frames are simply dropped. *)
+
 val block_send : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
 
 val block_recv : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit

@@ -9,12 +9,14 @@ type t = {
   buffer_bytes : int;
   seed : int;
   codec_shadow : bool;
+  wire_bytes : bool;
 }
 
 let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     ?(const = Totem_srp.Const.default) ?(rrp = Totem_rrp.Rrp_config.default)
     ?(net = Totem_net.Network.default_config) ?net_configs
-    ?(buffer_bytes = 65536) ?(seed = 42) ?(codec_shadow = false) () =
+    ?(buffer_bytes = 65536) ?(seed = 42) ?(codec_shadow = false)
+    ?(wire_bytes = false) () =
   {
     num_nodes;
     num_nets;
@@ -26,6 +28,7 @@ let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     buffer_bytes;
     seed;
     codec_shadow;
+    wire_bytes;
   }
 
 let paper_testbed ~num_nodes ~style = make ~num_nodes ~num_nets:2 ~style ()

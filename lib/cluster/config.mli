@@ -16,7 +16,16 @@ type t = {
   codec_shadow : bool;
       (** validate the binary codec against every frame the cluster
           carries: each payload is encoded and decoded back, and any
-          mismatch aborts the run (testing aid) *)
+          mismatch aborts the run (testing aid); in wire mode the check
+          runs on the payload the receiving NIC decoded *)
+  wire_bytes : bool;
+      (** byte-faithful wire mode: every payload is serialized through
+          {!Totem_srp.Codec} with a CRC-32 trailer at the sending NIC
+          and CRC-checked, totally decoded and validated at the
+          receiving NIC; failures discard the frame exactly as loss.
+          Timing-neutral absent corruption — the charged sizes do not
+          change — but makes the corruption fault model
+          ({!Totem_net.Fault.set_corruption_probability}) bit-accurate *)
 }
 
 val make :
@@ -30,6 +39,7 @@ val make :
   ?buffer_bytes:int ->
   ?seed:int ->
   ?codec_shadow:bool ->
+  ?wire_bytes:bool ->
   unit ->
   t
 (** Defaults: the paper's four-node, two-network testbed with passive

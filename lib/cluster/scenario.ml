@@ -2,6 +2,7 @@ type action =
   | Fail_network of Totem_net.Addr.net_id
   | Heal_network of Totem_net.Addr.net_id
   | Set_loss of Totem_net.Addr.net_id * float
+  | Set_corrupt of Totem_net.Addr.net_id * float
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
@@ -25,6 +26,8 @@ let pp_action ppf = function
   | Heal_network n -> Format.fprintf ppf "heal %a" Totem_net.Addr.pp_net n
   | Set_loss (n, p) ->
     Format.fprintf ppf "loss %.2f on %a" p Totem_net.Addr.pp_net n
+  | Set_corrupt (n, p) ->
+    Format.fprintf ppf "corrupt %.2f on %a" p Totem_net.Addr.pp_net n
   | Block_send (node, net) ->
     Format.fprintf ppf "block send %a on %a" Totem_net.Addr.pp_node node
       Totem_net.Addr.pp_net net
@@ -55,6 +58,7 @@ let apply t = function
   | Fail_network n -> Cluster.fail_network t n
   | Heal_network n -> Cluster.heal_network t n
   | Set_loss (n, p) -> Cluster.set_network_loss t n p
+  | Set_corrupt (n, p) -> Cluster.set_network_corruption t n p
   | Block_send (node, net) -> Cluster.block_send t ~node ~net
   | Unblock_send (node, net) -> Cluster.unblock_send t ~node ~net
   | Block_recv (node, net) -> Cluster.block_recv t ~node ~net

@@ -6,6 +6,9 @@ type action =
   | Fail_network of Totem_net.Addr.net_id
   | Heal_network of Totem_net.Addr.net_id
   | Set_loss of Totem_net.Addr.net_id * float
+  | Set_corrupt of Totem_net.Addr.net_id * float
+      (** in-flight corruption probability (see
+          {!Cluster.set_network_corruption}) *)
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id

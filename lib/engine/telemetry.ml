@@ -49,6 +49,9 @@ type event =
   | Frame_blocked of { net : int; src : int; dst : int }
   | Buffer_drop of { node : int; net : int; bytes : int }
   | Net_status of { net : int; status : string }
+  | Frame_corrupt of { net : int; src : int; kind : string }
+  | Frame_crc_reject of { node : int; net : int; src : int }
+  | Frame_decode_reject of { node : int; net : int; src : int; error : string }
   (* escape hatch; also carries the legacy string Trace *)
   | Custom of { component : string; message : string }
 
@@ -209,6 +212,9 @@ let type_name = function
   | Frame_blocked _ -> "frame_blocked"
   | Buffer_drop _ -> "buffer_drop"
   | Net_status _ -> "net_status"
+  | Frame_corrupt _ -> "frame_corrupt"
+  | Frame_crc_reject _ -> "frame_crc_reject"
+  | Frame_decode_reject _ -> "frame_decode_reject"
   | Custom _ -> "custom"
 
 (* Component naming convention (see OBSERVABILITY.md): srp<N> for
@@ -228,7 +234,9 @@ let component_of = function
     Printf.sprintf "memb%d" node
   | Frame_loss { net; _ } | Frame_blocked { net; _ } | Net_status { net; _ } ->
     Printf.sprintf "net%d" net
-  | Buffer_drop { net; _ } -> Printf.sprintf "net%d" net
+  | Buffer_drop { net; _ } | Frame_corrupt { net; _ }
+  | Frame_crc_reject { net; _ } | Frame_decode_reject { net; _ } ->
+    Printf.sprintf "net%d" net
   | Custom { component; _ } -> component
 
 let pp_tok ppf (tk : token_info) =
@@ -290,6 +298,12 @@ let message_of ev =
       | Buffer_drop { bytes; _ } ->
         Format.fprintf ppf "recv buffer overflow, dropped %d bytes" bytes
       | Net_status { status; _ } -> Format.fprintf ppf "status: %s" status
+      | Frame_corrupt { src; kind; _ } ->
+        Format.fprintf ppf "frame corrupted in flight (src=N%d, %s)" src kind
+      | Frame_crc_reject { node; src; _ } ->
+        Format.fprintf ppf "CRC reject at N%d (src=N%d)" node src
+      | Frame_decode_reject { node; src; error; _ } ->
+        Format.fprintf ppf "decode reject at N%d (src=N%d): %s" node src error
       | Custom { message; _ } -> Format.pp_print_string ppf message)
 
 let pp_event ppf ev =
@@ -361,6 +375,12 @@ let fields_of_event ev =
   | Buffer_drop { node; net; bytes } ->
     [ i "node" node; i "net" net; i "bytes" bytes ]
   | Net_status { net; status } -> [ i "net" net; s "status" status ]
+  | Frame_corrupt { net; src; kind } ->
+    [ i "net" net; i "src" src; s "kind" kind ]
+  | Frame_crc_reject { node; net; src } ->
+    [ i "node" node; i "net" net; i "src" src ]
+  | Frame_decode_reject { node; net; src; error } ->
+    [ i "node" node; i "net" net; i "src" src; s "error" error ]
   | Custom { component; message } ->
     [ s "component" component; s "message" message ]
 

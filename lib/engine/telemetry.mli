@@ -53,6 +53,16 @@ type event =
   | Frame_blocked of { net : int; src : int; dst : int }
   | Buffer_drop of { node : int; net : int; bytes : int }
   | Net_status of { net : int; status : string }
+  | Frame_corrupt of { net : int; src : int; kind : string }
+      (** the corruption fault model mutated (byte-wire) or dropped
+          (reference mode) a frame in flight; [kind] is one of
+          ["flip"], ["trunc"], ["garble"] or ["drop"] *)
+  | Frame_crc_reject of { node : int; net : int; src : int }
+      (** the receiving NIC's CRC-32 check failed and the frame was
+          discarded — observed by the RRP exactly as loss *)
+  | Frame_decode_reject of { node : int; net : int; src : int; error : string }
+      (** the CRC held (a collision) but total decoding or semantic
+          validation rejected the frame image *)
   | Custom of { component : string; message : string }
 
 type entry = { time : Vtime.t; event : event }

@@ -1,0 +1,48 @@
+(* CRC-32 (IEEE 802.3): reflected polynomial 0xEDB88320, init and final
+   xor 0xFFFFFFFF — the checksum the Ethernet FCS uses. Table-driven,
+   one table shared process-wide; all arithmetic in the native int with
+   a 32-bit mask, so no boxed Int32 on the per-frame path. *)
+
+let mask = 0xFFFF_FFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB8_8320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let tbl = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor mask land mask
+
+let digest s = update 0 s ~pos:0 ~len:(String.length s)
+
+let append b crc =
+  Buffer.add_char b (Char.chr (crc land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 24) land 0xff))
+
+let trailer_bytes = 4
+
+let read_trailer s =
+  let n = String.length s in
+  if n < trailer_bytes then invalid_arg "Crc32.read_trailer";
+  Char.code s.[n - 4]
+  lor (Char.code s.[n - 3] lsl 8)
+  lor (Char.code s.[n - 2] lsl 16)
+  lor (Char.code s.[n - 1] lsl 24)
+
+let check s =
+  String.length s >= trailer_bytes
+  && update 0 s ~pos:0 ~len:(String.length s - trailer_bytes) = read_trailer s

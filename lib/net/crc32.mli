@@ -1,0 +1,33 @@
+(** CRC-32 as used by the Ethernet frame check sequence (IEEE 802.3):
+    reflected polynomial [0xEDB88320], initial value and final xor
+    [0xFFFFFFFF]. The byte-faithful wire mode appends this checksum to
+    every serialized frame and verifies it at the receiving NIC, which
+    is what turns in-flight corruption into the frame {e discard} the
+    paper's fault model assumes (Sec. 3).
+
+    Self-contained — no external dependency; checksums are plain [int]s
+    in [0, 0xFFFFFFFF]. Test vector: [digest "123456789" =
+    0xCBF43926]. *)
+
+val digest : string -> int
+(** CRC-32 of the whole string. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends [crc] (a previous [digest]/[update]
+    result, or [0] to start) over the given substring.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val trailer_bytes : int
+(** 4 — the checksum occupies four bytes, little-endian, at the end of
+    the frame image. *)
+
+val append : Buffer.t -> int -> unit
+(** Append a checksum as the 4-byte little-endian trailer. *)
+
+val read_trailer : string -> int
+(** The checksum stored in the last four bytes.
+    @raise Invalid_argument if the string is shorter than the trailer. *)
+
+val check : string -> bool
+(** Whether the last four bytes are the correct CRC-32 of everything
+    before them; [false] for strings too short to carry a trailer. *)

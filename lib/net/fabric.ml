@@ -6,6 +6,11 @@ type t = {
   nics : Nic.t option array array; (* nics.(node).(net) *)
   num_nodes : int;
   telemetry : Telemetry.t option;
+  (* Sending-NIC serialization hook: in byte-wire mode the cluster
+     installs the codec's frame encoder here, so every payload crosses
+     the fabric as checksummed bytes. A closure keeps the net layer
+     free of any dependency on the protocol codec. *)
+  mutable wire_encoder : (Frame.t -> Frame.t) option;
 }
 
 let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
@@ -32,7 +37,13 @@ let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
     nics = Array.make_matrix num_nodes num_nets None;
     num_nodes;
     telemetry;
+    wire_encoder = None;
   }
+
+let set_wire_encoder t f = t.wire_encoder <- Some f
+
+let outgoing t frame =
+  match t.wire_encoder with Some f -> f frame | None -> frame
 
 let num_nodes t = t.num_nodes
 let num_nets t = Array.length t.networks
@@ -57,8 +68,9 @@ let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
       t.nics.(node).(net_id) <- Some nic)
     t.networks
 
-let broadcast t ~net frame = Network.broadcast t.networks.(net) frame
+let broadcast t ~net frame = Network.broadcast t.networks.(net) (outgoing t frame)
 
-let unicast t ~net ~dst frame = Network.unicast t.networks.(net) ~dst frame
+let unicast t ~net ~dst frame =
+  Network.unicast t.networks.(net) ~dst (outgoing t frame)
 
 let iter_networks t f = Array.iter f t.networks

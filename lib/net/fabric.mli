@@ -44,6 +44,13 @@ val attach_node :
     which is told which network each frame arrived on — the information
     the RRP layer dispatches on. *)
 
+val set_wire_encoder : t -> (Frame.t -> Frame.t) -> unit
+(** Installs a sending-NIC serialization hook applied to every frame
+    before it reaches a network: byte-wire mode passes the codec's
+    frame encoder (payload -> {!Frame.Bytes} image with CRC-32 trailer)
+    here. The hook must preserve [src] and [payload_bytes] so fault and
+    timing semantics are unchanged. *)
+
 val broadcast : t -> net:Addr.net_id -> Frame.t -> unit
 
 val unicast : t -> net:Addr.net_id -> dst:Addr.node_id -> Frame.t -> unit

@@ -4,6 +4,7 @@ type t = {
   recv_blocked : (Addr.node_id, unit) Hashtbl.t;
   pair_blocked : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
   mutable loss_prob : float;
+  mutable corrupt_prob : float;
   mutable notify : (string -> unit) option;
 }
 
@@ -14,6 +15,7 @@ let create () =
     recv_blocked = Hashtbl.create 8;
     pair_blocked = Hashtbl.create 8;
     loss_prob = 0.0;
+    corrupt_prob = 0.0;
     notify = None;
   }
 
@@ -27,16 +29,47 @@ let set_down t b =
 
 let is_down t = t.down
 
-let block_send t n = Hashtbl.replace t.send_blocked n ()
-let unblock_send t n = Hashtbl.remove t.send_blocked n
+(* Blocking is idempotent; notify only on actual transitions so the
+   Net_status telemetry stream stays one event per state change. *)
+let block_send t n =
+  if not (Hashtbl.mem t.send_blocked n) then begin
+    Hashtbl.replace t.send_blocked n ();
+    notify t (Printf.sprintf "send blocked N%d" n)
+  end
+
+let unblock_send t n =
+  if Hashtbl.mem t.send_blocked n then begin
+    Hashtbl.remove t.send_blocked n;
+    notify t (Printf.sprintf "send unblocked N%d" n)
+  end
+
 let send_blocked t n = Hashtbl.mem t.send_blocked n
 
-let block_recv t n = Hashtbl.replace t.recv_blocked n ()
-let unblock_recv t n = Hashtbl.remove t.recv_blocked n
+let block_recv t n =
+  if not (Hashtbl.mem t.recv_blocked n) then begin
+    Hashtbl.replace t.recv_blocked n ();
+    notify t (Printf.sprintf "recv blocked N%d" n)
+  end
+
+let unblock_recv t n =
+  if Hashtbl.mem t.recv_blocked n then begin
+    Hashtbl.remove t.recv_blocked n;
+    notify t (Printf.sprintf "recv unblocked N%d" n)
+  end
+
 let recv_blocked t n = Hashtbl.mem t.recv_blocked n
 
-let block_pair t ~src ~dst = Hashtbl.replace t.pair_blocked (src, dst) ()
-let unblock_pair t ~src ~dst = Hashtbl.remove t.pair_blocked (src, dst)
+let block_pair t ~src ~dst =
+  if not (Hashtbl.mem t.pair_blocked (src, dst)) then begin
+    Hashtbl.replace t.pair_blocked (src, dst) ();
+    notify t (Printf.sprintf "pair blocked N%d->N%d" src dst)
+  end
+
+let unblock_pair t ~src ~dst =
+  if Hashtbl.mem t.pair_blocked (src, dst) then begin
+    Hashtbl.remove t.pair_blocked (src, dst);
+    notify t (Printf.sprintf "pair unblocked N%d->N%d" src dst)
+  end
 
 let set_loss_probability t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Fault.set_loss_probability";
@@ -50,6 +83,18 @@ let set_loss t p =
 
 let loss_rate = loss_probability
 
+let set_corruption_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.set_corruption_probability";
+  if t.corrupt_prob <> p then
+    notify t (Printf.sprintf "corruption probability %.3g" p);
+  t.corrupt_prob <- p
+
+let corruption_probability t = t.corrupt_prob
+
+let set_corruption t p =
+  set_corruption_probability t
+    (if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p)
+
 let delivers t ~src ~dst =
   (* Checked once per frame delivery: guard each table by its O(1)
      length so the fault-free fast path does no hashing and allocates
@@ -62,7 +107,7 @@ let delivers t ~src ~dst =
 
 let heal t =
   if
-    t.down || t.loss_prob > 0.0
+    t.down || t.loss_prob > 0.0 || t.corrupt_prob > 0.0
     || Hashtbl.length t.send_blocked > 0
     || Hashtbl.length t.recv_blocked > 0
     || Hashtbl.length t.pair_blocked > 0
@@ -71,4 +116,5 @@ let heal t =
   Hashtbl.reset t.send_blocked;
   Hashtbl.reset t.recv_blocked;
   Hashtbl.reset t.pair_blocked;
-  t.loss_prob <- 0.0
+  t.loss_prob <- 0.0;
+  t.corrupt_prob <- 0.0

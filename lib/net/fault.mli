@@ -55,15 +55,36 @@ val loss_rate : t -> float
     with {!set_loss} so campaigns can snapshot and restore loss state
     symmetrically. *)
 
+val set_corruption_probability : t -> float -> unit
+(** Probability in [0,1] that any given frame delivery is corrupted in
+    flight, independently per receiver. What "corrupted" means depends
+    on the payload: byte-faithful frames ({!Frame.Bytes}) get a random
+    bit flip, truncation or garbage substitution and are still
+    delivered — the receiving NIC's CRC/decode check discards them —
+    while reference-passing payloads are dropped outright, both
+    matching the paper's Sec. 3 observation that the Ethernet checksum
+    turns corruption into loss.
+    @raise Invalid_argument outside [0,1]. *)
+
+val corruption_probability : t -> float
+
+val set_corruption : t -> float -> unit
+(** Clamping variant of {!set_corruption_probability}, like
+    {!set_loss}. *)
+
 val delivers : t -> src:Addr.node_id -> dst:Addr.node_id -> bool
 (** Whether the deterministic fault state permits delivery on the path
     [src -> dst] (loss probability not included). *)
 
 val heal : t -> unit
-(** Clears every fault and the loss probability. *)
+(** Clears every fault, the loss probability and the corruption
+    probability. *)
 
 val set_notify : t -> (string -> unit) -> unit
 (** Install an observer called with a short status string whenever the
-    fault state changes observably ([set_down], [set_loss_probability],
-    [heal]); used by telemetry to record [Net_status] events. The
-    observer must not mutate fault state. *)
+    fault state actually changes: [set_down], [set_loss_probability],
+    [set_corruption_probability], every [block_send] / [block_recv] /
+    [block_pair] and their unblock counterparts, and [heal]. Redundant
+    mutations (blocking an already-blocked path, setting an unchanged
+    probability) do not notify, so telemetry sees one [Net_status]
+    event per transition. The observer must not mutate fault state. *)

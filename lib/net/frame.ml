@@ -7,6 +7,8 @@ type payload = ..
 
 type payload += Opaque of string
 
+type payload += Bytes of string
+
 type t = {
   src : Addr.node_id;
   payload_bytes : int;

@@ -26,6 +26,16 @@ type payload = ..
 type payload += Opaque of string
 (** A convenience payload for tests and examples. *)
 
+type payload += Bytes of string
+(** The byte-faithful wire image of a serialized payload, including its
+    4-byte CRC-32 trailer (see {!Crc32}). Produced by the sending-side
+    wire encoder when a cluster runs in wire mode; it is the only
+    payload kind the corruption fault model can mutate in flight rather
+    than drop. [payload_bytes] still records the {e charged} UDP payload
+    size, not [String.length] — the CRC models the Ethernet FCS, which
+    is already part of {!header_overhead_bytes}, so wire mode changes
+    no timing. *)
+
 type t = {
   src : Addr.node_id;
   payload_bytes : int;  (** size of the UDP payload carried, <= 1424 *)

@@ -31,6 +31,7 @@ type t = {
   delivered : Stats.Counter.t;
   lost : Stats.Counter.t;
   faulted : Stats.Counter.t;
+  corrupted : Stats.Counter.t;
   mutable wire_bytes : int;
   mutable telemetry : Telemetry.t option;
 }
@@ -50,6 +51,7 @@ let create sim ~id ~config ~rng =
     delivered = Stats.Counter.create ();
     lost = Stats.Counter.create ();
     faulted = Stats.Counter.create ();
+    corrupted = Stats.Counter.create ();
     wire_bytes = 0;
     telemetry = None;
   }
@@ -90,6 +92,46 @@ let occupy_medium t frame =
   t.wire_bytes <- t.wire_bytes + Frame.wire_bytes frame;
   t.medium_free_at
 
+(* The corruption fault model (paper Sec. 3): a byte-faithful frame is
+   mutated in flight — bit flip, truncation or garbage substitution,
+   drawn from the same per-network RNG stream as loss and jitter — and
+   still delivered; the receiving NIC's CRC/decode check discards it.
+   A reference-passing payload has no bytes to damage, so corruption
+   degenerates to the loss the Ethernet checksum would have caused
+   ([None]). *)
+let corrupt_frame t frame =
+  Stats.Counter.incr t.corrupted;
+  let kind, payload =
+    match frame.Frame.payload with
+    | Frame.Bytes s when String.length s > 0 ->
+      let len = String.length s in
+      (match Rng.int t.rng 3 with
+      | 0 ->
+        let bit = Rng.int t.rng (8 * len) in
+        let b = Bytes.of_string s in
+        Bytes.set b (bit / 8)
+          (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit land 7))));
+        ("flip", Some (Frame.Bytes (Bytes.unsafe_to_string b)))
+      | 1 -> ("trunc", Some (Frame.Bytes (String.sub s 0 (Rng.int t.rng len))))
+      | _ ->
+        let start = Rng.int t.rng len in
+        let n = 1 + Rng.int t.rng (len - start) in
+        let b = Bytes.of_string s in
+        for i = start to start + n - 1 do
+          Bytes.set b i (Char.chr (Rng.int t.rng 256))
+        done;
+        ("garble", Some (Frame.Bytes (Bytes.unsafe_to_string b))))
+    | _ -> ("drop", None)
+  in
+  (match t.telemetry with
+  | Some tl when Telemetry.active tl ->
+    Telemetry.emit tl
+      (Telemetry.Frame_corrupt { net = t.net_id; src = frame.Frame.src; kind })
+  | _ -> ());
+  match payload with
+  | Some payload -> Some { frame with Frame.payload }
+  | None -> None
+
 let deliver_to t nic frame ~wire_done =
   let dst = Nic.node nic in
   if not (Fault.delivers t.fault ~src:frame.Frame.src ~dst) then begin
@@ -114,18 +156,29 @@ let deliver_to t nic frame ~wire_done =
     | _ -> ()
   end
   else begin
-    let jitter =
-      if t.config.jitter = Vtime.zero then Vtime.zero
-      else Vtime.ns (Rng.int t.rng (t.config.jitter + 1))
+    (* Corruption draw, guarded like loss so corruption-free networks
+       consume no extra randomness (the RNG stream — and therefore every
+       jitter draw downstream — is unchanged when the model is off). *)
+    let frame =
+      let p = Fault.corruption_probability t.fault in
+      if p > 0.0 && Rng.bernoulli t.rng p then corrupt_frame t frame
+      else Some frame
     in
-    let arrival = Vtime.add (Vtime.add wire_done t.config.latency) jitter in
-    (* Per-receiver FIFO on a single network (Sec. 5 assumption). *)
-    let arrival = Vtime.max arrival (Vtime.add (Nic.last_arrival nic) (Vtime.ns 1)) in
-    Nic.note_arrival nic arrival;
-    ignore
-      (Sim.schedule_at t.sim ~time:arrival (fun () ->
-           Stats.Counter.incr t.delivered;
-           Nic.arrive nic frame))
+    match frame with
+    | None -> () (* reference-passing payload: corruption surfaced as loss *)
+    | Some frame ->
+      let jitter =
+        if t.config.jitter = Vtime.zero then Vtime.zero
+        else Vtime.ns (Rng.int t.rng (t.config.jitter + 1))
+      in
+      let arrival = Vtime.add (Vtime.add wire_done t.config.latency) jitter in
+      (* Per-receiver FIFO on a single network (Sec. 5 assumption). *)
+      let arrival = Vtime.max arrival (Vtime.add (Nic.last_arrival nic) (Vtime.ns 1)) in
+      Nic.note_arrival nic arrival;
+      ignore
+        (Sim.schedule_at t.sim ~time:arrival (fun () ->
+             Stats.Counter.incr t.delivered;
+             Nic.arrive nic frame))
   end
 
 let medium_accepts t frame =
@@ -167,5 +220,6 @@ let frames_sent t = Stats.Counter.value t.sent
 let frames_delivered t = Stats.Counter.value t.delivered
 let frames_lost t = Stats.Counter.value t.lost
 let frames_faulted t = Stats.Counter.value t.faulted
+let frames_corrupted t = Stats.Counter.value t.corrupted
 let bytes_on_wire t = t.wire_bytes
 let busy_until t = t.medium_free_at

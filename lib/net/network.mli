@@ -41,7 +41,8 @@ val fault : t -> Fault.t
 
 val set_telemetry : t -> Totem_engine.Telemetry.t -> unit
 (** Emit structured events for dropped deliveries ([Frame_loss],
-    [Frame_blocked]) and fault-state changes ([Net_status]). *)
+    [Frame_blocked]), in-flight corruption ([Frame_corrupt]) and
+    fault-state changes ([Net_status]). *)
 
 val attach : t -> Nic.t -> unit
 (** @raise Invalid_argument if a NIC for the same node is attached. *)
@@ -67,6 +68,12 @@ val frames_lost : t -> int
 
 val frames_faulted : t -> int
 (** Dropped by deterministic fault state. *)
+
+val frames_corrupted : t -> int
+(** Hit by the corruption process ({!Fault.set_corruption_probability}):
+    byte-faithful frames were damaged and delivered anyway (the
+    receiver's CRC discards them); reference-passing frames were
+    dropped, since corruption without bytes degenerates to loss. *)
 
 val bytes_on_wire : t -> int
 

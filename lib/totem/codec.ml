@@ -2,11 +2,18 @@ type error =
   | Truncated
   | Bad_tag of int
   | Trailing_bytes of int
+  | Bad_count of { what : string; count : int; limit : int }
+  | Bad_field of { what : string; value : int; min : int; max : int }
 
 let pp_error ppf = function
   | Truncated -> Format.pp_print_string ppf "truncated input"
   | Bad_tag t -> Format.fprintf ppf "bad tag byte 0x%02x" t
   | Trailing_bytes n -> Format.fprintf ppf "%d trailing bytes" n
+  | Bad_count { what; count; limit } ->
+    Format.fprintf ppf "%s count %d exceeds frame budget (max %d)" what count
+      limit
+  | Bad_field { what; value; min; max } ->
+    Format.fprintf ppf "%s %d out of range [%d..%d]" what value min max
 
 type decoded =
   | Packet of Wire.packet
@@ -69,6 +76,20 @@ let get_bytes r n =
   let s = String.sub r.src r.pos n in
   r.pos <- r.pos + n;
   s
+
+(* Hostile-input guard: a count prefix may only be trusted after two
+   checks — it must not exceed how many of its elements a maximum
+   payload could carry, and the remaining input must actually hold
+   [count * elem_bytes] bytes. Both run {e before} any allocation, so a
+   corrupted (or CRC-colliding) prefix costs an [Error], never a large
+   [List.init]/[Array.init]. *)
+let max_payload = Totem_net.Frame.max_payload_bytes
+
+let bounded_count r ~what ~elem_bytes count =
+  let limit = max_payload / elem_bytes in
+  if count > limit then raise (Decode_error (Bad_count { what; count; limit }));
+  need r (count * elem_bytes);
+  count
 
 (* --- elements -------------------------------------------------------
    Whole message:  flags(1) origin(2) app_seq(4) size(3) body_len(2)
@@ -147,7 +168,8 @@ let decode_packet r : Wire.packet =
   let ring_id = get_u32 r in
   let seq = get_u32 r in
   let sender = get_u16 r in
-  let count = get_u8 r in
+  (* Each element starts with a 12-byte header (Const.element_header_bytes). *)
+  let count = bounded_count r ~what:"element" ~elem_bytes:12 (get_u8 r) in
   let elements = List.init count (fun _ -> decode_element r) in
   { Wire.ring_id; seq; sender; elements }
 
@@ -177,8 +199,10 @@ let decode_token r : Token.t =
   let aru = get_u32 r in
   let aru_setter = get_u16 r in
   let fcc = get_u16 r in
-  let rtr_count = get_u16 r in
-  let ring_count = get_u8 r in
+  let rtr_count = bounded_count r ~what:"rtr" ~elem_bytes:4 (get_u16 r) in
+  let ring_count =
+    bounded_count r ~what:"ring member" ~elem_bytes:2 (get_u8 r)
+  in
   let rtr = List.init rtr_count (fun _ -> get_u32 r) in
   let ring = Array.init ring_count (fun _ -> 0) in
   for i = 0 to ring_count - 1 do
@@ -202,8 +226,8 @@ let encode_join (j : Wire.join) =
 let decode_join r : Wire.join =
   let sender = get_u16 r in
   let max_ring_id = get_u32 r in
-  let np = get_u16 r in
-  let nf = get_u16 r in
+  let np = bounded_count r ~what:"proc set" ~elem_bytes:2 (get_u16 r) in
+  let nf = bounded_count r ~what:"fail set" ~elem_bytes:2 (get_u16 r) in
   let proc_set = List.init np (fun _ -> get_u16 r) in
   let fail_set = List.init nf (fun _ -> get_u16 r) in
   { Wire.sender; proc_set; fail_set; max_ring_id }
@@ -234,8 +258,10 @@ let encode_commit (cm : Wire.commit) =
 let decode_commit r : Wire.commit =
   let cm_ring_id = get_u32 r in
   let cm_round = get_u8 r in
-  let nring = get_u8 r in
-  let ninfo = get_u8 r in
+  let nring = bounded_count r ~what:"commit ring" ~elem_bytes:2 (get_u8 r) in
+  let ninfo =
+    bounded_count r ~what:"member info" ~elem_bytes:10 (get_u8 r)
+  in
   let cm_ring = Array.init nring (fun _ -> 0) in
   for i = 0 to nring - 1 do
     cm_ring.(i) <- get_u16 r
@@ -317,3 +343,110 @@ let shadow_check payload =
     | Ok _ -> Error "commit decoded as another kind"
     | Error e -> Error (Format.asprintf "commit: %a" pp_error e))
   | _ -> Ok ()
+
+(* --- semantic validation ---------------------------------------------
+   [decode] only proves the input parses; garbage that survives the
+   CRC (a collision) can still parse into a unit whose fields would
+   crash the protocol (a node id indexing past the membership arrays,
+   a fragment index past its count, an empty token ring feeding a
+   [mod 0]). This layer bounds every identifier-like field so such a
+   unit is discarded at the NIC instead. *)
+
+let in_range what value ~min ~max =
+  if value < min || value > max then
+    raise (Decode_error (Bad_field { what; value; min; max }))
+
+let validate ?(max_node = 0xffff) d =
+  let node what v = in_range what v ~min:0 ~max:max_node in
+  try
+    (match d with
+    | Packet p ->
+      node "packet sender" p.Wire.sender;
+      List.iter
+        (fun (e : Wire.element) ->
+          node "element origin" e.message.origin;
+          match e.fragment with
+          | None ->
+            (* A whole message packed into one frame fits the payload. *)
+            in_range "message size" e.message.size ~min:0 ~max:max_payload
+          | Some f ->
+            in_range "fragment count" f.count ~min:1 ~max:0xffff;
+            in_range "fragment index" f.index ~min:0 ~max:(f.count - 1);
+            in_range "fragment bytes" f.bytes ~min:0 ~max:max_payload)
+        p.elements
+    | Token t ->
+      node "aru setter" t.aru_setter;
+      in_range "token ring size" (Array.length t.ring) ~min:1 ~max:0xff;
+      Array.iter (fun n -> node "ring member" n) t.ring
+    | Join j ->
+      node "join sender" j.sender;
+      List.iter (fun n -> node "proc set member" n) j.proc_set;
+      List.iter (fun n -> node "fail set member" n) j.fail_set
+    | Probe p -> node "probe sender" p.probe_sender
+    | Commit cm ->
+      in_range "commit round" cm.cm_round ~min:1 ~max:2;
+      Array.iter (fun n -> node "commit ring member" n) cm.cm_ring;
+      List.iter
+        (fun (i : Wire.member_info) -> node "member info node" i.mi_node)
+        cm.cm_info);
+    Ok ()
+  with Decode_error e -> Error e
+
+(* --- byte-faithful frame layer ---------------------------------------
+   The wire mode's unit of exchange: [encode_frame] turns a protocol
+   payload into its byte image plus a CRC-32 trailer (the model of the
+   Ethernet FCS), [decode_frame] is the receiving NIC's discard
+   pipeline — checksum, total decode, semantic validation — in the
+   order real hardware and a real stack would apply them. *)
+
+type frame_error =
+  | Crc_mismatch
+  | Malformed of error
+
+let pp_frame_error ppf = function
+  | Crc_mismatch -> Format.pp_print_string ppf "CRC-32 mismatch"
+  | Malformed e -> pp_error ppf e
+
+let encode_payload = function
+  | Wire.Data p -> Some (encode_packet p)
+  | Wire.Tok t -> Some (encode_token t)
+  | Wire.Join j -> Some (encode_join j)
+  | Wire.Probe p -> Some (encode_probe p)
+  | Wire.Commit cm -> Some (encode_commit cm)
+  | _ -> None
+
+let payload_of_decoded = function
+  | Packet p -> Wire.Data p
+  | Token t -> Wire.Tok t
+  | Join j -> Wire.Join j
+  | Probe p -> Wire.Probe p
+  | Commit cm -> Wire.Commit cm
+
+let encode_frame (frame : Totem_net.Frame.t) =
+  match encode_payload frame.payload with
+  | None -> frame (* foreign payload: not ours to serialize *)
+  | Some body ->
+    let b = Buffer.create (String.length body + Totem_net.Crc32.trailer_bytes) in
+    Buffer.add_string b body;
+    Totem_net.Crc32.append b (Totem_net.Crc32.digest body);
+    (* [payload_bytes] keeps the charged size: the CRC models the
+       Ethernet FCS, already inside [Frame.header_overhead_bytes]. *)
+    { frame with Totem_net.Frame.payload = Totem_net.Frame.Bytes (Buffer.contents b) }
+
+let decode_frame ?max_node (frame : Totem_net.Frame.t) =
+  match frame.payload with
+  | Totem_net.Frame.Bytes s ->
+    if not (Totem_net.Crc32.check s) then Error Crc_mismatch
+    else begin
+      let body =
+        String.sub s 0 (String.length s - Totem_net.Crc32.trailer_bytes)
+      in
+      match decode body with
+      | Error e -> Error (Malformed e)
+      | Ok d -> (
+        match validate ?max_node d with
+        | Error e -> Error (Malformed e)
+        | Ok () ->
+          Ok { frame with Totem_net.Frame.payload = payload_of_decoded d })
+    end
+  | _ -> Ok frame

@@ -19,6 +19,11 @@ type error =
   | Truncated
   | Bad_tag of int
   | Trailing_bytes of int
+  | Bad_count of { what : string; count : int; limit : int }
+      (** a count prefix exceeds how many of its elements a maximum
+          payload could carry — rejected {e before} any allocation *)
+  | Bad_field of { what : string; value : int; min : int; max : int }
+      (** a parsed field fails the {!validate} semantic bounds *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -41,7 +46,21 @@ val encode_probe : Wire.probe -> string
 val encode_commit : Wire.commit -> string
 
 val decode : string -> (decoded, error) result
-(** Decodes any encoded unit; rejects trailing garbage. *)
+(** Decodes any encoded unit; rejects trailing garbage. Total on
+    arbitrary bytes: every length/count prefix is bounded against the
+    1424-byte {!Totem_net.Frame.max_payload_bytes} budget and checked
+    against the remaining input before anything is allocated, so
+    hostile input yields [Error], never an exception or a large
+    allocation. *)
+
+val validate : ?max_node:int -> decoded -> (unit, error) result
+(** Semantic bounds a parse alone cannot establish, for input that may
+    be CRC-colliding garbage: node-like ids (senders, origins, ring and
+    set members, the aru setter) are bounded by [max_node] (default
+    65535; clusters pass [num_nodes - 1]), fragment indices must lie
+    within their counts, unfragmented message and fragment sizes within
+    the payload budget, token rings must be non-empty and the commit
+    round 1 or 2. Violations come back as [Bad_field]/[Bad_count]. *)
 
 val shadow_check : Totem_net.Frame.payload -> (unit, string) result
 (** Encodes the payload and decodes the bytes back, reporting any
@@ -54,3 +73,42 @@ val set_data_codec :
 (** Installs an application payload codec. The default encodes every
     payload as its declared size in zero bytes and decodes to
     {!Message.Blob}. *)
+
+(** {1 Byte-faithful frame layer}
+
+    The wire mode's sending and receiving NIC ends. A frame image is
+    the encoded unit followed by a 4-byte little-endian CRC-32 trailer
+    ({!Totem_net.Crc32}), carried as {!Totem_net.Frame.Bytes}. *)
+
+type frame_error =
+  | Crc_mismatch  (** the trailer does not match the body — discard *)
+  | Malformed of error
+      (** the checksum held (collision or spontaneously consistent
+          garbage) but total decoding or {!validate} rejected it *)
+
+val pp_frame_error : Format.formatter -> frame_error -> unit
+
+val encode_payload : Totem_net.Frame.payload -> string option
+(** The encoded byte form of any protocol payload ([Data], [Tok],
+    [Join], [Probe], [Commit]), without the CRC trailer; [None] for
+    payload kinds the codec does not own. *)
+
+val payload_of_decoded : decoded -> Totem_net.Frame.payload
+
+val encode_frame : Totem_net.Frame.t -> Totem_net.Frame.t
+(** The sending-NIC serializer (installed via
+    {!Totem_net.Fabric.set_wire_encoder} in wire mode): replaces the
+    payload with its checksummed byte image. [src] and [payload_bytes]
+    are preserved — the CRC models the Ethernet FCS, which the frame
+    model already charges inside
+    {!Totem_net.Frame.header_overhead_bytes}, so timing is unchanged.
+    Frames carrying foreign payload kinds pass through untouched. *)
+
+val decode_frame :
+  ?max_node:int -> Totem_net.Frame.t -> (Totem_net.Frame.t, frame_error) result
+(** The receiving-NIC discard pipeline for {!Totem_net.Frame.Bytes}
+    payloads: CRC-32 verification, then total decode, then {!validate}
+    (with [max_node] as there). [Ok] rebuilds the frame with the
+    decoded protocol payload; [Error] means the frame must be dropped,
+    which the RRP observes exactly as loss. Frames with non-byte
+    payloads pass through unchanged. *)

@@ -1,0 +1,112 @@
+(* Fuzz harness for the binary codec's total-decoding guarantee.
+
+   Two generators — pure random bytes and mutations of valid encodings
+   (byte flips, truncations, extensions, splices) — are fed to
+   [Codec.decode] and, wrapped with a freshly computed CRC-32 trailer,
+   to [Codec.decode_frame]. The valid-CRC path deliberately models CRC
+   collisions: garbage that passes the checksum must still come back as
+   a decode or validation [Error], never as an exception or an
+   unbounded allocation. Any escaping exception fails the run (exit 1).
+
+   Deterministic: one fixed SplitMix64 seed, no wall-clock input, so a
+   failure reproduces byte-for-byte. Runs under the fuzz-smoke alias. *)
+
+module Codec = Totem_srp.Codec
+module Wire = Totem_srp.Wire
+module Token = Totem_srp.Token
+module Message = Totem_srp.Message
+module Packing = Totem_srp.Packing
+module Const = Totem_srp.Const
+module Frame = Totem_net.Frame
+module Crc32 = Totem_net.Crc32
+module Rng = Totem_engine.Rng
+
+let iterations = 12_000
+let seed = 0xF0CC
+
+let const = Const.default
+
+(* A corpus of valid encodings covering every unit kind, fragment
+   layouts included; mutations start from these so the fuzzer spends
+   its budget near the format instead of mostly hitting Bad_tag. *)
+let corpus =
+  let msg ?(origin = 1) ?(app_seq = 1) ?(safe = false) ~size () =
+    Message.make ~origin ~app_seq ~size ~safe ()
+  in
+  let whole ?origin ?app_seq ?safe ~size () =
+    { Wire.message = msg ?origin ?app_seq ?safe ~size (); fragment = None }
+  in
+  [|
+    Codec.encode_packet
+      { Wire.ring_id = 1; seq = 42; sender = 2;
+        elements = [ whole ~size:700 (); whole ~origin:3 ~safe:true ~size:100 () ] };
+    Codec.encode_packet
+      { Wire.ring_id = 7; seq = 9; sender = 0;
+        elements = Packing.elements_of_message const (msg ~size:5000 ()) };
+    Codec.encode_packet { Wire.ring_id = 0; seq = 0; sender = 0; elements = [] };
+    Codec.encode_token
+      { (Token.initial ~ring:[| 0; 1; 2; 5 |] ~ring_id:129) with
+        Token.seq = 100_000; aru = 99_998; aru_setter = 5; fcc = 50;
+        rtr = [ 99_999; 100_000 ] };
+    Codec.encode_token (Token.initial ~ring:[| 0 |] ~ring_id:1);
+    Codec.encode_join
+      { Wire.sender = 3; proc_set = [ 0; 1; 3 ]; fail_set = [ 2 ]; max_ring_id = 640 };
+    Codec.encode_probe { Wire.probe_sender = 4; probe_ring_id = 192 };
+    Codec.encode_commit
+      { Wire.cm_ring_id = 128; cm_ring = [| 0; 2; 3 |]; cm_round = 2;
+        cm_info =
+          [ { Wire.mi_node = 0; mi_old_ring = 64; mi_aru = 17 };
+            { Wire.mi_node = 3; mi_old_ring = 1; mi_aru = 0 } ] };
+  |]
+
+let random_bytes rng =
+  let len = Rng.int rng 1500 in
+  String.init len (fun _ -> Char.chr (Rng.int rng 256))
+
+let mutate rng s =
+  match Rng.int rng 4 with
+  | 0 ->
+    (* flip 1..8 bytes *)
+    let b = Bytes.of_string s in
+    if Bytes.length b > 0 then
+      for _ = 0 to Rng.int rng 8 do
+        let i = Rng.int rng (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Rng.int rng 255)))
+      done;
+    Bytes.to_string b
+  | 1 -> if s = "" then s else String.sub s 0 (Rng.int rng (String.length s))
+  | 2 -> s ^ String.init (1 + Rng.int rng 32) (fun _ -> Char.chr (Rng.int rng 256))
+  | _ ->
+    (* splice the tail of one valid image onto the head of another *)
+    let t = Rng.pick rng corpus in
+    let cut a = String.sub a 0 (if a = "" then 0 else Rng.int rng (String.length a)) in
+    cut s ^ cut t
+
+let with_valid_crc body =
+  let b = Buffer.create (String.length body + Crc32.trailer_bytes) in
+  Buffer.add_string b body;
+  Crc32.append b (Crc32.digest body);
+  { Frame.src = 0; payload_bytes = 0; payload = Frame.Bytes (Buffer.contents b) }
+
+let () =
+  let rng = Rng.create ~seed in
+  let ok = ref 0 and err = ref 0 and frame_err = ref 0 in
+  (try
+     for i = 0 to iterations - 1 do
+       let input =
+         if i land 1 = 0 then random_bytes rng else mutate rng (Rng.pick rng corpus)
+       in
+       (match Codec.decode input with Ok _ -> incr ok | Error _ -> incr err);
+       (* The CRC-collision model: the same bytes with a trailer the
+          checksum accepts must flow through the full NIC pipeline. *)
+       match Codec.decode_frame ~max_node:5 (with_valid_crc input) with
+       | Ok _ -> ()
+       | Error _ -> incr frame_err
+     done
+   with e ->
+     Printf.eprintf "fuzz_codec: escaping exception after %d inputs: %s\n"
+       (!ok + !err) (Printexc.to_string e);
+     exit 1);
+  Printf.printf
+    "fuzz_codec: %d inputs (seed %#x): %d decoded, %d rejected, %d frame-rejected, 0 exceptions\n"
+    iterations seed !ok !err !frame_err

@@ -231,6 +231,200 @@ let test_shadow_mode_full_protocol () =
   Alcotest.(check bool) "survived with shadow checks on every frame" true
     (Totem_cluster.Cluster.delivered_at cluster 0 > 1000)
 
+(* --- CRC-32 ---------------------------------------------------------- *)
+
+module Crc32 = Totem_net.Crc32
+module Frame = Totem_net.Frame
+
+let flip_byte s i x =
+  String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor x) else c) s
+
+let test_crc32_vector () =
+  (* The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789". *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "empty input" 0 (Crc32.digest "");
+  (* Incremental updates compose to the one-shot digest. *)
+  let half = Crc32.update 0 "123456789" ~pos:0 ~len:5 in
+  Alcotest.(check int) "incremental" 0xCBF43926
+    (Crc32.update half "123456789" ~pos:5 ~len:4);
+  let b = Buffer.create 16 in
+  Buffer.add_string b "123456789";
+  Crc32.append b (Crc32.digest "123456789");
+  let s = Buffer.contents b in
+  Alcotest.(check bool) "append/check round trip" true (Crc32.check s);
+  Alcotest.(check int) "trailer reads back" 0xCBF43926 (Crc32.read_trailer s);
+  for i = 0 to String.length s - 1 do
+    Alcotest.(check bool) "any flipped byte breaks the check" false
+      (Crc32.check (flip_byte s i 0x40))
+  done;
+  Alcotest.(check bool) "shorter than a trailer" false (Crc32.check "abc")
+
+(* --- hostile length prefixes ----------------------------------------- *)
+
+(* Build raw codec images by hand so a lying count prefix reaches the
+   decoder exactly as a corrupted frame would deliver it. *)
+let hostile prelude =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun (width, v) ->
+      for i = 0 to width - 1 do
+        Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+      done)
+    prelude;
+  Buffer.contents b
+
+let check_bad_count name input expected_what =
+  match Codec.decode input with
+  | Error (Codec.Bad_count { what; _ }) when what = expected_what -> ()
+  | Error e -> Alcotest.failf "%s: expected Bad_count %s, got %a" name expected_what Codec.pp_error e
+  | Ok _ -> Alcotest.failf "%s: hostile prefix decoded" name
+
+(* A count prefix claiming more elements than a maximum payload can
+   carry must be rejected before any allocation; one claiming a
+   plausible count without the bytes to back it is plain truncation. *)
+let test_hostile_prefixes () =
+  check_bad_count "packet"
+    (hostile [ (1, 0x50); (4, 1); (4, 1); (2, 0); (1, 255) ])
+    "element";
+  check_bad_count "token rtr"
+    (hostile
+       [ (1, 0x54); (4, 1); (4, 0); (4, 0); (4, 0); (4, 0); (2, 0); (2, 0);
+         (2, 0xffff); (1, 1) ])
+    "rtr";
+  (* A u8 ring count can never exceed the 712-entry budget, so a lying
+     one is caught by the byte-backing check instead. *)
+  (match
+     Codec.decode
+       (hostile
+          [ (1, 0x54); (4, 1); (4, 0); (4, 0); (4, 0); (4, 0); (2, 0); (2, 0);
+            (2, 0); (1, 0xff) ])
+   with
+  | Error Codec.Truncated -> ()
+  | Error e -> Alcotest.failf "token ring: expected Truncated, got %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "token ring: hostile prefix decoded");
+  check_bad_count "join proc set"
+    (hostile [ (1, 0x4a); (2, 0); (4, 0); (2, 0xffff); (2, 0) ])
+    "proc set";
+  check_bad_count "join fail set"
+    (hostile [ (1, 0x4a); (2, 0); (4, 0); (2, 0); (2, 0xffff) ])
+    "fail set";
+  check_bad_count "commit member info"
+    (hostile [ (1, 0x43); (4, 1); (1, 1); (1, 0); (1, 0xff) ])
+    "member info";
+  (* In-budget count with no bytes behind it: truncation, not a crash. *)
+  match Codec.decode (hostile [ (1, 0x50); (4, 1); (4, 1); (2, 0); (1, 10) ]) with
+  | Error Codec.Truncated -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "truncated packet decoded"
+
+(* --- semantic validation --------------------------------------------- *)
+
+let check_bad_field name d ~max_node expected_what =
+  match Codec.validate ~max_node d with
+  | Error (Codec.Bad_field { what; _ }) when what = expected_what -> ()
+  | Error e -> Alcotest.failf "%s: expected Bad_field %s, got %a" name expected_what Codec.pp_error e
+  | Ok () -> Alcotest.failf "%s: invalid unit validated" name
+
+let test_validate_bounds () =
+  let tok ring = { (Token.initial ~ring ~ring_id:1) with Token.aru_setter = 0 } in
+  (match Codec.validate ~max_node:3 (Codec.Token (tok [| 0; 1; 2; 3 |])) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid token rejected: %a" Codec.pp_error e);
+  check_bad_field "alien ring member" (Codec.Token (tok [| 0; 9 |])) ~max_node:3
+    "ring member";
+  check_bad_field "empty ring"
+    (Codec.Token { (tok [| 0 |]) with Token.ring = [||] })
+    ~max_node:3 "token ring size";
+  check_bad_field "alien sender"
+    (Codec.Packet (packet ~sender:9 [ whole ~size:100 () ]))
+    ~max_node:3 "packet sender";
+  check_bad_field "fragment index past count"
+    (Codec.Packet
+       (packet
+          [ { Wire.message = msg ~size:5000 ();
+              fragment = Some { Wire.index = 5; count = 3; bytes = 100 } } ]))
+    ~max_node:3 "fragment index";
+  check_bad_field "oversized whole message"
+    (Codec.Packet (packet [ whole ~size:2000 () ]))
+    ~max_node:3 "message size";
+  check_bad_field "commit round out of range"
+    (Codec.Commit
+       { Wire.cm_ring_id = 1; cm_ring = [| 0 |]; cm_round = 3; cm_info = [] })
+    ~max_node:3 "commit round";
+  check_bad_field "join member out of range"
+    (Codec.Join { Wire.sender = 0; proc_set = [ 0; 7 ]; fail_set = []; max_ring_id = 1 })
+    ~max_node:3 "proc set member"
+
+(* --- byte-faithful frame layer --------------------------------------- *)
+
+let data_frame (p : Wire.packet) = Wire.data_frame const ~src:p.sender p
+
+let test_frame_roundtrip () =
+  let p = packet [ whole ~size:700 (); whole ~origin:3 ~app_seq:9 ~size:100 () ] in
+  let f = data_frame p in
+  let wf = Codec.encode_frame f in
+  Alcotest.(check int) "charged size unchanged" f.Frame.payload_bytes
+    wf.Frame.payload_bytes;
+  (match wf.Frame.payload with
+  | Frame.Bytes s -> Alcotest.(check bool) "wire image carries its CRC" true (Crc32.check s)
+  | _ -> Alcotest.fail "encode_frame left a structured payload");
+  match Codec.decode_frame ~max_node:3 wf with
+  | Ok f' -> (
+    match f'.Frame.payload with
+    | Wire.Data p' -> check_packet "through the wire" p p'
+    | _ -> Alcotest.fail "decoded to another kind")
+  | Error e -> Alcotest.failf "decode_frame: %a" Codec.pp_frame_error e
+
+let test_frame_crc_reject () =
+  let wf = Codec.encode_frame (data_frame (packet [ whole ~size:700 () ])) in
+  let image = match wf.Frame.payload with Frame.Bytes s -> s | _ -> assert false in
+  for i = 0 to String.length image - 1 do
+    let damaged = { wf with Frame.payload = Frame.Bytes (flip_byte image i 0x04) } in
+    match Codec.decode_frame ~max_node:3 damaged with
+    | Error Codec.Crc_mismatch -> ()
+    | Error e -> Alcotest.failf "byte %d: expected Crc_mismatch, got %a" i Codec.pp_frame_error e
+    | Ok _ -> Alcotest.failf "byte %d: damaged frame decoded" i
+  done
+
+(* CRC collisions exist; model one by appending a valid CRC to garbage
+   and to a semantically-alien unit — both must be discarded as
+   malformed, not crash downstream. *)
+let test_frame_colliding_garbage () =
+  let with_crc body =
+    let b = Buffer.create (String.length body + 4) in
+    Buffer.add_string b body;
+    Crc32.append b (Crc32.digest body);
+    { Frame.src = 0; payload_bytes = 64; payload = Frame.Bytes (Buffer.contents b) }
+  in
+  (match Codec.decode_frame ~max_node:3 (with_crc "\xff not a unit") with
+  | Error (Codec.Malformed (Codec.Bad_tag 0xff)) -> ()
+  | _ -> Alcotest.fail "garbage with a valid CRC must be malformed");
+  let alien = Codec.encode_probe { Wire.probe_sender = 9; probe_ring_id = 1 } in
+  match Codec.decode_frame ~max_node:3 (with_crc alien) with
+  | Error (Codec.Malformed (Codec.Bad_field { what = "probe sender"; _ })) -> ()
+  | Error e -> Alcotest.failf "expected probe sender rejection, got %a" Codec.pp_frame_error e
+  | Ok _ -> Alcotest.fail "alien sender validated"
+
+let qcheck_flip_total =
+  let gen =
+    QCheck.Gen.(
+      let* sizes = list_size (int_range 1 4) (int_range 0 1412) in
+      let* flips = list_size (int_range 0 3) (pair (int_range 0 10_000) (int_range 1 255)) in
+      return (sizes, flips))
+  in
+  QCheck.Test.make ~name:"decode is total under <= 3 byte flips" ~count:500
+    (QCheck.make gen) (fun (sizes, flips) ->
+      let p = packet (List.mapi (fun i s -> whole ~app_seq:(i + 1) ~size:s ()) sizes) in
+      let image = Bytes.of_string (Codec.encode_packet p) in
+      List.iter
+        (fun (pos, x) ->
+          let pos = pos mod Bytes.length image in
+          Bytes.set image pos (Char.chr (Char.code (Bytes.get image pos) lxor x)))
+        flips;
+      (* Every outcome is acceptable except an escaping exception (which
+         qcheck reports as a failure). *)
+      match Codec.decode (Bytes.to_string image) with Ok _ | Error _ -> true)
+
 let test_commit_roundtrip () =
   let cm =
     { Wire.cm_ring_id = 128; cm_ring = [| 0; 2; 3 |]; cm_round = 2;
@@ -258,6 +452,14 @@ let tests =
     Alcotest.test_case "rejects malformed input" `Quick test_rejects_garbage;
     Alcotest.test_case "custom application payload codec" `Quick
       test_custom_data_codec;
+    Alcotest.test_case "CRC-32 test vector and trailer" `Quick test_crc32_vector;
+    Alcotest.test_case "hostile length prefixes" `Quick test_hostile_prefixes;
+    Alcotest.test_case "semantic validation bounds" `Quick test_validate_bounds;
+    Alcotest.test_case "wire frame round trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "wire frame CRC rejection" `Quick test_frame_crc_reject;
+    Alcotest.test_case "CRC-colliding garbage is malformed" `Quick
+      test_frame_colliding_garbage;
     QCheck_alcotest.to_alcotest qcheck_packet_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_token_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_flip_total;
   ]

@@ -84,9 +84,53 @@ let test_overlapping_faults () =
   Fault.unblock_send f 0;
   Alcotest.(check bool) "recv block remains" false (Fault.delivers f ~src:0 ~dst:1)
 
+let test_corruption_probability () =
+  let f = Fault.create () in
+  Alcotest.(check (float 0.0)) "clean" 0.0 (Fault.corruption_probability f);
+  Fault.set_corruption_probability f 0.25;
+  Alcotest.(check (float 0.0)) "set" 0.25 (Fault.corruption_probability f);
+  Alcotest.check_raises "above one"
+    (Invalid_argument "Fault.set_corruption_probability") (fun () ->
+      Fault.set_corruption_probability f 1.5);
+  Fault.set_corruption f 1.7;
+  Alcotest.(check (float 0.0)) "set_corruption clamps" 1.0
+    (Fault.corruption_probability f);
+  Fault.heal f;
+  Alcotest.(check (float 0.0)) "heal clears it" 0.0 (Fault.corruption_probability f)
+
+(* Every state-changing transition notifies exactly once: blocks,
+   unblocks, pair blocks, loss and corruption changes. Re-applying the
+   same fault is silent, so Net_status telemetry sees one event per
+   transition. *)
+let test_notify_on_transitions () =
+  let f = Fault.create () in
+  let log = ref [] in
+  Fault.set_notify f (fun m -> log := m :: !log);
+  let expect label n = Alcotest.(check int) label n (List.length !log) in
+  Fault.block_send f 2;
+  Fault.block_send f 2;
+  expect "duplicate block_send is silent" 1;
+  Fault.unblock_send f 2;
+  Fault.unblock_send f 2;
+  expect "duplicate unblock_send is silent" 2;
+  Fault.block_recv f 1;
+  Fault.unblock_recv f 1;
+  Fault.block_pair f ~src:0 ~dst:1;
+  Fault.block_pair f ~src:0 ~dst:1;
+  Fault.unblock_pair f ~src:0 ~dst:1;
+  expect "recv and pair transitions notify once each" 6;
+  Fault.set_corruption_probability f 0.5;
+  Fault.set_corruption_probability f 0.5;
+  expect "corruption change notifies once" 7;
+  Fault.heal f;
+  expect "heal notifies" 8
+
 let tests =
   [
     Alcotest.test_case "clean state" `Quick test_clean;
+    Alcotest.test_case "corruption probability" `Quick test_corruption_probability;
+    Alcotest.test_case "notify fires once per transition" `Quick
+      test_notify_on_transitions;
     Alcotest.test_case "total network failure" `Quick test_down;
     Alcotest.test_case "send-path fault (Sec. 3)" `Quick test_send_block;
     Alcotest.test_case "receive-path fault (Sec. 3)" `Quick test_recv_block;
