@@ -1,0 +1,133 @@
+(* Regression gate over two BENCH_*.json baselines (totem-bench/v1).
+
+   Usage:
+     compare.exe [--max-regression PCT] [--targets a,b,...] OLD.json NEW.json
+
+   Compares events_per_sec for every target present in both files
+   (optionally restricted by --targets) and exits non-zero when any
+   shared target regressed by more than the threshold (default 10%).
+   Missing-in-new targets are reported but do not fail: baselines grow
+   targets over time, and an old file must stay usable as the
+   reference.
+
+   Wired into `dune runtest` as the bench-diff smoke (current tree vs
+   the committed previous-PR baseline, wire target only — the target
+   with headroom measured in multiples, so machine noise cannot trip
+   it). *)
+
+module Json = Totem_chaos.Chaos_json
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe [--max-regression PCT] [--targets a,b,...] OLD.json \
+     NEW.json";
+  exit 2
+
+let read_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* name -> events_per_sec for every target in a totem-bench/v1 file *)
+let targets_of path =
+  let doc =
+    match Json.parse (read_file path) with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  (match Json.field doc "schema" with
+  | Some (Json.Str "totem-bench/v1") -> ()
+  | _ ->
+    Printf.eprintf "compare: %s: not a totem-bench/v1 file\n" path;
+    exit 2);
+  match Json.field doc "targets" with
+  | Some (Json.Arr targets) ->
+    List.map
+      (fun t ->
+        (Json.get_str t "name" path, Json.get_num t "events_per_sec" path))
+      targets
+  | _ ->
+    Printf.eprintf "compare: %s: missing targets array\n" path;
+    exit 2
+
+let () =
+  let max_regression = ref 10.0 in
+  let only = ref None in
+  let files = ref [] in
+  let rec parse_args = function
+    | "--max-regression" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> max_regression := p
+      | _ -> usage ());
+      parse_args rest
+    | "--targets" :: names :: rest ->
+      only := Some (String.split_on_char ',' names);
+      parse_args rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse_args rest
+    | [] -> ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let old_targets = targets_of old_path and new_targets = targets_of new_path in
+  let wanted name =
+    match !only with None -> true | Some names -> List.mem name names
+  in
+  let failed = ref false in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, old_rate) ->
+      if wanted name then
+        match List.assoc_opt name new_targets with
+        | None ->
+          Printf.printf "%-12s missing from %s (skipped)\n" name new_path
+        | Some new_rate ->
+          incr compared;
+          let delta_pct =
+            if old_rate = 0.0 then 0.0
+            else (new_rate -. old_rate) /. old_rate *. 100.0
+          in
+          let verdict =
+            if delta_pct < -.(!max_regression) then begin
+              failed := true;
+              "REGRESSION"
+            end
+            else "ok"
+          in
+          Printf.printf "%-12s %12.1f -> %12.1f ev/s  %+7.1f%%  %s\n" name
+            old_rate new_rate delta_pct verdict)
+    old_targets;
+  (match !only with
+  | Some names ->
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name old_targets) then begin
+          Printf.eprintf "compare: target %s not in %s\n" name old_path;
+          failed := true
+        end)
+      names
+  | None -> ());
+  if !compared = 0 then begin
+    Printf.eprintf "compare: no shared targets between %s and %s\n" old_path
+      new_path;
+    exit 2
+  end;
+  if !failed then begin
+    Printf.printf "FAIL: events/sec regression beyond %.1f%%\n" !max_regression;
+    exit 1
+  end
+  else Printf.printf "PASS: %d target(s) within %.1f%%\n" !compared
+         !max_regression

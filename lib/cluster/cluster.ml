@@ -26,6 +26,12 @@ type t = {
     unit)
     list;
   mutable reports : (Totem_net.Addr.node_id * Rrp.Fault_report.t) list;
+  (* Decode-once delivery (wire mode with wire_cache): one cache per
+     cluster, shared by every receiving NIC — the point is precisely
+     that M receivers of a broadcast recognize the same physical byte
+     string. Per-cluster, never global: bench sweeps run clusters on
+     parallel domains. *)
+  decode_cache : Srp.Codec.decode_cache option;
 }
 
 let build_node t id =
@@ -78,7 +84,8 @@ let build_node t id =
     match frame.Totem_net.Frame.payload with
     | Totem_net.Frame.Bytes _ -> (
       match
-        Srp.Codec.decode_frame ~max_node:(config.Config.num_nodes - 1) frame
+        Srp.Codec.decode_frame ?cache:t.decode_cache
+          ~max_node:(config.Config.num_nodes - 1) frame
       with
       | Ok frame ->
         shadow frame;
@@ -120,6 +127,10 @@ let create config =
       ~num_nets:config.Config.num_nets ~config:config.Config.net
       ?configs:config.Config.net_configs ~telemetry ()
   in
+  let cached = config.Config.wire_bytes && config.Config.wire_cache in
+  let encode_cache =
+    if cached then Some (Srp.Codec.encode_cache ()) else None
+  in
   let t =
     {
       config;
@@ -131,10 +142,29 @@ let create config =
       report_hooks = [];
       ring_hooks = [];
       reports = [];
+      decode_cache = (if cached then Some (Srp.Codec.decode_cache ()) else None);
     }
   in
-  if config.Config.wire_bytes then
-    Totem_net.Fabric.set_wire_encoder fabric Srp.Codec.encode_frame;
+  if config.Config.wire_bytes then begin
+    (* The fabric-level memo and the codec-level caches are the two
+       halves of encode-once fan-out; both off when wire_cache is
+       false (the A/B baseline re-serializes every copy). *)
+    Totem_net.Fabric.set_wire_encoder fabric ~memoize:cached (fun frame ->
+        Srp.Codec.encode_frame ?cache:encode_cache frame);
+    match (encode_cache, t.decode_cache) with
+    | Some ec, Some dc ->
+      let g name read =
+        Telemetry.gauge telemetry ("wire." ^ name) (fun () ->
+            float_of_int (read ()))
+      in
+      g "encode_cache_hits" (fun () -> fst (Srp.Codec.encode_cache_stats ec));
+      g "encode_cache_misses" (fun () ->
+          snd (Srp.Codec.encode_cache_stats ec));
+      g "decode_cache_hits" (fun () -> fst (Srp.Codec.decode_cache_stats dc));
+      g "decode_cache_misses" (fun () ->
+          snd (Srp.Codec.decode_cache_stats dc))
+    | _ -> ()
+  end;
   t.nodes <- Array.init config.Config.num_nodes (build_node t);
   for i = 0 to config.Config.num_nets - 1 do
     let net = Totem_net.Fabric.network fabric i in

@@ -10,13 +10,14 @@ type t = {
   seed : int;
   codec_shadow : bool;
   wire_bytes : bool;
+  wire_cache : bool;
 }
 
 let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     ?(const = Totem_srp.Const.default) ?(rrp = Totem_rrp.Rrp_config.default)
     ?(net = Totem_net.Network.default_config) ?net_configs
     ?(buffer_bytes = 65536) ?(seed = 42) ?(codec_shadow = false)
-    ?(wire_bytes = false) () =
+    ?(wire_bytes = false) ?(wire_cache = true) () =
   {
     num_nodes;
     num_nets;
@@ -29,6 +30,7 @@ let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     seed;
     codec_shadow;
     wire_bytes;
+    wire_cache;
   }
 
 let paper_testbed ~num_nodes ~style = make ~num_nodes ~num_nets:2 ~style ()

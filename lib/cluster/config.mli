@@ -26,6 +26,15 @@ type t = {
           Timing-neutral absent corruption — the charged sizes do not
           change — but makes the corruption fault model
           ({!Totem_net.Fault.set_corruption_probability}) bit-accurate *)
+  wire_cache : bool;
+      (** encode-once/decode-once frame caching in wire mode (default
+          [true]): one logical frame is serialized once for its
+          N-network fan-out and a byte string decoded once for its
+          M receivers, keyed on physical identity — corruption always
+          substitutes fresh strings, so damaged copies miss the cache
+          and take the full discard pipeline. [false] re-encodes and
+          re-decodes every copy (the A/B baseline the equivalence
+          tests compare against). Ignored unless [wire_bytes] *)
 }
 
 val make :
@@ -40,6 +49,7 @@ val make :
   ?seed:int ->
   ?codec_shadow:bool ->
   ?wire_bytes:bool ->
+  ?wire_cache:bool ->
   unit ->
   t
 (** Defaults: the paper's four-node, two-network testbed with passive

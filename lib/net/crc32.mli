@@ -7,7 +7,13 @@
 
     Self-contained — no external dependency; checksums are plain [int]s
     in [0, 0xFFFFFFFF]. Test vector: [digest "123456789" =
-    0xCBF43926]. *)
+    0xCBF43926].
+
+    The implementation is slicing-by-8: eight tables, built once at
+    module initialization, fold eight input bytes per loop iteration —
+    bitwise identical to the byte-at-a-time construction (the test
+    suite holds a qcheck property against a byte-at-a-time
+    reference). *)
 
 val digest : string -> int
 (** CRC-32 of the whole string. *)
@@ -17,12 +23,22 @@ val update : int -> string -> pos:int -> len:int -> int
     result, or [0] to start) over the given substring.
     @raise Invalid_argument on an out-of-bounds range. *)
 
+val update_bytes : int -> Bytes.t -> pos:int -> len:int -> int
+(** [update] over a [Bytes.t] — the single-pass frame encoder checksums
+    its image in place, before the buffer is frozen into a string. *)
+
 val trailer_bytes : int
 (** 4 — the checksum occupies four bytes, little-endian, at the end of
     the frame image. *)
 
 val append : Buffer.t -> int -> unit
 (** Append a checksum as the 4-byte little-endian trailer. *)
+
+val write_trailer : Bytes.t -> pos:int -> int -> unit
+(** [write_trailer b ~pos crc] writes the 4-byte little-endian trailer
+    at [pos] — the in-place counterpart of {!append} for the
+    preallocated single-pass encode path.
+    @raise Invalid_argument if the trailer would not fit. *)
 
 val read_trailer : string -> int
 (** The checksum stored in the last four bytes.

@@ -11,6 +11,12 @@ type t = {
      the fabric as checksummed bytes. A closure keeps the net layer
      free of any dependency on the protocol codec. *)
   mutable wire_encoder : (Frame.t -> Frame.t) option;
+  (* One-slot memo of the last (input, encoded) pair, keyed on the
+     physical identity of the input frame: the RRP styles broadcast the
+     same frame value on every network back to back, so the encoder
+     runs once per logical frame instead of once per network. *)
+  mutable memoize : bool;
+  mutable last_out : (Frame.t * Frame.t) option;
 }
 
 let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
@@ -38,12 +44,28 @@ let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
     num_nodes;
     telemetry;
     wire_encoder = None;
+    memoize = true;
+    last_out = None;
   }
 
-let set_wire_encoder t f = t.wire_encoder <- Some f
+let set_wire_encoder t ?(memoize = true) f =
+  t.wire_encoder <- Some f;
+  t.memoize <- memoize;
+  t.last_out <- None
 
 let outgoing t frame =
-  match t.wire_encoder with Some f -> f frame | None -> frame
+  match t.wire_encoder with
+  | None -> frame
+  | Some f ->
+    if not t.memoize then f frame
+    else begin
+      match t.last_out with
+      | Some (input, encoded) when input == frame -> encoded
+      | _ ->
+        let encoded = f frame in
+        t.last_out <- Some (frame, encoded);
+        encoded
+    end
 
 let num_nodes t = t.num_nodes
 let num_nets t = Array.length t.networks

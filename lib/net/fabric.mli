@@ -44,12 +44,20 @@ val attach_node :
     which is told which network each frame arrived on — the information
     the RRP layer dispatches on. *)
 
-val set_wire_encoder : t -> (Frame.t -> Frame.t) -> unit
+val set_wire_encoder : t -> ?memoize:bool -> (Frame.t -> Frame.t) -> unit
 (** Installs a sending-NIC serialization hook applied to every frame
     before it reaches a network: byte-wire mode passes the codec's
     frame encoder (payload -> {!Frame.Bytes} image with CRC-32 trailer)
     here. The hook must preserve [src] and [payload_bytes] so fault and
-    timing semantics are unchanged. *)
+    timing semantics are unchanged.
+
+    With [memoize] (the default), the fabric keeps a one-slot memo of
+    the last (input, encoded) pair keyed on the {e physical} identity
+    of the input frame: active replication's back-to-back broadcast of
+    one frame value across all N networks then runs the encoder once,
+    not N times. The hook must therefore be a pure function of the
+    frame value — pass [~memoize:false] for an encoder with
+    per-invocation effects. *)
 
 val broadcast : t -> net:Addr.net_id -> Frame.t -> unit
 

@@ -81,15 +81,18 @@ let lower t =
   {
     Srp.Lower.send_data =
       (fun p ->
+        (* One frame value for all N networks (see Layer.data_frame). *)
+        let frame = Layer.data_frame base p in
         for i = 0 to Layer.num_nets base - 1 do
           if not (Layer.is_faulty base ~net:i) then
-            Layer.send_data_on base ~net:i p
+            Layer.send_data_frame_on base ~net:i frame
         done);
     send_token =
       (fun ~dst tok ->
+        let frame = Layer.token_frame base tok in
         for i = 0 to Layer.num_nets base - 1 do
           if not (Layer.is_faulty base ~net:i) then
-            Layer.send_token_on base ~net:i ~dst tok
+            Layer.send_token_frame_on base ~net:i ~dst frame
         done);
     send_join = (fun j -> Layer.send_join_all base j);
     send_probe = (fun p -> Layer.send_probe_all base p);

@@ -90,12 +90,17 @@ let lower t =
       (fun p ->
         let nets, cursor = window t t.send_message_via in
         t.send_message_via <- cursor;
-        List.iter (fun net -> Layer.send_data_on base ~net p) nets);
+        (* One frame value for the whole K-window (see Layer.data_frame). *)
+        let frame = Layer.data_frame base p in
+        List.iter (fun net -> Layer.send_data_frame_on base ~net frame) nets);
     send_token =
       (fun ~dst tok ->
         let nets, cursor = window t t.send_token_via in
         t.send_token_via <- cursor;
-        List.iter (fun net -> Layer.send_token_on base ~net ~dst tok) nets);
+        let frame = Layer.token_frame base tok in
+        List.iter
+          (fun net -> Layer.send_token_frame_on base ~net ~dst frame)
+          nets);
     send_join = (fun j -> Layer.send_join_all base j);
     send_probe = (fun p -> Layer.send_probe_all base p);
     send_commit = (fun ~dst cm -> Layer.send_commit_all base ~dst cm);

@@ -94,23 +94,38 @@ let clear_fault b ~net =
 
 let reports b = b.reports
 
-let send_data_on b ~net p =
+(* Frame construction is split from frame sending so the multi-network
+   paths (active replication's per-send loops, the *_all membership
+   fan-outs) build ONE physical frame value and pass it to every
+   network. The fabric's wire-encoder memo keys on frame identity, so
+   in wire mode this is what makes N-network fan-out serialize once per
+   logical frame instead of once per copy. *)
+
+let data_frame b p = Srp.Wire.data_frame b.const ~src:b.node p
+
+let send_data_frame_on b ~net frame =
   b.data_sent.(net) <- b.data_sent.(net) + 1;
-  Totem_net.Fabric.broadcast b.fabric ~net
-    (Srp.Wire.data_frame b.const ~src:b.node p)
+  Totem_net.Fabric.broadcast b.fabric ~net frame
+
+let send_data_on b ~net p = send_data_frame_on b ~net (data_frame b p)
+
+let token_frame b tok = Srp.Wire.token_frame b.const ~src:b.node tok
+
+let send_token_frame_on b ~net ~dst frame =
+  b.tokens_sent.(net) <- b.tokens_sent.(net) + 1;
+  Totem_net.Fabric.unicast b.fabric ~net ~dst frame
 
 let send_token_on b ~net ~dst tok =
-  b.tokens_sent.(net) <- b.tokens_sent.(net) + 1;
-  Totem_net.Fabric.unicast b.fabric ~net ~dst
-    (Srp.Wire.token_frame b.const ~src:b.node tok)
+  send_token_frame_on b ~net ~dst (token_frame b tok)
 
 let send_join_on b ~net j =
   Totem_net.Fabric.broadcast b.fabric ~net
     (Srp.Wire.join_frame b.const ~src:b.node j)
 
 let send_join_all b j =
+  let frame = Srp.Wire.join_frame b.const ~src:b.node j in
   for net = 0 to num_nets b - 1 do
-    send_join_on b ~net j
+    Totem_net.Fabric.broadcast b.fabric ~net frame
   done
 
 let send_probe_on b ~net p =
@@ -118,8 +133,9 @@ let send_probe_on b ~net p =
     (Srp.Wire.probe_frame b.const ~src:b.node p)
 
 let send_probe_all b p =
+  let frame = Srp.Wire.probe_frame b.const ~src:b.node p in
   for net = 0 to num_nets b - 1 do
-    send_probe_on b ~net p
+    Totem_net.Fabric.broadcast b.fabric ~net frame
   done
 
 let send_commit_on b ~net ~dst cm =
@@ -127,8 +143,9 @@ let send_commit_on b ~net ~dst cm =
     (Srp.Wire.commit_frame b.const ~src:b.node cm)
 
 let send_commit_all b ~dst cm =
+  let frame = Srp.Wire.commit_frame b.const ~src:b.node cm in
   for net = 0 to num_nets b - 1 do
-    send_commit_on b ~net ~dst cm
+    Totem_net.Fabric.unicast b.fabric ~net ~dst frame
   done
 
 let data_sent b ~net = b.data_sent.(net)

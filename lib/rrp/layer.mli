@@ -54,6 +54,25 @@ val clear_fault : base -> net:Totem_net.Addr.net_id -> unit
 val reports : base -> Fault_report.t list
 (** All reports issued by this node, oldest first. *)
 
+val data_frame : base -> Totem_srp.Wire.packet -> Totem_net.Frame.t
+
+val send_data_frame_on :
+  base -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit
+(** Frame-level send: multi-network styles build one frame value with
+    {!data_frame}/{!token_frame} and pass the {e same} value to every
+    network — the fabric's wire-encoder memo keys on frame identity, so
+    this is what makes active replication serialize once per logical
+    frame. *)
+
+val token_frame : base -> Totem_srp.Token.t -> Totem_net.Frame.t
+
+val send_token_frame_on :
+  base ->
+  net:Totem_net.Addr.net_id ->
+  dst:Totem_net.Addr.node_id ->
+  Totem_net.Frame.t ->
+  unit
+
 val send_data_on : base -> net:Totem_net.Addr.net_id -> Totem_srp.Wire.packet -> unit
 
 val send_token_on :

@@ -23,59 +23,114 @@ type decoded =
   | Commit of Wire.commit
 
 (* Application payload codec; the default emits the declared size in
-   zero bytes and decodes to Blob. *)
-let data_encode = ref (fun (_ : Message.data) -> "")
-let data_decode = ref (fun (_ : string) -> Message.Blob)
+   zero bytes and decodes to Blob. The defaults are named so the decoder
+   can recognize them (by physical equality) and skip materializing
+   bodies whose bytes would be ignored anyway. *)
+let default_data_encode (_ : Message.data) = ""
+let default_data_decode (_ : string) = Message.Blob
+let data_encode = ref default_data_encode
+let data_decode = ref default_data_decode
 
 let set_data_codec ~encode ~decode =
   data_encode := encode;
   data_decode := decode
 
-(* --- primitives (little-endian) ------------------------------------ *)
+(* --- encode primitives (little-endian) ------------------------------
+   Single-pass encoding: every encoder computes its exact byte size
+   first, then writes into one preallocated zero-filled Bytes — no
+   Buffer growth, no Buffer.contents copy, and a zero-filled message
+   body costs nothing beyond the allocation itself. *)
 
-let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+type writer = { wbuf : Bytes.t; mutable wpos : int }
 
-let put_u16 b v =
-  put_u8 b v;
-  put_u8 b (v lsr 8)
+let w_u8 w v =
+  Bytes.set w.wbuf w.wpos (Char.chr (v land 0xff));
+  w.wpos <- w.wpos + 1
 
-let put_u24 b v =
-  put_u16 b v;
-  put_u8 b (v lsr 16)
+let w_u16 w v =
+  w_u8 w v;
+  w_u8 w (v lsr 8)
 
-let put_u32 b v =
-  put_u16 b v;
-  put_u16 b (v lsr 16)
+let w_u24 w v =
+  w_u16 w v;
+  w_u8 w (v lsr 16)
+
+let w_u32 w v =
+  w_u16 w v;
+  w_u16 w (v lsr 16)
+
+let w_string w s =
+  let n = String.length s in
+  Bytes.blit_string s 0 w.wbuf w.wpos n;
+  w.wpos <- w.wpos + n
+
+(* The buffer is zero-filled, so a zero body is a skip. *)
+let w_zeros w n = w.wpos <- w.wpos + n
+
+(* [extra] reserves trailing room (the CRC trailer) beyond the encoded
+   unit; the size check still binds the unit itself. *)
+let encoded ?(extra = 0) size write =
+  let w = { wbuf = Bytes.make (size + extra) '\000'; wpos = 0 } in
+  write w;
+  if w.wpos <> size then
+    invalid_arg
+      (Printf.sprintf "Codec: encoder wrote %d bytes for a size of %d" w.wpos
+         size);
+  w.wbuf
+
+(* --- decode primitives ---------------------------------------------- *)
 
 exception Decode_error of error
 
-type reader = { src : string; mutable pos : int }
+type reader = { src : string; mutable pos : int; limit : int }
 
-let need r n = if r.pos + n > String.length r.src then raise (Decode_error Truncated)
+let need r n = if r.pos + n > r.limit then raise (Decode_error Truncated)
+
+(* Byte reads are unsafe_get AFTER the explicit [need] bound check —
+   one check per field, not one per byte. *)
+let[@inline] byte r i = Char.code (String.unsafe_get r.src i)
 
 let get_u8 r =
   need r 1;
-  let v = Char.code r.src.[r.pos] in
+  let v = byte r r.pos in
   r.pos <- r.pos + 1;
   v
 
 let get_u16 r =
-  let lo = get_u8 r in
-  lo lor (get_u8 r lsl 8)
+  need r 2;
+  let p = r.pos in
+  let v = byte r p lor (byte r (p + 1) lsl 8) in
+  r.pos <- p + 2;
+  v
 
 let get_u24 r =
-  let lo = get_u16 r in
-  lo lor (get_u8 r lsl 16)
+  need r 3;
+  let p = r.pos in
+  let v = byte r p lor (byte r (p + 1) lsl 8) lor (byte r (p + 2) lsl 16) in
+  r.pos <- p + 3;
+  v
 
 let get_u32 r =
-  let lo = get_u16 r in
-  lo lor (get_u16 r lsl 16)
+  need r 4;
+  let p = r.pos in
+  let v =
+    byte r p
+    lor (byte r (p + 1) lsl 8)
+    lor (byte r (p + 2) lsl 16)
+    lor (byte r (p + 3) lsl 24)
+  in
+  r.pos <- p + 4;
+  v
 
 let get_bytes r n =
   need r n;
   let s = String.sub r.src r.pos n in
   r.pos <- r.pos + n;
   s
+
+let skip r n =
+  need r n;
+  r.pos <- r.pos + n
 
 (* Hostile-input guard: a count prefix may only be trusted after two
    checks — it must not exceed how many of its elements a maximum
@@ -100,30 +155,40 @@ let bounded_count r ~what ~elem_bytes count =
 let flag_safe = 0x01
 let flag_frag = 0x02
 
-let encode_element b (e : Wire.element) =
+(* The element body is resolved once — [Some bytes] for an
+   application-encoded payload, [None] for a zero-filled body of the
+   given length — and shared by the size computation and the writer, so
+   a custom [data_encode] runs exactly once per element. *)
+let element_body (e : Wire.element) =
+  match e.fragment with
+  | Some f -> (None, f.Wire.bytes)
+  | None ->
+    if !data_encode == default_data_encode then (None, e.message.Message.size)
+    else
+      let b = !data_encode e.message.Message.data in
+      if b = "" then (None, e.message.Message.size)
+      else (Some b, String.length b)
+
+let element_size (e : Wire.element) blen =
+  12 + (match e.fragment with Some _ -> 4 | None -> 0) + blen
+
+let write_element w (e : Wire.element) (body, blen) =
   let m = e.message in
-  let body =
-    match e.fragment with
-    | None ->
-      let body = !data_encode m.data in
-      if body = "" then String.make m.size '\000' else body
-    | Some f -> String.make f.Wire.bytes '\000'
-  in
   let flags =
-    (if m.safe then flag_safe else 0)
+    (if m.Message.safe then flag_safe else 0)
     lor match e.fragment with Some _ -> flag_frag | None -> 0
   in
-  put_u8 b flags;
-  put_u16 b m.origin;
-  put_u32 b m.app_seq;
-  put_u24 b m.size;
-  put_u16 b (String.length body);
+  w_u8 w flags;
+  w_u16 w m.origin;
+  w_u32 w m.app_seq;
+  w_u24 w m.size;
+  w_u16 w blen;
   (match e.fragment with
   | None -> ()
   | Some f ->
-    put_u16 b f.index;
-    put_u16 b f.count);
-  Buffer.add_string b body
+    w_u16 w f.index;
+    w_u16 w f.count);
+  match body with Some b -> w_string w b | None -> w_zeros w blen
 
 let decode_element r : Wire.element =
   let flags = get_u8 r in
@@ -139,8 +204,16 @@ let decode_element r : Wire.element =
     end
     else None
   in
-  let body = get_bytes r body_len in
-  let data = if fragment = None then !data_decode body else Message.Blob in
+  let data =
+    (* Fragment bodies are reassembled by byte count, never inspected,
+       and the default application codec ignores its input — in both
+       cases skip the body instead of copying it out. *)
+    if fragment <> None || !data_decode == default_data_decode then begin
+      skip r body_len;
+      Message.Blob
+    end
+    else !data_decode (get_bytes r body_len)
+  in
   let message =
     Message.make ~origin ~app_seq ~size ~safe:(flags land flag_safe <> 0) ~data ()
   in
@@ -154,15 +227,27 @@ let tag_join = 0x4a (* 'J' *)
 let tag_probe = 0x52 (* 'R' *)
 let tag_commit = 0x43 (* 'C' *)
 
+(* tag(1) ring_id(4) seq(4) sender(2) count(1) *)
+let packet_plan (p : Wire.packet) =
+  let bodies = List.map element_body p.elements in
+  let size =
+    List.fold_left2
+      (fun acc e (_, blen) -> acc + element_size e blen)
+      12 p.elements bodies
+  in
+  (size, bodies)
+
+let write_packet w (p : Wire.packet) bodies =
+  w_u8 w tag_packet;
+  w_u32 w p.ring_id;
+  w_u32 w p.seq;
+  w_u16 w p.sender;
+  w_u8 w (List.length p.elements);
+  List.iter2 (write_element w) p.elements bodies
+
 let encode_packet (p : Wire.packet) =
-  let b = Buffer.create 256 in
-  put_u8 b tag_packet;
-  put_u32 b p.ring_id;
-  put_u32 b p.seq;
-  put_u16 b p.sender;
-  put_u8 b (List.length p.elements);
-  List.iter (encode_element b) p.elements;
-  Buffer.contents b
+  let size, bodies = packet_plan p in
+  Bytes.unsafe_to_string (encoded size (fun w -> write_packet w p bodies))
 
 let decode_packet r : Wire.packet =
   let ring_id = get_u32 r in
@@ -175,21 +260,27 @@ let decode_packet r : Wire.packet =
 
 (* --- token ----------------------------------------------------------- *)
 
+(* tag(1) ring_id/seq/rotation/hops/aru(4 each) aru_setter(2) fcc(2)
+   rtr count(2) ring count(1) *)
+let token_size (t : Token.t) =
+  28 + (4 * List.length t.rtr) + (2 * Array.length t.ring)
+
+let write_token w (t : Token.t) =
+  w_u8 w tag_token;
+  w_u32 w t.ring_id;
+  w_u32 w t.seq;
+  w_u32 w t.rotation;
+  w_u32 w t.hops;
+  w_u32 w t.aru;
+  w_u16 w t.aru_setter;
+  w_u16 w t.fcc;
+  w_u16 w (List.length t.rtr);
+  w_u8 w (Array.length t.ring);
+  List.iter (w_u32 w) t.rtr;
+  Array.iter (w_u16 w) t.ring
+
 let encode_token (t : Token.t) =
-  let b = Buffer.create 64 in
-  put_u8 b tag_token;
-  put_u32 b t.ring_id;
-  put_u32 b t.seq;
-  put_u32 b t.rotation;
-  put_u32 b t.hops;
-  put_u32 b t.aru;
-  put_u16 b t.aru_setter;
-  put_u16 b t.fcc;
-  put_u16 b (List.length t.rtr);
-  put_u8 b (Array.length t.ring);
-  List.iter (put_u32 b) t.rtr;
-  Array.iter (put_u16 b) t.ring;
-  Buffer.contents b
+  Bytes.unsafe_to_string (encoded (token_size t) (fun w -> write_token w t))
 
 let decode_token r : Token.t =
   let ring_id = get_u32 r in
@@ -212,16 +303,21 @@ let decode_token r : Token.t =
 
 (* --- join and probe --------------------------------------------------- *)
 
+(* tag(1) sender(2) max_ring_id(4) proc count(2) fail count(2) *)
+let join_size (j : Wire.join) =
+  11 + (2 * (List.length j.proc_set + List.length j.fail_set))
+
+let write_join w (j : Wire.join) =
+  w_u8 w tag_join;
+  w_u16 w j.sender;
+  w_u32 w j.max_ring_id;
+  w_u16 w (List.length j.proc_set);
+  w_u16 w (List.length j.fail_set);
+  List.iter (w_u16 w) j.proc_set;
+  List.iter (w_u16 w) j.fail_set
+
 let encode_join (j : Wire.join) =
-  let b = Buffer.create 32 in
-  put_u8 b tag_join;
-  put_u16 b j.sender;
-  put_u32 b j.max_ring_id;
-  put_u16 b (List.length j.proc_set);
-  put_u16 b (List.length j.fail_set);
-  List.iter (put_u16 b) j.proc_set;
-  List.iter (put_u16 b) j.fail_set;
-  Buffer.contents b
+  Bytes.unsafe_to_string (encoded (join_size j) (fun w -> write_join w j))
 
 let decode_join r : Wire.join =
   let sender = get_u16 r in
@@ -232,28 +328,37 @@ let decode_join r : Wire.join =
   let fail_set = List.init nf (fun _ -> get_u16 r) in
   { Wire.sender; proc_set; fail_set; max_ring_id }
 
-let encode_probe (p : Wire.probe) =
-  let b = Buffer.create 8 in
-  put_u8 b tag_probe;
-  put_u16 b p.probe_sender;
-  put_u32 b p.probe_ring_id;
-  Buffer.contents b
+(* tag(1) sender(2) ring_id(4) *)
+let probe_size = 7
 
-let encode_commit (cm : Wire.commit) =
-  let b = Buffer.create 64 in
-  put_u8 b tag_commit;
-  put_u32 b cm.cm_ring_id;
-  put_u8 b cm.cm_round;
-  put_u8 b (Array.length cm.cm_ring);
-  put_u8 b (List.length cm.cm_info);
-  Array.iter (put_u16 b) cm.cm_ring;
+let write_probe w (p : Wire.probe) =
+  w_u8 w tag_probe;
+  w_u16 w p.probe_sender;
+  w_u32 w p.probe_ring_id
+
+let encode_probe (p : Wire.probe) =
+  Bytes.unsafe_to_string (encoded probe_size (fun w -> write_probe w p))
+
+(* tag(1) ring_id(4) round(1) ring count(1) info count(1) *)
+let commit_size (cm : Wire.commit) =
+  8 + (2 * Array.length cm.cm_ring) + (10 * List.length cm.cm_info)
+
+let write_commit w (cm : Wire.commit) =
+  w_u8 w tag_commit;
+  w_u32 w cm.cm_ring_id;
+  w_u8 w cm.cm_round;
+  w_u8 w (Array.length cm.cm_ring);
+  w_u8 w (List.length cm.cm_info);
+  Array.iter (w_u16 w) cm.cm_ring;
   List.iter
     (fun (i : Wire.member_info) ->
-      put_u16 b i.mi_node;
-      put_u32 b i.mi_old_ring;
-      put_u32 b i.mi_aru)
-    cm.cm_info;
-  Buffer.contents b
+      w_u16 w i.mi_node;
+      w_u32 w i.mi_old_ring;
+      w_u32 w i.mi_aru)
+    cm.cm_info
+
+let encode_commit (cm : Wire.commit) =
+  Bytes.unsafe_to_string (encoded (commit_size cm) (fun w -> write_commit w cm))
 
 let decode_commit r : Wire.commit =
   let cm_ring_id = get_u32 r in
@@ -282,8 +387,14 @@ let decode_probe r : Wire.probe =
 
 (* --- dispatch --------------------------------------------------------- *)
 
-let decode s =
-  let r = { src = s; pos = 0 } in
+(* [pos]/[len] bound the decode to a substring without copying it out —
+   the frame pipeline uses this to exclude the CRC trailer without the
+   [String.sub] body copy. *)
+let decode ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.decode";
+  let r = { src = s; pos; limit = pos + len } in
   try
     let tag = get_u8 r in
     let v =
@@ -294,8 +405,7 @@ let decode s =
       else if tag = tag_commit then Commit (decode_commit r)
       else raise (Decode_error (Bad_tag tag))
     in
-    if r.pos <> String.length s then
-      Error (Trailing_bytes (String.length s - r.pos))
+    if r.pos <> r.limit then Error (Trailing_bytes (r.limit - r.pos))
     else Ok v
   with Decode_error e -> Error e
 
@@ -422,31 +532,223 @@ let payload_of_decoded = function
   | Probe p -> Wire.Probe p
   | Commit cm -> Wire.Commit cm
 
-let encode_frame (frame : Totem_net.Frame.t) =
-  match encode_payload frame.payload with
-  | None -> frame (* foreign payload: not ours to serialize *)
-  | Some body ->
-    let b = Buffer.create (String.length body + Totem_net.Crc32.trailer_bytes) in
-    Buffer.add_string b body;
-    Totem_net.Crc32.append b (Totem_net.Crc32.digest body);
-    (* [payload_bytes] keeps the charged size: the CRC models the
-       Ethernet FCS, already inside [Frame.header_overhead_bytes]. *)
-    { frame with Totem_net.Frame.payload = Totem_net.Frame.Bytes (Buffer.contents b) }
+(* One frame image — unit bytes and CRC trailer — written into a single
+   allocation: encode into [size + 4] zero-filled bytes, checksum the
+   body in place, write the trailer behind it. *)
+let image size write =
+  let buf = encoded ~extra:Totem_net.Crc32.trailer_bytes size write in
+  Totem_net.Crc32.write_trailer buf ~pos:size
+    (Totem_net.Crc32.update_bytes 0 buf ~pos:0 ~len:size);
+  Bytes.unsafe_to_string buf
 
-let decode_frame ?max_node (frame : Totem_net.Frame.t) =
-  match frame.payload with
-  | Totem_net.Frame.Bytes s ->
-    if not (Totem_net.Crc32.check s) then Error Crc_mismatch
-    else begin
-      let body =
-        String.sub s 0 (String.length s - Totem_net.Crc32.trailer_bytes)
-      in
-      match decode body with
-      | Error e -> Error (Malformed e)
-      | Ok d -> (
-        match validate ?max_node d with
+let payload_image = function
+  | Wire.Data p ->
+    let size, bodies = packet_plan p in
+    Some (image size (fun w -> write_packet w p bodies))
+  | Wire.Tok t -> Some (image (token_size t) (fun w -> write_token w t))
+  | Wire.Join j -> Some (image (join_size j) (fun w -> write_join w j))
+  | Wire.Probe p -> Some (image probe_size (fun w -> write_probe w p))
+  | Wire.Commit cm -> Some (image (commit_size cm) (fun w -> write_commit w cm))
+  | _ -> None
+
+(* --- encode-once / decode-once caches --------------------------------
+   Active replication serializes the same logical frame once per
+   network, and an M-receiver broadcast deserializes the same byte
+   string once per NIC — N x M copies of bitwise-identical work
+   (Sec. 5: every message and token travels on all N networks). Both
+   caches key on {e physical} identity: the RRP styles pass the same
+   packet/token value to every network, and every clean receiver of a
+   broadcast shares the sender's byte string. Corruption
+   ([Network.corrupt_frame]) always substitutes a freshly allocated
+   string, so a damaged copy can never alias a cached decode — it
+   misses and takes the full CRC -> decode -> validate discard
+   pipeline, preserving corruption-as-loss exactly.
+
+   Caches are per-cluster values, not module globals: bench sweeps run
+   clusters on parallel domains, and identity-keyed state must not leak
+   across them. *)
+
+type encode_cache = {
+  (* Packets get a ring: SRP retransmissions re-send the stored packet
+     value some sends later, so a single slot would have been evicted by
+     the traffic in between. The membership/token units are
+     fanned out back to back — one slot each suffices. *)
+  ec_packets : (Wire.packet * Totem_net.Frame.payload) option array;
+  mutable ec_packet_next : int;
+  mutable ec_token : (Token.t * Totem_net.Frame.payload) option;
+  mutable ec_join : (Wire.join * Totem_net.Frame.payload) option;
+  mutable ec_probe : (Wire.probe * Totem_net.Frame.payload) option;
+  mutable ec_commit : (Wire.commit * Totem_net.Frame.payload) option;
+  mutable ec_hits : int;
+  mutable ec_misses : int;
+}
+
+let encode_cache ?(packet_slots = 8) () =
+  if packet_slots < 1 then invalid_arg "Codec.encode_cache";
+  {
+    ec_packets = Array.make packet_slots None;
+    ec_packet_next = 0;
+    ec_token = None;
+    ec_join = None;
+    ec_probe = None;
+    ec_commit = None;
+    ec_hits = 0;
+    ec_misses = 0;
+  }
+
+let encode_cache_stats c = (c.ec_hits, c.ec_misses)
+
+let cached_packet c p =
+  let slots = c.ec_packets in
+  let n = Array.length slots in
+  (* Scan newest-first: the fan-out pattern hits the most recent slot. *)
+  let rec scan k idx =
+    if k >= n then None
+    else
+      match slots.(idx) with
+      | Some (p0, img) when p0 == p -> Some img
+      | _ -> scan (k + 1) (if idx = 0 then n - 1 else idx - 1)
+  in
+  let newest = if c.ec_packet_next = 0 then n - 1 else c.ec_packet_next - 1 in
+  match scan 0 newest with
+  | Some img ->
+    c.ec_hits <- c.ec_hits + 1;
+    img
+  | None ->
+    c.ec_misses <- c.ec_misses + 1;
+    let size, bodies = packet_plan p in
+    let img =
+      Totem_net.Frame.Bytes (image size (fun w -> write_packet w p bodies))
+    in
+    slots.(c.ec_packet_next) <- Some (p, img);
+    c.ec_packet_next <- (c.ec_packet_next + 1) mod n;
+    img
+
+let encode_frame ?cache (frame : Totem_net.Frame.t) =
+  let with_payload payload = { frame with Totem_net.Frame.payload } in
+  match cache with
+  | None -> (
+    match payload_image frame.payload with
+    | None -> frame (* foreign payload: not ours to serialize *)
+    | Some img -> with_payload (Totem_net.Frame.Bytes img))
+  | Some c -> (
+    let hit img =
+      c.ec_hits <- c.ec_hits + 1;
+      img
+    and miss build key store =
+      c.ec_misses <- c.ec_misses + 1;
+      let img = Totem_net.Frame.Bytes (build ()) in
+      store (Some (key, img));
+      img
+    in
+    match frame.payload with
+    | Wire.Data p -> with_payload (cached_packet c p)
+    | Wire.Tok t ->
+      with_payload
+        (match c.ec_token with
+        | Some (t0, img) when t0 == t -> hit img
+        | _ ->
+          miss
+            (fun () -> image (token_size t) (fun w -> write_token w t))
+            t
+            (fun s -> c.ec_token <- s))
+    | Wire.Join j ->
+      with_payload
+        (match c.ec_join with
+        | Some (j0, img) when j0 == j -> hit img
+        | _ ->
+          miss
+            (fun () -> image (join_size j) (fun w -> write_join w j))
+            j
+            (fun s -> c.ec_join <- s))
+    | Wire.Probe p ->
+      with_payload
+        (match c.ec_probe with
+        | Some (p0, img) when p0 == p -> hit img
+        | _ ->
+          miss
+            (fun () -> image probe_size (fun w -> write_probe w p))
+            p
+            (fun s -> c.ec_probe <- s))
+    | Wire.Commit cm ->
+      with_payload
+        (match c.ec_commit with
+        | Some (cm0, img) when cm0 == cm -> hit img
+        | _ ->
+          miss
+            (fun () -> image (commit_size cm) (fun w -> write_commit w cm))
+            cm
+            (fun s -> c.ec_commit <- s))
+    | _ -> frame)
+
+type decode_cache = {
+  (* FIFO ring of decoded frame images, keyed on the identity of the
+     byte string ([""] marks an empty slot; real images are never
+     empty). Sized for the frames in flight across one cluster: an
+     M-receiver broadcast's deliveries interleave with other frames'
+     under jitter and per-receiver FIFO, so one slot would thrash. *)
+  dc_keys : string array;
+  dc_vals : Totem_net.Frame.payload array;
+  mutable dc_next : int;
+  mutable dc_hits : int;
+  mutable dc_misses : int;
+}
+
+let decode_cache ?(slots = 64) () =
+  if slots < 1 then invalid_arg "Codec.decode_cache";
+  {
+    dc_keys = Array.make slots "";
+    dc_vals = Array.make slots (Totem_net.Frame.Opaque "");
+    dc_next = 0;
+    dc_hits = 0;
+    dc_misses = 0;
+  }
+
+let decode_cache_stats c = (c.dc_hits, c.dc_misses)
+
+let decode_frame ?cache ?max_node (frame : Totem_net.Frame.t) =
+  match frame.Totem_net.Frame.payload with
+  | Totem_net.Frame.Bytes s -> (
+    let cache_lookup () =
+      match cache with
+      | Some c when String.length s > 0 ->
+        let keys = c.dc_keys in
+        let n = Array.length keys in
+        let rec scan k idx =
+          if k >= n then None
+          else if keys.(idx) == s then Some c.dc_vals.(idx)
+          else scan (k + 1) (if idx = 0 then n - 1 else idx - 1)
+        in
+        scan 0 (if c.dc_next = 0 then n - 1 else c.dc_next - 1)
+      | _ -> None
+    in
+    match cache_lookup () with
+    | Some payload ->
+      (match cache with Some c -> c.dc_hits <- c.dc_hits + 1 | None -> ());
+      Ok { frame with Totem_net.Frame.payload }
+    | None ->
+      (match cache with Some c -> c.dc_misses <- c.dc_misses + 1 | None -> ());
+      if not (Totem_net.Crc32.check s) then Error Crc_mismatch
+      else begin
+        match
+          decode s ~pos:0
+            ~len:(String.length s - Totem_net.Crc32.trailer_bytes)
+        with
         | Error e -> Error (Malformed e)
-        | Ok () ->
-          Ok { frame with Totem_net.Frame.payload = payload_of_decoded d })
-    end
+        | Ok d -> (
+          match validate ?max_node d with
+          | Error e -> Error (Malformed e)
+          | Ok () ->
+            let payload = payload_of_decoded d in
+            (* Only proven-good images are cached: a rejected string is
+               re-verified (and re-rejected) on every copy, so cached and
+               uncached runs emit identical discard telemetry. *)
+            (match cache with
+            | Some c ->
+              c.dc_keys.(c.dc_next) <- s;
+              c.dc_vals.(c.dc_next) <- payload;
+              c.dc_next <- (c.dc_next + 1) mod Array.length c.dc_keys
+            | None -> ());
+            Ok { frame with Totem_net.Frame.payload })
+      end)
   | _ -> Ok frame

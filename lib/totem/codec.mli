@@ -45,13 +45,20 @@ val encode_probe : Wire.probe -> string
 
 val encode_commit : Wire.commit -> string
 
-val decode : string -> (decoded, error) result
+val decode : ?pos:int -> ?len:int -> string -> (decoded, error) result
 (** Decodes any encoded unit; rejects trailing garbage. Total on
     arbitrary bytes: every length/count prefix is bounded against the
     1424-byte {!Totem_net.Frame.max_payload_bytes} budget and checked
     against the remaining input before anything is allocated, so
     hostile input yields [Error], never an exception or a large
-    allocation. *)
+    allocation.
+
+    [pos] (default 0) and [len] (default to the end of the string)
+    restrict the decode to a substring without copying it out — the
+    frame pipeline decodes an image in place with the CRC trailer
+    excluded, no [String.sub].
+    @raise Invalid_argument if [pos]/[len] do not describe a valid
+    range of [s]. *)
 
 val validate : ?max_node:int -> decoded -> (unit, error) result
 (** Semantic bounds a parse alone cannot establish, for input that may
@@ -95,20 +102,77 @@ val encode_payload : Totem_net.Frame.payload -> string option
 
 val payload_of_decoded : decoded -> Totem_net.Frame.payload
 
-val encode_frame : Totem_net.Frame.t -> Totem_net.Frame.t
+(** {2 Encode-once / decode-once caches}
+
+    Active replication serializes one logical frame once per network
+    and every receiver of a broadcast deserializes the same byte string
+    once per NIC — N x M copies of bitwise-identical work (the paper's
+    Sec. 5 fan-out). These caches collapse that to once per logical
+    frame by keying on {e physical} identity: the RRP styles hand the
+    same packet/token value to every network, and every clean receiver
+    shares the sender's byte string. {!Totem_net.Network.corrupt_frame}
+    always substitutes a freshly allocated string, so a damaged copy
+    can never alias a cached decode — it misses and runs the full
+    CRC -> decode -> validate discard pipeline, which is why
+    identity-keyed caching cannot mask corruption.
+
+    Caches are explicit per-cluster values (created by
+    {!Totem_cluster.Cluster.create}), never module globals: bench
+    sweeps run clusters on parallel domains. *)
+
+type encode_cache
+(** Memo of encoded frame images keyed on the identity of the inner
+    protocol value — a small ring for packets (SRP retransmissions
+    re-send the stored packet value), one slot per membership/token
+    unit kind. *)
+
+val encode_cache : ?packet_slots:int -> unit -> encode_cache
+(** A fresh cache; [packet_slots] (default 8, minimum 1) sizes the
+    packet ring. *)
+
+val encode_cache_stats : encode_cache -> int * int
+(** [(hits, misses)] so far — a hit reused an encoded image. *)
+
+type decode_cache
+(** FIFO ring of decoded frame payloads keyed on the physical identity
+    of the byte string. Only images that passed the full discard
+    pipeline are stored: a rejected string is re-verified (and
+    re-rejected) on every copy, so cached and uncached runs emit
+    identical [Frame_crc_reject]/[Frame_decode_reject] telemetry. *)
+
+val decode_cache : ?slots:int -> unit -> decode_cache
+(** A fresh cache; [slots] (default 64, minimum 1) bounds the frames
+    remembered — sized for the broadcast copies in flight across one
+    cluster. *)
+
+val decode_cache_stats : decode_cache -> int * int
+(** [(hits, misses)] so far — a hit skipped CRC + decode + validate. *)
+
+val encode_frame : ?cache:encode_cache -> Totem_net.Frame.t -> Totem_net.Frame.t
 (** The sending-NIC serializer (installed via
     {!Totem_net.Fabric.set_wire_encoder} in wire mode): replaces the
     payload with its checksummed byte image. [src] and [payload_bytes]
     are preserved — the CRC models the Ethernet FCS, which the frame
     model already charges inside
     {!Totem_net.Frame.header_overhead_bytes}, so timing is unchanged.
-    Frames carrying foreign payload kinds pass through untouched. *)
+    Frames carrying foreign payload kinds pass through untouched.
+
+    With [cache], a frame wrapping a protocol value that was just
+    encoded reuses the cached image (encode-once fan-out); without it,
+    every call serializes afresh. *)
 
 val decode_frame :
-  ?max_node:int -> Totem_net.Frame.t -> (Totem_net.Frame.t, frame_error) result
+  ?cache:decode_cache ->
+  ?max_node:int ->
+  Totem_net.Frame.t ->
+  (Totem_net.Frame.t, frame_error) result
 (** The receiving-NIC discard pipeline for {!Totem_net.Frame.Bytes}
     payloads: CRC-32 verification, then total decode, then {!validate}
     (with [max_node] as there). [Ok] rebuilds the frame with the
     decoded protocol payload; [Error] means the frame must be dropped,
     which the RRP observes exactly as loss. Frames with non-byte
-    payloads pass through unchanged. *)
+    payloads pass through unchanged.
+
+    With [cache], a byte string whose decode already succeeded is
+    recognized by physical identity and skips the pipeline
+    (decode-once delivery); rejects are never cached. *)

@@ -425,6 +425,137 @@ let qcheck_flip_total =
          qcheck reports as a failure). *)
       match Codec.decode (Bytes.to_string image) with Ok _ | Error _ -> true)
 
+(* --- slicing-by-8 CRC vs the byte-at-a-time reference ----------------- *)
+
+(* The textbook one-table construction, kept deliberately naive: the
+   slicing-by-8 implementation must be bitwise indistinguishable from
+   this on every input and offset. *)
+let crc32_reference s ~pos ~len =
+  let table =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 <> 0 then 0xEDB8_8320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let c = ref 0xFFFF_FFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFF_FFFF
+
+let qcheck_crc_slicing =
+  let gen =
+    QCheck.Gen.(
+      let* s = string_size ~gen:char (int_range 0 200) in
+      let* pos = int_range 0 (String.length s) in
+      let* len = int_range 0 (String.length s - pos) in
+      return (s, pos, len))
+  in
+  QCheck.Test.make ~name:"slicing-by-8 CRC equals byte-at-a-time reference"
+    ~count:500 (QCheck.make gen) (fun (s, pos, len) ->
+      Crc32.update 0 s ~pos ~len = crc32_reference s ~pos ~len
+      (* ...and composing across an arbitrary split changes nothing. *)
+      && Crc32.update (Crc32.update 0 s ~pos ~len:0) s ~pos ~len
+         = Crc32.update 0 s ~pos ~len)
+
+(* --- zero-copy decode (pos/len) --------------------------------------- *)
+
+let test_decode_pos_len () =
+  let p = packet [ whole ~size:300 (); whole ~origin:2 ~app_seq:7 ~size:50 () ] in
+  let body = Codec.encode_packet p in
+  let framed = "JUNK" ^ body ^ "TRAILER!" in
+  (match Codec.decode framed ~pos:4 ~len:(String.length body) with
+  | Ok (Codec.Packet p') -> check_packet "windowed decode" p p'
+  | _ -> Alcotest.fail "windowed decode failed");
+  (* A window one byte short is a truncation, one byte long is trailing
+     garbage — the limit binds exactly. *)
+  (match Codec.decode framed ~pos:4 ~len:(String.length body - 1) with
+  | Error Codec.Truncated -> ()
+  | _ -> Alcotest.fail "short window must truncate");
+  (match Codec.decode framed ~pos:4 ~len:(String.length body + 1) with
+  | Error (Codec.Trailing_bytes 1) -> ()
+  | _ -> Alcotest.fail "long window must leave a trailing byte");
+  match Codec.decode framed ~pos:2 ~len:(String.length framed) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range window must be rejected"
+
+(* --- encode-once / decode-once caches --------------------------------- *)
+
+(* Identity keying: re-encoding the same physical packet reuses the
+   image; a structurally equal but physically distinct packet does
+   not. *)
+let test_encode_cache_identity () =
+  let cache = Codec.encode_cache () in
+  let p = packet [ whole ~size:700 () ] in
+  let image f =
+    match f.Frame.payload with Frame.Bytes s -> s | _ -> assert false
+  in
+  let a = image (Codec.encode_frame ~cache (data_frame p)) in
+  let b = image (Codec.encode_frame ~cache (data_frame p)) in
+  Alcotest.(check bool) "same physical image reused" true (a == b);
+  Alcotest.(check (pair int int)) "one miss then one hit" (1, 1)
+    (Codec.encode_cache_stats cache);
+  let p' = packet [ whole ~size:700 () ] in
+  let c = image (Codec.encode_frame ~cache (data_frame p')) in
+  Alcotest.(check bool) "equal but distinct packet misses" false (c == a);
+  Alcotest.(check string) "...yet encodes identically" a c;
+  Alcotest.(check (pair int int)) "second miss recorded" (1, 2)
+    (Codec.encode_cache_stats cache)
+
+(* Decode-once: M copies of one byte string decode once; a corrupted
+   copy (a fresh string, as Network.corrupt_frame always produces) can
+   never hit the cache, and its rejection is identical to uncached
+   mode's on every copy. *)
+let qcheck_decode_cache_equiv =
+  let gen =
+    QCheck.Gen.(
+      (* Two elements of <= 600 bytes keep the frame within the
+         1424-byte payload budget, headers included. *)
+      let* sizes = list_size (int_range 1 2) (int_range 0 600) in
+      let* copies = int_range 2 6 in
+      let* flip = opt (pair (int_range 0 10_000) (int_range 1 255)) in
+      return (sizes, copies, flip))
+  in
+  QCheck.Test.make ~name:"cached decode-once equals uncached on every copy"
+    ~count:300 (QCheck.make gen) (fun (sizes, copies, flip) ->
+      let p =
+        packet (List.mapi (fun i s -> whole ~app_seq:(i + 1) ~size:s ()) sizes)
+      in
+      let wf = Codec.encode_frame (data_frame p) in
+      let image =
+        match wf.Frame.payload with Frame.Bytes s -> s | _ -> assert false
+      in
+      (* The broadcast copies share ONE string; corruption rewrites it
+         into a fresh one, exactly like Network.corrupt_frame. *)
+      let delivered =
+        match flip with
+        | None -> image
+        | Some (pos, x) -> flip_byte image (pos mod String.length image) x
+      in
+      let cache = Codec.decode_cache () in
+      let classify = function
+        | Ok f -> (
+          match f.Frame.payload with
+          | Wire.Data p' -> "ok:" ^ string_of_int (List.length p'.Wire.elements)
+          | _ -> "ok:other")
+        | Error Codec.Crc_mismatch -> "crc"
+        | Error (Codec.Malformed _) -> "malformed"
+      in
+      let frame = { wf with Frame.payload = Frame.Bytes delivered } in
+      List.for_all
+        (fun _ ->
+          classify (Codec.decode_frame ~cache ~max_node:3 frame)
+          = classify (Codec.decode_frame ~max_node:3 frame))
+        (List.init copies Fun.id)
+      &&
+      (* A flipped byte always fails the CRC, and rejects are never
+         cached — every damaged copy misses; clean copies hit after the
+         first. *)
+      let hits, _ = Codec.decode_cache_stats cache in
+      match flip with Some _ -> hits = 0 | None -> hits = copies - 1)
+
 let test_commit_roundtrip () =
   let cm =
     { Wire.cm_ring_id = 128; cm_ring = [| 0; 2; 3 |]; cm_round = 2;
@@ -453,6 +584,10 @@ let tests =
     Alcotest.test_case "custom application payload codec" `Quick
       test_custom_data_codec;
     Alcotest.test_case "CRC-32 test vector and trailer" `Quick test_crc32_vector;
+    Alcotest.test_case "zero-copy decode window (pos/len)" `Quick
+      test_decode_pos_len;
+    Alcotest.test_case "encode cache keys on physical identity" `Quick
+      test_encode_cache_identity;
     Alcotest.test_case "hostile length prefixes" `Quick test_hostile_prefixes;
     Alcotest.test_case "semantic validation bounds" `Quick test_validate_bounds;
     Alcotest.test_case "wire frame round trip" `Quick test_frame_roundtrip;
@@ -462,4 +597,6 @@ let tests =
     QCheck_alcotest.to_alcotest qcheck_packet_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_token_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_flip_total;
+    QCheck_alcotest.to_alcotest qcheck_crc_slicing;
+    QCheck_alcotest.to_alcotest qcheck_decode_cache_equiv;
   ]

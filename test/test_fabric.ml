@@ -71,9 +71,37 @@ let test_heterogeneous_configs () =
   Alcotest.(check int) "net1 slow" 10_000_000
     (Network.config (Fabric.network fabric 1)).Network.bandwidth_bps
 
+(* The wire-encoder memo: the same physical frame broadcast on every
+   network runs the encoder once; a new frame value (even an equal one)
+   re-encodes; ~memoize:false restores per-call invocation. *)
+let test_wire_encoder_memoized () =
+  let sim, fabric, log = make () in
+  let calls = ref 0 in
+  Fabric.set_wire_encoder fabric (fun frame ->
+      incr calls;
+      frame);
+  let frame = Frame.make ~src:0 ~payload_bytes:10 (Frame.Opaque "a") in
+  Fabric.broadcast fabric ~net:0 frame;
+  Fabric.broadcast fabric ~net:1 frame;
+  Fabric.unicast fabric ~net:0 ~dst:1 frame;
+  Alcotest.(check int) "one encode for the whole fan-out" 1 !calls;
+  let frame' = Frame.make ~src:0 ~payload_bytes:10 (Frame.Opaque "a") in
+  Fabric.broadcast fabric ~net:0 frame';
+  Alcotest.(check int) "a fresh frame value re-encodes" 2 !calls;
+  Fabric.set_wire_encoder fabric ~memoize:false (fun frame ->
+      incr calls;
+      frame);
+  Fabric.broadcast fabric ~net:0 frame';
+  Fabric.broadcast fabric ~net:1 frame';
+  Alcotest.(check int) "unmemoized encodes per call" 4 !calls;
+  Sim.run_until sim (Vtime.ms 1);
+  Alcotest.(check bool) "frames still delivered" true (List.length !log > 0)
+
 let tests =
   [
     Alcotest.test_case "networks are isolated" `Quick test_networks_isolated;
+    Alcotest.test_case "wire encoder memoized per frame" `Quick
+      test_wire_encoder_memoized;
     Alcotest.test_case "handler told the network" `Quick test_handler_reports_network;
     Alcotest.test_case "unicast" `Quick test_unicast_across_fabric;
     Alcotest.test_case "per-network fault state" `Quick test_per_network_fault_state;

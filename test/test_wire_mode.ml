@@ -121,6 +121,57 @@ let test_corruption_stalls_recv_count () =
   Alcotest.(check bool) "delivery continued over the clean net" true
     (Cluster.delivered_at cluster 0 > 100)
 
+(* Encode-once/decode-once caching must be invisible: with the same
+   seed and corruption, a cached run and an uncached run are the same
+   run — same simulator events, same deliveries, and byte-identical
+   discard telemetry (Frame_crc_reject / Frame_decode_reject counts).
+   The caches key on physical identity and corruption substitutes
+   fresh strings, so a damaged copy can never be served from cache. *)
+let run_cached_vs_uncached ~style ~seed ~corrupt =
+  let run wire_cache =
+    let cluster =
+      Cluster.create
+        (Config.make ~num_nodes:4 ~num_nets:2 ~style ~seed ~wire_bytes:true
+           ~wire_cache ())
+    in
+    let crc_rejects = ref 0 and decode_rejects = ref 0 in
+    ignore
+      (Telemetry.subscribe (Cluster.telemetry cluster) (fun _ event ->
+           match event with
+           | Telemetry.Frame_crc_reject _ -> incr crc_rejects
+           | Telemetry.Frame_decode_reject _ -> incr decode_rejects
+           | _ -> ()));
+    Cluster.start cluster;
+    Cluster.set_network_corruption cluster 0 corrupt;
+    Workload.saturate cluster ~size:700;
+    Cluster.run_for cluster (Vtime.ms 400);
+    (fingerprint cluster, !crc_rejects, !decode_rejects)
+  in
+  (run true, run false)
+
+let test_cached_equals_uncached () =
+  let (fp_c, crc_c, dec_c), (fp_u, crc_u, dec_u) =
+    run_cached_vs_uncached ~style:Style.Active ~seed:13 ~corrupt:0.5
+  in
+  Alcotest.(check bool) "identical fingerprints" true (fp_c = fp_u);
+  Alcotest.(check int) "identical CRC-reject counts" crc_u crc_c;
+  Alcotest.(check int) "identical decode-reject counts" dec_u dec_c;
+  Alcotest.(check bool) "corruption was actually rejected" true (crc_c > 0)
+
+let qcheck_cache_telemetry_equiv =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* corrupt = float_bound_inclusive 0.8 in
+      let* style = oneofl [ Style.Active; Style.Passive ] in
+      return (seed, corrupt, style))
+  in
+  QCheck.Test.make
+    ~name:"cached wire runs emit byte-identical telemetry to uncached"
+    ~count:8 (QCheck.make gen) (fun (seed, corrupt, style) ->
+      let cached, uncached = run_cached_vs_uncached ~style ~seed ~corrupt in
+      cached = uncached)
+
 (* Equal seeds, equal byte-wire runs — corruption draws included. *)
 let test_wire_determinism () =
   let run () =
@@ -179,6 +230,9 @@ let tests =
       test_corruption_stalls_recv_count;
     Alcotest.test_case "byte-wire corruption is deterministic" `Quick
       test_wire_determinism;
+    Alcotest.test_case "cached run is bitwise the uncached run" `Quick
+      test_cached_equals_uncached;
+    QCheck_alcotest.to_alcotest qcheck_cache_telemetry_equiv;
     Alcotest.test_case "corrupt campaign upholds the invariants" `Quick
       test_corrupt_campaign_upholds_invariants;
     Alcotest.test_case "campaign JSON round trip and replay" `Quick
