@@ -1,14 +1,25 @@
 (* Regression gate over two BENCH_*.json baselines (totem-bench/v1).
 
    Usage:
-     compare.exe [--max-regression PCT] [--targets a,b,...] OLD.json NEW.json
+     compare.exe [--max-regression PCT] [--min-speedup R] [--against NAME]
+                 [--targets a,b,...] OLD.json NEW.json
 
-   Compares events_per_sec for every target present in both files
-   (optionally restricted by --targets) and exits non-zero when any
-   shared target regressed by more than the threshold (default 10%).
-   Missing-in-new targets are reported but do not fail: baselines grow
-   targets over time, and an old file must stay usable as the
-   reference.
+   Default mode compares events_per_sec for every target present in
+   both files (optionally restricted by --targets) and exits non-zero
+   when any shared target regressed by more than the threshold
+   (default 10%). Missing-in-new targets are reported but do not fail:
+   baselines grow targets over time, and an old file must stay usable
+   as the reference.
+
+   --against NAME swaps the reference: every selected target of
+   NEW.json is compared against the single target NAME of OLD.json.
+   With --min-speedup R the gate becomes a ratio floor — every
+   comparison must show new/old >= R, e.g.
+
+     compare.exe --targets parallel-d8 --against parallel-d1 \
+       --min-speedup 4 BENCH.json BENCH.json
+
+   gates the parallel simulator core's scaling inside one baseline.
 
    Wired into `dune runtest` as the bench-diff smoke (current tree vs
    the committed previous-PR baseline, wire target only — the target
@@ -19,8 +30,8 @@ module Json = Totem_chaos.Chaos_json
 
 let usage () =
   prerr_endline
-    "usage: compare.exe [--max-regression PCT] [--targets a,b,...] OLD.json \
-     NEW.json";
+    "usage: compare.exe [--max-regression PCT] [--min-speedup R] [--against \
+     NAME] [--targets a,b,...] OLD.json NEW.json";
   exit 2
 
 let read_file path =
@@ -61,6 +72,8 @@ let targets_of path =
 
 let () =
   let max_regression = ref 10.0 in
+  let min_speedup = ref None in
+  let against = ref None in
   let only = ref None in
   let files = ref [] in
   let rec parse_args = function
@@ -68,6 +81,14 @@ let () =
       (match float_of_string_opt pct with
       | Some p when p >= 0.0 -> max_regression := p
       | _ -> usage ());
+      parse_args rest
+    | "--min-speedup" :: r :: rest ->
+      (match float_of_string_opt r with
+      | Some r when r > 0.0 -> min_speedup := Some r
+      | _ -> usage ());
+      parse_args rest
+    | "--against" :: name :: rest ->
+      against := Some name;
       parse_args rest
     | "--targets" :: names :: rest ->
       only := Some (String.split_on_char ',' names);
@@ -87,31 +108,68 @@ let () =
     match !only with None -> true | Some names -> List.mem name names
   in
   let failed = ref false in
-  let compared = ref 0 in
-  List.iter
-    (fun (name, old_rate) ->
-      if wanted name then
-        match List.assoc_opt name new_targets with
+  (* (label, reference rate, new rate) for every comparison to run *)
+  let pairs =
+    match !against with
+    | None ->
+      List.filter_map
+        (fun (name, old_rate) ->
+          if not (wanted name) then None
+          else
+            match List.assoc_opt name new_targets with
+            | None ->
+              Printf.printf "%-12s missing from %s (skipped)\n" name new_path;
+              None
+            | Some new_rate -> Some (name, old_rate, new_rate))
+        old_targets
+    | Some ref_name ->
+      let ref_rate =
+        match List.assoc_opt ref_name old_targets with
+        | Some r -> r
         | None ->
-          Printf.printf "%-12s missing from %s (skipped)\n" name new_path
-        | Some new_rate ->
-          incr compared;
-          let delta_pct =
-            if old_rate = 0.0 then 0.0
-            else (new_rate -. old_rate) /. old_rate *. 100.0
-          in
-          let verdict =
-            if delta_pct < -.(!max_regression) then begin
-              failed := true;
-              "REGRESSION"
-            end
-            else "ok"
-          in
-          Printf.printf "%-12s %12.1f -> %12.1f ev/s  %+7.1f%%  %s\n" name
-            old_rate new_rate delta_pct verdict)
-    old_targets;
-  (match !only with
-  | Some names ->
+          Printf.eprintf "compare: target %s not in %s\n" ref_name old_path;
+          exit 2
+      in
+      List.filter_map
+        (fun (name, new_rate) ->
+          if wanted name && name <> ref_name then
+            Some (Printf.sprintf "%s vs %s" name ref_name, ref_rate, new_rate)
+          else None)
+        new_targets
+  in
+  List.iter
+    (fun (label, old_rate, new_rate) ->
+      match !min_speedup with
+      | Some need ->
+        let speedup =
+          if old_rate = 0.0 then Float.infinity else new_rate /. old_rate
+        in
+        let verdict =
+          if speedup < need then begin
+            failed := true;
+            "BELOW FLOOR"
+          end
+          else "ok"
+        in
+        Printf.printf "%-24s %12.1f -> %12.1f ev/s  %6.2fx (need %.2fx)  %s\n"
+          label old_rate new_rate speedup need verdict
+      | None ->
+        let delta_pct =
+          if old_rate = 0.0 then 0.0
+          else (new_rate -. old_rate) /. old_rate *. 100.0
+        in
+        let verdict =
+          if delta_pct < -.(!max_regression) then begin
+            failed := true;
+            "REGRESSION"
+          end
+          else "ok"
+        in
+        Printf.printf "%-24s %12.1f -> %12.1f ev/s  %+7.1f%%  %s\n" label
+          old_rate new_rate delta_pct verdict)
+    pairs;
+  (match (!only, !against) with
+  | Some names, None ->
     List.iter
       (fun name ->
         if not (List.mem_assoc name old_targets) then begin
@@ -119,15 +177,33 @@ let () =
           failed := true
         end)
       names
-  | None -> ());
-  if !compared = 0 then begin
+  | Some names, Some _ ->
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name new_targets) then begin
+          Printf.eprintf "compare: target %s not in %s\n" name new_path;
+          failed := true
+        end)
+      names
+  | None, _ -> ());
+  if pairs = [] then begin
     Printf.eprintf "compare: no shared targets between %s and %s\n" old_path
       new_path;
     exit 2
   end;
   if !failed then begin
-    Printf.printf "FAIL: events/sec regression beyond %.1f%%\n" !max_regression;
+    (match !min_speedup with
+    | Some r -> Printf.printf "FAIL: events/sec speedup below %.2fx\n" r
+    | None ->
+      Printf.printf "FAIL: events/sec regression beyond %.1f%%\n"
+        !max_regression);
     exit 1
   end
-  else Printf.printf "PASS: %d target(s) within %.1f%%\n" !compared
-         !max_regression
+  else
+    match !min_speedup with
+    | Some r ->
+      Printf.printf "PASS: %d comparison(s) at or above %.2fx\n"
+        (List.length pairs) r
+    | None ->
+      Printf.printf "PASS: %d target(s) within %.1f%%\n" (List.length pairs)
+        !max_regression

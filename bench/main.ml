@@ -10,14 +10,18 @@
      dune exec bench/main.exe -- --quick all  # shorter simulations
      dune exec bench/main.exe -- --check all  # assert the paper's shape
      dune exec bench/main.exe -- --jobs 8 all # sweep points across domains
+     dune exec bench/main.exe -- --sim-domains 4 fig6  # parallel core per point
      dune exec bench/main.exe -- --json out.json all  # machine-readable results
 
    Every sweep point builds its own self-contained Cluster (own
    simulator, own split RNG streams), so points are independent:
    [--jobs N] fans them out across OCaml 5 domains and produces
-   bitwise-identical figures to a sequential run.
+   bitwise-identical figures to a sequential run. [--sim-domains N]
+   instead parallelizes inside each cluster (the conservative-lookahead
+   simulator core); figures are bitwise-identical for every N >= 1.
 
-   Targets: fig6 fig7 fig8 fig9 headline claims latency ablations micro all *)
+   Targets: fig6 fig7 fig8 fig9 wire parallel-d1 parallel-d8
+   parallel-smoke headline claims latency ablations micro all *)
 
 module Cluster = Totem_cluster.Cluster
 module Config = Totem_cluster.Config
@@ -35,6 +39,7 @@ let quick = ref false
 let check = ref false
 let csv_dir = ref None
 let jobs = ref 1
+let sim_domains = ref 0
 let json_path = ref None
 let failures = ref []
 
@@ -56,36 +61,22 @@ let expect name cond detail =
 (* Run [f items.(i)] for every i, fanning out across [jobs] domains.
    Each item is independent and deterministic, and results land by
    index, so the output — and every figure computed from it — is
-   bitwise-identical to the sequential run. *)
-let parallel_map ~jobs f items =
-  let n = Array.length items in
-  if jobs <= 1 || n <= 1 then Array.map f items
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f items.(i));
-          go ()
-        end
-      in
-      go ()
-    in
-    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join doms;
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+   bitwise-identical to the sequential run. A point that raises on a
+   worker domain fails the bench run with its own exception and
+   backtrace (Totem_engine.Parallel), not an opaque join error. *)
+let parallel_map ~jobs f items = Totem_engine.Parallel.map ~jobs f items
 
 (* Every point carries its protocol telemetry out of the run: rotation
    timing, retransmission counters, and a problemCounter trajectory
    sampled every 50 ms of virtual time. The sampler is installed
    unconditionally (it is read-only) so figures are bitwise identical
    whether or not anyone looks at the telemetry. *)
-let run_point ?(const = Const.default) ?(wire = false) ~num_nodes ~num_nets
-    ~style ~size () =
-  let config = Config.make ~num_nodes ~num_nets ~style ~const ~wire_bytes:wire () in
+let run_point ?(const = Const.default) ?(wire = false) ?sim_domains:sd
+    ~num_nodes ~num_nets ~style ~size () =
+  let sim_domains = Option.value sd ~default:!sim_domains in
+  let config =
+    Config.make ~num_nodes ~num_nets ~style ~const ~wire_bytes:wire ~sim_domains ()
+  in
   let cluster = Cluster.create config in
   let sampler = Metrics.install_fault_sampler cluster ~interval:(Vtime.ms 50) in
   Cluster.start cluster;
@@ -111,7 +102,7 @@ let styles =
 
 (* One sweep serves both the msgs/sec figure and the KB/sec figure.
    The style x size grid is the unit of parallelism. *)
-let sweep ?(wire = false) ~num_nodes () =
+let sweep ?(wire = false) ?sim_domains ~num_nodes () =
   let tasks =
     Array.concat
       (List.map (fun (_, style) -> Array.map (fun size -> (style, size)) sizes)
@@ -120,7 +111,9 @@ let sweep ?(wire = false) ~num_nodes () =
   let pts =
     parallel_map ~jobs:!jobs
       (fun (style, size) ->
-        let tp, _, pt = run_point ~wire ~num_nodes ~num_nets:2 ~style ~size () in
+        let tp, _, pt =
+          run_point ~wire ?sim_domains ~num_nodes ~num_nets:2 ~style ~size ()
+        in
         (tp, pt))
       tasks
   in
@@ -130,18 +123,19 @@ let sweep ?(wire = false) ~num_nodes () =
     styles
 
 let cache :
-    ( int * bool,
+    ( int * bool * int,
       (string * Style.t * (Metrics.throughput * Metrics.point_telemetry) array)
       list )
     Hashtbl.t =
   Hashtbl.create 4
 
-let sweep_cached ?(wire = false) ~num_nodes () =
-  match Hashtbl.find_opt cache (num_nodes, wire) with
+let sweep_cached ?(wire = false) ?sim_domains:sd ~num_nodes () =
+  let sim_domains = Option.value sd ~default:!sim_domains in
+  match Hashtbl.find_opt cache (num_nodes, wire, sim_domains) with
   | Some s -> s
   | None ->
-    let s = sweep ~wire ~num_nodes () in
-    Hashtbl.replace cache (num_nodes, wire) s;
+    let s = sweep ~wire ~sim_domains ~num_nodes () in
+    Hashtbl.replace cache (num_nodes, wire, sim_domains) s;
     s
 
 let rate_series s =
@@ -286,6 +280,96 @@ let wire () =
     (if identical then "are bitwise identical to" else "DIVERGE from");
   expect "wire mode is timing-neutral" identical
     "a wire-mode point differs from its reference point"
+
+(* --- parallel: the conservative-lookahead simulator core ------------- *)
+
+(* The fig6 sweep executed under the parallel core at a fixed worker
+   count, so the points land in the JSON as their own targets. The
+   simulated figures are bitwise-identical for every worker count >= 1;
+   what changes between d1 and d8 is events_per_sec, which
+   compare.exe --targets parallel-d8 --against parallel-d1
+   --min-speedup R gates. *)
+let parallel_d domains () =
+  let s = sweep_cached ~sim_domains:domains ~num_nodes:4 () in
+  Hashtbl.replace fig_results
+    (Printf.sprintf "parallel-d%d" domains)
+    (List.map (fun (name, _, pts) -> (name, pts)) s);
+  Report.print_series
+    ~title:
+      (Printf.sprintf
+         "Parallel core, %d domain%s: transmission rate (msgs/sec) vs \
+          message length, 4 nodes"
+         domains
+         (if domains = 1 then "" else "s"))
+    ~x_label:"bytes" ~xs:sizes (rate_series s);
+  (match Hashtbl.find_opt cache (4, false, 1) with
+  | Some d1 when domains <> 1 ->
+    let identical =
+      List.for_all2
+        (fun (_, _, pa) (_, _, pb) ->
+          Array.for_all Fun.id
+            (Array.init (Array.length pa) (fun i ->
+                 fst pa.(i) = fst pb.(i) && snd pa.(i) = snd pb.(i))))
+        s d1
+    in
+    Format.printf "  figures and telemetry %s the 1-domain run@."
+      (if identical then "are bitwise identical to" else "DIVERGE from");
+    expect
+      (Printf.sprintf "parallel core deterministic across 1 and %d domains"
+         domains)
+      identical "a point differs between worker counts"
+  | _ -> ())
+
+let parallel_d1 () = parallel_d 1 ()
+let parallel_d8 () = parallel_d 8 ()
+
+(* Determinism gate for `dune runtest` (bench-parallel-smoke): a quick
+   fig6 slice — passive style, two sizes, byte-wire on — at sim-domains
+   1 vs 4 must agree on every figure, the event count, and the protocol
+   telemetry down to the problemCounter trajectory. Exits 1 on any
+   divergence. *)
+let parallel_smoke () =
+  let point ~domains size =
+    let config =
+      Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive ~wire_bytes:true
+        ~sim_domains:domains ()
+    in
+    let cluster = Cluster.create config in
+    let sampler = Metrics.install_fault_sampler cluster ~interval:(Vtime.ms 50) in
+    Cluster.start cluster;
+    Workload.saturate cluster ~size;
+    let tp =
+      Metrics.measure_throughput cluster ~warmup:(Vtime.ms 100)
+        ~duration:(Vtime.ms 200)
+    in
+    let pt = Metrics.collect_point_telemetry ~sampler cluster in
+    ignore (Atomic.fetch_and_add events_total (Metrics.events_processed cluster));
+    ( tp.Metrics.msgs_per_sec,
+      tp.Metrics.kbytes_per_sec,
+      Metrics.events_processed cluster,
+      pt.Metrics.pt_rotation_count,
+      pt.Metrics.pt_retransmits_served,
+      pt.Metrics.pt_token_retransmits,
+      pt.Metrics.pt_duplicate_packets,
+      pt.Metrics.pt_trajectory )
+  in
+  let diverged = ref false in
+  List.iter
+    (fun size ->
+      let a = point ~domains:1 size and b = point ~domains:4 size in
+      let ok = a = b in
+      if not ok then diverged := true;
+      let m, k, ev, _, _, _, _, _ = a in
+      Format.printf "  %5dB: d1 %s d4  (%.0f msgs/sec, %.0f KB/sec, %d events)@."
+        size
+        (if ok then "==" else "DIVERGES FROM")
+        m k ev)
+    [ 700; 1024 ];
+  if !diverged then begin
+    Format.printf "  parallel core DIVERGED between sim-domains 1 and 4@.";
+    exit 1
+  end
+  else Format.printf "  sim-domains 1 and 4 are bitwise identical@."
 
 (* --- headline: Sec. 2's ">9,000 one-Kbyte msgs/sec, ~90%" --------- *)
 
@@ -733,6 +817,7 @@ let write_json path runs =
   pf "  \"schema\": \"totem-bench/v1\",\n";
   pf "  \"quick\": %b,\n" !quick;
   pf "  \"jobs\": %d,\n" !jobs;
+  pf "  \"sim_domains\": %d,\n" !sim_domains;
   pf "  \"targets\": [\n";
   let emit_target i { tr_name; tr_wall_sec; tr_events } =
     pf "    {\n";
@@ -800,6 +885,9 @@ let all_targets =
     ("fig8", fig8);
     ("fig9", fig9);
     ("wire", wire);
+    ("parallel-d1", parallel_d1);
+    ("parallel-d8", parallel_d8);
+    ("parallel-smoke", parallel_smoke);
     ("headline", headline);
     ("claims", claims);
     ("latency", latency);
@@ -813,6 +901,33 @@ let starts_with ~prefix s =
 
 let after ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix)
 
+(* Every value-carrying option accepts both spellings — "--flag V" and
+   "--flag=V" — through this one helper, so a new flag is a single
+   table entry rather than two more match arms. Returns the remaining
+   argv when [arg] was the option (consuming the value), None
+   otherwise. *)
+let consume_option ~name ~set arg rest =
+  let prefix = name ^ "=" in
+  if arg = name then
+    match rest with
+    | v :: rest ->
+      set v;
+      Some rest
+    | [] -> failwith (name ^ " needs a value")
+  else if starts_with ~prefix arg then begin
+    set (after ~prefix arg);
+    Some rest
+  end
+  else None
+
+let value_options =
+  [
+    ("--jobs", fun v -> jobs := int_of_string v);
+    ("--sim-domains", fun v -> sim_domains := int_of_string v);
+    ("--json", fun v -> json_path := Some v);
+    ("--csv", fun v -> csv_dir := Some v);
+  ]
+
 let () =
   let rec parse = function
     | [] -> []
@@ -822,25 +937,19 @@ let () =
     | "--check" :: rest ->
       check := true;
       parse rest
-    | "--jobs" :: n :: rest ->
-      jobs := int_of_string n;
-      parse rest
-    | "--json" :: path :: rest ->
-      json_path := Some path;
-      parse rest
-    | a :: rest when starts_with ~prefix:"--jobs=" a ->
-      jobs := int_of_string (after ~prefix:"--jobs=" a);
-      parse rest
-    | a :: rest when starts_with ~prefix:"--json=" a ->
-      json_path := Some (after ~prefix:"--json=" a);
-      parse rest
-    | a :: rest when starts_with ~prefix:"--csv=" a ->
-      csv_dir := Some (after ~prefix:"--csv=" a);
-      parse rest
-    | a :: rest -> a :: parse rest
+    | a :: rest -> (
+      let consumed =
+        List.find_map
+          (fun (name, set) -> consume_option ~name ~set a rest)
+          value_options
+      in
+      match consumed with
+      | Some rest -> parse rest
+      | None -> a :: parse rest)
   in
   let args = parse (List.tl (Array.to_list Sys.argv)) in
   if !jobs < 1 then failwith "--jobs must be >= 1";
+  if !sim_domains < 0 then failwith "--sim-domains must be >= 0";
   let targets =
     if args = [] || List.mem "all" args then List.map fst all_targets else args
   in

@@ -78,6 +78,17 @@ let wire_bytes_t =
            receiving NIC CRC-checks and totally decodes it, discarding \
            damaged frames exactly as loss.")
 
+let sim_domains_t =
+  Arg.(
+    value & opt int 0
+    & info [ "sim-domains" ] ~docv:"N"
+        ~doc:
+          "Parallel simulator core: partition the cluster into one event \
+           domain per node plus a coordinator, synchronized by \
+           conservative lookahead and executed on $(docv) OCaml domains. \
+           0 (the default) keeps the classic single-simulator loop; all \
+           $(docv) >= 1 produce bitwise-identical figures and telemetry.")
+
 let corrupt_t =
   Arg.(
     value & opt float 0.0
@@ -93,9 +104,10 @@ let style_name = function
   | Style.Passive -> "passive"
   | Style.Active_passive k -> Printf.sprintf "active-passive K=%d" k
 
-let make_cluster ?(wire = false) ~style ~nodes ~nets ~seed () =
+let make_cluster ?(wire = false) ?(sim_domains = 0) ~style ~nodes ~nets ~seed () =
   let config =
-    Config.make ~num_nodes:nodes ~num_nets:nets ~style ~seed ~wire_bytes:wire ()
+    Config.make ~num_nodes:nodes ~num_nets:nets ~style ~seed ~wire_bytes:wire
+      ~sim_domains ()
   in
   Cluster.create config
 
@@ -109,9 +121,9 @@ let open_sink = function
 
 let close_sink (oc, owned) = if owned then close_out oc else flush oc
 
-let throughput style nodes nets size seconds seed loss wire corrupt trace_out
-    metrics_out =
-  let cluster = make_cluster ~wire ~style ~nodes ~nets ~seed () in
+let throughput style nodes nets size seconds seed loss wire sim_domains corrupt
+    trace_out metrics_out =
+  let cluster = make_cluster ~wire ~sim_domains ~style ~nodes ~nets ~seed () in
   let telemetry = Cluster.telemetry cluster in
   let trace_sink = Option.map open_sink trace_out in
   (match trace_sink with
@@ -181,7 +193,8 @@ let throughput_cmd =
     (Cmd.info "throughput" ~doc)
     Term.(
       const throughput $ style_t $ nodes_t $ nets_t $ size_t $ seconds_t $ seed_t
-      $ loss_t $ wire_bytes_t $ corrupt_t $ trace_out_t $ metrics_out_t)
+      $ loss_t $ wire_bytes_t $ sim_domains_t $ corrupt_t $ trace_out_t
+      $ metrics_out_t)
 
 (* --- failover -------------------------------------------------------- *)
 
@@ -297,12 +310,12 @@ let trace_cmd =
 
 (* --- sweep ------------------------------------------------------------ *)
 
-let sweep style nodes nets seconds seed csv =
+let sweep style nodes nets seconds seed sim_domains csv =
   let sizes = [| 100; 200; 400; 700; 1024; 1400; 2048; 4096; 8192; 10240 |] in
   let rates =
     Array.map
       (fun size ->
-        let cluster = make_cluster ~style ~nodes ~nets ~seed () in
+        let cluster = make_cluster ~sim_domains ~style ~nodes ~nets ~seed () in
         Cluster.start cluster;
         Workload.saturate cluster ~size;
         let tp =
@@ -341,7 +354,9 @@ let csv_t =
 let sweep_cmd =
   let doc = "Sweep message sizes for one configuration (one figure's series)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ style_t $ nodes_t $ nets_t $ seconds_t $ seed_t $ csv_t)
+    Term.(
+      const sweep $ style_t $ nodes_t $ nets_t $ seconds_t $ seed_t
+      $ sim_domains_t $ csv_t)
 
 (* --- chaos ------------------------------------------------------------ *)
 
@@ -382,7 +397,7 @@ let monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max =
   }
 
 let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
-    token_gap_ms lag_limit condemn_ms sporadic_max wire shadow =
+    token_gap_ms lag_limit condemn_ms sporadic_max wire shadow sim_domains =
   match replay_path with
   | Some path -> (
     match Runner.replay_file ~path with
@@ -408,7 +423,7 @@ let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
         Campaign.random ~seed ~duration:(Vtime.ms duration_ms)
           ~quiesce:(Vtime.ms quiesce_ms) ~wire ~corrupt:wire ()
       in
-      let r = Runner.run ~monitor ~shadow campaign in
+      let r = Runner.run ~monitor ~shadow ~sim_domains campaign in
       (match r.Runner.violations with
       | [] ->
         if not quiet then Format.printf "seed %d: %a@." seed Runner.pp_result r
@@ -553,7 +568,8 @@ let chaos_cmd =
     Term.(
       const chaos $ seed_range_t $ replay_t $ out_dir_t $ duration_ms_t
       $ quiesce_ms_t $ no_shrink_t $ quiet_t $ token_gap_ms_t $ lag_limit_t
-      $ condemn_ms_t $ sporadic_max_t $ chaos_wire_t $ chaos_shadow_t)
+      $ condemn_ms_t $ sporadic_max_t $ chaos_wire_t $ chaos_shadow_t
+      $ sim_domains_t)
 
 (* --- main ------------------------------------------------------------ *)
 

@@ -32,7 +32,8 @@ let pp_result ppf r =
    what the simulation computes, only when we look at it. *)
 let slice = Vtime.ms 25
 
-let run ?(monitor = Invariant.default) ?sink ?(shadow = false) campaign =
+let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
+    ?(sim_domains = 0) campaign =
   (match Campaign.validate campaign with
   | Ok () -> ()
   | Error m -> invalid_arg ("Runner.run: invalid campaign: " ^ m));
@@ -40,7 +41,7 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false) campaign =
     Config.make ~num_nodes:campaign.Campaign.num_nodes
       ~num_nets:campaign.Campaign.num_nets ~style:campaign.Campaign.style
       ~seed:campaign.Campaign.seed ~wire_bytes:campaign.Campaign.wire
-      ~codec_shadow:shadow ()
+      ~codec_shadow:shadow ~sim_domains ()
   in
   let cluster = Cluster.create config in
   let mon = Invariant.attach cluster monitor campaign in
@@ -100,7 +101,7 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false) campaign =
     submitted = Campaign.submitted_messages campaign;
     delivered = Cluster.delivered_at cluster 0;
     finished_at = Cluster.now cluster;
-    events = Sim.events_processed sim;
+    events = Cluster.events_processed cluster;
   }
 
 (* --- shrinking ------------------------------------------------------- *)

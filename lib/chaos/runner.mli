@@ -29,11 +29,15 @@ val run :
   ?monitor:Invariant.config ->
   ?sink:(Totem_engine.Vtime.t -> Totem_engine.Telemetry.event -> unit) ->
   ?shadow:bool ->
+  ?sim_domains:int ->
   Campaign.t ->
   result
 (** Deterministic: equal campaigns and monitor configs give equal
     results, violations included. [sink] additionally streams every
     telemetry event (e.g. {!Totem_engine.Telemetry.jsonl_sink}).
+    [sim_domains] (default 0) selects {!Config.sim_domains}: under the
+    parallel core the run — violations, replay dumps and all — is
+    bitwise-identical for every [sim_domains >= 1].
     [shadow] (default false) arms [Config.codec_shadow]: every frame the
     cluster carries is round-tripped through the binary codec, and in
     byte-wire campaigns ([Campaign.wire]) the check runs on what the

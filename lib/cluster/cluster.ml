@@ -30,29 +30,50 @@ type t = {
      cluster, shared by every receiving NIC — the point is precisely
      that M receivers of a broadcast recognize the same physical byte
      string. Per-cluster, never global: bench sweeps run clusters on
-     parallel domains. *)
+     parallel domains. Under the parallel core the cache is per node
+     instead ([decode_caches]): receivers on different domains must not
+     share a mutable cache, so each node recognizes its own copy once. *)
   decode_cache : Srp.Codec.decode_cache option;
+  decode_caches : Srp.Codec.decode_cache array option;
+  (* Parallel simulator core (Config.sim_domains > 0): per-node
+     partition simulators and buffered telemetry hubs, synchronized by
+     the exchange. In classic mode every slot aliases [sim] / [trace]
+     and [exchange] is [None]. *)
+  node_sims : Sim.t array;
+  node_tele : Telemetry.t array;
+  mutable exchange : Exchange.t option;
 }
 
 let build_node t id =
   let config = t.config in
-  let cpu = Cpu.create t.sim ~name:(Printf.sprintf "cpu%d" id) in
+  (* Classic mode: every node's sim/telemetry alias the cluster's. Under
+     the parallel core each node gets its own partition and buffered
+     hub, and cluster-level hook callbacks are deferred through the hub
+     so they fire at barriers in canonical (time, node, seq) order. *)
+  let nsim = t.node_sims.(id) in
+  let ntl = t.node_tele.(id) in
+  let cpu = Cpu.create nsim ~name:(Printf.sprintf "cpu%d" id) in
   let rrp =
-    Rrp.Rrp.create t.sim ~fabric:t.fabric ~node:id ~const:config.Config.const
-      ~config:config.Config.rrp ~style:config.Config.style ~trace:t.trace ()
+    Rrp.Rrp.create nsim ~fabric:t.fabric ~node:id ~const:config.Config.const
+      ~config:config.Config.rrp ~style:config.Config.style ~trace:ntl ()
   in
   let callbacks =
     {
       Srp.Srp.on_deliver =
-        (fun m -> List.iter (fun h -> h id m) t.deliver_hooks);
+        (fun m ->
+          if t.deliver_hooks <> [] then
+            Telemetry.defer ntl (fun () ->
+                List.iter (fun h -> h id m) t.deliver_hooks));
       on_ring_change =
         (fun ~ring_id ~members ->
-          List.iter (fun h -> h id ~ring_id ~members) t.ring_hooks);
+          if t.ring_hooks <> [] then
+            Telemetry.defer ntl (fun () ->
+                List.iter (fun h -> h id ~ring_id ~members) t.ring_hooks));
     }
   in
   let srp =
-    Srp.Srp.create t.sim ~cpu ~const:config.Config.const ~me:id
-      ~lower:(Rrp.Rrp.lower rrp) ~trace:t.trace callbacks
+    Srp.Srp.create nsim ~cpu ~const:config.Config.const ~me:id
+      ~lower:(Rrp.Rrp.lower rrp) ~trace:ntl callbacks
   in
   Rrp.Rrp.connect rrp
     ~deliver_data:(Srp.Srp.recv_data srp)
@@ -63,8 +84,9 @@ let build_node t id =
     ~my_aru:(fun () -> Srp.Srp.my_aru srp)
     ~my_ring_id:(fun () -> Srp.Srp.current_ring_id srp)
     ~on_fault_report:(fun report ->
-      t.reports <- t.reports @ [ (id, report) ];
-      List.iter (fun h -> h id report) t.report_hooks);
+      Telemetry.defer ntl (fun () ->
+          t.reports <- t.reports @ [ (id, report) ];
+          List.iter (fun h -> h id report) t.report_hooks));
   let recv_cost frame =
     Srp.Const.frame_cpu_cost config.Config.const
       ~payload_bytes:frame.Totem_net.Frame.payload_bytes
@@ -80,18 +102,23 @@ let build_node t id =
      semantic validation; any failure discards the frame before the RRP
      sees it, which is how corruption becomes the loss that feeds
      problemCounter (active) and stalls recvCount (passive). *)
+  let decode_cache =
+    match t.decode_caches with
+    | Some caches -> Some caches.(id)
+    | None -> t.decode_cache
+  in
   let receive ~net frame =
     match frame.Totem_net.Frame.payload with
     | Totem_net.Frame.Bytes _ -> (
       match
-        Srp.Codec.decode_frame ?cache:t.decode_cache
+        Srp.Codec.decode_frame ?cache:decode_cache
           ~max_node:(config.Config.num_nodes - 1) frame
       with
       | Ok frame ->
         shadow frame;
         Rrp.Rrp.frame_received rrp ~net frame
       | Error err ->
-        let tl = t.trace in
+        let tl = ntl in
         if Telemetry.active tl then
           Telemetry.emit tl
             (match err with
@@ -118,15 +145,41 @@ let create config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let num_nodes = config.Config.num_nodes in
+  let partitioned = config.Config.sim_domains > 0 in
   let sim = Sim.create ~seed:config.Config.seed () in
   (* One telemetry hub per cluster; [Trace.t] is an alias for it, so the
      legacy trace API and the structured registry share the stream. *)
   let telemetry = Telemetry.create sim in
+  (* Partition assignment is structural: one simulator per node plus the
+     coordinator [sim], whatever the domain count — Config.sim_domains
+     only sets how many workers execute them, which is what keeps
+     figures bitwise-identical across domain counts. Node partitions
+     carry derived seeds, but protocol code draws no randomness from
+     them (all stochastic models live in the network layer, which runs
+     coordinator-side at barriers); only node-targeted workload
+     generators use node-partition streams. *)
+  let node_sims =
+    if partitioned then
+      Array.init num_nodes (fun i ->
+          Sim.create ~seed:(config.Config.seed + (1000003 * (i + 1))) ())
+    else Array.make num_nodes sim
+  in
+  let node_tele =
+    if partitioned then begin
+      Telemetry.set_buffering telemetry true;
+      Array.init num_nodes (fun i ->
+          Telemetry.create_child telemetry ~source:i node_sims.(i))
+    end
+    else Array.make num_nodes telemetry
+  in
   let fabric =
-    Totem_net.Fabric.create sim ~num_nodes:config.Config.num_nodes
+    Totem_net.Fabric.create sim ~num_nodes
       ~num_nets:config.Config.num_nets ~config:config.Config.net
       ?configs:config.Config.net_configs ~telemetry ()
   in
+  if partitioned then
+    Totem_net.Fabric.set_partitions fabric ~node_telemetry:node_tele node_sims;
   let cached = config.Config.wire_bytes && config.Config.wire_cache in
   let encode_cache =
     if cached then Some (Srp.Codec.encode_cache ()) else None
@@ -142,7 +195,16 @@ let create config =
       report_hooks = [];
       ring_hooks = [];
       reports = [];
-      decode_cache = (if cached then Some (Srp.Codec.decode_cache ()) else None);
+      decode_cache =
+        (if cached && not partitioned then Some (Srp.Codec.decode_cache ())
+         else None);
+      decode_caches =
+        (if cached && partitioned then
+           Some (Array.init num_nodes (fun _ -> Srp.Codec.decode_cache ()))
+         else None);
+      node_sims;
+      node_tele;
+      exchange = None;
     }
   in
   if config.Config.wire_bytes then begin
@@ -151,8 +213,21 @@ let create config =
        false (the A/B baseline re-serializes every copy). *)
     Totem_net.Fabric.set_wire_encoder fabric ~memoize:cached (fun frame ->
         Srp.Codec.encode_frame ?cache:encode_cache frame);
-    match (encode_cache, t.decode_cache) with
-    | Some ec, Some dc ->
+    let decode_stats =
+      match (t.decode_cache, t.decode_caches) with
+      | Some dc, _ -> Some (fun () -> Srp.Codec.decode_cache_stats dc)
+      | None, Some caches ->
+        Some
+          (fun () ->
+            Array.fold_left
+              (fun (h, m) dc ->
+                let h', m' = Srp.Codec.decode_cache_stats dc in
+                (h + h', m + m'))
+              (0, 0) caches)
+      | None, None -> None
+    in
+    match (encode_cache, decode_stats) with
+    | Some ec, Some ds ->
       let g name read =
         Telemetry.gauge telemetry ("wire." ^ name) (fun () ->
             float_of_int (read ()))
@@ -160,12 +235,28 @@ let create config =
       g "encode_cache_hits" (fun () -> fst (Srp.Codec.encode_cache_stats ec));
       g "encode_cache_misses" (fun () ->
           snd (Srp.Codec.encode_cache_stats ec));
-      g "decode_cache_hits" (fun () -> fst (Srp.Codec.decode_cache_stats dc));
-      g "decode_cache_misses" (fun () ->
-          snd (Srp.Codec.decode_cache_stats dc))
+      g "decode_cache_hits" (fun () -> fst (ds ()));
+      g "decode_cache_misses" (fun () -> snd (ds ()))
     | _ -> ()
   end;
-  t.nodes <- Array.init config.Config.num_nodes (build_node t);
+  t.nodes <- Array.init num_nodes (build_node t);
+  if partitioned then begin
+    let exchange =
+      Exchange.create ~domains:config.Config.sim_domains
+        ~lookahead:(Totem_net.Fabric.min_latency fabric)
+        ~global:sim ~parts:node_sims ()
+    in
+    (* Barrier order matters: flushing sends first lets the network
+       layer's own telemetry (loss, corruption, blocks) join the same
+       drain that dispatches node events. *)
+    Exchange.add_barrier_hook exchange
+      ~next:(fun () -> Totem_net.Fabric.outbox_next fabric)
+      (fun _h1 -> Totem_net.Fabric.flush_outboxes fabric);
+    Exchange.add_barrier_hook exchange (fun _h1 ->
+        Telemetry.drain telemetry ~children:node_tele
+          ~set_clock:(Sim.unsafe_set_clock sim));
+    t.exchange <- Some exchange
+  end;
   for i = 0 to config.Config.num_nets - 1 do
     let net = Totem_net.Fabric.network fabric i in
     let g name read =
@@ -195,12 +286,24 @@ let start_cold t =
   Array.iter (fun n -> Srp.Srp.start_gathering n.srp) t.nodes
 
 let sim t = t.sim
+let node_sim t id = t.node_sims.(id)
 let now t = Sim.now t.sim
-let run_until t time = Sim.run_until t.sim time
-let run_for t d = Sim.run_until t.sim (Vtime.add (Sim.now t.sim) d)
+
+let run_until t time =
+  match t.exchange with
+  | Some ex -> Exchange.run_until ex time
+  | None -> Sim.run_until t.sim time
+
+let run_for t d = run_until t (Vtime.add (Sim.now t.sim) d)
 let config t = t.config
 let trace t = t.trace
 let telemetry t = t.trace
+let exchange t = t.exchange
+
+let events_processed t =
+  match t.exchange with
+  | Some ex -> Exchange.events_processed ex
+  | None -> Sim.events_processed t.sim
 
 let num_nodes t = Array.length t.nodes
 let node t id = t.nodes.(id)

@@ -24,10 +24,29 @@ val start_cold : t -> unit
 (** {1 Running} *)
 
 val sim : t -> Totem_engine.Sim.t
+(** The coordinator simulator: the cluster clock, and where harness
+    code (chaos schedules, samplers, burst injections) schedules. In
+    classic mode ([Config.sim_domains = 0]) it is the only simulator. *)
+
+val node_sim : t -> Totem_net.Addr.node_id -> Totem_engine.Sim.t
+(** The node's partition simulator under the parallel core; aliases
+    {!sim} in classic mode. Workload generators targeting one node
+    schedule here so pacing ticks run inside the node's partition. *)
+
+val exchange : t -> Totem_engine.Exchange.t option
+(** The conservative-lookahead exchange driving the partitions, when
+    [Config.sim_domains > 0]. *)
+
+val events_processed : t -> int
+(** Simulator work done: events across the coordinator and every node
+    partition (classic mode: the single simulator's count). *)
 
 val now : t -> Totem_engine.Vtime.t
 
 val run_until : t -> Totem_engine.Vtime.t -> unit
+(** Classic mode: [Sim.run_until]. Parallel mode: [Exchange.run_until]
+    — on return every partition has processed all events [<= time],
+    all cross-partition traffic is flushed, and [now t = time]. *)
 
 val run_for : t -> Totem_engine.Vtime.t -> unit
 

@@ -35,6 +35,17 @@ type t = {
           and take the full discard pipeline. [false] re-encodes and
           re-decodes every copy (the A/B baseline the equivalence
           tests compare against). Ignored unless [wire_bytes] *)
+  sim_domains : int;
+      (** parallel simulator core: [0] (the default) runs the classic
+          single-simulator event loop; [N >= 1] partitions the cluster
+          into one event domain per node plus a coordinator,
+          synchronized by conservative lookahead (the minimum network
+          latency) and executed on [N] OCaml domains. Figures,
+          telemetry streams and chaos replays are bitwise-identical
+          for every [N >= 1] — [N] only sets the worker count — but
+          may differ from the [0] legacy path, whose send interleaving
+          at equal timestamps is scheduling-order rather than
+          canonical (time, node, seq) order *)
 }
 
 val make :
@@ -50,6 +61,7 @@ val make :
   ?codec_shadow:bool ->
   ?wire_bytes:bool ->
   ?wire_cache:bool ->
+  ?sim_domains:int ->
   unit ->
   t
 (** Defaults: the paper's four-node, two-network testbed with passive
@@ -60,5 +72,10 @@ val paper_testbed : num_nodes:int -> style:Totem_rrp.Style.t -> t
 (** The Sec. 8 configuration: [num_nodes] hosts (4 or 6 in the paper),
     two 100 Mbit/s Ethernets. With [No_replication] only network 0 is
     used, exactly like the paper's baseline runs. *)
+
+val min_net_latency : t -> Totem_engine.Vtime.t
+(** Minimum configured network latency — the conservative lookahead
+    bound the parallel simulator core ([sim_domains > 0]) synchronizes
+    on. *)
 
 val validate : t -> (unit, string) result

@@ -37,7 +37,7 @@ let measure_throughput t ~warmup ~duration =
     messages = int_of_float per_node_msgs;
   }
 
-let events_processed t = Sim.events_processed (Cluster.sim t)
+let events_processed t = Cluster.events_processed t
 
 type latency_probe = {
   summary : Stats.Summary.t;

@@ -15,23 +15,30 @@ let all_nodes t = List.init (Cluster.num_nodes t) (fun i -> i)
 
 let saturate t ~size = saturate_nodes t ~nodes:(all_nodes t) ~size
 
+(* Suppliers run inside the owning node's event stream, so their RNG
+   must be a per-node stream: under the parallel core a shared cluster
+   stream would be raced by worker domains. In classic mode node_sim
+   aliases the cluster sim, so the split sequence is unchanged. *)
 let saturate_mixed t ~sizes =
   if Array.length sizes = 0 then invalid_arg "Workload.saturate_mixed";
   List.iter
     (fun id ->
-      let rng = Sim.split_rng (Cluster.sim t) in
+      let rng = Sim.split_rng (Cluster.node_sim t id) in
       Srp.Srp.set_supplier
         (Cluster.srp (Cluster.node t id))
         (fun () -> Some (Rng.pick rng sizes, Srp.Message.Blob)))
     (all_nodes t)
 
 let submit_stamped t ~node ~size =
-  let sim = Cluster.sim t in
+  let sim = Cluster.node_sim t node in
   Srp.Srp.submit (Cluster.srp (Cluster.node t node)) ~size
     ~data:(Stamped (Sim.now sim)) ()
 
+(* Pacing generators schedule on the target node's partition: the tick
+   and the submit it performs are node-local work, so the parallel core
+   runs them inside the node's own windowed stream. *)
 let fixed_rate t ~node ~size ~interval ?count () =
-  let sim = Cluster.sim t in
+  let sim = Cluster.node_sim t node in
   let remaining = ref (Option.value count ~default:max_int) in
   let rec tick () =
     if !remaining > 0 then begin
@@ -43,7 +50,7 @@ let fixed_rate t ~node ~size ~interval ?count () =
   ignore (Sim.schedule sim ~delay:interval tick)
 
 let poisson t ~node ~size ~mean_interval ?count () =
-  let sim = Cluster.sim t in
+  let sim = Cluster.node_sim t node in
   let rng = Sim.split_rng sim in
   let remaining = ref (Option.value count ~default:max_int) in
   let draw () =
@@ -60,7 +67,7 @@ let poisson t ~node ~size ~mean_interval ?count () =
   ignore (Sim.schedule sim ~delay:(draw ()) tick)
 
 let burst t ~node ~size ~count ~at =
-  let sim = Cluster.sim t in
+  let sim = Cluster.node_sim t node in
   ignore
     (Sim.schedule_at sim ~time:at (fun () ->
          for _ = 1 to count do

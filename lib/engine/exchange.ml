@@ -1,0 +1,260 @@
+(* Conservative parallel discrete-event exchange.
+   ==============================================
+
+   Drives one coordinator partition (the "global" Sim: chaos schedules,
+   fault samplers, workload pacing owned by the harness) plus one Sim
+   per simulated node, in lookahead-bounded windows:
+
+     nt = min next-event time over global, nodes, and barrier hooks
+     h0 = max(horizon, nt)            (idle-jump: skip dead air)
+     h1 = min(limit, h0 + lookahead)
+
+   Per window: global events drain first (single-threaded), then every
+   node partition with work <= h1 advances independently — this is the
+   parallel section — then the barrier hooks run (frame-outbox flush,
+   telemetry drain) and the horizon becomes h1.
+
+   Safety: the lookahead is required to be <= the minimum cross-node
+   network latency, and cross-node interaction happens only through
+   frames. A frame sent at s >= h0 arrives at >= s + latency >=
+   h0 + lookahead >= h1, so deliveries scheduled at the barrier always
+   land at or after every partition clock: no partition ever receives
+   work in its past.
+
+   Determinism: partitioning is structural (always one partition per
+   node), [domains] only sets how many OS domains execute them, and a
+   partition is a pure function of its fed events (no RNG, no shared
+   state — see Partition). Barrier hooks canonicalize cross-partition
+   order themselves (the fabric merges sends by (time, src node, seq)).
+   Hence results are bitwise-identical for any domain count >= 1, and
+   window boundaries cannot reorder anything either: all cross-partition
+   work is replayed in full (time, source, seq) order at barriers. *)
+
+type hook = { next : unit -> Vtime.t option; flush : Vtime.t -> unit }
+
+type t = {
+  global : Sim.t;
+  parts : Sim.t array;
+  lookahead : Vtime.t;
+  domains : int;
+  mutable horizon : Vtime.t;
+  mutable hooks : hook list; (* registration order *)
+  work : Sim.t option array; (* scratch: partitions active this window *)
+}
+
+let create ?(domains = 1) ~lookahead ~global ~parts () =
+  if lookahead <= 0 then
+    invalid_arg "Exchange.create: lookahead must be positive";
+  if domains < 1 then invalid_arg "Exchange.create: domains must be >= 1";
+  {
+    global;
+    parts;
+    lookahead;
+    domains;
+    horizon = Vtime.zero;
+    hooks = [];
+    work = Array.make (Array.length parts) None;
+  }
+
+let horizon t = t.horizon
+let lookahead t = t.lookahead
+let domains t = t.domains
+
+let events_processed t =
+  Array.fold_left
+    (fun acc p -> acc + Sim.events_processed p)
+    (Sim.events_processed t.global)
+    t.parts
+
+let add_barrier_hook t ?(next = fun () -> None) flush =
+  t.hooks <- t.hooks @ [ { next; flush } ]
+
+(* --- worker pool ----------------------------------------------------
+
+   Spawned per [run_until] call and joined before it returns, so no
+   domain outlives a run and idle simulations hold no threads. Windows
+   publish a slice of partitions; workers (and the coordinator itself)
+   claim indices off a shared atomic counter — classic work stealing,
+   safe because which partitions run is fixed before the window starts
+   and partitions share no state. *)
+
+type pool = {
+  mutable pwork : Sim.t option array;
+  mutable pcount : int;
+  mutable plimit : Vtime.t;
+  mutable errors : (int * exn * Printexc.raw_backtrace) list; (* under m *)
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+  epoch : int Atomic.t;
+  stop : bool Atomic.t;
+  m : Mutex.t;
+  work_cv : Condition.t; (* workers wait here for a new window *)
+  done_cv : Condition.t; (* coordinator waits here for the barrier *)
+  mutable doms : unit Domain.t list;
+}
+
+let pool_drain pool =
+  let rec loop () =
+    let i = Atomic.fetch_and_add pool.next 1 in
+    if i < pool.pcount then begin
+      (match pool.pwork.(i) with
+      | Some sim -> (
+        try Sim.run_until sim pool.plimit
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock pool.m;
+          pool.errors <- (i, e, bt) :: pool.errors;
+          Mutex.unlock pool.m)
+      | None -> ());
+      if Atomic.fetch_and_add pool.remaining (-1) = 1 then begin
+        (* Last item done: wake the coordinator. Taking the mutex
+           orders the decrement before its predicate re-check, so the
+           wakeup cannot be lost. *)
+        Mutex.lock pool.m;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec pool_worker pool my_epoch =
+  Mutex.lock pool.m;
+  while
+    (not (Atomic.get pool.stop)) && Atomic.get pool.epoch = my_epoch
+  do
+    Condition.wait pool.work_cv pool.m
+  done;
+  let stop = Atomic.get pool.stop in
+  let epoch = Atomic.get pool.epoch in
+  Mutex.unlock pool.m;
+  if not stop then begin
+    pool_drain pool;
+    pool_worker pool epoch
+  end
+
+let pool_start ~workers =
+  let pool =
+    {
+      pwork = [||];
+      pcount = 0;
+      plimit = Vtime.zero;
+      errors = [];
+      next = Atomic.make 0;
+      remaining = Atomic.make 0;
+      epoch = Atomic.make 0;
+      stop = Atomic.make false;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      doms = [];
+    }
+  in
+  pool.doms <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> pool_worker pool 0));
+  pool
+
+let pool_stop pool =
+  Mutex.lock pool.m;
+  Atomic.set pool.stop true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.doms;
+  pool.doms <- []
+
+(* Run [count] partitions from [work] up to [limit] on the pool, the
+   coordinator stealing work alongside the workers. Re-raises the
+   lowest-indexed worker exception (a deterministic choice, since which
+   partitions fail is deterministic). *)
+let pool_run_window pool work count limit =
+  pool.pwork <- work;
+  pool.pcount <- count;
+  pool.plimit <- limit;
+  pool.errors <- [];
+  Atomic.set pool.remaining count;
+  Atomic.set pool.next 0;
+  Mutex.lock pool.m;
+  Atomic.incr pool.epoch;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  pool_drain pool;
+  Mutex.lock pool.m;
+  while Atomic.get pool.remaining > 0 do
+    Condition.wait pool.done_cv pool.m
+  done;
+  let errors = pool.errors in
+  Mutex.unlock pool.m;
+  match List.sort (fun (i, _, _) (j, _, _) -> compare i j) errors with
+  | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  | [] -> ()
+
+(* --- the window loop ------------------------------------------------ *)
+
+let opt_min a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (Vtime.min x y)
+
+let next_time t =
+  let nt = Sim.next_event_time t.global in
+  let nt = Array.fold_left (fun acc p -> opt_min acc (Sim.next_event_time p)) nt t.parts in
+  List.fold_left (fun acc (h : hook) -> opt_min acc (h.next ())) nt t.hooks
+
+let run_until t limit =
+  if Vtime.(limit <= t.horizon) then ()
+  else begin
+    let pool =
+      if t.domains > 1 then Some (pool_start ~workers:(t.domains - 1))
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () -> match pool with Some p -> pool_stop p | None -> ())
+    @@ fun () ->
+    while t.horizon < limit do
+      match next_time t with
+      | None ->
+        Sim.run_until t.global limit;
+        t.horizon <- limit
+      | Some nt when Vtime.(nt > limit) ->
+        Sim.run_until t.global limit;
+        t.horizon <- limit
+      | Some nt ->
+        let h0 = Vtime.max t.horizon nt in
+        let h1 = Vtime.min limit (Vtime.add h0 t.lookahead) in
+        (* Coordinator first: chaos ops, samplers and pacing for this
+           window apply before node partitions advance. The clock
+           follows each event, then parks at h0 so sends stamped during
+           the parallel section never see a coordinator clock from
+           later in the window. *)
+        Sim.drain_until t.global h1;
+        Sim.unsafe_set_clock t.global h0;
+        (* Parallel section: every partition with work <= h1. *)
+        let count = ref 0 in
+        Array.iter
+          (fun p ->
+            match Sim.next_event_time p with
+            | Some tm when Vtime.(tm <= h1) ->
+              t.work.(!count) <- Some p;
+              incr count
+            | _ -> ())
+          t.parts;
+        (match pool with
+        | Some pool -> pool_run_window pool t.work !count h1
+        | None ->
+          for i = 0 to !count - 1 do
+            match t.work.(i) with
+            | Some p -> Sim.run_until p h1
+            | None -> ()
+          done);
+        Array.fill t.work 0 !count None;
+        (* Barrier: flush cross-partition traffic (canonical merge
+           order lives in the hooks), then drain telemetry. Hooks may
+           rewind the coordinator clock to replay items at their own
+           timestamps; normalize afterwards. *)
+        Sim.unsafe_set_clock t.global h1;
+        List.iter (fun h -> h.flush h1) t.hooks;
+        Sim.unsafe_set_clock t.global h1;
+        t.horizon <- h1
+    done
+  end

@@ -1,0 +1,59 @@
+(** Conservative parallel discrete-event exchange.
+
+    Runs a coordinator {!Sim} plus one per-node {!Sim} in
+    lookahead-bounded windows; node partitions inside one window run in
+    parallel on OCaml 5 domains, and cross-partition work (frame sends,
+    telemetry) is exchanged at barrier points by registered hooks.
+
+    The lookahead must not exceed the minimum cross-partition delivery
+    latency: then a frame sent inside a window at [s >= h0] arrives at
+    [>= s + latency >= h1], so barrier-scheduled deliveries never land
+    in any partition's past.
+
+    Determinism: partitioning is structural (one partition per node
+    regardless of [domains]), partitions are pure (see {!Partition}),
+    and hooks replay cross-partition work in canonical
+    (time, source, seq) order — so results are bitwise-identical for
+    every [domains >= 1] and invariant under window boundaries. See
+    DESIGN.md §11 for the full argument. *)
+
+type t
+
+val create :
+  ?domains:int ->
+  lookahead:Vtime.t ->
+  global:Sim.t ->
+  parts:Sim.t array ->
+  unit ->
+  t
+(** [create ~domains ~lookahead ~global ~parts ()] builds an exchange
+    over the coordinator [global] and per-node [parts]. [domains]
+    (default 1) is the number of OS domains used for the parallel
+    section; [1] runs partitions inline with no spawning.
+    @raise Invalid_argument if [lookahead <= 0] or [domains < 1]. *)
+
+val add_barrier_hook :
+  t -> ?next:(unit -> Vtime.t option) -> (Vtime.t -> unit) -> unit
+(** [add_barrier_hook t ~next flush] registers a barrier hook, run
+    after every window in registration order. [flush h1] must hand all
+    buffered cross-partition work over (scheduling deliveries, draining
+    telemetry); [next ()] reports the earliest timestamp of work the
+    hook is still holding, so idle-jumps cannot skip over it. Hooks may
+    rewind the coordinator clock via [Sim.unsafe_set_clock] to replay
+    items at their own timestamps; the exchange re-normalizes it. *)
+
+val run_until : t -> Vtime.t -> unit
+(** Advances the whole system to [limit]: all partitions have processed
+    every event [<= limit], all hooks have flushed, and the coordinator
+    clock reads [limit]. Worker-domain exceptions are re-raised (lowest
+    partition index first). *)
+
+val horizon : t -> Vtime.t
+(** The barrier the system has fully reached. *)
+
+val lookahead : t -> Vtime.t
+val domains : t -> int
+
+val events_processed : t -> int
+(** Total events processed across the coordinator and all node
+    partitions. *)

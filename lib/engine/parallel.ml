@@ -1,0 +1,39 @@
+(* Domain-parallel map with faithful error propagation.
+
+   Each worker records per-item outcomes as [Ok v] / [Error (exn, bt)]
+   instead of letting an exception tear down the domain: a raising item
+   used to surface as an opaque [Domain.join] failure with every other
+   item on that worker silently dropped. After all domains join, the
+   lowest-indexed error (a deterministic choice) is re-raised with its
+   original backtrace. *)
+
+let map ?(jobs = 1) f items =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 || n <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some
+              (try Ok (f items.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok r) -> r
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end

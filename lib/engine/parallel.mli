@@ -1,0 +1,12 @@
+(** Domain-parallel array map with faithful error propagation. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f items] applies [f] to every element, distributing
+    items over [jobs] domains (the calling domain included) via an
+    atomic work-stealing counter. Order of results matches the input.
+
+    If one or more applications raise, every remaining item still runs,
+    all domains are joined, and then the exception of the
+    lowest-indexed failing item is re-raised with its original
+    backtrace — never an opaque [Domain.join] failure. [jobs <= 1]
+    degenerates to [Array.map]. *)

@@ -1,0 +1,119 @@
+(* The pure per-node scheduler: one virtual clock, one event heap, one
+   timer wheel, one tie counter. This is the unit the parallel simulator
+   core replicates per node — it owns no randomness and no global state,
+   so a partition advanced to a horizon is a deterministic function of
+   the events fed to it, regardless of which domain ran it.
+
+   One-shot events (frame deliveries, CPU completions) live in the
+   heap; cancel/re-arm protocol timers live in the wheel. A single tie
+   counter spans both, so events popping from either structure form one
+   globally FIFO-stable (time, tie) sequence — run order is identical
+   to a single-queue simulator. *)
+
+type t = {
+  mutable clock : Vtime.t;
+  queue : (unit -> unit) Event_queue.t;
+  wheel : (unit -> unit) Timer_wheel.t;
+  mutable next_tie : int;
+  mutable events : int;
+}
+
+type handle =
+  | Heap of Event_queue.handle
+  | Wheel of Timer_wheel.handle
+
+let create () =
+  {
+    clock = Vtime.zero;
+    queue = Event_queue.create ();
+    wheel = Timer_wheel.create ();
+    next_tie = 0;
+    events = 0;
+  }
+
+let now t = t.clock
+let events_processed t = t.events
+
+let take_tie t =
+  let tie = t.next_tie in
+  t.next_tie <- tie + 1;
+  tie
+
+let schedule_at t ~time f =
+  if Vtime.(time < t.clock) then
+    invalid_arg "Partition.schedule_at: time is in the past";
+  Heap (Event_queue.push_tie t.queue ~time ~tie:(take_tie t) f)
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Partition.schedule: negative delay";
+  schedule_at t ~time:(Vtime.add t.clock delay) f
+
+let schedule_timer t ~delay f =
+  if delay < 0 then invalid_arg "Partition.schedule_timer: negative delay";
+  let time = Vtime.add t.clock delay in
+  Wheel (Timer_wheel.push t.wheel ~time ~tie:(take_tie t) f)
+
+let cancel t = function
+  | Heap h -> ignore (Event_queue.cancel t.queue h)
+  | Wheel h -> ignore (Timer_wheel.cancel t.wheel h)
+
+(* One combined peek: which structure holds the next event, and when.
+   [`Heap] wins ties below the wheel only by tie rank, preserving the
+   global FIFO order at equal times. *)
+let earliest t =
+  match Event_queue.peek_key t.queue, Timer_wheel.peek_key t.wheel with
+  | None, None -> `Empty
+  | Some (ht, _), None -> `Heap ht
+  | None, Some (wt, _) -> `Wheel wt
+  | Some (ht, htie), Some (wt, wtie) ->
+    if Vtime.(ht < wt) || (ht = wt && htie < wtie) then `Heap ht else `Wheel wt
+
+let next_event_time t =
+  match earliest t with
+  | `Empty -> None
+  | `Heap time | `Wheel time -> Some time
+
+let fire t popped =
+  match popped with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.events <- t.events + 1;
+    f ();
+    true
+
+let step t =
+  match earliest t with
+  | `Empty -> false
+  | `Heap _ -> fire t (Event_queue.pop t.queue)
+  | `Wheel _ -> fire t (Timer_wheel.pop_min t.wheel)
+
+(* Pop and run every event with timestamp <= limit; the clock follows
+   the events and is NOT bumped to [limit] at the end. The exchange
+   layer drains the coordinator partition this way so the clock always
+   reads the time of the event being executed, never a horizon the
+   window has not reached. *)
+let drain_until t limit =
+  let rec loop () =
+    match earliest t with
+    | `Heap time when Vtime.(time <= limit) ->
+      if fire t (Event_queue.pop t.queue) then loop ()
+    | `Wheel time when Vtime.(time <= limit) ->
+      if fire t (Timer_wheel.pop_min t.wheel) then loop ()
+    | `Empty | `Heap _ | `Wheel _ -> ()
+  in
+  loop ()
+
+let run_until t limit =
+  drain_until t limit;
+  t.clock <- Vtime.max t.clock limit
+
+let run t = while step t do () done
+
+let pending t = Event_queue.length t.queue + Timer_wheel.length t.wheel
+
+(* Exchange-only escape hatch: the coordinator replays buffered
+   cross-partition work (merged sends, drained telemetry) with the
+   clock set to each item's own timestamp, which can rewind within the
+   just-completed window. Never call this from model code. *)
+let unsafe_set_clock t time = t.clock <- time

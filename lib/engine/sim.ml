@@ -1,97 +1,30 @@
-type t = {
-  mutable clock : Vtime.t;
-  queue : (unit -> unit) Event_queue.t;
-  wheel : (unit -> unit) Timer_wheel.t;
-  root_rng : Rng.t;
-  mutable next_tie : int;
-  mutable events : int;
-}
+(* A simulator is one {!Partition} (clock + queues) plus the root
+   random generator. All scheduling delegates to the partition, so the
+   single-domain behavior — clock trajectory, tie sequence, RNG stream
+   — is identical to the pre-split simulator. The parallel core
+   ([Exchange]) drives one Sim per node plus a coordinator Sim, using
+   the [next_event_time] / [drain_until] / [unsafe_set_clock] hooks
+   below. *)
 
-(* One-shot events (frame deliveries, CPU completions) live in the
-   heap; cancel/re-arm protocol timers live in the wheel. A single tie
-   counter spans both, so events popping from either structure form one
-   globally FIFO-stable (time, tie) sequence — run order is identical
-   to a single-queue simulator. *)
-type handle =
-  | Heap of Event_queue.handle
-  | Wheel of Timer_wheel.handle
+type t = { part : Partition.t; root_rng : Rng.t }
+
+type handle = Partition.handle
 
 let create ?(seed = 42) () =
-  {
-    clock = Vtime.zero;
-    queue = Event_queue.create ();
-    wheel = Timer_wheel.create ();
-    root_rng = Rng.create ~seed;
-    next_tie = 0;
-    events = 0;
-  }
+  { part = Partition.create (); root_rng = Rng.create ~seed }
 
-let now t = t.clock
+let now t = Partition.now t.part
 let rng t = t.root_rng
 let split_rng t = Rng.split t.root_rng
-let events_processed t = t.events
-
-let take_tie t =
-  let tie = t.next_tie in
-  t.next_tie <- tie + 1;
-  tie
-
-let schedule_at t ~time f =
-  if Vtime.(time < t.clock) then
-    invalid_arg "Sim.schedule_at: time is in the past";
-  Heap (Event_queue.push_tie t.queue ~time ~tie:(take_tie t) f)
-
-let schedule t ~delay f =
-  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(Vtime.add t.clock delay) f
-
-let schedule_timer t ~delay f =
-  if delay < 0 then invalid_arg "Sim.schedule_timer: negative delay";
-  let time = Vtime.add t.clock delay in
-  Wheel (Timer_wheel.push t.wheel ~time ~tie:(take_tie t) f)
-
-let cancel t = function
-  | Heap h -> ignore (Event_queue.cancel t.queue h)
-  | Wheel h -> ignore (Timer_wheel.cancel t.wheel h)
-
-(* One combined peek: which structure holds the next event, and when.
-   [`Heap] wins ties below the wheel only by tie rank, preserving the
-   global FIFO order at equal times. *)
-let earliest t =
-  match Event_queue.peek_key t.queue, Timer_wheel.peek_key t.wheel with
-  | None, None -> `Empty
-  | Some (ht, _), None -> `Heap ht
-  | None, Some (wt, _) -> `Wheel wt
-  | Some (ht, htie), Some (wt, wtie) ->
-    if Vtime.(ht < wt) || (ht = wt && htie < wtie) then `Heap ht else `Wheel wt
-
-let fire t popped =
-  match popped with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    t.events <- t.events + 1;
-    f ();
-    true
-
-let step t =
-  match earliest t with
-  | `Empty -> false
-  | `Heap _ -> fire t (Event_queue.pop t.queue)
-  | `Wheel _ -> fire t (Timer_wheel.pop_min t.wheel)
-
-let run_until t limit =
-  let rec loop () =
-    match earliest t with
-    | `Heap time when Vtime.(time <= limit) ->
-      if fire t (Event_queue.pop t.queue) then loop ()
-    | `Wheel time when Vtime.(time <= limit) ->
-      if fire t (Timer_wheel.pop_min t.wheel) then loop ()
-    | `Empty | `Heap _ | `Wheel _ -> ()
-  in
-  loop ();
-  t.clock <- Vtime.max t.clock limit
-
-let run t = while step t do () done
-
-let pending t = Event_queue.length t.queue + Timer_wheel.length t.wheel
+let events_processed t = Partition.events_processed t.part
+let schedule t ~delay f = Partition.schedule t.part ~delay f
+let schedule_at t ~time f = Partition.schedule_at t.part ~time f
+let schedule_timer t ~delay f = Partition.schedule_timer t.part ~delay f
+let cancel t h = Partition.cancel t.part h
+let run_until t limit = Partition.run_until t.part limit
+let run t = Partition.run t.part
+let step t = Partition.step t.part
+let pending t = Partition.pending t.part
+let next_event_time t = Partition.next_event_time t.part
+let drain_until t limit = Partition.drain_until t.part limit
+let unsafe_set_clock t time = Partition.unsafe_set_clock t.part time

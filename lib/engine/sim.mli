@@ -4,6 +4,12 @@
     random generator. Components schedule thunks; [run_until] drains the
     queue in timestamp order, advancing the clock to each event.
 
+    Internally a simulator is one {!Partition} (the pure scheduler)
+    plus the root RNG. The parallel core ({!Exchange}) runs one Sim per
+    simulated node plus a coordinator Sim, synchronized by conservative
+    lookahead; the exchange-facing hooks are at the bottom of this
+    interface and are not for model code.
+
     Scheduling in the past is a programming error and raises. All state
     is single-domain; the simulator is deterministic for a given seed
     and schedule. *)
@@ -64,3 +70,20 @@ val events_processed : t -> int
 (** Total events popped and run since [create] — the simulator's unit
     of work, so wall-clock / [events_processed] measures simulator
     speed itself independently of what the protocol achieved. *)
+
+(** {2 Exchange-layer hooks}
+
+    Used by {!Exchange} to drive per-node partitions under conservative
+    lookahead. Model code has no business calling these. *)
+
+val next_event_time : t -> Vtime.t option
+(** Timestamp of the earliest pending event, if any. *)
+
+val drain_until : t -> Vtime.t -> unit
+(** Processes every event with timestamp [<= limit] but leaves the
+    clock at the last processed event instead of bumping it to
+    [limit]. *)
+
+val unsafe_set_clock : t -> Vtime.t -> unit
+(** Forcibly sets the clock, possibly backwards; the exchange uses this
+    to replay barrier-buffered work at each item's own timestamp. *)

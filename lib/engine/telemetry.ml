@@ -68,6 +68,16 @@ type metric =
    the latency probe uses, so distributions are comparable. *)
 let default_ms_buckets = Array.init 60 (fun i -> 0.01 *. (1.26 ** float_of_int i))
 
+(* Partitioned-mode buffering: each simulated node gets a child hub
+   whose emissions (and deferred hook thunks) are queued as
+   (time, source, seq) entries instead of dispatched; the exchange
+   barrier drains all buffers in canonical merge order into the parent
+   hub's sink/subscribers/ring. [seq] is per-hub emission order, so
+   intra-node order is exact and cross-node order is the same total
+   order the frame exchange uses — independent of the domain count. *)
+type payload = Ev of event | Thunk of (unit -> unit)
+type bentry = { btime : Vtime.t; bsrc : int; bseq : int; payload : payload }
+
 type t = {
   sim : Sim.t;
   capacity : int;
@@ -81,6 +91,11 @@ type t = {
   mutable next_subscriber : int;
   registry : (string, metric) Hashtbl.t;
   mutable names : string list;  (* registration order, newest first *)
+  parent : t option; (* Some p: this is a buffered per-node child of p *)
+  source : int; (* canonical merge rank; -1 for a root hub *)
+  mutable buffering : bool; (* root hubs: buffer own emissions too *)
+  mutable buf : bentry list; (* newest first; drained at barriers *)
+  mutable buf_seq : int;
 }
 
 type subscription = int
@@ -100,7 +115,40 @@ let create ?(capacity = 4096) sim =
     next_subscriber = 0;
     registry = Hashtbl.create 64;
     names = [];
+    parent = None;
+    source = -1;
+    buffering = false;
+    buf = [];
+    buf_seq = 0;
   }
+
+let create_child parent ~source sim =
+  {
+    sim;
+    capacity = 1;
+    tracing = false;
+    ring = Array.make 1 None;
+    next = 0;
+    count = 0;
+    sink = None;
+    subscribers = [];
+    next_subscriber = 0;
+    registry = parent.registry; (* metrics live in the parent *)
+    names = [];
+    parent = Some parent;
+    source;
+    buffering = true;
+    buf = [];
+    buf_seq = 0;
+  }
+
+(* The hub whose registry/sink/subscribers this hub feeds. *)
+let root t = match t.parent with Some p -> p | None -> t
+
+let set_buffering t b =
+  t.buffering <- b;
+  if (not b) && t.buf <> [] then
+    invalid_arg "Telemetry.set_buffering: undrained buffer"
 
 let sim t = t.sim
 let set_tracing t b = t.tracing <- b
@@ -117,20 +165,66 @@ let subscribe t f =
 let unsubscribe t id =
   t.subscribers <- List.filter (fun (id', _) -> id' <> id) t.subscribers
 
-let[@inline] active t = t.tracing || t.sink <> None || t.subscribers <> []
+(* A child hub is active when its parent is: the guard at emit sites
+   must reflect where the events will eventually be dispatched. *)
+let[@inline] active t =
+  let r = root t in
+  r.tracing || r.sink <> None || r.subscribers <> []
 
-let emit t event =
-  (match t.sink with Some f -> f (Sim.now t.sim) event | None -> ());
+let dispatch t time event =
+  (match t.sink with Some f -> f time event | None -> ());
   (match t.subscribers with
   | [] -> ()
-  | subs ->
-    let now = Sim.now t.sim in
-    List.iter (fun (_, f) -> f now event) subs);
+  | subs -> List.iter (fun (_, f) -> f time event) subs);
   if t.tracing then begin
-    t.ring.(t.next) <- Some { time = Sim.now t.sim; event };
+    t.ring.(t.next) <- Some { time; event };
     t.next <- (t.next + 1) mod t.capacity;
     t.count <- min (t.count + 1) t.capacity
   end
+
+let buffer_push t payload =
+  let seq = t.buf_seq in
+  t.buf_seq <- seq + 1;
+  t.buf <- { btime = Sim.now t.sim; bsrc = t.source; bseq = seq; payload } :: t.buf
+
+let emit t event =
+  if t.buffering then buffer_push t (Ev event)
+  else dispatch t (Sim.now t.sim) event
+
+let defer t f = if t.buffering then buffer_push t (Thunk f) else f ()
+
+(* Barrier drain: merge the root's own buffer with every child's in
+   canonical (time, source, seq) order — the same total order the frame
+   exchange flushes in — then dispatch events and run deferred thunks
+   with the coordinator clock set to each entry's own timestamp. *)
+let drain t ~children ~set_clock =
+  let take h =
+    let l = h.buf in
+    h.buf <- [];
+    l
+  in
+  let entries =
+    Array.fold_left (fun acc c -> List.rev_append (take c) acc) (take t) children
+  in
+  match entries with
+  | [] -> ()
+  | entries ->
+    let arr = Array.of_list entries in
+    Array.sort
+      (fun a b ->
+        let c = compare a.btime b.btime in
+        if c <> 0 then c
+        else
+          let c = compare a.bsrc b.bsrc in
+          if c <> 0 then c else compare a.bseq b.bseq)
+      arr;
+    Array.iter
+      (fun e ->
+        set_clock e.btime;
+        match e.payload with
+        | Ev ev -> dispatch t e.btime ev
+        | Thunk f -> f ())
+      arr
 
 let custom t ~component message =
   if active t then emit t (Custom { component; message })
@@ -159,12 +253,16 @@ let clear t =
 
 (* --- registry ------------------------------------------------------- *)
 
+(* Registration through a child hub lands in the parent registry, so
+   per-node components built against their node's hub keep exporting
+   into the one cluster-wide metrics view. *)
 let register t name m =
+  let t = root t in
   if not (Hashtbl.mem t.registry name) then t.names <- name :: t.names;
   Hashtbl.replace t.registry name m
 
 let counter t name =
-  match Hashtbl.find_opt t.registry name with
+  match Hashtbl.find_opt (root t).registry name with
   | Some (Counter c) -> c
   | _ ->
     let c = Stats.Counter.create () in
@@ -174,16 +272,17 @@ let counter t name =
 let gauge t name f = register t name (Gauge f)
 
 let histogram ?(buckets = default_ms_buckets) t name =
-  match Hashtbl.find_opt t.registry name with
+  match Hashtbl.find_opt (root t).registry name with
   | Some (Histogram h) -> h
   | _ ->
     let h = Stats.Histogram.create ~buckets in
     register t name (Histogram h);
     h
 
-let find_metric t name = Hashtbl.find_opt t.registry name
+let find_metric t name = Hashtbl.find_opt (root t).registry name
 
 let metrics t =
+  let t = root t in
   List.rev_map (fun name -> (name, Hashtbl.find t.registry name)) t.names
 
 (* --- rendering ------------------------------------------------------ *)

@@ -119,6 +119,41 @@ val customf :
 (** Printf-style [custom]; the format arguments are not evaluated when
     telemetry is inactive. *)
 
+(** {1 Partitioned-mode buffering}
+
+    Under the parallel simulator core ({!Exchange}) each simulated node
+    owns a buffered child hub: emissions queue as (time, source, seq)
+    entries instead of dispatching, and the exchange barrier drains all
+    buffers into the parent in canonical merge order — the same total
+    order the frame exchange uses — so the subscriber stream, sink and
+    ring are bitwise-identical for any domain count. *)
+
+val create_child : t -> source:int -> Sim.t -> t
+(** [create_child parent ~source sim] is a buffered hub stamping
+    entries with [sim]'s clock and merge rank [source] (the stable node
+    id; the parent itself drains at rank [-1]). Metric registration
+    through a child lands in the parent registry; [active] reflects the
+    parent's listeners. *)
+
+val set_buffering : t -> bool -> unit
+(** Make a root hub buffer its own emissions too (coordinator-side
+    events must merge canonically with node events). Children are
+    always buffering.
+    @raise Invalid_argument when disabling with a non-empty buffer. *)
+
+val defer : t -> (unit -> unit) -> unit
+(** [defer t f] runs [f] now on a non-buffering hub; on a buffering hub
+    it queues [f] as a (time, source, seq) entry sharing the emission
+    sequence, so cluster-level hook callbacks fire at the barrier in
+    exactly the order their triggering events were emitted. *)
+
+val drain :
+  t -> children:t array -> set_clock:(Vtime.t -> unit) -> unit
+(** Barrier drain: merge the hub's own buffer and all [children]'s in
+    (time, source, seq) order; dispatch events to sink/subscribers/ring
+    and run deferred thunks, calling [set_clock] with each entry's
+    timestamp first so observers read the emission-time clock. *)
+
 val events : t -> entry list
 (** Ring contents, oldest first. *)
 

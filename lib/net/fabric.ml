@@ -1,5 +1,20 @@
 open Totem_engine
 
+(* Partitioned-mode send record: a frame a node asked to transmit
+   during a parallel window, held until the barrier. [e_seq] is the
+   per-source emission index, so (e_time, e_src, e_seq) is the unique
+   canonical merge key. *)
+type entry = {
+  e_time : Vtime.t;
+  e_src : int;
+  e_seq : int;
+  e_net : int;
+  e_dst : int option; (* None = broadcast *)
+  e_frame : Frame.t;
+}
+
+type outbox = { mutable items : entry list (* newest first *); mutable seq : int }
+
 type t = {
   sim : Sim.t;
   networks : Network.t array;
@@ -17,6 +32,13 @@ type t = {
      runs once per logical frame instead of once per network. *)
   mutable memoize : bool;
   mutable last_out : (Frame.t * Frame.t) option;
+  (* Parallel core: per-node partition simulators (NICs schedule
+     arrivals on their node's partition) and per-node outboxes (sends
+     buffer during windows and flush at barriers in canonical order).
+     None = classic single-simulator mode, the default. *)
+  mutable partitions : Sim.t array option;
+  mutable node_telemetry : Telemetry.t array option;
+  outboxes : outbox array;
 }
 
 let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
@@ -46,7 +68,30 @@ let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
     wire_encoder = None;
     memoize = true;
     last_out = None;
+    partitions = None;
+    node_telemetry = None;
+    outboxes = Array.init num_nodes (fun _ -> { items = []; seq = 0 });
   }
+
+let set_partitions t ?node_telemetry sims =
+  if Array.length sims <> t.num_nodes then
+    invalid_arg "Fabric.set_partitions: one simulator per node required";
+  (match node_telemetry with
+  | Some tls when Array.length tls <> t.num_nodes ->
+    invalid_arg "Fabric.set_partitions: one telemetry hub per node required"
+  | _ -> ());
+  if Array.exists (fun row -> Array.exists Option.is_some row) t.nics then
+    invalid_arg "Fabric.set_partitions: must be called before attach_node";
+  t.partitions <- Some sims;
+  t.node_telemetry <- node_telemetry
+
+let partitioned t = t.partitions <> None
+
+let min_latency t =
+  Array.fold_left
+    (fun acc net -> Vtime.min acc (Network.min_latency net))
+    (Network.min_latency t.networks.(0))
+    t.networks
 
 let set_wire_encoder t ?(memoize = true) f =
   t.wire_encoder <- Some f;
@@ -78,10 +123,21 @@ let nic t ~node ~net =
   | None -> invalid_arg (Printf.sprintf "Fabric.nic: node %d not attached" node)
 
 let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
+  (* In partitioned mode the NIC lives on its node's partition: arrival
+     events land in the node's own queue, and drop telemetry buffers
+     through the node's hub so it merges canonically. *)
+  let nic_sim =
+    match t.partitions with Some sims -> sims.(node) | None -> t.sim
+  in
+  let nic_tl =
+    match t.node_telemetry with
+    | Some tls -> Some tls.(node)
+    | None -> t.telemetry
+  in
   Array.iteri
     (fun net_id network ->
-      let nic = Nic.create t.sim ~node ~net:net_id ?buffer_bytes () in
-      (match t.telemetry with
+      let nic = Nic.create nic_sim ~node ~net:net_id ?buffer_bytes () in
+      (match nic_tl with
       | Some tl -> Nic.set_telemetry nic tl
       | None -> ());
       Nic.set_receiver nic ?cpu ?recv_cost (fun frame ->
@@ -90,9 +146,89 @@ let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
       t.nics.(node).(net_id) <- Some nic)
     t.networks
 
-let broadcast t ~net frame = Network.broadcast t.networks.(net) (outgoing t frame)
+(* Partitioned sends buffer in the sender's outbox. The timestamp is
+   the sender partition's clock — exact for node-originated sends (the
+   partition clock reads the current event's time) — maxed with the
+   coordinator clock so coordinator-originated sends (bootstrap,
+   harness injections) are stamped with the coordinator event's time. *)
+let enqueue t ~net ~dst frame =
+  let src = frame.Frame.src in
+  let sims = Option.get t.partitions in
+  let time = Vtime.max (Sim.now sims.(src)) (Sim.now t.sim) in
+  let ob = t.outboxes.(src) in
+  let seq = ob.seq in
+  ob.seq <- seq + 1;
+  ob.items <-
+    { e_time = time; e_src = src; e_seq = seq; e_net = net; e_dst = dst; e_frame = frame }
+    :: ob.items
+
+let broadcast t ~net frame =
+  match t.partitions with
+  | None -> Network.broadcast t.networks.(net) (outgoing t frame)
+  | Some _ -> enqueue t ~net ~dst:None frame
 
 let unicast t ~net ~dst frame =
-  Network.unicast t.networks.(net) ~dst (outgoing t frame)
+  match t.partitions with
+  | None -> Network.unicast t.networks.(net) ~dst (outgoing t frame)
+  | Some _ -> enqueue t ~net ~dst:(Some dst) frame
+
+(* Earliest buffered send, so the exchange's idle-jump cannot leap over
+   work created outside a window (e.g. the bootstrap token at t=0). *)
+let outbox_next t =
+  Array.fold_left
+    (fun acc ob ->
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | None -> Some e.e_time
+          | Some m -> Some (Vtime.min m e.e_time))
+        acc ob.items)
+    None t.outboxes
+
+(* Barrier flush: merge all outboxes in canonical (time, src, seq)
+   order and play each send through the classic medium path — shared
+   medium occupancy, loss/corruption/jitter draws from the per-network
+   RNG stream, delivery scheduling — with the coordinator clock set to
+   the send's own timestamp. Because the order is a pure function of
+   simulation content, the whole network layer stays deterministic
+   under any domain count. The wire-encoder memo keeps paying off: the
+   per-source seq keeps a frame's per-network copies adjacent after the
+   sort. *)
+let flush_outboxes t =
+  let total = Array.fold_left (fun acc ob -> acc + List.length ob.items) 0 t.outboxes in
+  if total > 0 then begin
+    let scratch = Array.make total None in
+    let i = ref 0 in
+    Array.iter
+      (fun ob ->
+        List.iter
+          (fun e ->
+            scratch.(!i) <- Some e;
+            incr i)
+          ob.items;
+        ob.items <- [])
+      t.outboxes;
+    Array.sort
+      (fun a b ->
+        match a, b with
+        | Some a, Some b ->
+          let c = compare a.e_time b.e_time in
+          if c <> 0 then c
+          else
+            let c = compare a.e_src b.e_src in
+            if c <> 0 then c else compare a.e_seq b.e_seq
+        | _ -> assert false)
+      scratch;
+    Array.iter
+      (function
+        | None -> ()
+        | Some e ->
+          Sim.unsafe_set_clock t.sim e.e_time;
+          let frame = outgoing t e.e_frame in
+          (match e.e_dst with
+          | None -> Network.broadcast t.networks.(e.e_net) frame
+          | Some dst -> Network.unicast t.networks.(e.e_net) ~dst frame))
+      scratch
+  end
 
 let iter_networks t f = Array.iter f t.networks

@@ -64,3 +64,36 @@ val broadcast : t -> net:Addr.net_id -> Frame.t -> unit
 val unicast : t -> net:Addr.net_id -> dst:Addr.node_id -> Frame.t -> unit
 
 val iter_networks : t -> (Network.t -> unit) -> unit
+
+(** {1 Parallel simulator core}
+
+    Under the exchange layer ({!Totem_engine.Exchange}) the fabric is
+    the cross-partition delivery path: NICs schedule arrivals on their
+    node's partition, sends buffer in per-node outboxes during parallel
+    windows, and the barrier flush replays them through the classic
+    medium path in canonical (time, source node, seq) order — making
+    medium occupancy and the per-network RNG streams independent of the
+    domain count. *)
+
+val set_partitions :
+  t -> ?node_telemetry:Totem_engine.Telemetry.t array -> Totem_engine.Sim.t array -> unit
+(** [set_partitions t sims] switches the fabric to partitioned mode:
+    [sims.(node)] is node's partition simulator (NICs created by
+    {!attach_node} schedule there), and [node_telemetry.(node)], when
+    given, is the node's buffered hub for NIC drop events. Must be
+    called before any {!attach_node}.
+    @raise Invalid_argument on length mismatch or after attachment. *)
+
+val partitioned : t -> bool
+
+val min_latency : t -> Totem_engine.Vtime.t
+(** Minimum {!Network.min_latency} across all networks: the largest
+    safe conservative lookahead for the exchange. *)
+
+val outbox_next : t -> Totem_engine.Vtime.t option
+(** Earliest timestamp among buffered sends, if any. *)
+
+val flush_outboxes : t -> unit
+(** Barrier hook: replay all buffered sends in canonical order,
+    setting the coordinator clock to each send's own timestamp
+    (restored by the exchange afterwards). *)

@@ -28,7 +28,6 @@ type t = {
   arp_cache : (Addr.node_id * Addr.node_id, unit) Hashtbl.t;
   mutable medium_free_at : Vtime.t;
   sent : Stats.Counter.t;
-  delivered : Stats.Counter.t;
   lost : Stats.Counter.t;
   faulted : Stats.Counter.t;
   corrupted : Stats.Counter.t;
@@ -48,7 +47,6 @@ let create sim ~id ~config ~rng =
     arp_cache = Hashtbl.create 32;
     medium_free_at = Vtime.zero;
     sent = Stats.Counter.create ();
-    delivered = Stats.Counter.create ();
     lost = Stats.Counter.create ();
     faulted = Stats.Counter.create ();
     corrupted = Stats.Counter.create ();
@@ -59,6 +57,11 @@ let create sim ~id ~config ~rng =
 let id t = t.net_id
 let config t = t.config
 let fault t = t.fault
+
+(* The lookahead bound: jitter is non-negative and the FIFO clamp only
+   pushes arrivals later, so no frame arrives earlier than
+   [send + latency]. *)
+let min_latency t = t.config.latency
 
 let set_telemetry t tl =
   t.telemetry <- Some tl;
@@ -175,10 +178,14 @@ let deliver_to t nic frame ~wire_done =
       (* Per-receiver FIFO on a single network (Sec. 5 assumption). *)
       let arrival = Vtime.max arrival (Vtime.add (Nic.last_arrival nic) (Vtime.ns 1)) in
       Nic.note_arrival nic arrival;
+      (* Target the receiver's own simulator: under the parallel core
+         each NIC schedules on its node's partition, and the lookahead
+         guarantee (arrival >= send + latency >= next barrier) makes
+         this landing always in that partition's future. Single-domain
+         mode is unchanged — every NIC shares the network's sim. *)
       ignore
-        (Sim.schedule_at t.sim ~time:arrival (fun () ->
-             Stats.Counter.incr t.delivered;
-             Nic.arrive nic frame))
+        (Sim.schedule_at (Nic.sim nic) ~time:arrival (fun () ->
+             Nic.deliver nic frame))
   end
 
 let medium_accepts t frame =
@@ -217,7 +224,9 @@ let unicast t ~dst frame =
   end
 
 let frames_sent t = Stats.Counter.value t.sent
-let frames_delivered t = Stats.Counter.value t.delivered
+
+let frames_delivered t =
+  Array.fold_left (fun acc nic -> acc + Nic.frames_delivered nic) 0 t.receivers
 let frames_lost t = Stats.Counter.value t.lost
 let frames_faulted t = Stats.Counter.value t.faulted
 let frames_corrupted t = Stats.Counter.value t.corrupted

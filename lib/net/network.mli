@@ -39,6 +39,12 @@ val config : t -> config
 val fault : t -> Fault.t
 (** The network's mutable fault state, for injection by scenarios. *)
 
+val min_latency : t -> Totem_engine.Vtime.t
+(** Lower bound on the send-to-arrival delay of any frame: the
+    configured latency (jitter is non-negative and the per-receiver
+    FIFO clamp only delays further). This is the conservative lookahead
+    the parallel simulator core synchronizes on. *)
+
 val set_telemetry : t -> Totem_engine.Telemetry.t -> unit
 (** Emit structured events for dropped deliveries ([Frame_loss],
     [Frame_blocked]), in-flight corruption ([Frame_corrupt]) and

@@ -16,6 +16,10 @@ type t = {
   mutable last_arrival : Vtime.t;
   received : Stats.Counter.t;
   dropped : Stats.Counter.t;
+  (* Deliveries that fired at this NIC (before buffer admission). Held
+     per-NIC rather than per-network so partitioned mode counts without
+     cross-domain writes; the network sums its receivers. *)
+  delivered : Stats.Counter.t;
   mutable telemetry : Telemetry.t option;
 }
 
@@ -30,11 +34,13 @@ let create sim ~node ~net ?(buffer_bytes = 65536) () =
     last_arrival = Vtime.zero;
     received = Stats.Counter.create ();
     dropped = Stats.Counter.create ();
+    delivered = Stats.Counter.create ();
     telemetry = None;
   }
 
 let node t = t.node_id
 let net t = t.net_id
+let sim t = t.sim
 let set_telemetry t tl = t.telemetry <- Some tl
 
 let set_receiver t ?cpu ?(recv_cost = fun _ -> Vtime.zero) handler =
@@ -65,8 +71,13 @@ let arrive t frame =
           handler frame)
     end
 
+let deliver t frame =
+  Stats.Counter.incr t.delivered;
+  arrive t frame
+
 let last_arrival t = t.last_arrival
 let note_arrival t time = t.last_arrival <- Vtime.max t.last_arrival time
+let frames_delivered t = Stats.Counter.value t.delivered
 let frames_received t = Stats.Counter.value t.received
 let frames_dropped_buffer t = Stats.Counter.value t.dropped
 let buffer_in_use t = t.in_use

@@ -21,6 +21,11 @@ val node : t -> Addr.node_id
 
 val net : t -> Addr.net_id
 
+val sim : t -> Totem_engine.Sim.t
+(** The simulator this NIC schedules on — in partitioned mode the
+    owning node's partition, so the network layer can target delivery
+    events at the receiver's own event queue. *)
+
 val set_telemetry : t -> Totem_engine.Telemetry.t -> unit
 (** Emit [Buffer_drop] events for buffer-full drops. *)
 
@@ -37,6 +42,14 @@ val set_receiver :
 
 val arrive : t -> Frame.t -> unit
 (** Called by the network at the frame's arrival time. *)
+
+val deliver : t -> Frame.t -> unit
+(** [arrive] plus the per-NIC delivered count — the thunk the network
+    schedules at arrival time. Kept per-NIC so the counter is only ever
+    written by the receiving node's partition. *)
+
+val frames_delivered : t -> int
+(** Deliveries that fired at this NIC, before buffer admission. *)
 
 val last_arrival : t -> Totem_engine.Vtime.t
 (** Most recent scheduled arrival; used by the network to keep per-NIC

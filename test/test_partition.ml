@@ -1,0 +1,173 @@
+(* The parallel simulator core (Partition / Exchange / Parallel) and
+   its contracts: the conservative-lookahead bound, the canonical
+   (time, source, seq) merge order, bitwise determinism across worker
+   counts, and faithful exception propagation from worker domains. *)
+
+open Totem_engine
+module Campaign = Totem_chaos.Campaign
+module Runner = Totem_chaos.Runner
+
+(* --- lookahead bound (qcheck) --------------------------------------- *)
+
+(* A synthetic exchange over random lookaheads and random
+   cross-partition traffic, including reactive reply chains: every
+   delivery is scheduled at send + lookahead by the barrier hook, and
+   [Sim.schedule_at] raises if that ever lands in the destination
+   partition's past — so the property "no exception and every hop
+   delivered" is exactly "the lookahead bound was never violated". *)
+let qcheck_lookahead_bound =
+  QCheck.Test.make ~name:"exchange: lookahead bound never violated" ~count:60
+    QCheck.(
+      triple (int_range 1 500) (int_range 2 4)
+        (list_of_size (Gen.int_range 0 30)
+           (triple (int_range 0 3) (int_range 0 5000) (int_range 0 5))))
+    (fun (lookahead, nparts, sends) ->
+      let global = Sim.create () in
+      let parts = Array.init nparts (fun i -> Sim.create ~seed:(7 + i) ()) in
+      let ex = Exchange.create ~lookahead ~global ~parts () in
+      let outbox = ref [] in
+      let delivered = ref 0 in
+      let expected =
+        List.fold_left (fun acc (_, _, hops) -> acc + hops + 1) 0 sends
+      in
+      let rec send ~src ~hops =
+        outbox := (Sim.now parts.(src), (src + 1) mod nparts, hops) :: !outbox
+      and deliver dst hops () =
+        incr delivered;
+        if hops > 0 then send ~src:dst ~hops:(hops - 1)
+      in
+      Exchange.add_barrier_hook ex
+        ~next:(fun () ->
+          match !outbox with
+          | [] -> None
+          | l -> Some (List.fold_left (fun a (t, _, _) -> min a t) max_int l))
+        (fun _h1 ->
+          let items = List.rev !outbox in
+          outbox := [];
+          List.iter
+            (fun (t, dst, hops) ->
+              ignore
+                (Sim.schedule_at parts.(dst) ~time:(t + lookahead)
+                   (deliver dst hops)))
+            items);
+      List.iter
+        (fun (src, at, hops) ->
+          let src = src mod nparts in
+          ignore
+            (Sim.schedule_at parts.(src) ~time:at (fun () -> send ~src ~hops)))
+        sends;
+      (* max chain: 5000 + 7 hops x 500 lookahead < 10_000 *)
+      Exchange.run_until ex 10_000;
+      !delivered = expected && Exchange.horizon ex = 10_000)
+
+(* --- canonical merge order (qcheck) ---------------------------------- *)
+
+(* Random emissions across buffered child hubs must drain in strictly
+   increasing (time, source, per-source seq) order — a total order, so
+   the drained stream is unique whatever the emission interleaving
+   across partitions was. *)
+let qcheck_canonical_merge_total_order =
+  QCheck.Test.make ~name:"telemetry drain: (time, src, seq) is a total order"
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 0 60) (pair (int_range 0 2) (int_range 0 50)))
+    (fun emissions ->
+      let gsim = Sim.create () in
+      let root = Telemetry.create gsim in
+      Telemetry.set_buffering root true;
+      let sims = Array.init 3 (fun i -> Sim.create ~seed:(11 + i) ()) in
+      let children =
+        Array.init 3 (fun i -> Telemetry.create_child root ~source:i sims.(i))
+      in
+      let next_idx = Array.make 3 0 in
+      List.iter
+        (fun (src, at) ->
+          ignore
+            (Sim.schedule_at sims.(src) ~time:at (fun () ->
+                 let idx = next_idx.(src) in
+                 next_idx.(src) <- idx + 1;
+                 Telemetry.emit children.(src)
+                   (Telemetry.Msg_tx { node = src; seq = idx; bytes = 0 }))))
+        emissions;
+      Array.iter (fun s -> Sim.run_until s 100) sims;
+      let seen = ref [] in
+      Telemetry.set_sink root (fun time ev ->
+          match ev with
+          | Telemetry.Msg_tx { node; seq; _ } ->
+            seen := (time, node, seq) :: !seen
+          | _ -> ());
+      Telemetry.drain root ~children ~set_clock:(Sim.unsafe_set_clock gsim);
+      let keys = List.rev !seen in
+      let rec strictly_sorted = function
+        | a :: (b :: _ as rest) -> a < b && strictly_sorted rest
+        | _ -> true
+      in
+      List.length keys = List.length emissions && strictly_sorted keys)
+
+(* --- determinism across worker counts -------------------------------- *)
+
+(* One fixed chaos schedule per replication style, byte-wire mode on:
+   the full result fingerprint (violations, deliveries, finish time,
+   events processed) must be bitwise-identical between sim_domains = 1
+   and sim_domains = 8. *)
+let chaos_campaign style =
+  Campaign.make ~num_nodes:4 ~num_nets:2 ~style ~seed:97
+    ~duration:(Vtime.ms 400) ~quiesce:(Vtime.ms 1200)
+    ~traffic:(Campaign.Saturate 512) ~wire:true
+    [
+      { Campaign.at = Vtime.ms 40; op = Campaign.Set_loss (0, 0.05) };
+      { at = Vtime.ms 90; op = Campaign.Block_send (1, 0) };
+      { at = Vtime.ms 140; op = Campaign.Set_corrupt (1, 0.02) };
+      { at = Vtime.ms 220; op = Campaign.Heal_net 0 };
+      { at = Vtime.ms 260; op = Campaign.Unblock_send (1, 0) };
+      { at = Vtime.ms 300; op = Campaign.Fail_net 1 };
+    ]
+
+let fingerprint (r : Runner.result) =
+  (r.Runner.violations, r.Runner.delivered, r.Runner.finished_at, r.Runner.events)
+
+let test_chaos_domains_deterministic style () =
+  let campaign = chaos_campaign style in
+  let r1 = Runner.run ~sim_domains:1 campaign in
+  let r8 = Runner.run ~sim_domains:8 campaign in
+  Alcotest.(check bool)
+    "sim_domains 1 and 8 produce one fingerprint" true
+    (fingerprint r1 = fingerprint r8);
+  Alcotest.(check int) "equal events_processed" r1.Runner.events r8.Runner.events;
+  Alcotest.(check bool) "work was done" true (r1.Runner.delivered > 0)
+
+(* --- Parallel.map ----------------------------------------------------- *)
+
+exception Boom of int
+
+let test_parallel_map_results () =
+  let items = Array.init 100 Fun.id in
+  Alcotest.(check (array int))
+    "squares, in order"
+    (Array.map (fun x -> x * x) items)
+    (Parallel.map ~jobs:4 (fun x -> x * x) items)
+
+let test_parallel_map_propagates () =
+  (* items 3, 10, 17, ... raise on worker domains; the lowest-indexed
+     failure must surface as itself, not as a join error *)
+  let f x = if x mod 7 = 3 then raise (Boom x) else x in
+  Alcotest.check_raises "lowest-indexed worker exception" (Boom 3) (fun () ->
+      ignore (Parallel.map ~jobs:3 f (Array.init 50 Fun.id)));
+  Alcotest.check_raises "sequential path too" (Boom 3) (fun () ->
+      ignore (Parallel.map ~jobs:1 f (Array.init 50 Fun.id)))
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ qcheck_lookahead_bound; qcheck_canonical_merge_total_order ]
+  @ [
+      Alcotest.test_case "chaos fingerprint d1=d8 (no replication)" `Slow
+        (test_chaos_domains_deterministic Totem_rrp.Style.No_replication);
+      Alcotest.test_case "chaos fingerprint d1=d8 (active)" `Slow
+        (test_chaos_domains_deterministic Totem_rrp.Style.Active);
+      Alcotest.test_case "chaos fingerprint d1=d8 (passive)" `Slow
+        (test_chaos_domains_deterministic Totem_rrp.Style.Passive);
+      Alcotest.test_case "Parallel.map results land by index" `Quick
+        test_parallel_map_results;
+      Alcotest.test_case "Parallel.map propagates worker exceptions" `Quick
+        test_parallel_map_propagates;
+    ]
