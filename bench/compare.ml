@@ -2,7 +2,8 @@
 
    Usage:
      compare.exe [--max-regression PCT] [--min-speedup R] [--against NAME]
-                 [--targets a,b,...] OLD.json NEW.json
+                 [--targets a,b,...] [--max-latency-regression PCT]
+                 OLD.json NEW.json
 
    Default mode compares events_per_sec for every target present in
    both files (optionally restricted by --targets) and exits non-zero
@@ -21,17 +22,26 @@
 
    gates the parallel simulator core's scaling inside one baseline.
 
+   --max-latency-regression PCT additionally diffs the per-style
+   delivery-latency quantiles (p50/p90/p99/p999 ms) of the "latency"
+   target and fails if any shared quantile grew by more than PCT.
+   Latency quantiles are measured in virtual time, so they are
+   deterministic across machines — unlike events_per_sec, a tight
+   threshold cannot be tripped by load noise. Quantiles null or missing
+   on either side (older baselines lack p999_ms) are skipped.
+
    Wired into `dune runtest` as the bench-diff smoke (current tree vs
    the committed previous-PR baseline, wire target only — the target
    with headroom measured in multiples, so machine noise cannot trip
-   it). *)
+   it — plus the deterministic latency-quantile gate). *)
 
 module Json = Totem_chaos.Chaos_json
 
 let usage () =
   prerr_endline
     "usage: compare.exe [--max-regression PCT] [--min-speedup R] [--against \
-     NAME] [--targets a,b,...] OLD.json NEW.json";
+     NAME] [--targets a,b,...] [--max-latency-regression PCT] OLD.json \
+     NEW.json";
   exit 2
 
 let read_file path =
@@ -70,16 +80,60 @@ let targets_of path =
     Printf.eprintf "compare: %s: missing targets array\n" path;
     exit 2
 
+(* style -> (quantile name, value in ms) list from the "latency" target.
+   Only numeric quantiles count: null (empty probe), "inf" (histogram
+   overflow) and absent keys (older baselines lack p999_ms) are
+   skipped, so old files stay usable as references. *)
+let quantile_names = [ "p50_ms"; "p90_ms"; "p99_ms"; "p999_ms" ]
+
+let latency_of path =
+  let doc =
+    match Json.parse (read_file path) with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  match Json.field doc "targets" with
+  | Some (Json.Arr targets) -> (
+    let is_latency t = Json.field t "name" = Some (Json.Str "latency") in
+    match List.find_opt is_latency targets with
+    | None -> []
+    | Some t -> (
+      match Json.field t "latency" with
+      | Some (Json.Arr styles) ->
+        List.map
+          (fun s ->
+            let style = Json.get_str s "style" path in
+            let quantiles =
+              List.filter_map
+                (fun name ->
+                  match Json.field s name with
+                  | Some (Json.Num v) -> Some (name, v)
+                  | _ -> None)
+                quantile_names
+            in
+            (style, quantiles))
+          styles
+      | _ -> []))
+  | _ -> []
+
 let () =
   let max_regression = ref 10.0 in
   let min_speedup = ref None in
   let against = ref None in
   let only = ref None in
+  let max_latency_regression = ref None in
   let files = ref [] in
   let rec parse_args = function
     | "--max-regression" :: pct :: rest ->
       (match float_of_string_opt pct with
       | Some p when p >= 0.0 -> max_regression := p
+      | _ -> usage ());
+      parse_args rest
+    | "--max-latency-regression" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> max_latency_regression := Some p
       | _ -> usage ());
       parse_args rest
     | "--min-speedup" :: r :: rest ->
@@ -186,6 +240,47 @@ let () =
         end)
       names
   | None, _ -> ());
+  (match !max_latency_regression with
+  | None -> ()
+  | Some pct ->
+    let old_lat = latency_of old_path and new_lat = latency_of new_path in
+    let compared = ref 0 in
+    List.iter
+      (fun (style, old_qs) ->
+        match List.assoc_opt style new_lat with
+        | None ->
+          Printf.printf "latency %-16s missing from %s (skipped)\n" style
+            new_path
+        | Some new_qs ->
+          List.iter
+            (fun (qname, old_ms) ->
+              match List.assoc_opt qname new_qs with
+              | None -> ()
+              | Some new_ms ->
+                incr compared;
+                let delta_pct =
+                  if old_ms = 0.0 then 0.0
+                  else (new_ms -. old_ms) /. old_ms *. 100.0
+                in
+                let verdict =
+                  if delta_pct > pct then begin
+                    failed := true;
+                    "REGRESSION"
+                  end
+                  else "ok"
+                in
+                Printf.printf
+                  "latency %-10s %-8s %10.3f -> %10.3f ms  %+7.1f%%  %s\n"
+                  style qname old_ms new_ms delta_pct verdict)
+            old_qs)
+      old_lat;
+    if !compared = 0 then begin
+      Printf.eprintf
+        "compare: --max-latency-regression: no shared latency quantiles \
+         between %s and %s\n"
+        old_path new_path;
+      failed := true
+    end);
   if pairs = [] then begin
     Printf.eprintf "compare: no shared targets between %s and %s\n" old_path
       new_path;
@@ -195,8 +290,11 @@ let () =
     (match !min_speedup with
     | Some r -> Printf.printf "FAIL: events/sec speedup below %.2fx\n" r
     | None ->
-      Printf.printf "FAIL: events/sec regression beyond %.1f%%\n"
-        !max_regression);
+      Printf.printf "FAIL: regression beyond threshold (events/sec %.1f%%%s)\n"
+        !max_regression
+        (match !max_latency_regression with
+        | Some p -> Printf.sprintf ", latency %.1f%%" p
+        | None -> ""));
     exit 1
   end
   else

@@ -432,18 +432,18 @@ let latency () =
     "Delivery latency: 4 nodes, 2 nets, 1 Kbyte messages, 500 msgs/s/node:@.";
   Array.iter
     (fun (name, probe) ->
-      let s = Metrics.latency_summary probe in
-      Format.printf
-        "  %-8s n=%6d  mean %6.3f ms   p50<=%.3f  p90<=%.3f  p99<=%.3f ms@." name
-        (Stats.Summary.count s) (Stats.Summary.mean s)
-        (Metrics.latency_quantile probe 0.5)
-        (Metrics.latency_quantile probe 0.9)
-        (Metrics.latency_quantile probe 0.99))
+      match Metrics.latency_summary probe with
+      | None -> Format.printf "  %-8s (no samples)@." name
+      | Some s ->
+        let q p = Option.value ~default:nan (Metrics.latency_quantile probe p) in
+        Format.printf
+          "  %-8s n=%6d  mean %6.3f ms   p50<=%.3f  p90<=%.3f  p99<=%.3f  \
+           p999<=%.3f ms@."
+          name (Stats.Summary.count s) (Stats.Summary.mean s) (q 0.5) (q 0.9)
+          (q 0.99) (q 0.999))
     results;
   expect "latency: all styles deliver"
-    (Array.for_all
-       (fun (_, probe) -> Stats.Summary.count (Metrics.latency_summary probe) > 0)
-       results)
+    (Array.for_all (fun (_, probe) -> Metrics.latency_count probe > 0) results)
     "a style delivered nothing"
 
 (* --- ablations ----------------------------------------------------- *)
@@ -852,16 +852,24 @@ let write_json path runs =
       let n = List.length !latency_results in
       List.iteri
         (fun i (style, probe) ->
-          let s = Metrics.latency_summary probe in
+          (* empty probes (n=0) emit explicit nulls, never nan *)
+          let mean =
+            match Metrics.latency_summary probe with
+            | Some s -> json_num (Stats.Summary.mean s)
+            | None -> "null"
+          in
+          let q p =
+            match Metrics.latency_quantile probe p with
+            | Some v -> json_num v
+            | None -> "null"
+          in
           pf "        {\n          \"style\": \"%s\",\n" (json_escape style);
-          pf "          \"count\": %d,\n" (Stats.Summary.count s);
-          pf "          \"mean_ms\": %s,\n" (json_num (Stats.Summary.mean s));
-          pf "          \"p50_ms\": %s,\n"
-            (json_num (Metrics.latency_quantile probe 0.5));
-          pf "          \"p90_ms\": %s,\n"
-            (json_num (Metrics.latency_quantile probe 0.9));
-          pf "          \"p99_ms\": %s,\n"
-            (json_num (Metrics.latency_quantile probe 0.99));
+          pf "          \"count\": %d,\n" (Metrics.latency_count probe);
+          pf "          \"mean_ms\": %s,\n" mean;
+          pf "          \"p50_ms\": %s,\n" (q 0.5);
+          pf "          \"p90_ms\": %s,\n" (q 0.9);
+          pf "          \"p99_ms\": %s,\n" (q 0.99);
+          pf "          \"p999_ms\": %s,\n" (q 0.999);
           emit_buckets "histogram" (Metrics.latency_histogram_dump probe);
           pf "\n        }%s\n" (if i < n - 1 then "," else ""))
         !latency_results;

@@ -251,15 +251,17 @@ let latency style nodes nets size seed =
   let probe = Metrics.install_latency cluster in
   Workload.fixed_rate cluster ~node:0 ~size ~interval:(Vtime.ms 5) ~count:500 ();
   Cluster.run_for cluster (Vtime.sec 4);
-  let s = Metrics.latency_summary probe in
-  Format.printf
-    "style=%s: latency over %d deliveries: mean %.3f ms, min %.3f, max %.3f, sd %.3f@."
-    (style_name style)
-    (Totem_engine.Stats.Summary.count s)
-    (Totem_engine.Stats.Summary.mean s)
-    (Totem_engine.Stats.Summary.min s)
-    (Totem_engine.Stats.Summary.max s)
-    (Totem_engine.Stats.Summary.stddev s)
+  (match Metrics.latency_summary probe with
+  | None -> Format.printf "style=%s: no deliveries recorded@." (style_name style)
+  | Some s ->
+    Format.printf
+      "style=%s: latency over %d deliveries: mean %.3f ms, min %.3f, max %.3f, sd %.3f@."
+      (style_name style)
+      (Totem_engine.Stats.Summary.count s)
+      (Totem_engine.Stats.Summary.mean s)
+      (Totem_engine.Stats.Summary.min s)
+      (Totem_engine.Stats.Summary.max s)
+      (Totem_engine.Stats.Summary.stddev s))
 
 let latency_cmd =
   let doc = "Measure submission-to-delivery latency under light load." in
@@ -268,20 +270,61 @@ let latency_cmd =
 
 (* --- trace ----------------------------------------------------------- *)
 
-let trace style nodes nets seed millis jsonl spans =
-  let cluster = make_cluster ~style ~nodes ~nets ~seed () in
+let trace style nodes nets seed millis jsonl spans wire sim_domains causal_out
+    recorder_out recorder_capacity =
+  let cluster = make_cluster ~wire ~sim_domains ~style ~nodes ~nets ~seed () in
+  let telemetry = Cluster.telemetry cluster in
   Totem_engine.Trace.enable (Cluster.trace cluster);
+  let causal =
+    Option.map (fun _ -> fst (Totem_engine.Causal.attach telemetry)) causal_out
+  in
+  let recorder =
+    Option.map
+      (fun _ ->
+        Totem_engine.Recorder.attach ~capacity:recorder_capacity ~nodes telemetry)
+      recorder_out
+  in
   Cluster.start cluster;
   for node = 0 to nodes - 1 do
     Totem_srp.Srp.submit (Cluster.srp (Cluster.node cluster node)) ~size:256 ()
   done;
   Cluster.run_for cluster (Vtime.ms millis);
-  let telemetry = Cluster.telemetry cluster in
+  (match (causal_out, causal) with
+  | Some path, Some c ->
+    let sink = open_sink path in
+    output_string (fst sink) (Totem_engine.Causal.chrome_json c);
+    close_sink sink;
+    let probe = Metrics.probe_of_causal c in
+    let n = Metrics.latency_count probe in
+    if n > 0 then
+      let q p =
+        Option.value ~default:Float.nan (Metrics.latency_quantile probe p)
+      in
+      Format.eprintf
+        "causal: %d messages, %d per-node deliveries: p50 %.3f ms, p99 %.3f ms@."
+        (List.length (Totem_engine.Causal.records c))
+        n (q 0.5) (q 0.99)
+  | _ -> ());
+  (match (recorder_out, recorder) with
+  | Some path, Some r ->
+    let oc, owned = open_sink path in
+    List.iter
+      (fun (node, lines) ->
+        List.iter
+          (fun line -> Printf.fprintf oc "{\"node\":%d,\"event\":%s}\n" node line)
+          lines)
+      (Totem_engine.Recorder.dump_jsonl r);
+    close_sink (oc, owned)
+  | _ -> ());
+  (* "-" routes a machine-readable stream to stdout; keep it parseable by
+     suppressing the default text dump, like the throughput command. *)
+  let stdout_taken = causal_out = Some "-" || recorder_out = Some "-" in
   if jsonl then Totem_engine.Telemetry.write_jsonl stdout telemetry
   else if spans then
     Totem_engine.Telemetry.pp_spans Format.std_formatter
       (Totem_engine.Telemetry.token_spans telemetry)
-  else Totem_engine.Trace.dump Format.std_formatter (Cluster.trace cluster)
+  else if not stdout_taken then
+    Totem_engine.Trace.dump Format.std_formatter (Cluster.trace cluster)
 
 let millis_t =
   Arg.(
@@ -301,12 +344,42 @@ let spans_t =
           "Render the token-rotation span view (one bar per rotation, \
            nested retransmit/hold activity) instead of the flat log.")
 
+let causal_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "causal-out" ] ~docv:"PATH"
+        ~doc:
+          "Reconstruct the causal trace of every client message — \
+           origination, ordering, per-network packet hops, retransmits, \
+           per-node delivery — and write it as Chrome trace_event JSON \
+           to $(docv) (\"-\" = stdout; open in chrome://tracing or \
+           Perfetto). Also prints a latency summary derived from the \
+           same spans.")
+
+let recorder_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recorder-out" ] ~docv:"PATH"
+        ~doc:
+          "Arm the per-node flight recorder and dump its rings at the \
+           end of the run as JSON lines ({\"node\":N,\"event\":...}, \
+           node -1 = fabric-level events) to $(docv) (\"-\" = stdout).")
+
+let recorder_capacity_t =
+  Arg.(
+    value & opt int 64
+    & info [ "recorder-capacity" ] ~docv:"N"
+        ~doc:"Flight-recorder ring capacity per node (most recent $(docv) events).")
+
 let trace_cmd =
   let doc = "Run briefly with protocol tracing enabled and dump the log." in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const trace $ style_t $ nodes_t $ nets_t $ seed_t $ millis_t $ jsonl_t
-      $ spans_t)
+      $ spans_t $ wire_bytes_t $ sim_domains_t $ causal_out_t $ recorder_out_t
+      $ recorder_capacity_t)
 
 (* --- sweep ------------------------------------------------------------ *)
 
@@ -451,6 +524,7 @@ let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
             cx_violation =
               (match final.Runner.violations with v :: _ -> Some v | [] -> None);
             cx_shrunk = shrunk;
+            cx_history = Runner.history_json final;
           };
         Format.printf "seed %d: wrote %s@." seed path)
     done;

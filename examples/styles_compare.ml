@@ -26,7 +26,11 @@ let run ~style ~num_nets ~size =
     Metrics.measure_throughput cluster ~warmup:(Vtime.ms 300)
       ~duration:(Vtime.sec 2)
   in
-  let lat = Metrics.latency_summary probe in
+  let lat =
+    match Metrics.latency_summary probe with
+    | Some s -> Totem_engine.Stats.Summary.mean s
+    | None -> Float.nan
+  in
   let util = Metrics.network_utilisation cluster ~net:0 in
   (tp, lat, util)
 
@@ -50,7 +54,7 @@ let () =
             [|
               tp.Metrics.msgs_per_sec;
               tp.Metrics.kbytes_per_sec;
-              Totem_engine.Stats.Summary.mean lat;
+              lat;
               util *. 100.0;
             |];
         })

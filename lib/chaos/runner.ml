@@ -6,6 +6,8 @@ module Config = Totem_cluster.Config
 module Workload = Totem_cluster.Workload
 module Scenario = Totem_cluster.Scenario
 
+module Recorder = Totem_engine.Recorder
+
 type result = {
   campaign : Campaign.t;
   monitor : Invariant.config;
@@ -14,6 +16,7 @@ type result = {
   delivered : int;
   finished_at : Vtime.t;
   events : int;
+  history : (int * string list) list;
 }
 
 let passed r = r.violations = []
@@ -32,6 +35,13 @@ let pp_result ppf r =
    what the simulation computes, only when we look at it. *)
 let slice = Vtime.ms 25
 
+(* Every run carries a flight recorder: a bounded per-node ring of the
+   most recent telemetry events, dumped into counterexamples so a
+   [.chaos.json] shows what each node was doing when the monitor fired.
+   The recorder is a read-only subscriber, so arming it cannot change
+   what the simulation computes. *)
+let recorder_capacity = 64
+
 let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
     ?(sim_domains = 0) campaign =
   (match Campaign.validate campaign with
@@ -45,6 +55,11 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
   in
   let cluster = Cluster.create config in
   let mon = Invariant.attach cluster monitor campaign in
+  let recorder =
+    Recorder.attach ~capacity:recorder_capacity
+      ~nodes:campaign.Campaign.num_nodes
+      (Cluster.telemetry cluster)
+  in
   (match sink with
   | Some f -> Telemetry.set_sink (Cluster.telemetry cluster) f
   | None -> ());
@@ -91,6 +106,8 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
       Invariant.final_checks mon ~submitted:(Campaign.submitted_messages campaign)
   end;
   Invariant.detach mon;
+  let history = Recorder.dump_jsonl recorder in
+  Recorder.detach recorder;
   (match sink with
   | Some _ -> Telemetry.clear_sink (Cluster.telemetry cluster)
   | None -> ());
@@ -102,6 +119,7 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
     delivered = Cluster.delivered_at cluster 0;
     finished_at = Cluster.now cluster;
     events = Cluster.events_processed cluster;
+    history;
   }
 
 (* --- shrinking ------------------------------------------------------- *)
@@ -169,14 +187,35 @@ let shrink ?(monitor = Invariant.default) ?(budget = 160) campaign
 
 module J = Chaos_json
 
-let schema = "totem-chaos/v1"
+let schema = "totem-chaos/v2"
+
+let schema_v1 = "totem-chaos/v1"
 
 type counterexample = {
   cx_campaign : Campaign.t;
   cx_monitor : Invariant.config;
   cx_violation : Invariant.violation option;
   cx_shrunk : bool;
+  cx_history : (int * J.t list) list;
 }
+
+(* The flight-recorder dump of a result, reparsed into JSON values so it
+   can be embedded in (and compared against) counterexample files.
+   Telemetry event JSON carries only integers and strings, so the
+   parse/print round trip is exact and structural equality is the same
+   as byte equality of the original JSONL lines. *)
+let history_json r =
+  List.map
+    (fun (node, lines) ->
+      ( node,
+        List.map
+          (fun line ->
+            match J.parse line with
+            | Ok v -> v
+            | Error m ->
+              invalid_arg ("Runner.history_json: unparseable event: " ^ m))
+          lines ))
+    r.history
 
 let counterexample_to_json cx =
   J.Obj
@@ -189,6 +228,12 @@ let counterexample_to_json cx =
         match cx.cx_violation with
         | None -> J.Null
         | Some v -> Invariant.violation_to_json v );
+      ( "history",
+        J.Arr
+          (List.map
+             (fun (node, events) ->
+               J.Obj [ ("node", J.int node); ("events", J.Arr events) ])
+             cx.cx_history) );
     ]
 
 let write_counterexample ~path cx =
@@ -205,7 +250,7 @@ let read_counterexample ~path =
   | Ok v -> (
     try
       (match J.get_str v "schema" path with
-      | s when s = schema -> ()
+      | s when s = schema || s = schema_v1 -> ()
       | s -> raise (J.Parse_error (Printf.sprintf "%s: unexpected schema \"%s\"" path s)));
       let campaign =
         match J.field v "campaign" with
@@ -222,12 +267,26 @@ let read_counterexample ~path =
         | None | Some J.Null -> None
         | Some vv -> Some (Invariant.violation_of_json vv path)
       in
+      (* v1 files carry no history block; read them as an empty dump so
+         replay skips the history comparison. *)
+      let history =
+        match J.field v "history" with
+        | None | Some J.Null -> []
+        | Some (J.Arr entries) ->
+          List.map
+            (fun e ->
+              (J.get_int e "node" path, J.get_list e "events" path))
+            entries
+        | Some _ ->
+          raise (J.Parse_error (path ^ ": \"history\" is not an array"))
+      in
       Ok
         {
           cx_campaign = campaign;
           cx_monitor = monitor;
           cx_violation = violation;
           cx_shrunk = J.get_bool v "shrunk" path;
+          cx_history = history;
         }
     with J.Parse_error m -> Error m)
 
@@ -254,7 +313,13 @@ let replay cx =
       expected.Invariant.invariant = got.Invariant.invariant
       && expected.Invariant.at = got.Invariant.at
       && expected.Invariant.detail = got.Invariant.detail
-    then Reproduced r
+    then
+      (* The violation matched; if the file carries a flight-recorder
+         dump (v2), the replay's event history must match too. *)
+      if cx.cx_history = [] || history_json r = cx.cx_history then Reproduced r
+      else
+        Diverged
+          (r, "violation reproduced, but the event history diverged")
     else
       Diverged
         ( r,

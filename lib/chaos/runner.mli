@@ -19,6 +19,11 @@ type result = {
   events : int;
       (** simulator events processed — with [delivered] and
           [finished_at], a cheap determinism fingerprint *)
+  history : (int * string list) list;
+      (** flight-recorder dump: for each node (and [-1] for fabric-level
+          events), the last events it saw as telemetry JSONL lines,
+          oldest first, bounded per node. Deterministic like the rest of
+          the result. *)
 }
 
 val passed : result -> bool
@@ -70,7 +75,8 @@ val shrink :
 (** {1 Counterexample files} *)
 
 val schema : string
-(** ["totem-chaos/v1"]. *)
+(** ["totem-chaos/v2"]. [read_counterexample] also accepts v1 files,
+    which simply carry no history block. *)
 
 type counterexample = {
   cx_campaign : Campaign.t;
@@ -81,7 +87,17 @@ type counterexample = {
   cx_shrunk : bool;
       (** false marks an unshrunk capture — the chaos-smoke alias fails
           if one is left in the tree *)
+  cx_history : (int * Chaos_json.t list) list;
+      (** flight-recorder dump of the capturing run, per node ([-1] =
+          fabric), each event a parsed telemetry JSON object; [] for v1
+          files and for captures made without history *)
 }
+
+val history_json : result -> (int * Chaos_json.t list) list
+(** A result's flight-recorder dump reparsed into JSON values, suitable
+    for [cx_history]. Telemetry event JSON is integers and strings
+    only, so the round trip is exact: structural equality of the parsed
+    values coincides with byte equality of the JSONL lines. *)
 
 val counterexample_to_json : counterexample -> Chaos_json.t
 
@@ -92,7 +108,8 @@ val read_counterexample : path:string -> (counterexample, string) Stdlib.result
 type replay_outcome =
   | Reproduced of result
       (** the replay hit the same invariant at the same virtual time
-          with the same detail *)
+          with the same detail — and, for v2 files, an identical
+          flight-recorder history *)
   | Diverged of result * string
   | Clean_replay of result
 

@@ -49,26 +49,50 @@ type latency_probe = {
 let latency_buckets =
   Array.init 60 (fun i -> 0.01 *. (1.26 ** float_of_int i))
 
+let fresh_probe armed_at =
+  {
+    summary = Stats.Summary.create ();
+    histogram = Stats.Histogram.create ~buckets:latency_buckets;
+    armed_at;
+  }
+
+let observe_latency probe ~sent ~delivered =
+  let lat = Vtime.to_float_ms (Vtime.sub delivered sent) in
+  Stats.Summary.observe probe.summary lat;
+  Stats.Histogram.observe probe.histogram lat
+
 let install_latency t =
-  let probe =
-    {
-      summary = Stats.Summary.create ();
-      histogram = Stats.Histogram.create ~buckets:latency_buckets;
-      armed_at = Cluster.now t;
-    }
-  in
+  let probe = fresh_probe (Cluster.now t) in
   Cluster.on_deliver t (fun _node m ->
       match m.Srp.Message.data with
       | Workload.Stamped sent when sent >= probe.armed_at ->
-        let lat = Vtime.to_float_ms (Vtime.sub (Cluster.now t) sent) in
-        Stats.Summary.observe probe.summary lat;
-        Stats.Histogram.observe probe.histogram lat
+        observe_latency probe ~sent ~delivered:(Cluster.now t)
       | _ -> ());
   probe
 
-let latency_summary probe = probe.summary
+(* A probe fed from a causal trace's per-message latency records
+   instead of live deliveries: the same quantile/bucket machinery, so
+   causally-traced runs and Workload.Stamped runs report through one
+   code path. *)
+let probe_of_causal causal =
+  let probe = fresh_probe Vtime.zero in
+  List.iter
+    (fun (l : Causal.latency) ->
+      observe_latency probe ~sent:l.Causal.l_sent
+        ~delivered:l.Causal.l_delivered)
+    (Causal.latencies causal);
+  probe
 
-let latency_quantile probe q = Stats.Histogram.quantile probe.histogram q
+let latency_count probe = Stats.Summary.count probe.summary
+
+(* Empty probes (n = 0) yield None rather than nan quantiles / nan
+   means, so JSON emitters write an explicit null instead. *)
+let latency_summary probe =
+  if latency_count probe = 0 then None else Some probe.summary
+
+let latency_quantile probe q =
+  if latency_count probe = 0 then None
+  else Some (Stats.Histogram.quantile probe.histogram q)
 
 let latency_histogram_dump probe = Stats.Histogram.dump probe.histogram
 

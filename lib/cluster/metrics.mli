@@ -31,12 +31,26 @@ val install_latency : Cluster.t -> latency_probe
 (** Records submission-to-delivery latency of every
     {!Workload.Stamped} message delivered anywhere, from now on. *)
 
-val latency_summary : latency_probe -> Totem_engine.Stats.Summary.t
-(** Latencies in milliseconds. *)
+val probe_of_causal : Totem_engine.Causal.t -> latency_probe
+(** A probe built from a causal trace's per-message latency records
+    ({!Totem_engine.Causal.latencies}) — the same quantile and bucket
+    machinery as {!install_latency}, fed offline. *)
 
-val latency_quantile : latency_probe -> float -> float
+val observe_latency :
+  latency_probe -> sent:Totem_engine.Vtime.t -> delivered:Totem_engine.Vtime.t -> unit
+(** Feed one latency observation directly. *)
+
+val latency_count : latency_probe -> int
+(** Observations recorded so far. *)
+
+val latency_summary : latency_probe -> Totem_engine.Stats.Summary.t option
+(** Latencies in milliseconds; [None] for an empty probe (n = 0), so
+    emitters write an explicit null rather than nan. *)
+
+val latency_quantile : latency_probe -> float -> float option
 (** Upper bound (log-spaced bucket edge) on the given latency quantile,
-    in milliseconds — e.g. [latency_quantile probe 0.99]. *)
+    in milliseconds — e.g. [latency_quantile probe 0.99]. [None] for an
+    empty probe (n = 0); [Some infinity] marks overflow-bucket values. *)
 
 val latency_histogram_dump : latency_probe -> (float * int) array
 (** Per-bucket latency counts, [(upper_bound_ms, count)] including the

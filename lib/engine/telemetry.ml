@@ -31,7 +31,28 @@ type event =
   | Token_release of { node : int; ring_id : int; trigger : release_trigger }
   (* message path *)
   | Msg_tx of { node : int; seq : int; bytes : int }
-  | Msg_deliver of { node : int; origin : int; bytes : int }
+  | Msg_deliver of { node : int; origin : int; tid : int; bytes : int }
+  (* causal message path: every client message carries a trace id
+     ([Causal.tid]) from origination to delivery (sim-side metadata
+     derived from (origin, app_seq); no wire-format change) *)
+  | Msg_originate of { node : int; tid : int; bytes : int; safe : bool }
+  | Msg_defer of { node : int; tid : int; pending : int }
+  | Msg_ordered of {
+      node : int;
+      tid : int;
+      ring_id : int;
+      seq : int;
+      frag : int;
+      frags : int;
+    }
+  | Packet_send of { node : int; net : int; ring_id : int; seq : int }
+  | Packet_recv of {
+      node : int;
+      net : int;
+      ring_id : int;
+      seq : int;
+      sender : int;
+    }
   | Dup_drop of { node : int; kind : drop_kind; seq : int }
   | Rtr_request of { node : int; count : int; low : int; high : int }
   | Rtr_serve of { node : int; seq : int }
@@ -297,6 +318,11 @@ let type_name = function
   | Token_release _ -> "token_release"
   | Msg_tx _ -> "msg_tx"
   | Msg_deliver _ -> "msg_deliver"
+  | Msg_originate _ -> "msg_originate"
+  | Msg_defer _ -> "msg_defer"
+  | Msg_ordered _ -> "msg_ordered"
+  | Packet_send _ -> "packet_send"
+  | Packet_recv _ -> "packet_recv"
   | Dup_drop _ -> "dup_drop"
   | Rtr_request _ -> "rtr_request"
   | Rtr_serve _ -> "rtr_serve"
@@ -322,12 +348,14 @@ let type_name = function
 let component_of = function
   | Token_rx { node; _ } | Token_tx { node; _ } | Token_retransmit { node; _ }
   | Token_loss { node; _ } | Msg_tx { node; _ } | Msg_deliver { node; _ }
+  | Msg_originate { node; _ } | Msg_defer { node; _ } | Msg_ordered { node; _ }
   | Dup_drop { node; _ } | Rtr_request { node; _ } | Rtr_serve { node; _ } ->
     Printf.sprintf "srp%d" node
   | Token_copy_rx { node; _ } | Token_hold { node; _ }
   | Token_release { node; _ } | Problem_incr { node; _ }
   | Problem_decay { node; _ } | Problem_threshold { node; _ }
-  | Recv_lag { node; _ } | Net_fault_marked { node; _ } ->
+  | Recv_lag { node; _ } | Net_fault_marked { node; _ }
+  | Packet_send { node; _ } | Packet_recv { node; _ } ->
     Printf.sprintf "rrp%d" node
   | Memb_transition { node; _ } | Ring_installed { node; _ } ->
     Printf.sprintf "memb%d" node
@@ -337,6 +365,27 @@ let component_of = function
   | Frame_crc_reject { net; _ } | Frame_decode_reject { net; _ } ->
     Printf.sprintf "net%d" net
   | Custom { component; _ } -> component
+
+(* Which simulated node an event happened on, if any: the key the
+   flight recorder ([Recorder]) shards its per-node rings by. Network
+   and fabric events that are not tied to a receiving NIC — losses,
+   blocks, in-flight corruption, status changes — have no node. *)
+let node_of_event = function
+  | Token_rx { node; _ } | Token_tx { node; _ } | Token_copy_rx { node; _ }
+  | Token_retransmit { node; _ } | Token_loss { node; _ }
+  | Token_hold { node; _ } | Token_release { node; _ } | Msg_tx { node; _ }
+  | Msg_deliver { node; _ } | Msg_originate { node; _ } | Msg_defer { node; _ }
+  | Msg_ordered { node; _ } | Packet_send { node; _ } | Packet_recv { node; _ }
+  | Dup_drop { node; _ } | Rtr_request { node; _ } | Rtr_serve { node; _ }
+  | Problem_incr { node; _ } | Problem_decay { node; _ }
+  | Problem_threshold { node; _ } | Recv_lag { node; _ }
+  | Net_fault_marked { node; _ } | Memb_transition { node; _ }
+  | Ring_installed { node; _ } | Buffer_drop { node; _ }
+  | Frame_crc_reject { node; _ } | Frame_decode_reject { node; _ } ->
+    Some node
+  | Frame_loss _ | Frame_blocked _ | Net_status _ | Frame_corrupt _ | Custom _
+    ->
+    None
 
 let pp_tok ppf (tk : token_info) =
   Format.fprintf ppf "ring=%d rot=%d hop=%d seq=%d" tk.ring_id tk.rotation
@@ -366,8 +415,22 @@ let message_of ev =
           (trigger_name trigger)
       | Msg_tx { seq; bytes; _ } ->
         Format.fprintf ppf "packet tx seq=%d bytes=%d" seq bytes
-      | Msg_deliver { origin; bytes; _ } ->
-        Format.fprintf ppf "deliver origin=N%d bytes=%d" origin bytes
+      | Msg_deliver { origin; tid; bytes; _ } ->
+        Format.fprintf ppf "deliver origin=N%d tid=%d bytes=%d" origin tid bytes
+      | Msg_originate { tid; bytes; safe; _ } ->
+        Format.fprintf ppf "originate tid=%d bytes=%d%s" tid bytes
+          (if safe then " safe" else "")
+      | Msg_defer { tid; pending; _ } ->
+        Format.fprintf ppf "flow defer tid=%d pending=%d" tid pending
+      | Msg_ordered { tid; ring_id; seq; frag; frags; _ } ->
+        Format.fprintf ppf "ordered tid=%d ring=%d seq=%d frag=%d/%d" tid
+          ring_id seq frag frags
+      | Packet_send { net; ring_id; seq; _ } ->
+        Format.fprintf ppf "packet send on net%d (ring=%d seq=%d)" net ring_id
+          seq
+      | Packet_recv { net; ring_id; seq; sender; _ } ->
+        Format.fprintf ppf "packet recv on net%d (ring=%d seq=%d from N%d)" net
+          ring_id seq sender
       | Dup_drop { kind; seq; _ } ->
         Format.fprintf ppf "duplicate %s dropped (seq=%d)"
           (match kind with Drop_token -> "token" | Drop_packet -> "packet")
@@ -448,8 +511,21 @@ let fields_of_event ev =
   | Token_release { node; ring_id; trigger } ->
     [ i "node" node; i "ring_id" ring_id; s "trigger" (trigger_name trigger) ]
   | Msg_tx { node; seq; bytes } -> [ i "node" node; i "seq" seq; i "bytes" bytes ]
-  | Msg_deliver { node; origin; bytes } ->
-    [ i "node" node; i "origin" origin; i "bytes" bytes ]
+  | Msg_deliver { node; origin; tid; bytes } ->
+    [ i "node" node; i "origin" origin; i "tid" tid; i "bytes" bytes ]
+  | Msg_originate { node; tid; bytes; safe } ->
+    [ i "node" node; i "tid" tid; i "bytes" bytes;
+      ("safe", if safe then "true" else "false") ]
+  | Msg_defer { node; tid; pending } ->
+    [ i "node" node; i "tid" tid; i "pending" pending ]
+  | Msg_ordered { node; tid; ring_id; seq; frag; frags } ->
+    [ i "node" node; i "tid" tid; i "ring_id" ring_id; i "seq" seq;
+      i "frag" frag; i "frags" frags ]
+  | Packet_send { node; net; ring_id; seq } ->
+    [ i "node" node; i "net" net; i "ring_id" ring_id; i "seq" seq ]
+  | Packet_recv { node; net; ring_id; seq; sender } ->
+    [ i "node" node; i "net" net; i "ring_id" ring_id; i "seq" seq;
+      i "sender" sender ]
   | Dup_drop { node; kind; seq } ->
     [ i "node" node;
       s "kind" (match kind with Drop_token -> "token" | Drop_packet -> "packet");

@@ -33,7 +33,38 @@ type event =
   | Token_hold of { node : int; tok : token_info; aru : int }
   | Token_release of { node : int; ring_id : int; trigger : release_trigger }
   | Msg_tx of { node : int; seq : int; bytes : int }
-  | Msg_deliver of { node : int; origin : int; bytes : int }
+  | Msg_deliver of { node : int; origin : int; tid : int; bytes : int }
+      (** agreed/safe delivery to the application on [node]; [tid] is
+          the causal trace id ({!Causal.tid_of}) of the message *)
+  | Msg_originate of { node : int; tid : int; bytes : int; safe : bool }
+      (** a client message entered the SRP send path on its origin
+          node — the root of the causal span tree for [tid] *)
+  | Msg_defer of { node : int; tid : int; pending : int }
+      (** flow control deferred [tid] (head of the pending queue) past
+          this token visit; [pending] elements are waiting *)
+  | Msg_ordered of {
+      node : int;
+      tid : int;
+      ring_id : int;
+      seq : int;
+      frag : int;
+      frags : int;
+    }
+      (** the origin assigned ring sequence [seq] to fragment
+          [frag]/[frags] of message [tid] — the join point between
+          trace ids and wire-level (ring, seq) packets *)
+  | Packet_send of { node : int; net : int; ring_id : int; seq : int }
+      (** the RRP layer handed data packet (ring, seq) to network
+          [net]; one event per (logical send, network) pair *)
+  | Packet_recv of {
+      node : int;
+      net : int;
+      ring_id : int;
+      seq : int;
+      sender : int;
+    }
+      (** a data packet arrived at [node] on [net] (before duplicate
+          filtering; emitted once per received copy, any RRP style) *)
   | Dup_drop of { node : int; kind : drop_kind; seq : int }
   | Rtr_request of { node : int; count : int; low : int; high : int }
   | Rtr_serve of { node : int; seq : int }
@@ -197,6 +228,10 @@ val metrics : t -> (string * metric) list
 
 (** {1 Exporters} *)
 
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes,
+    backslashes, control characters). *)
+
 val json_of_event : Vtime.t -> event -> string
 (** One JSON object (no trailing newline): [{"t_ns":..,"type":..,...}]. *)
 
@@ -219,6 +254,12 @@ val pp_entry : Format.formatter -> entry -> unit
 
 val component_of : event -> string
 (** Component label, e.g. ["srp3"], ["rrp0"], ["net1"]. *)
+
+val node_of_event : event -> int option
+(** The simulated node an event happened on: [None] for network-level
+    events not tied to a receiving NIC ([Frame_loss], [Frame_blocked],
+    [Net_status], [Frame_corrupt]) and for [Custom]. The flight
+    recorder ({!Recorder}) shards its per-node rings by this key. *)
 
 val message_of : event -> string
 (** Human-readable rendering, matching the legacy [Trace] style. *)

@@ -105,6 +105,16 @@ let data_frame b p = Srp.Wire.data_frame b.const ~src:b.node p
 
 let send_data_frame_on b ~net frame =
   b.data_sent.(net) <- b.data_sent.(net) + 1;
+  (* Causal hop: one Packet_send per (logical send, network), whatever
+     replication style drove the fan-out — this is the single choke
+     point every data frame passes on its way to the fabric. *)
+  (if tel_active b then
+     match frame.Totem_net.Frame.payload with
+     | Srp.Wire.Data p ->
+       tel_emit b
+         (Telemetry.Packet_send
+            { node = b.node; net; ring_id = p.Srp.Wire.ring_id; seq = p.seq })
+     | _ -> ());
   Totem_net.Fabric.broadcast b.fabric ~net frame
 
 let send_data_on b ~net p = send_data_frame_on b ~net (data_frame b p)

@@ -52,6 +52,22 @@ let connect t ~deliver_data ~deliver_token ~deliver_join ~deliver_probe
   cb.Callbacks.on_fault_report <- on_fault_report
 
 let frame_received t ~net frame =
+  (* Causal hop: one Packet_recv per received data-frame copy (before
+     any style-specific duplicate filtering), emitted centrally so all
+     four styles are covered by one site. *)
+  (if Layer.tel_active t.base then
+     match frame.Totem_net.Frame.payload with
+     | Srp.Wire.Data p ->
+       Layer.tel_emit t.base
+         (Totem_engine.Telemetry.Packet_recv
+            {
+              node = Layer.node t.base;
+              net;
+              ring_id = p.Srp.Wire.ring_id;
+              seq = p.Srp.Wire.seq;
+              sender = frame.Totem_net.Frame.src;
+            })
+     | _ -> ());
   match t.impl with
   | Single s -> Single.frame_received s ~net frame
   | Active a -> Active.frame_received a ~net frame

@@ -152,7 +152,13 @@ let deliver_message t (m : Message.t) =
   t.stats.delivered_bytes <- t.stats.delivered_bytes + m.size;
   if tel_active t then
     tel_emit t
-      (Telemetry.Msg_deliver { node = t.me; origin = m.origin; bytes = m.size });
+      (Telemetry.Msg_deliver
+         {
+           node = t.me;
+           origin = m.origin;
+           tid = Causal.tid_of ~origin:m.origin ~app_seq:m.app_seq;
+           bytes = m.size;
+         });
   t.callbacks.on_deliver m
 
 let deliver_element t (e : Wire.element) =
@@ -537,6 +543,15 @@ and collect_for_packets t max_packets =
           | None -> ()
           | Some (size, data) ->
             t.app_seq <- t.app_seq + 1;
+            if tel_active t then
+              tel_emit t
+                (Telemetry.Msg_originate
+                   {
+                     node = t.me;
+                     tid = Causal.tid_of ~origin:t.me ~app_seq:t.app_seq;
+                     bytes = size;
+                     safe = false;
+                   });
             t.pending_elements <-
               Packing.elements_of_message t.const
                 (Message.make ~origin:t.me ~app_seq:t.app_seq ~size ~data ()))
@@ -552,6 +567,20 @@ and collect_for_packets t max_packets =
         t.pending_elements <- rest;
         go ()
       end
+      else if tel_active t then
+        (* The flow window closed with work still queued: record the
+           deferral against the head element's message so the causal
+           view shows where backpressure held each message up. *)
+        tel_emit t
+          (Telemetry.Msg_defer
+             {
+               node = t.me;
+               tid =
+                 Causal.tid_of ~origin:e.message.origin
+                   ~app_seq:e.message.app_seq;
+               pending =
+                 List.length t.pending_elements + Queue.length t.send_queue;
+             })
   in
   go ();
   List.rev !acc
@@ -637,7 +666,7 @@ and process_token t (tok : Token.t) =
          messages in the same total order and serves retransmissions. *)
       ignore (Recv_buffer.store t.store packet);
       t.stats.sent_packets <- t.stats.sent_packets + 1;
-      if tel_active t then
+      if tel_active t then begin
         tel_emit t
           (Telemetry.Msg_tx
              {
@@ -645,6 +674,30 @@ and process_token t (tok : Token.t) =
                seq = !seq;
                bytes = Wire.packet_payload_bytes t.const packet;
              });
+        (* The join point between trace ids and wire packets: each
+           element of the packet records that its message (fragment)
+           was assigned this ring sequence number. *)
+        List.iter
+          (fun (e : Wire.element) ->
+            let frag, frags =
+              match e.fragment with
+              | None -> (0, 1)
+              | Some f -> (f.index, f.count)
+            in
+            tel_emit t
+              (Telemetry.Msg_ordered
+                 {
+                   node = t.me;
+                   tid =
+                     Causal.tid_of ~origin:e.message.origin
+                       ~app_seq:e.message.app_seq;
+                   ring_id = t.ring_id;
+                   seq = !seq;
+                   frag;
+                   frags;
+                 }))
+          elements
+      end;
       Cpu.submit t.cpu ~cost:(packet_cost packet) (fun () ->
           if still_valid () then t.lower.send_data packet))
     groups;
@@ -1019,6 +1072,15 @@ let create sim ~cpu ~const ~me ~lower ?trace callbacks =
 
 let submit t ~size ?(safe = false) ?(data = Message.Blob) () =
   t.app_seq <- t.app_seq + 1;
+  if tel_active t then
+    tel_emit t
+      (Telemetry.Msg_originate
+         {
+           node = t.me;
+           tid = Causal.tid_of ~origin:t.me ~app_seq:t.app_seq;
+           bytes = size;
+           safe;
+         });
   Queue.add
     (Message.make ~origin:t.me ~app_seq:t.app_seq ~size ~safe ~data ())
     t.send_queue

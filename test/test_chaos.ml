@@ -175,7 +175,10 @@ let test_shrink_round_trip () =
       cx_monitor = broken_monitor;
       cx_violation = Some v';
       cx_shrunk = true;
+      cx_history = Runner.history_json r;
     };
+  Alcotest.(check bool) "flight recorder captured history" true
+    (r.Runner.history <> []);
   let outcome = Runner.replay_file ~path in
   Sys.remove path;
   match outcome with

@@ -48,7 +48,11 @@ let test_latency_probe () =
   Workload.fixed_rate t.cluster ~node:1 ~size:512 ~interval:(Vtime.ms 5)
     ~count:100 ();
   run_ms t 1000;
-  let s = Metrics.latency_summary probe in
+  let s =
+    match Metrics.latency_summary probe with
+    | Some s -> s
+    | None -> Alcotest.fail "latency probe is empty"
+  in
   Alcotest.(check bool) "samples collected (100 msgs x 4 nodes)" true
     (Totem_engine.Stats.Summary.count s = 400);
   let mean = Totem_engine.Stats.Summary.mean s in

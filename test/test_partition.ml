@@ -108,8 +108,8 @@ let qcheck_canonical_merge_total_order =
 
 (* One fixed chaos schedule per replication style, byte-wire mode on:
    the full result fingerprint (violations, deliveries, finish time,
-   events processed) must be bitwise-identical between sim_domains = 1
-   and sim_domains = 8. *)
+   events processed, flight-recorder history) must be bitwise-identical
+   between sim_domains = 1 and sim_domains = 8. *)
 let chaos_campaign style =
   Campaign.make ~num_nodes:4 ~num_nets:2 ~style ~seed:97
     ~duration:(Vtime.ms 400) ~quiesce:(Vtime.ms 1200)
@@ -124,7 +124,11 @@ let chaos_campaign style =
     ]
 
 let fingerprint (r : Runner.result) =
-  (r.Runner.violations, r.Runner.delivered, r.Runner.finished_at, r.Runner.events)
+  ( r.Runner.violations,
+    r.Runner.delivered,
+    r.Runner.finished_at,
+    r.Runner.events,
+    r.Runner.history )
 
 let test_chaos_domains_deterministic style () =
   let campaign = chaos_campaign style in

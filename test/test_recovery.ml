@@ -77,8 +77,13 @@ let test_latency_percentiles () =
   Workload.fixed_rate t.cluster ~node:0 ~size:512 ~interval:(Vtime.ms 3)
     ~count:300 ();
   run_ms t 2000;
-  let p50 = Metrics.latency_quantile probe 0.5 in
-  let p99 = Metrics.latency_quantile probe 0.99 in
+  let q p =
+    match Metrics.latency_quantile probe p with
+    | Some v -> v
+    | None -> Alcotest.fail "latency probe is empty"
+  in
+  let p50 = q 0.5 in
+  let p99 = q 0.99 in
   Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
   Alcotest.(check bool) "p99 within LAN bounds" true (p99 > 0.01 && p99 < 100.0)
 

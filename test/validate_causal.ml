@@ -1,0 +1,283 @@
+(* Validator for the causal-trace export (`totem_sim trace
+   --causal-out`), run from the trace-smoke alias: checks that the file
+   is a well-formed Chrome trace_event document whose async message
+   flows nest properly — exactly one "b"/"e" pair per flow id with
+   ts(e) >= ts(b), every "n" instant attached to a known flow at or
+   after its begin, every "X" delivery span with a non-negative
+   duration. Like validate_telemetry.ml the JSON parser is deliberately
+   minimal and dependency-free.
+
+   Usage: validate_causal FILE *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* --- parser --------------------------------------------------------- *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> bad "at byte %d: expected '%c', found '%c'" c.pos ch x
+  | None -> bad "at byte %d: expected '%c', found end of input" c.pos ch
+
+let literal c word value =
+  String.iter (fun ch -> expect c ch) word;
+  value
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> bad "unterminated string at byte %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.text then
+          bad "truncated \\u escape at byte %d" c.pos;
+        let hex = String.sub c.text (c.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+        | Some _ -> Buffer.add_char buf '?' (* non-ASCII: presence is enough *)
+        | None -> bad "bad \\u escape \"%s\" at byte %d" hex c.pos);
+        c.pos <- c.pos + 4
+      | _ -> bad "bad escape at byte %d" c.pos);
+      advance c;
+      go ()
+    | Some ch when Char.code ch < 0x20 ->
+      bad "unescaped control character 0x%02x at byte %d" (Char.code ch) c.pos
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let numeric = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when numeric ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> bad "bad number \"%s\" at byte %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> bad "unexpected end of input at byte %d" c.pos
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> bad "expected ',' or '}' at byte %d" c.pos
+      in
+      members []
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements (v :: acc)
+        | Some ']' ->
+          advance c;
+          Arr (List.rev (v :: acc))
+        | _ -> bad "expected ',' or ']' at byte %d" c.pos
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse_document text =
+  let c = { text; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length text then
+    bad "trailing garbage at byte %d" c.pos;
+  v
+
+(* --- validation ----------------------------------------------------- *)
+
+let field obj name =
+  match obj with
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let require_num obj name where =
+  match field obj name with
+  | Some (Num f) -> f
+  | Some _ -> bad "%s: \"%s\" is not a number" where name
+  | None -> bad "%s: missing \"%s\"" where name
+
+let require_str obj name where =
+  match field obj name with
+  | Some (Str s) -> s
+  | Some _ -> bad "%s: \"%s\" is not a string" where name
+  | None -> bad "%s: missing \"%s\"" where name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let validate path =
+  let v = try parse_document (read_file path) with Bad m -> bad "%s: %s" path m in
+  (match field v "displayTimeUnit" with
+  | Some (Str _) -> ()
+  | Some _ -> bad "%s: \"displayTimeUnit\" is not a string" path
+  | None -> bad "%s: missing \"displayTimeUnit\"" path);
+  let events =
+    match field v "traceEvents" with
+    | Some (Arr es) -> es
+    | Some _ -> bad "%s: \"traceEvents\" is not an array" path
+    | None -> bad "%s: missing \"traceEvents\"" path
+  in
+  if events = [] then bad "%s: empty traceEvents" path;
+  let begins : (float, float) Hashtbl.t = Hashtbl.create 64 in
+  let ends : (float, float) Hashtbl.t = Hashtbl.create 64 in
+  let instants = ref [] in
+  List.iteri
+    (fun i ev ->
+      let where = Printf.sprintf "%s: event %d" path i in
+      (match ev with Obj _ -> () | _ -> bad "%s: not a JSON object" where);
+      let ph = require_str ev "ph" where in
+      let ts = require_num ev "ts" where in
+      if ts < 0.0 then bad "%s: negative ts %f" where ts;
+      ignore (require_str ev "name" where);
+      ignore (require_num ev "pid" where);
+      ignore (require_num ev "tid" where);
+      match ph with
+      | "b" ->
+        let id = require_num ev "id" where in
+        if Hashtbl.mem begins id then
+          bad "%s: duplicate begin for flow id %.0f" where id;
+        Hashtbl.add begins id ts
+      | "e" ->
+        let id = require_num ev "id" where in
+        if Hashtbl.mem ends id then
+          bad "%s: duplicate end for flow id %.0f" where id;
+        Hashtbl.add ends id ts
+      | "n" ->
+        let id = require_num ev "id" where in
+        instants := (id, ts, where) :: !instants
+      | "X" ->
+        let dur = require_num ev "dur" where in
+        if dur < 0.0 then bad "%s: negative span duration %f" where dur
+      | "i" -> () (* unattributable wire-reject instant *)
+      | ph -> bad "%s: unexpected phase \"%s\"" where ph)
+    events;
+  if Hashtbl.length begins = 0 then bad "%s: no message flows" path;
+  Hashtbl.iter
+    (fun id b ->
+      match Hashtbl.find_opt ends id with
+      | None -> bad "%s: flow id %.0f begins but never ends" path id
+      | Some e ->
+        if e < b then
+          bad "%s: flow id %.0f ends at %f before it begins at %f" path id e b)
+    begins;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem begins id) then
+        bad "%s: flow id %.0f ends but never begins" path id)
+    ends;
+  List.iter
+    (fun (id, ts, where) ->
+      match Hashtbl.find_opt begins id with
+      | None -> bad "%s: instant for unknown flow id %.0f" where id
+      | Some b ->
+        if ts < b then
+          bad "%s: instant at %f precedes its flow's begin at %f" where ts b)
+    !instants;
+  Printf.printf "causal %s: %d flows, %d events ok\n" path
+    (Hashtbl.length begins) (List.length events)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; path ] -> (
+    try validate path
+    with Bad m ->
+      prerr_endline ("validate_causal: " ^ m);
+      exit 1)
+  | _ ->
+    prerr_endline "usage: validate_causal FILE";
+    exit 2
