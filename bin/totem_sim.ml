@@ -6,7 +6,10 @@
      latency      measure end-to-end delivery latency under light load
      trace        run briefly with protocol tracing and dump the events
      chaos        drive random fault campaigns under the online invariant
-                  monitors; shrink and replay counterexamples *)
+                  monitors; shrink and replay counterexamples
+     mc           bounded exhaustive model checking: every interleaving of a
+                  small chaos-op alphabet, with state-fingerprint pruning,
+                  plus an arbitrary-state self-stabilization mode *)
 
 module Cluster = Totem_cluster.Cluster
 module Config = Totem_cluster.Config
@@ -645,6 +648,247 @@ let chaos_cmd =
       $ condemn_ms_t $ sporadic_max_t $ chaos_wire_t $ chaos_shadow_t
       $ sim_domains_t)
 
+(* --- mc: bounded exhaustive model checking --------------------------- *)
+
+module Explorer = Totem_chaos.Explorer
+
+let alphabet_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "full" -> Ok `Full
+    | "fail-heal" -> Ok `Fail_heal
+    | "corrupt" -> Ok `Corrupt
+    | "partition" -> Ok `Partition
+    | _ -> Error (`Msg "expected full|fail-heal|corrupt|partition")
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | `Full -> "full"
+      | `Fail_heal -> "fail-heal"
+      | `Corrupt -> "corrupt"
+      | `Partition -> "partition")
+  in
+  Arg.conv (parse, print)
+
+let mc_alphabet ~kind ~nets =
+  let per net =
+    match kind with
+    | `Full ->
+      [
+        Campaign.Fail_net net;
+        Campaign.Heal_net net;
+        Campaign.Set_corrupt (net, 0.5);
+        Campaign.Set_corrupt (net, 0.0);
+        Campaign.Partition (net, [ 0 ], [ 1 ]);
+        Campaign.Unpartition (net, [ 0 ], [ 1 ]);
+      ]
+    | `Fail_heal -> [ Campaign.Fail_net net; Campaign.Heal_net net ]
+    | `Corrupt ->
+      [ Campaign.Set_corrupt (net, 0.5); Campaign.Set_corrupt (net, 0.0) ]
+    | `Partition ->
+      [
+        Campaign.Partition (net, [ 0 ], [ 1 ]);
+        Campaign.Unpartition (net, [ 0 ], [ 1 ]);
+      ]
+  in
+  List.concat (List.init nets per)
+
+let mc style nodes nets seed depth alphabet_kind alphabet_nets gap_ms settle_ms
+    hold_ms quiesce_ms token_gap_ms lag_limit condemn_ms sporadic_max wire
+    sim_domains out_dir expect_explored expect_pruned arbitrary_state quiet =
+  let monitor =
+    monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max
+  in
+  try
+    let alphabet_nets =
+      match alphabet_nets with Some n -> n | None -> nets - 1
+    in
+    if alphabet_nets < 1 || alphabet_nets >= nets then
+      invalid_arg "mc: --alphabet-nets must leave at least one untouched net";
+    let alphabet = mc_alphabet ~kind:alphabet_kind ~nets:alphabet_nets in
+    let cfg =
+      Explorer.make ~num_nodes:nodes ~num_nets:nets ~style ~seed ~wire ~depth
+        ~alphabet
+        ?gap:(Option.map Vtime.ms gap_ms)
+        ~settle:(Vtime.ms settle_ms) ~hold:(Vtime.ms hold_ms)
+        ~quiesce:(Vtime.ms quiesce_ms) ~monitor ~sim_domains ()
+    in
+    match arbitrary_state with
+    | Some points ->
+      let rep = Explorer.stabilize cfg ~points in
+      if not quiet then
+        List.iter
+          (fun (t, what) -> Format.printf "%a: %s@." Vtime.pp t what)
+          rep.Explorer.s_perturbations;
+      if Explorer.stabilized rep then begin
+        Format.printf
+          "stabilized: %d perturbations absorbed (operational, common ring, \
+           delivery progressed)@."
+          points;
+        exit 0
+      end
+      else begin
+        Format.printf
+          "NOT STABILIZED after %d perturbations: operational=%b \
+           common-ring=%b progressed=%b, %d monitor violations@."
+          points rep.Explorer.s_operational rep.Explorer.s_common_ring
+          rep.Explorer.s_progressed
+          (List.length rep.Explorer.s_violations);
+        List.iter
+          (fun v -> Format.printf "  %a@." Invariant.pp_violation v)
+          rep.Explorer.s_violations;
+        exit 1
+      end
+    | None -> (
+      let o = Explorer.explore cfg in
+      let s = o.Explorer.o_stats in
+      Format.printf
+        "mc %s: depth %d, alphabet %d, gap %a: %d leaves, %d explored, %d \
+         pruned, %d distinct states, %d prefix runs@."
+        (style_name style) depth s.Explorer.alphabet_size Vtime.pp
+        o.Explorer.o_gap s.Explorer.total_leaves s.Explorer.leaves_explored
+        s.Explorer.leaves_pruned s.Explorer.distinct_states
+        s.Explorer.interior_runs;
+      match o.Explorer.o_found with
+      | Some f ->
+        Format.printf "VIOLATION on path [%s]@."
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Campaign.pp_op)
+                f.Explorer.f_path));
+        (match f.Explorer.f_result.Runner.violations with
+        | v :: _ ->
+          Format.printf "  %a@." Invariant.pp_violation v;
+          let sh = Runner.shrink ~monitor f.Explorer.f_campaign v in
+          Format.printf "  shrunk %d steps -> %d in %d re-executions@."
+            sh.Runner.original_steps sh.Runner.minimized_steps
+            sh.Runner.runs_used;
+          let cx =
+            Explorer.to_counterexample ~shrunk:true cfg sh.Runner.minimized
+          in
+          if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+          let path =
+            Filename.concat out_dir
+              (Printf.sprintf "mc-%s-depth%d.chaos.json" (style_name style)
+                 depth)
+          in
+          Runner.write_counterexample ~path cx;
+          Format.printf "  wrote %s@." path
+        | [] ->
+          Format.printf
+            "  (leaf-form re-run did not reproduce — prefix-only artifact)@.");
+        exit 1
+      | None ->
+        let mismatch name expected got =
+          match expected with
+          | Some e when e <> got ->
+            Format.printf "EXPECTATION MISMATCH: %s = %d, expected %d@." name
+              got e;
+            true
+          | _ -> false
+        in
+        let bad =
+          mismatch "explored" expect_explored s.Explorer.leaves_explored
+        in
+        let bad' = mismatch "pruned" expect_pruned s.Explorer.leaves_pruned in
+        if bad || bad' then exit 1
+        else if not quiet then
+          Format.printf "zero invariant violations across all interleavings@.")
+  with Invalid_argument m ->
+    Format.eprintf "mc: %s@." m;
+    exit 2
+
+let depth_t =
+  Arg.(
+    value & opt int 3
+    & info [ "depth" ] ~docv:"D"
+        ~doc:"Ops per interleaving; the explorer enumerates A^$(docv) paths.")
+
+let alphabet_t =
+  Arg.(
+    value & opt alphabet_conv `Full
+    & info [ "alphabet" ] ~docv:"KIND"
+        ~doc:
+          "Op alphabet per controllable network: full (fail/heal, \
+           corrupt-on/off, partition/unpartition), fail-heal, corrupt, or \
+           partition.")
+
+let alphabet_nets_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "alphabet-nets" ] ~docv:"N"
+        ~doc:
+          "How many networks (0..N-1) the alphabet touches; default all but \
+           the last, keeping every path inside the tolerated fault model.")
+
+let gap_ms_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gap-ms" ] ~docv:"MS"
+        ~doc:
+          "Decision-point spacing; default calibrates to twice the measured \
+           token-rotation time (floor 5 ms).")
+
+let settle_ms_t =
+  Arg.(
+    value & opt int 40
+    & info [ "settle-ms" ] ~docv:"MS" ~doc:"Quiet time before the first op.")
+
+let hold_ms_t =
+  Arg.(
+    value & opt int 40
+    & info [ "hold-ms" ] ~docv:"MS"
+        ~doc:"Time after the last op before the administrator heal.")
+
+let mc_quiesce_ms_t =
+  Arg.(
+    value & opt int 500
+    & info [ "quiesce-ms" ] ~docv:"MS"
+        ~doc:"Heal-and-drain tail before the end-of-run checks.")
+
+let expect_explored_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "expect-explored" ] ~docv:"N"
+        ~doc:
+          "Fail (exit 1) unless exactly $(docv) leaves were explored — CI \
+           guard for count stability.")
+
+let expect_pruned_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "expect-pruned" ] ~docv:"N"
+        ~doc:"Fail (exit 1) unless exactly $(docv) leaves were pruned.")
+
+let arbitrary_state_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "arbitrary-state" ] ~docv:"N"
+        ~doc:
+          "Instead of enumerating fault schedules, perturb \
+           protocol-internal state (forged tokens, problem counters, \
+           reception-count monitors) at $(docv) points and check the \
+           protocol stabilizes back to a live, progressing ring.")
+
+let mc_cmd =
+  let doc =
+    "Bounded exhaustive model checking: run every interleaving of a small \
+     chaos-op alphabet at token-rotation granularity under the invariant \
+     monitors, with state-fingerprint pruning of symmetric paths."
+  in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(
+      const mc $ style_t $ nodes_t $ nets_t $ seed_t $ depth_t $ alphabet_t
+      $ alphabet_nets_t $ gap_ms_t $ settle_ms_t $ hold_ms_t $ mc_quiesce_ms_t
+      $ token_gap_ms_t $ lag_limit_t $ condemn_ms_t $ sporadic_max_t
+      $ chaos_wire_t $ sim_domains_t $ out_dir_t $ expect_explored_t
+      $ expect_pruned_t $ arbitrary_state_t $ quiet_t)
+
 (* --- main ------------------------------------------------------------ *)
 
 let () =
@@ -660,4 +904,5 @@ let () =
             latency_cmd;
             trace_cmd;
             chaos_cmd;
+            mc_cmd;
           ]))

@@ -146,15 +146,21 @@ let on_deliver t node m =
         node (fst key) (snd key) pos r_origin r_seq
   end
 
-let check_detection t ~net ~now =
+let check_detection ?(outstanding = false) t ~net ~now =
   match (t.config.condemn_within, t.down_since.(net)) with
   | Some bound, Some t0
     when t.tolerated
          && Vtime.( >= ) (Vtime.sub now t0) bound
          && not t.marked.(net) ->
-    violate t inv_detection
-      "network %d failed at %a and no node condemned it within %a" net Vtime.pp
-      t0 Vtime.pp bound
+    if outstanding then
+      violate t inv_detection
+        "net %d: failure injected at %a still uncondemned at end of run \
+         (bound %a)"
+        net Vtime.pp t0 Vtime.pp bound
+    else
+      violate t inv_detection
+        "net %d: failed at %a and no node condemned it within %a" net Vtime.pp
+        t0 Vtime.pp bound
   | _ -> ()
 
 (* The runner reports every fault-schedule step as it executes, keeping
@@ -236,7 +242,9 @@ let final_checks t ~submitted =
     done
   | _ -> ());
   let now = Cluster.now t.cluster in
-  Array.iteri (fun net _ -> check_detection t ~net ~now) t.down_since
+  Array.iteri
+    (fun net _ -> check_detection ~outstanding:true t ~net ~now)
+    t.down_since
 
 let detach t =
   t.detached <- true;

@@ -69,9 +69,13 @@ type config = {
 }
 
 val default : config
-(** Agreement, membership and virgin-net checks on; liveness bound
-    250 ms (just above the 200 ms token-loss timeout); lag and
-    detection bounds unarmed — arm them per campaign. *)
+(** Agreement, membership and virgin-net checks on. [token_gap] is
+    [Some 250 ms] (just above the 200 ms token-loss timeout) — but like
+    every masking invariant it is only {e enforced} while
+    {!Campaign.tolerated} holds for the campaign under test, so on
+    campaigns outside the fault hypothesis the bound is effectively
+    unarmed. Lag and detection bounds ([lag_limit],
+    [condemn_within]) default to [None]; arm them per campaign. *)
 
 type t
 
@@ -93,7 +97,8 @@ val clean : t -> bool
 
 val final_checks : t -> submitted:int option -> unit
 (** End-of-run pass after heal-and-quiesce: everything-delivered (for
-    burst traffic) and outstanding detection bounds. *)
+    burst traffic) and outstanding detection bounds — each reported
+    with the offending network id leading [violation.detail]. *)
 
 val detach : t -> unit
 (** Unsubscribe from telemetry and stop the periodic check. *)

@@ -43,7 +43,7 @@ let slice = Vtime.ms 25
 let recorder_capacity = 64
 
 let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
-    ?(sim_domains = 0) campaign =
+    ?(sim_domains = 0) ?prepare ?(probes = []) ?(end_checks = true) campaign =
   (match Campaign.validate campaign with
   | Ok () -> ()
   | Error m -> invalid_arg ("Runner.run: invalid campaign: " ^ m));
@@ -60,6 +60,7 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
       ~nodes:campaign.Campaign.num_nodes
       (Cluster.telemetry cluster)
   in
+  (match prepare with Some f -> f cluster | None -> ());
   (match sink with
   | Some f -> Telemetry.set_sink (Cluster.telemetry cluster) f
   | None -> ());
@@ -78,15 +79,43 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
     List.iter
       (fun (node, size, count, at) -> Workload.burst cluster ~node ~size ~count ~at)
       bs);
-  let duration = campaign.Campaign.duration in
-  let rec drive t =
-    if Vtime.( < ) t duration && Invariant.clean mon then begin
-      Cluster.run_until cluster (Vtime.min duration (Vtime.add t slice));
-      drive (Vtime.add t slice)
-    end
+  (* Probes are read-only observation points. They fire at [run_until]
+     boundaries, where the parallel core guarantees every partition has
+     processed all events <= the boundary and cross-partition traffic is
+     flushed — so what a probe reads is identical for every
+     [sim_domains]. With [probes = []] the boundary sequence is exactly
+     the historical slice grid, so existing runs stay bit-for-bit. *)
+  let pending = ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) probes) in
+  let fire_due t =
+    let rec go () =
+      match !pending with
+      | (pt, f) :: rest when Vtime.( <= ) pt t ->
+        pending := rest;
+        f cluster;
+        go ()
+      | _ -> ()
+    in
+    go ()
   in
-  drive Vtime.zero;
-  if Invariant.clean mon then begin
+  let drive t0 t_end =
+    let rec go t =
+      if Vtime.( < ) t t_end && Invariant.clean mon then begin
+        let next_slice = Vtime.min t_end (Vtime.add t slice) in
+        let target =
+          match !pending with
+          | (pt, _) :: _ when Vtime.( > ) pt t && Vtime.( < ) pt next_slice -> pt
+          | _ -> next_slice
+        in
+        Cluster.run_until cluster target;
+        if Invariant.clean mon then fire_due target;
+        go target
+      end
+    in
+    go t0
+  in
+  let duration = campaign.Campaign.duration in
+  drive Vtime.zero duration;
+  if end_checks && Invariant.clean mon then begin
     (* Heal everything — the administrator's repair — then let the
        cluster quiesce before the end-of-run checks, like the original
        fuzz harness did. *)
@@ -95,13 +124,7 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
       Invariant.note_step mon (Campaign.Heal_net net)
     done;
     let stop = Vtime.add duration campaign.Campaign.quiesce in
-    let rec drain t =
-      if Vtime.( < ) t stop && Invariant.clean mon then begin
-        Cluster.run_until cluster (Vtime.min stop (Vtime.add t slice));
-        drain (Vtime.add t slice)
-      end
-    in
-    drain duration;
+    drive duration stop;
     if Invariant.clean mon then
       Invariant.final_checks mon ~submitted:(Campaign.submitted_messages campaign)
   end;
@@ -132,8 +155,8 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
 let first_invariant r =
   match r.violations with [] -> None | v :: _ -> Some v.Invariant.invariant
 
-let reproduces ~monitor campaign inv =
-  first_invariant (run ~monitor campaign) = Some inv
+let reproduces ~monitor ?prepare campaign inv =
+  first_invariant (run ~monitor ?prepare campaign) = Some inv
 
 type shrink_report = {
   minimized : Campaign.t;
@@ -142,7 +165,7 @@ type shrink_report = {
   minimized_steps : int;
 }
 
-let shrink ?(monitor = Invariant.default) ?(budget = 160) campaign
+let shrink ?(monitor = Invariant.default) ?(budget = 160) ?prepare campaign
     (violation : Invariant.violation) =
   let inv = violation.Invariant.invariant in
   let runs = ref 0 in
@@ -150,7 +173,7 @@ let shrink ?(monitor = Invariant.default) ?(budget = 160) campaign
     if !runs >= budget then false
     else begin
       incr runs;
-      reproduces ~monitor { campaign with Campaign.steps } inv
+      reproduces ~monitor ?prepare { campaign with Campaign.steps } inv
     end
   in
   let drop_chunk steps lo len =
@@ -296,8 +319,8 @@ type replay_outcome =
   | Diverged of result * string
   | Clean_replay of result  (** file carried no violation; none occurred *)
 
-let replay cx =
-  let r = run ~monitor:cx.cx_monitor cx.cx_campaign in
+let replay ?prepare cx =
+  let r = run ~monitor:cx.cx_monitor ?prepare cx.cx_campaign in
   match (cx.cx_violation, r.violations) with
   | None, [] -> Clean_replay r
   | None, v :: _ ->

@@ -35,6 +35,9 @@ val run :
   ?sink:(Totem_engine.Vtime.t -> Totem_engine.Telemetry.event -> unit) ->
   ?shadow:bool ->
   ?sim_domains:int ->
+  ?prepare:(Totem_cluster.Cluster.t -> unit) ->
+  ?probes:(Totem_engine.Vtime.t * (Totem_cluster.Cluster.t -> unit)) list ->
+  ?end_checks:bool ->
   Campaign.t ->
   result
 (** Deterministic: equal campaigns and monitor configs give equal
@@ -47,6 +50,27 @@ val run :
     cluster carries is round-tripped through the binary codec, and in
     byte-wire campaigns ([Campaign.wire]) the check runs on what the
     receiving NIC actually decoded.
+
+    [prepare] runs against the freshly built cluster after the monitors
+    attach but before [Cluster.start] — the hook the explorer's mutation
+    canary and self-stabilization mode use to install test-only
+    instrumentation or schedule perturbations. A [prepare] that mutates
+    protocol state makes the run exactly as deterministic as the hook
+    itself.
+
+    [probes] are step-granular observation points: at each (time, f),
+    once the cluster has fully processed every event at or before that
+    time (a [Cluster.run_until] boundary, so the read is identical for
+    every [sim_domains]), [f] is applied to the cluster. Probes must be
+    read-only to preserve replayability; they fire only while the run is
+    still violation-free, and probe times past the end of the run are
+    dropped. With [probes = []] the drive loop is bit-for-bit the
+    historical one.
+
+    [end_checks] (default true): when false the run stops at
+    [campaign.duration] — no administrator heal, no quiesce drain, no
+    {!Invariant.final_checks}. The explorer uses this for prefix
+    executions whose only purpose is a state fingerprint.
     @raise Invalid_argument if {!Campaign.validate} rejects the
     campaign. *)
 
@@ -62,13 +86,16 @@ type shrink_report = {
 val shrink :
   ?monitor:Invariant.config ->
   ?budget:int ->
+  ?prepare:(Totem_cluster.Cluster.t -> unit) ->
   Campaign.t ->
   Invariant.violation ->
   shrink_report
 (** Greedy delta debugging over the step schedule: drop chunks of
     decreasing size, re-executing after each candidate, keeping any drop
     after which the same invariant still fires first. [budget] caps
-    re-executions (default 160). The result reproduces the violation by
+    re-executions (default 160). [prepare] rides along into every
+    re-execution (a violation seeded by instrumentation shrinks under
+    the same instrumentation). The result reproduces the violation by
     construction (or is the original campaign if nothing could be
     dropped). *)
 
@@ -113,6 +140,9 @@ type replay_outcome =
   | Diverged of result * string
   | Clean_replay of result
 
-val replay : counterexample -> replay_outcome
+val replay :
+  ?prepare:(Totem_cluster.Cluster.t -> unit) -> counterexample -> replay_outcome
+(** [prepare] re-installs the instrumentation of the capturing run, when
+    there was any (see {!run}). *)
 
 val replay_file : path:string -> (replay_outcome, string) Stdlib.result

@@ -7,6 +7,7 @@ type t = {
   problem : int array;  (* problemCounter[] of Fig. 2 *)
   mutable last_token : Srp.Token.t option;  (* lastToken of Fig. 2 *)
   mutable token_timer : Timer.t option;
+  mutable suppress : int;  (* test hook: swallow this many increments *)
 }
 
 let rec create base =
@@ -18,6 +19,7 @@ let rec create base =
       problem = Array.make n 0;
       last_token = None;
       token_timer = None;
+      suppress = 0;
     }
   in
   let timer =
@@ -54,12 +56,14 @@ and token_timer_expired t =
   let node = Layer.node t.base in
   Array.iteri
     (fun i received ->
-      if not received then begin
-        t.problem.(i) <- t.problem.(i) + 1;
-        if Layer.tel_active t.base then
-          Layer.tel_emit t.base
-            (Telemetry.Problem_incr { node; net = i; count = t.problem.(i) })
-      end)
+      if not received then
+        if t.suppress > 0 then t.suppress <- t.suppress - 1
+        else begin
+          t.problem.(i) <- t.problem.(i) + 1;
+          if Layer.tel_active t.base then
+            Layer.tel_emit t.base
+              (Telemetry.Problem_incr { node; net = i; count = t.problem.(i) })
+        end)
     t.recv_last;
   Array.iteri
     (fun i c ->
@@ -158,3 +162,7 @@ let frame_received t ~net frame =
   | _ -> ()
 
 let problem_counter t ~net = t.problem.(net)
+
+let set_problem_counter t ~net count = t.problem.(net) <- max 0 count
+
+let suppress_problem_increments t n = t.suppress <- max 0 n

@@ -23,3 +23,14 @@ val frame_received : t -> net:Totem_net.Addr.net_id -> Totem_net.Frame.t -> unit
 
 val problem_counter : t -> net:Totem_net.Addr.net_id -> int
 (** Exposed for tests of A5/A6. *)
+
+val set_problem_counter : t -> net:Totem_net.Addr.net_id -> int -> unit
+(** Test hook: overwrite one problemCounter (clamped at 0). The
+    explorer's arbitrary-state mode uses it to inject corrupted counter
+    values and check the decay/threshold machinery recovers. *)
+
+val suppress_problem_increments : t -> int -> unit
+(** Test hook: swallow the next [n] problemCounter increments that
+    [tokenTimerExpired] would perform. The explorer's mutation canary
+    arms this to weaken fault detection (A5) and assert the
+    model checker notices. *)
