@@ -21,7 +21,8 @@
    simulator core); figures are bitwise-identical for every N >= 1.
 
    Targets: fig6 fig7 fig8 fig9 wire parallel-d1 parallel-d8
-   parallel-smoke headline claims latency ablations micro all *)
+   parallel-smoke soak soak-smoke headline claims latency ablations
+   micro all *)
 
 module Cluster = Totem_cluster.Cluster
 module Config = Totem_cluster.Config
@@ -370,6 +371,175 @@ let parallel_smoke () =
     exit 1
   end
   else Format.printf "  sim-domains 1 and 4 are bitwise identical@."
+
+(* --- soak: a long gray-failure campaign ----------------------------- *)
+
+(* One long run through six operating phases — clean, sporadic bursty
+   loss, full gray failure (heavy Gilbert–Elliott loss + latency
+   inflation + directional loss on network 0), probation (the injected
+   faults clear, the condemned network probes and reinstates), flap
+   storm (oscillating loss that flap damping must absorb) and healed —
+   with the condemned-network reinstatement protocol on throughout.
+
+   Traffic is a fixed-rate stamped stream from every node, so each
+   phase reports both delivered throughput and the delivery-latency
+   distribution (p50/p99/p999) — the gray-failure phases should show
+   masked throughput (the surviving network carries the ring) with a
+   latency tail, not an outage. Every fault dimension draws on the
+   coordinator's per-network simulation RNG, so the whole phase table
+   is bitwise-identical for any sim-domains >= 1; the soak-smoke
+   target gates d1 against d8 on exactly that. *)
+
+type soak_phase = {
+  sp_name : string;
+  sp_msgs_per_sec : float;
+  sp_count : int;  (** latency samples in the phase *)
+  sp_p50 : float;
+  sp_p90 : float;
+  sp_p99 : float;
+  sp_p999 : float;
+  sp_net0 : string;  (** node 0's reinstatement state for net 0 at phase end *)
+}
+
+let soak_results : soak_phase list ref = ref []
+
+let soak_run ?sim_domains:sd () =
+  let sim_domains = Option.value sd ~default:!sim_domains in
+  (* Soak-tuned reinstatement: shorter backoff and probation than the
+     defaults so condemn -> probation -> reinstate -> re-condemn cycles
+     fit inside bench-scale phases; the flap limit is raised so damping
+     does not exhaust probes before the probation phase. *)
+  let rrp =
+    {
+      Totem_rrp.Rrp_config.default with
+      Totem_rrp.Rrp_config.reinstate = true;
+      reinstate_backoff = Vtime.ms 250;
+      reinstate_backoff_max = Vtime.sec 1;
+      reinstate_clean_rotations = 10;
+      reinstate_flap_limit = 6;
+    }
+  in
+  let config =
+    Config.make ~num_nodes:4 ~num_nets:2 ~style:Style.Passive ~rrp
+      ~wire_bytes:true ~sim_domains ()
+  in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  for node = 0 to 3 do
+    Workload.fixed_rate cluster ~node ~size:512 ~interval:(Vtime.ms 2) ()
+  done;
+  let phase_len = if !quick then Vtime.ms 800 else Vtime.sec 2 in
+  let sim = Cluster.sim cluster in
+  let clear_gray () =
+    Cluster.set_network_burst_loss cluster 0 ~p_enter:0.0 ~p_exit:1.0;
+    Cluster.set_network_delay cluster 0 ~factor:1.0 ~spike_prob:0.0;
+    Cluster.set_network_dir_loss cluster 0 ~src:0 ~dst:1 0.0
+  in
+  let phases =
+    [
+      ("clean", fun () -> ());
+      ( "bursty",
+        fun () ->
+          Cluster.set_network_burst_loss cluster 0 ~p_enter:0.05 ~p_exit:0.2 );
+      ( "gray",
+        fun () ->
+          Cluster.set_network_burst_loss cluster 0 ~p_enter:0.3 ~p_exit:0.05;
+          Cluster.set_network_delay cluster 0 ~factor:3.0 ~spike_prob:0.05;
+          Cluster.set_network_dir_loss cluster 0 ~src:0 ~dst:1 0.5 );
+      ("probation", clear_gray);
+      ( "storm",
+        fun () ->
+          (* Oscillate within the phase: heavy burst for a third, clear
+             for a third, heavy again — the reinstatement FSM sees the
+             network flap and damping has to absorb it. *)
+          let third = phase_len / 3 in
+          Cluster.set_network_burst_loss cluster 0 ~p_enter:0.9 ~p_exit:0.05;
+          ignore
+            (Totem_engine.Sim.schedule sim ~delay:third (fun () ->
+                 Cluster.set_network_burst_loss cluster 0 ~p_enter:0.0
+                   ~p_exit:1.0));
+          ignore
+            (Totem_engine.Sim.schedule sim ~delay:(2 * third) (fun () ->
+                 Cluster.set_network_burst_loss cluster 0 ~p_enter:0.9
+                   ~p_exit:0.05)) );
+      ( "healed",
+        fun () ->
+          clear_gray ();
+          Cluster.heal_network cluster 0 );
+    ]
+  in
+  let table =
+    List.map
+      (fun (name, setup) ->
+        setup ();
+        let probe = Metrics.install_latency cluster in
+        let d0 = Cluster.delivered_at cluster 0 in
+        Cluster.run_for cluster phase_len;
+        let delivered = Cluster.delivered_at cluster 0 - d0 in
+        let q p = Option.value ~default:nan (Metrics.latency_quantile probe p) in
+        {
+          sp_name = name;
+          sp_msgs_per_sec =
+            float_of_int delivered /. Vtime.to_float_sec phase_len;
+          sp_count = Metrics.latency_count probe;
+          sp_p50 = q 0.5;
+          sp_p90 = q 0.9;
+          sp_p99 = q 0.99;
+          sp_p999 = q 0.999;
+          sp_net0 =
+            Totem_rrp.Rrp.net_state_string
+              (Cluster.rrp (Cluster.node cluster 0))
+              ~net:0;
+        })
+      phases
+  in
+  let events = Metrics.events_processed cluster in
+  ignore (Atomic.fetch_and_add events_total events);
+  (table, events)
+
+let print_soak_table table =
+  Format.printf
+    "  %-10s %12s %8s %9s %9s %9s %9s  %s@." "phase" "msgs/sec" "n" "p50 ms"
+    "p90 ms" "p99 ms" "p999 ms" "net0";
+  List.iter
+    (fun p ->
+      Format.printf
+        "  %-10s %12.0f %8d %9.3f %9.3f %9.3f %9.3f  %s@." p.sp_name
+        p.sp_msgs_per_sec p.sp_count p.sp_p50 p.sp_p90 p.sp_p99 p.sp_p999
+        p.sp_net0)
+    table
+
+let soak () =
+  Format.printf
+    "Gray-failure soak: 4 nodes, 2 nets, passive, wire bytes, \
+     reinstatement on:@.";
+  let table, _ = soak_run () in
+  soak_results := table;
+  print_soak_table table;
+  let find name = List.find (fun p -> p.sp_name = name) table in
+  expect "soak: gray phase is masked, not an outage"
+    ((find "gray").sp_msgs_per_sec > 0.5 *. (find "clean").sp_msgs_per_sec)
+    (Printf.sprintf "gray=%.0f clean=%.0f" (find "gray").sp_msgs_per_sec
+       (find "clean").sp_msgs_per_sec);
+  expect "soak: probation phase reinstated net 0"
+    ((find "probation").sp_net0 = "active")
+    (Printf.sprintf "net0=%s" (find "probation").sp_net0);
+  expect "soak: every phase delivered"
+    (List.for_all (fun p -> p.sp_count > 0) table)
+    "a phase delivered no stamped messages"
+
+(* Determinism gate for `dune runtest` (soak-smoke): the full soak phase
+   table — throughput, latency quantiles, sample counts, reinstatement
+   states and the event count — at sim-domains 1 vs 8 must be equal. *)
+let soak_smoke () =
+  let a = soak_run ~sim_domains:1 () in
+  let b = soak_run ~sim_domains:8 () in
+  print_soak_table (fst a);
+  if a = b then Format.printf "  sim-domains 1 and 8 are bitwise identical@."
+  else begin
+    Format.printf "  soak DIVERGED between sim-domains 1 and 8@.";
+    exit 1
+  end
 
 (* --- headline: Sec. 2's ">9,000 one-Kbyte msgs/sec, ~90%" --------- *)
 
@@ -875,6 +1045,22 @@ let write_json path runs =
         !latency_results;
       pf "      ]"
     end;
+    if tr_name = "soak" && !soak_results <> [] then begin
+      pf ",\n      \"soak\": [\n";
+      let n = List.length !soak_results in
+      List.iteri
+        (fun i p ->
+          pf
+            "        {\"phase\": \"%s\", \"msgs_per_sec\": %.2f, \"count\": \
+             %d, \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s, \"p999_ms\": \
+             %s, \"net0\": \"%s\"}%s\n"
+            (json_escape p.sp_name) p.sp_msgs_per_sec p.sp_count
+            (json_num p.sp_p50) (json_num p.sp_p90) (json_num p.sp_p99)
+            (json_num p.sp_p999) (json_escape p.sp_net0)
+            (if i < n - 1 then "," else ""))
+        !soak_results;
+      pf "      ]"
+    end;
     pf "\n    }%s\n" (if i < List.length runs - 1 then "," else "")
   in
   List.iteri emit_target runs;
@@ -896,6 +1082,8 @@ let all_targets =
     ("parallel-d1", parallel_d1);
     ("parallel-d8", parallel_d8);
     ("parallel-smoke", parallel_smoke);
+    ("soak", soak);
+    ("soak-smoke", soak_smoke);
     ("headline", headline);
     ("claims", claims);
     ("latency", latency);

@@ -472,8 +472,64 @@ let monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max =
     sporadic_loss_max = sporadic_max;
   }
 
+(* Deterministic convergence gate for the reinstatement protocol: a
+   flapping network (heavy bursty-loss storms alternating with calm
+   windows) must converge to permanently condemned within the flap
+   limit. R1 is armed online; probes read each node's reinstatement FSM
+   just before the end-of-window administrator heal. *)
+let flap_gate ~quiet ~sim_domains =
+  let flap_limit =
+    Totem_rrp.Rrp_config.default.Totem_rrp.Rrp_config.reinstate_flap_limit
+  in
+  let num_nodes = 4 in
+  let from_ = Vtime.ms 200 in
+  let storm = Vtime.ms 600 in
+  let calm = Vtime.ms 1400 in
+  (* More storms than the damping allows probes: the tail cycles must
+     find the network already permanently condemned. *)
+  let cycles = flap_limit + 2 in
+  let steps = Campaign.flap_storm ~net:0 ~from_ ~cycles ~storm ~calm in
+  let duration = from_ + (cycles * (storm + calm)) + Vtime.ms 400 in
+  let campaign =
+    Campaign.make ~num_nodes ~num_nets:2 ~style:Style.Passive ~seed:7 ~duration
+      ~quiesce:(Vtime.ms 3000)
+      ~traffic:(Campaign.Saturate 512) ~reinstate:true steps
+  in
+  let monitor =
+    { Invariant.default with Invariant.flap_limit = Some flap_limit }
+  in
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  let probe cluster =
+    for node = 0 to num_nodes - 1 do
+      let rrp = Cluster.rrp (Cluster.node cluster node) in
+      let state = Totem_rrp.Rrp.net_state_string rrp ~net:0 in
+      let flaps = Totem_rrp.Rrp.flaps rrp ~net:0 in
+      if state <> "condemned" then
+        fail "node %d: net 0 ended %s, expected condemned (flaps %d)" node
+          state flaps;
+      if flaps < 1 || flaps > flap_limit then
+        fail "node %d: net 0 flap count %d outside [1, %d]" node flaps
+          flap_limit
+    done
+  in
+  let r = Runner.run ~monitor ~sim_domains ~probes:[ (duration, probe) ] campaign in
+  List.iter
+    (fun v -> Format.printf "flap-gate: %a@." Invariant.pp_violation v)
+    r.Runner.violations;
+  List.iter (fun m -> Format.printf "flap-gate: %s@." m) (List.rev !failures);
+  if r.Runner.violations <> [] || !failures <> [] then exit 1
+  else if not quiet then
+    Format.printf
+      "flap-gate: %d storm/calm cycles on net 0: every node converged to \
+       condemned within %d flaps@."
+      cycles flap_limit
+
 let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
-    token_gap_ms lag_limit condemn_ms sporadic_max wire shadow sim_domains =
+    token_gap_ms lag_limit condemn_ms sporadic_max wire shadow sim_domains gray
+    gate =
+  if gate then flap_gate ~quiet ~sim_domains
+  else
   match replay_path with
   | Some path -> (
     match Runner.replay_file ~path with
@@ -492,12 +548,25 @@ let chaos seed_range replay_path out_dir duration_ms quiesce_ms no_shrink quiet
       exit 1)
   | None ->
     let lo, hi = seed_range in
-    let monitor = monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max in
+    let monitor =
+      let base =
+        monitor_config ~token_gap_ms ~lag_limit ~condemn_ms ~sporadic_max
+      in
+      if gray then
+        {
+          base with
+          Invariant.flap_limit =
+            Some
+              Totem_rrp.Rrp_config.default
+                .Totem_rrp.Rrp_config.reinstate_flap_limit;
+        }
+      else base
+    in
     let failures = ref 0 in
     for seed = lo to hi do
       let campaign =
         Campaign.random ~seed ~duration:(Vtime.ms duration_ms)
-          ~quiesce:(Vtime.ms quiesce_ms) ~wire ~corrupt:wire ()
+          ~quiesce:(Vtime.ms quiesce_ms) ~wire ~corrupt:wire ~gray ()
       in
       let r = Runner.run ~monitor ~shadow ~sim_domains campaign in
       (match r.Runner.violations with
@@ -636,6 +705,27 @@ let chaos_shadow_t =
            and abort on any mismatch (testing aid; under $(b,--wire-bytes) \
            the check runs on what the receiving NIC decoded).")
 
+let chaos_gray_t =
+  Arg.(
+    value & flag
+    & info [ "gray" ]
+        ~doc:
+          "Generate gray-failure campaigns: the random fault timeline \
+           additionally draws Gilbert-Elliott bursty-loss windows and ramps \
+           and directional loss, the cluster runs with the \
+           condemned-network reinstatement protocol on, and the R1 \
+           flap-damping invariant is armed.")
+
+let flap_gate_t =
+  Arg.(
+    value & flag
+    & info [ "flap-gate" ]
+        ~doc:
+          "Run the deterministic reinstatement convergence gate instead of \
+           random campaigns: a flapping network (bursty-loss storms \
+           alternating with calm) must end permanently condemned at every \
+           node within the flap limit, with R1 armed online.")
+
 let chaos_cmd =
   let doc =
     "Run random fault campaigns under online invariant monitors; shrink \
@@ -646,7 +736,7 @@ let chaos_cmd =
       const chaos $ seed_range_t $ replay_t $ out_dir_t $ duration_ms_t
       $ quiesce_ms_t $ no_shrink_t $ quiet_t $ token_gap_ms_t $ lag_limit_t
       $ condemn_ms_t $ sporadic_max_t $ chaos_wire_t $ chaos_shadow_t
-      $ sim_domains_t)
+      $ sim_domains_t $ chaos_gray_t $ flap_gate_t)
 
 (* --- mc: bounded exhaustive model checking --------------------------- *)
 
@@ -659,7 +749,8 @@ let alphabet_conv =
     | "fail-heal" -> Ok `Fail_heal
     | "corrupt" -> Ok `Corrupt
     | "partition" -> Ok `Partition
-    | _ -> Error (`Msg "expected full|fail-heal|corrupt|partition")
+    | "gray" -> Ok `Gray
+    | _ -> Error (`Msg "expected full|fail-heal|corrupt|partition|gray")
   in
   let print ppf k =
     Format.pp_print_string ppf
@@ -667,7 +758,8 @@ let alphabet_conv =
       | `Full -> "full"
       | `Fail_heal -> "fail-heal"
       | `Corrupt -> "corrupt"
-      | `Partition -> "partition")
+      | `Partition -> "partition"
+      | `Gray -> "gray")
   in
   Arg.conv (parse, print)
 
@@ -691,6 +783,15 @@ let mc_alphabet ~kind ~nets =
         Campaign.Partition (net, [ 0 ], [ 1 ]);
         Campaign.Unpartition (net, [ 0 ], [ 1 ]);
       ]
+    | `Gray ->
+      [
+        Campaign.Set_burst_loss (net, 0.9, 0.1);
+        Campaign.Set_burst_loss (net, 0.0, 1.0);
+        Campaign.Set_delay_factor (net, 4.0, 0.2);
+        Campaign.Set_delay_factor (net, 1.0, 0.0);
+        Campaign.Set_dir_loss (net, 0, 1, 0.8);
+        Campaign.Set_dir_loss (net, 0, 1, 0.0);
+      ]
   in
   List.concat (List.init nets per)
 
@@ -708,11 +809,15 @@ let mc style nodes nets seed depth alphabet_kind alphabet_nets gap_ms settle_ms
       invalid_arg "mc: --alphabet-nets must leave at least one untouched net";
     let alphabet = mc_alphabet ~kind:alphabet_kind ~nets:alphabet_nets in
     let cfg =
+      (* The gray alphabet interleaves probation with condemnation, so
+         it runs with the reinstatement protocol on (and probation
+         state folded into the fingerprint). *)
       Explorer.make ~num_nodes:nodes ~num_nets:nets ~style ~seed ~wire ~depth
         ~alphabet
         ?gap:(Option.map Vtime.ms gap_ms)
         ~settle:(Vtime.ms settle_ms) ~hold:(Vtime.ms hold_ms)
-        ~quiesce:(Vtime.ms quiesce_ms) ~monitor ~sim_domains ()
+        ~quiesce:(Vtime.ms quiesce_ms) ~monitor ~sim_domains
+        ~reinstate:(alphabet_kind = `Gray) ()
     in
     match arbitrary_state with
     | Some points ->
@@ -810,8 +915,9 @@ let alphabet_t =
     & info [ "alphabet" ] ~docv:"KIND"
         ~doc:
           "Op alphabet per controllable network: full (fail/heal, \
-           corrupt-on/off, partition/unpartition), fail-heal, corrupt, or \
-           partition.")
+           corrupt-on/off, partition/unpartition), fail-heal, corrupt, \
+           partition, or gray (bursty-loss, delay-inflation and \
+           directional-loss on/off pairs, run with reinstatement on).")
 
 let alphabet_nets_t =
   Arg.(

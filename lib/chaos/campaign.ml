@@ -11,6 +11,11 @@ type op =
   | Heal_net of int
   | Set_loss of int * float
   | Set_corrupt of int * float
+  | Set_burst_loss of int * float * float
+  | Set_delay_factor of int * float * float
+  | Set_dir_loss of int * int * int * float
+  | Set_duplicate of int * float
+  | Set_reorder of int * float
   | Block_send of int * int
   | Unblock_send of int * int
   | Block_recv of int * int
@@ -36,6 +41,7 @@ type t = {
   traffic : traffic;
   steps : step list;
   wire : bool;
+  reinstate : bool;
 }
 
 let to_action = function
@@ -43,6 +49,13 @@ let to_action = function
   | Heal_net n -> Scenario.Heal_network n
   | Set_loss (n, p) -> Scenario.Set_loss (n, p)
   | Set_corrupt (n, p) -> Scenario.Set_corrupt (n, p)
+  | Set_burst_loss (n, p_enter, p_exit) ->
+    Scenario.Set_burst_loss (n, p_enter, p_exit)
+  | Set_delay_factor (n, factor, spike) ->
+    Scenario.Set_delay_factor (n, factor, spike)
+  | Set_dir_loss (n, src, dst, p) -> Scenario.Set_dir_loss (n, src, dst, p)
+  | Set_duplicate (n, p) -> Scenario.Set_duplicate (n, p)
+  | Set_reorder (n, p) -> Scenario.Set_reorder (n, p)
   | Block_send (node, net) -> Scenario.Block_send (node, net)
   | Unblock_send (node, net) -> Scenario.Unblock_send (node, net)
   | Block_recv (node, net) -> Scenario.Block_recv (node, net)
@@ -60,12 +73,23 @@ let pp_step ppf s = Format.fprintf ppf "@[%a %a@]" Vtime.pp s.at pp_op s.op
 
 let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Style.Passive) ?(seed = 42)
     ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
-    ?(traffic = Saturate 1024) ?(wire = false) steps =
+    ?(traffic = Saturate 1024) ?(wire = false) ?(reinstate = false) steps =
   (* Stable sort by time: steps keep their list order within an instant,
      which is also the order the runner schedules them in, so the
      serialized form is canonical. *)
   let steps = List.stable_sort (fun a b -> compare a.at b.at) steps in
-  { num_nodes; num_nets; style; seed; duration; quiesce; traffic; steps; wire }
+  {
+    num_nodes;
+    num_nets;
+    style;
+    seed;
+    duration;
+    quiesce;
+    traffic;
+    steps;
+    wire;
+    reinstate;
+  }
 
 (* --- combinators ---------------------------------------------------- *)
 
@@ -141,6 +165,59 @@ let corruption_ramp ~net ~from_ ~until ~stages ~peak =
   in
   ramp @ [ { at = until; op = Set_corrupt (net, 0.0) } ]
 
+(* --- gray-failure combinators --------------------------------------- *)
+
+let gray_window ~net ~from_ ~until ~p_enter ~p_exit ?(factor = 1.0)
+    ?(spike = 0.0) () =
+  if p_enter < 0.0 || p_enter > 1.0 || p_exit < 0.0 || p_exit > 1.0 then
+    invalid_arg "Campaign.gray_window: probabilities in [0,1]";
+  if spike < 0.0 || spike > 1.0 then
+    invalid_arg "Campaign.gray_window: spike in [0,1]";
+  [
+    { at = from_; op = Set_burst_loss (net, p_enter, p_exit) };
+    { at = from_; op = Set_delay_factor (net, factor, spike) };
+    { at = until; op = Set_burst_loss (net, 0.0, 1.0) };
+    { at = until; op = Set_delay_factor (net, 1.0, 0.0) };
+  ]
+
+(* Alternating heavy-burst and clean windows: the network condemns under
+   the storm, probes during the calm, and (with reinstatement on)
+   re-condemns under the next storm — the flap-damping stress shape. *)
+let flap_storm ~net ~from_ ~cycles ~storm ~calm =
+  if cycles < 1 then invalid_arg "Campaign.flap_storm: cycles >= 1";
+  if Vtime.( <= ) storm Vtime.zero || Vtime.( <= ) calm Vtime.zero then
+    invalid_arg "Campaign.flap_storm: storm/calm must be positive";
+  List.concat
+    (List.init cycles (fun i ->
+         let t0 = Vtime.add from_ ((storm + calm) * i) in
+         [
+           { at = t0; op = Set_burst_loss (net, 0.9, 0.05) };
+           { at = Vtime.add t0 storm; op = Set_burst_loss (net, 0.0, 1.0) };
+         ]))
+
+let gilbert_ramp ~net ~from_ ~until ~stages ~peak =
+  if stages < 1 then invalid_arg "Campaign.gilbert_ramp: stages >= 1";
+  if peak <= 0.0 || peak >= 1.0 then
+    invalid_arg "Campaign.gilbert_ramp: peak in (0,1)";
+  let span = Vtime.to_float_sec (Vtime.sub until from_) in
+  if span <= 0.0 then invalid_arg "Campaign.gilbert_ramp: until after from_";
+  (* Fixed mean burst length (1/p_exit = 5 deliveries); the steady-state
+     loss p_enter/(p_enter+p_exit) climbs linearly to [peak]. *)
+  let p_exit = 0.2 in
+  let ramp =
+    List.init stages (fun i ->
+        let ss = peak *. (float_of_int (i + 1) /. float_of_int stages) in
+        let p_enter = ss *. p_exit /. (1.0 -. ss) in
+        {
+          at =
+            Vtime.add from_
+              (Vtime.of_float_sec
+                 (span *. float_of_int i /. float_of_int stages));
+          op = Set_burst_loss (net, Float.min p_enter 1.0, p_exit);
+        })
+  in
+  ramp @ [ { at = until; op = Set_burst_loss (net, 0.0, 1.0) } ]
+
 let send_block_window ~node ~net ~from_ ~until =
   [
     { at = from_; op = Block_send (node, net) };
@@ -164,6 +241,9 @@ let kill_window ~node ~at ?recover_at () =
 
 let nets_of_op = function
   | Fail_net n | Heal_net n | Set_loss (n, _) | Set_corrupt (n, _) -> [ n ]
+  | Set_burst_loss (n, _, _) | Set_delay_factor (n, _, _) -> [ n ]
+  | Set_dir_loss (n, _, _, _) | Set_duplicate (n, _) | Set_reorder (n, _) ->
+    [ n ]
   | Block_send (_, n) | Unblock_send (_, n) -> [ n ]
   | Block_recv (_, n) | Unblock_recv (_, n) -> [ n ]
   | Partition (n, _, _) | Unpartition (n, _, _) -> [ n ]
@@ -178,8 +258,16 @@ let touched_nets ?(sporadic_loss_max = 0.0) t =
   List.iter
     (fun { op; _ } ->
       match op with
-      | Set_loss (n, p) | Set_corrupt (n, p) ->
+      | Set_loss (n, p) | Set_corrupt (n, p) | Set_dir_loss (n, _, _, p) ->
         if p > sporadic_loss_max then touched.(n) <- true
+      | Set_burst_loss (n, p_enter, _) ->
+        if p_enter > sporadic_loss_max then touched.(n) <- true
+      | Set_delay_factor (n, factor, spike) ->
+        if factor > 1.0 || spike > sporadic_loss_max then touched.(n) <- true
+      (* Duplicates and reordering never drop anything: the SRP's
+         duplicate filter and retransmission machinery must absorb them
+         without a fault mark, so they leave a network virgin. *)
+      | Set_duplicate _ | Set_reorder _ -> ()
       | Heal_net _ -> ()
       | op -> List.iter (fun n -> touched.(n) <- true) (nets_of_op op))
     t.steps;
@@ -214,8 +302,21 @@ let tolerated t =
     let loss = Array.make t.num_nets 0.0 in
     let corrupt = Array.make t.num_nets 0.0 in
     let blocks = Array.make t.num_nets 0 in
+    let burst = Array.make t.num_nets 0.0 in
+    let delay = Array.make t.num_nets 0.0 in
+    let dirloss = Hashtbl.create 8 in
+    let dirloss_on n =
+      Hashtbl.fold
+        (fun (net, _, _) p acc -> acc || (net = n && p > 0.0))
+        dirloss false
+    in
+    let dup = Array.make t.num_nets 0.0 in
+    let reorder = Array.make t.num_nets 0.0 in
     let clean n =
       (not down.(n)) && loss.(n) = 0.0 && corrupt.(n) = 0.0 && blocks.(n) <= 0
+      && burst.(n) = 0.0 && delay.(n) = 0.0
+      && (not (dirloss_on n))
+      && dup.(n) = 0.0 && reorder.(n) = 0.0
     in
     let some_clean () =
       let ok = ref false in
@@ -230,9 +331,26 @@ let tolerated t =
         down.(n) <- false;
         loss.(n) <- 0.0;
         corrupt.(n) <- 0.0;
-        blocks.(n) <- 0
+        blocks.(n) <- 0;
+        burst.(n) <- 0.0;
+        delay.(n) <- 0.0;
+        Hashtbl.fold (fun ((net, _, _) as k) _ acc ->
+            if net = n then k :: acc else acc)
+          dirloss []
+        |> List.iter (fun k -> Hashtbl.replace dirloss k 0.0);
+        dup.(n) <- 0.0;
+        reorder.(n) <- 0.0
       | Set_loss (n, p) -> loss.(n) <- p
       | Set_corrupt (n, p) -> corrupt.(n) <- p
+      (* "Clean" means no fault dimension at all, conservatively
+         including the masked ones (duplicates, reordering). *)
+      | Set_burst_loss (n, p_enter, _) -> burst.(n) <- p_enter
+      | Set_delay_factor (n, factor, spike) ->
+        delay.(n) <- Float.max (factor -. 1.0) spike
+      | Set_dir_loss (n, src, dst, p) ->
+        Hashtbl.replace dirloss (n, src, dst) p
+      | Set_duplicate (n, p) -> dup.(n) <- p
+      | Set_reorder (n, p) -> reorder.(n) <- p
       | Block_send (_, n) | Block_recv (_, n) -> blocks.(n) <- blocks.(n) + 1
       | Unblock_send (_, n) | Unblock_recv (_, n) ->
         blocks.(n) <- blocks.(n) - 1
@@ -283,13 +401,24 @@ let validate t =
                 | Block_send (n, _) | Unblock_send (n, _) | Block_recv (n, _)
                 | Unblock_recv (n, _) | Crash n | Recover n ->
                   check_node n
+                | Set_dir_loss (_, src, dst, _) ->
+                  check_node src && check_node dst
                 | Partition (_, a, b) | Unpartition (_, a, b) ->
                   List.for_all check_node (a @ b)
                 | _ -> true
               in
+              let in01 p = p >= 0.0 && p <= 1.0 in
               let loss_ok =
                 match op with
-                | Set_loss (_, p) | Set_corrupt (_, p) -> p >= 0.0 && p <= 1.0
+                | Set_loss (_, p) | Set_corrupt (_, p) -> in01 p
+                | Set_burst_loss (_, p_enter, p_exit) ->
+                  in01 p_enter && in01 p_exit
+                | Set_delay_factor (_, factor, spike) ->
+                  factor >= 0.0 && in01 spike
+                | Set_dir_loss (_, _, _, p)
+                | Set_duplicate (_, p)
+                | Set_reorder (_, p) ->
+                  in01 p
                 | _ -> true
               in
               if not nets_ok then Some "step net out of range"
@@ -314,7 +443,7 @@ let validate t =
    from the richer op set, including windowed blocks and rolling
    partitions. *)
 let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
-    ?(wire = false) ?(corrupt = false) () =
+    ?(wire = false) ?(corrupt = false) ?(gray = false) () =
   let rng = Rng.create ~seed in
   let num_nodes = 2 + Rng.int rng 4 in
   let num_nets = 2 + Rng.int rng 2 in
@@ -328,14 +457,22 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
   let rand_time () = Vtime.ms (100 + Rng.int rng (max 1 (dur_ms - 200))) in
   let rand_net () = Rng.int rng (num_nets - 1) in
   let rand_node () = Rng.int rng num_nodes in
-  (* With [corrupt] the op draw widens by two corruption shapes; without
-     it the draw is [Rng.int rng 8] exactly as before, so existing seeds
-     keep their campaigns bit-for-bit. *)
-  let op_cases = if corrupt then 10 else 8 in
+  (* With [corrupt] the op draw widens by two corruption shapes, with
+     [gray] by three gray shapes; with both off the draw is
+     [Rng.int rng 8] exactly as before, so existing seeds keep their
+     campaigns bit-for-bit. Gray cases sit above the corruption ones
+     and are renumbered down when [corrupt] is off. *)
+  let op_cases =
+    8 + (if corrupt then 2 else 0) + if gray then 3 else 0
+  in
   let random_steps () =
     let net = rand_net () and node = rand_node () in
     let at = rand_time () in
-    match Rng.int rng op_cases with
+    let case =
+      let c = Rng.int rng op_cases in
+      if c >= 8 && not corrupt then c + 2 else c
+    in
+    match case with
     | 0 -> [ { at; op = Fail_net net } ]
     | 1 -> [ { at; op = Heal_net net } ]
     | 2 -> [ { at; op = Set_loss (net, Rng.float rng 0.4) } ]
@@ -369,6 +506,26 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
         ~until:(Vtime.add at (Vtime.ms (200 + Rng.int rng 600)))
         ~stages:(2 + Rng.int rng 3)
         ~peak:(0.1 +. Rng.float rng 0.4)
+    | 10 ->
+      gray_window ~net ~from_:at
+        ~until:(Vtime.add at (Vtime.ms (200 + Rng.int rng 600)))
+        ~p_enter:(0.02 +. Rng.float rng 0.3)
+        ~p_exit:(0.1 +. Rng.float rng 0.4)
+        ~factor:(1.0 +. Rng.float rng 2.0)
+        ~spike:(Rng.float rng 0.2) ()
+    | 11 ->
+      gilbert_ramp ~net ~from_:at
+        ~until:(Vtime.add at (Vtime.ms (200 + Rng.int rng 600)))
+        ~stages:(2 + Rng.int rng 3)
+        ~peak:(0.1 +. Rng.float rng 0.5)
+    | 12 ->
+      let src = rand_node () in
+      let dst = (src + 1 + Rng.int rng (num_nodes - 1)) mod num_nodes in
+      let until = Vtime.add at (Vtime.ms (100 + Rng.int rng 500)) in
+      [
+        { at; op = Set_dir_loss (net, src, dst, 0.2 +. Rng.float rng 0.6) };
+        { at = until; op = Set_dir_loss (net, src, dst, 0.0) };
+      ]
     | _ -> assert false
   in
   let steps =
@@ -383,8 +540,10 @@ let random ~seed ?(duration = Vtime.sec 2) ?(quiesce = Vtime.sec 5)
           5 + Rng.int rng 30,
           Vtime.ms (Rng.int rng dur_ms) ))
   in
+  (* Gray campaigns exercise the reinstatement protocol too: condemned
+     networks probe and rejoin once their gray window closes. *)
   make ~num_nodes ~num_nets ~style ~seed ~duration ~quiesce
-    ~traffic:(Bursts bursts) ~wire steps
+    ~traffic:(Bursts bursts) ~wire ~reinstate:gray steps
 
 let submitted_messages t =
   match t.traffic with
@@ -420,6 +579,35 @@ let json_of_op op =
   | Set_loss (n, p) -> o [ ("op", J.str "set_loss"); ("net", J.int n); ("p", J.Num p) ]
   | Set_corrupt (n, p) ->
     o [ ("op", J.str "set_corrupt"); ("net", J.int n); ("p", J.Num p) ]
+  | Set_burst_loss (n, p_enter, p_exit) ->
+    o
+      [
+        ("op", J.str "set_burst_loss");
+        ("net", J.int n);
+        ("p_enter", J.Num p_enter);
+        ("p_exit", J.Num p_exit);
+      ]
+  | Set_delay_factor (n, factor, spike) ->
+    o
+      [
+        ("op", J.str "set_delay_factor");
+        ("net", J.int n);
+        ("factor", J.Num factor);
+        ("spike", J.Num spike);
+      ]
+  | Set_dir_loss (n, src, dst, p) ->
+    o
+      [
+        ("op", J.str "set_dir_loss");
+        ("net", J.int n);
+        ("src", J.int src);
+        ("dst", J.int dst);
+        ("p", J.Num p);
+      ]
+  | Set_duplicate (n, p) ->
+    o [ ("op", J.str "set_duplicate"); ("net", J.int n); ("p", J.Num p) ]
+  | Set_reorder (n, p) ->
+    o [ ("op", J.str "set_reorder"); ("net", J.int n); ("p", J.Num p) ]
   | Block_send (node, net) ->
     o [ ("op", J.str "block_send"); ("node", J.int node); ("net", J.int net) ]
   | Unblock_send (node, net) ->
@@ -455,6 +643,20 @@ let op_of_json v where =
   | "heal_net" -> Heal_net (net ())
   | "set_loss" -> Set_loss (net (), J.get_num v "p" where)
   | "set_corrupt" -> Set_corrupt (net (), J.get_num v "p" where)
+  | "set_burst_loss" ->
+    Set_burst_loss
+      (net (), J.get_num v "p_enter" where, J.get_num v "p_exit" where)
+  | "set_delay_factor" ->
+    Set_delay_factor
+      (net (), J.get_num v "factor" where, J.get_num v "spike" where)
+  | "set_dir_loss" ->
+    Set_dir_loss
+      ( net (),
+        J.get_int v "src" where,
+        J.get_int v "dst" where,
+        J.get_num v "p" where )
+  | "set_duplicate" -> Set_duplicate (net (), J.get_num v "p" where)
+  | "set_reorder" -> Set_reorder (net (), J.get_num v "p" where)
   | "block_send" -> Block_send (node (), net ())
   | "unblock_send" -> Unblock_send (node (), net ())
   | "block_recv" -> Block_recv (node (), net ())
@@ -504,6 +706,7 @@ let to_json t =
       ("duration_ns", J.int t.duration);
       ("quiesce_ns", J.int t.quiesce);
       ("wire_bytes", J.Bool t.wire);
+      ("reinstate", J.Bool t.reinstate);
       ("traffic", traffic);
       ("steps", J.Arr (List.map step t.steps));
     ]
@@ -548,4 +751,7 @@ let of_json v where =
     steps;
     (* Absent in pre-wire-mode files: default to reference mode. *)
     wire = (match J.field v "wire_bytes" with Some (J.Bool b) -> b | _ -> false);
+    (* Absent in pre-reinstatement files: condemnation is permanent. *)
+    reinstate =
+      (match J.field v "reinstate" with Some (J.Bool b) -> b | _ -> false);
   }

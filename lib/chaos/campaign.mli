@@ -17,6 +17,20 @@ type op =
           campaigns ([wire = true]) frames are damaged and discarded by
           the receiving NIC's CRC/decode check, in reference mode they
           are dropped — either way the RRP sees loss (Sec. 3) *)
+  | Set_burst_loss of int * float * float
+      (** net, p_enter, p_exit: Gilbert–Elliott bursty loss — good->bad
+          with [p_enter] per delivery, bad->good with [p_exit]; the bad
+          state drops every frame. [p_enter = 0] disables. *)
+  | Set_delay_factor of int * float * float
+      (** net, factor, spike_prob: latency inflation (clamped to
+          [>= 1.0]) plus spikes up to 10 x nominal latency *)
+  | Set_dir_loss of int * int * int * float
+      (** net, src, dst, p: asymmetric loss on the directed path;
+          [p = 0] clears *)
+  | Set_duplicate of int * float  (** net, p: per-delivery duplication *)
+  | Set_reorder of int * float
+      (** net, p: per-delivery reordering — breaks the per-receiver
+          FIFO assumption, must be absorbed by SRP *)
   | Block_send of int * int  (** node, net: transmit-path fault (Sec. 3) *)
   | Unblock_send of int * int
   | Block_recv of int * int  (** node, net: receive-path fault (Sec. 3) *)
@@ -51,6 +65,11 @@ type t = {
       (** run the cluster in byte-faithful wire mode
           ([Config.wire_bytes]): payloads serialized + CRC-checked at
           the NICs, corruption bit-accurate *)
+  reinstate : bool;
+      (** run the cluster with the condemned-network reinstatement
+          protocol ([Rrp_config.reinstate]): condemned networks probe
+          and may rejoin; the reinstatement invariants (flap damping
+          bounded, gray re-condemnation) arm *)
 }
 
 val make :
@@ -62,6 +81,7 @@ val make :
   ?quiesce:Totem_engine.Vtime.t ->
   ?traffic:traffic ->
   ?wire:bool ->
+  ?reinstate:bool ->
   step list ->
   t
 (** Steps are stably sorted by time; same-instant steps keep their list
@@ -134,6 +154,45 @@ val corruption_ramp :
     across [\[from_, until)], then cleared at [until] — the corruption
     analogue of {!loss_ramp}. *)
 
+val gray_window :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  p_enter:float ->
+  p_exit:float ->
+  ?factor:float ->
+  ?spike:float ->
+  unit ->
+  step list
+(** A gray-failure episode: Gilbert–Elliott bursty loss plus latency
+    inflation ([factor], default 1.0) with spike probability [spike]
+    (default 0) for the window, everything reset at [until].
+    @raise Invalid_argument unless probabilities are in [\[0,1\]]. *)
+
+val flap_storm :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  cycles:int ->
+  storm:Totem_engine.Vtime.t ->
+  calm:Totem_engine.Vtime.t ->
+  step list
+(** [cycles] alternations of heavy bursty loss ([storm] long) and a
+    clean window ([calm] long): with reinstatement on the network
+    condemns, probes during the calm, re-condemns under the next storm —
+    and flap damping must converge it to permanently condemned. *)
+
+val gilbert_ramp :
+  net:int ->
+  from_:Totem_engine.Vtime.t ->
+  until:Totem_engine.Vtime.t ->
+  stages:int ->
+  peak:float ->
+  step list
+(** Bursty loss whose steady-state rate climbs linearly to [peak] in
+    [stages] stages (mean burst length fixed at 5 deliveries), cleared
+    at [until] — the Gilbert–Elliott analogue of {!loss_ramp}.
+    @raise Invalid_argument unless [0 < peak < 1]. *)
+
 val send_block_window :
   node:int ->
   net:int ->
@@ -166,6 +225,7 @@ val random :
   ?quiesce:Totem_engine.Vtime.t ->
   ?wire:bool ->
   ?corrupt:bool ->
+  ?gray:bool ->
   unit ->
   t
 (** The fuzz generator: random cluster shape (2–5 nodes, 2–3 nets,
@@ -174,9 +234,11 @@ val random :
     the paper's operating assumption that one network survives. Equal
     seeds give equal campaigns. [wire] (default false) marks the
     campaign byte-wire; [corrupt] (default false) widens the op draw
-    with corruption windows and ramps. With both off, the generator is
-    bit-for-bit the historical one, so existing seeds keep their
-    campaigns. *)
+    with corruption windows and ramps; [gray] (default false) widens it
+    with gray windows, Gilbert–Elliott ramps and directional loss, and
+    turns reinstatement on for the campaign. With all off, the
+    generator is bit-for-bit the historical one, so existing seeds keep
+    their campaigns. *)
 
 (** {1 Static analysis} *)
 

@@ -25,6 +25,7 @@ type config = {
   quiesce : Vtime.t;
   monitor : Invariant.config;
   sim_domains : int;
+  reinstate : bool;
 }
 
 let default_alphabet ~num_nets =
@@ -41,10 +42,28 @@ let default_alphabet ~num_nets =
            Campaign.Unpartition (net, [ 0 ], [ 1 ]);
          ]))
 
+(* The gray alphabet pairs each gray dimension's on-op with its off-op,
+   so interleavings cover episodes that overlap, nest and cut short.
+   Heavy burst loss (steady state ~0.9) condemns quickly; meant to run
+   with [reinstate] so probation interleaves with fresh faults. *)
+let gray_alphabet ~num_nets =
+  if num_nets < 2 then
+    invalid_arg "Explorer.gray_alphabet: need at least 2 networks";
+  List.concat
+    (List.init (num_nets - 1) (fun net ->
+         [
+           Campaign.Set_burst_loss (net, 0.9, 0.1);
+           Campaign.Set_burst_loss (net, 0.0, 1.0);
+           Campaign.Set_delay_factor (net, 4.0, 0.2);
+           Campaign.Set_delay_factor (net, 1.0, 0.0);
+           Campaign.Set_dir_loss (net, 0, 1, 0.8);
+           Campaign.Set_dir_loss (net, 0, 1, 0.0);
+         ]))
+
 let make ?(num_nodes = 3) ?(num_nets = 2) ?(style = Totem_rrp.Style.Active)
     ?(seed = 42) ?(wire = true) ?(depth = 3) ?alphabet ?gap
     ?(settle = Vtime.ms 40) ?(hold = Vtime.ms 40) ?(quiesce = Vtime.ms 500)
-    ?(monitor = Invariant.default) ?(sim_domains = 0) () =
+    ?(monitor = Invariant.default) ?(sim_domains = 0) ?(reinstate = false) () =
   let alphabet =
     match alphabet with Some a -> a | None -> default_alphabet ~num_nets
   in
@@ -62,6 +81,7 @@ let make ?(num_nodes = 3) ?(num_nets = 2) ?(style = Totem_rrp.Style.Active)
     quiesce;
     monitor;
     sim_domains;
+    reinstate;
   }
 
 (* --- decision-point schedule ----------------------------------------- *)
@@ -114,7 +134,7 @@ let campaign_of_path cfg ~gap ~duration path =
   in
   Campaign.make ~num_nodes:cfg.num_nodes ~num_nets:cfg.num_nets
     ~style:cfg.style ~seed:cfg.seed ~duration ~quiesce:cfg.quiesce
-    ~traffic:(traffic cfg ~gap) ~wire:cfg.wire steps
+    ~traffic:(traffic cfg ~gap) ~wire:cfg.wire ~reinstate:cfg.reinstate steps
 
 let leaf_campaign cfg ~gap path =
   campaign_of_path cfg ~gap
@@ -145,6 +165,12 @@ let env_string cfg path =
   let failed_at = Array.make n (-1) in
   let corrupt = Array.make n 0.0 in
   let loss = Array.make n 0.0 in
+  let burst = Array.make n (0.0, 1.0) in
+  let delay = Array.make n (1.0, 0.0) in
+  let dup = Array.make n 0.0 in
+  let reorder = Array.make n 0.0 in
+  let dirloss = ref [] in
+  (* (net, src, dst, p) *)
   let pairs = ref [] in
   (* (net, from, to) partition edges *)
   let send_blocked = ref [] and recv_blocked = ref [] in
@@ -158,11 +184,30 @@ let env_string cfg path =
         failed_at.(net) <- -1;
         corrupt.(net) <- 0.0;
         loss.(net) <- 0.0;
+        burst.(net) <- (0.0, 1.0);
+        delay.(net) <- (1.0, 0.0);
+        dup.(net) <- 0.0;
+        reorder.(net) <- 0.0;
+        dirloss := List.filter (fun (nt, _, _, _) -> nt <> net) !dirloss;
         pairs := List.filter (fun (nt, _, _) -> nt <> net) !pairs;
         send_blocked := List.filter (fun (_, nt) -> nt <> net) !send_blocked;
         recv_blocked := List.filter (fun (_, nt) -> nt <> net) !recv_blocked
       | Campaign.Set_loss (net, p) -> loss.(net) <- p
       | Campaign.Set_corrupt (net, p) -> corrupt.(net) <- p
+      | Campaign.Set_burst_loss (net, p_enter, p_exit) ->
+        (* Mirror Fault.set_burst_loss: p_enter = 0 disables (canonical
+           off state), p_exit floored while enabled. *)
+        burst.(net) <-
+          (if p_enter <= 0.0 then (0.0, 1.0)
+           else (p_enter, Float.max p_exit 0.001))
+      | Campaign.Set_delay_factor (net, factor, spike) ->
+        delay.(net) <- (Float.max factor 1.0, spike)
+      | Campaign.Set_dir_loss (net, src, dst, p) ->
+        dirloss := List.filter (fun (nt, s, d, _) ->
+            not (nt = net && s = src && d = dst)) !dirloss;
+        if p > 0.0 then dirloss := (net, src, dst, p) :: !dirloss
+      | Campaign.Set_duplicate (net, p) -> dup.(net) <- p
+      | Campaign.Set_reorder (net, p) -> reorder.(net) <- p
       | Campaign.Partition (net, a, b) ->
         let e = (net, a, b) in
         if not (List.mem e !pairs) then pairs := e :: !pairs
@@ -186,8 +231,19 @@ let env_string cfg path =
   let b = Buffer.create 128 in
   Array.iteri
     (fun net f ->
-      Printf.bprintf b "n%d:F%d;C%.4f;L%.4f " net f corrupt.(net) loss.(net))
+      let p_enter, p_exit = burst.(net) in
+      let factor, spike = delay.(net) in
+      Printf.bprintf b "n%d:F%d;C%.4f;L%.4f;B%.4f/%.4f;D%.4f/%.4f;U%.4f;O%.4f "
+        net f corrupt.(net) loss.(net) p_enter p_exit factor spike dup.(net)
+        reorder.(net))
     failed_at;
+  let dump_dir l =
+    Buffer.add_string b "G";
+    List.iter
+      (fun (net, s, d, p) -> Printf.bprintf b "(%d:%d>%d@%.4f)" net s d p)
+      (List.sort compare l)
+  in
+  dump_dir !dirloss;
   let dump tag l pr =
     Buffer.add_string b tag;
     List.iter pr (List.sort compare l)
@@ -224,6 +280,15 @@ let state_string cfg env cluster =
       (Srp.send_queue_length srp)
       stats.Srp.token_visits;
     Array.iteri (fun i f -> Printf.bprintf b " f%d%b" i f) (Rrp.faulty rrp);
+    (* Only under reinstatement: probation is a third state the faulty
+       flags cannot express. Guarded so pre-existing explorations keep
+       their exact fingerprint strings. *)
+    if cfg.reinstate then
+      for net = 0 to cfg.num_nets - 1 do
+        Printf.bprintf b " s%s%d"
+          (Rrp.net_state_string rrp ~net)
+          (Rrp.flaps rrp ~net)
+      done;
     (match Rrp.as_active rrp with
     | Some a ->
       for net = 0 to cfg.num_nets - 1 do
@@ -489,7 +554,8 @@ let stabilize cfg ~points =
   let campaign =
     Campaign.make ~num_nodes:cfg.num_nodes ~num_nets:cfg.num_nets
       ~style:cfg.style ~seed:cfg.seed ~duration ~quiesce:cfg.quiesce
-      ~traffic:(Campaign.Bursts bursts) ~wire:cfg.wire []
+      ~traffic:(Campaign.Bursts bursts) ~wire:cfg.wire
+      ~reinstate:cfg.reinstate []
   in
   (* Relaxed monitor: a forged token is a transient fault, and the
      expected recovery path (ring reformation) is a membership change.

@@ -50,6 +50,10 @@ type config = {
   quiesce : Totem_engine.Vtime.t;
   monitor : Invariant.config;
   sim_domains : int;
+  reinstate : bool;
+      (** run every explored campaign with the reinstatement protocol
+          on, and include each node's probation state and flap count in
+          the state fingerprint *)
 }
 
 val make :
@@ -66,11 +70,13 @@ val make :
   ?quiesce:Totem_engine.Vtime.t ->
   ?monitor:Invariant.config ->
   ?sim_domains:int ->
+  ?reinstate:bool ->
   unit ->
   config
 (** Defaults: 3 nodes, 2 nets, active style, seed 42, wire on, depth 3,
     {!default_alphabet}, calibrated gap, 40 ms settle, 40 ms hold,
-    500 ms quiesce, {!Invariant.default}, classic simulator core. *)
+    500 ms quiesce, {!Invariant.default}, classic simulator core,
+    reinstatement off. *)
 
 val default_alphabet : num_nets:int -> Campaign.op list
 (** Fail/heal, corrupt-on (p = 0.5)/corrupt-off and a node-0-to-node-1
@@ -78,6 +84,13 @@ val default_alphabet : num_nets:int -> Campaign.op list
     the paper's operating assumption that one network survives, which
     also keeps {!Campaign.tolerated} true on every path so the masking
     invariants stay armed. @raise Invalid_argument if [num_nets < 2]. *)
+
+val gray_alphabet : num_nets:int -> Campaign.op list
+(** Gray-failure ops in on/off pairs for every network except the last:
+    heavy Gilbert–Elliott burst loss, 4x latency inflation with spikes,
+    and directional node-0-to-node-1 loss. Designed to interleave
+    condemnation with probation, so pair it with [reinstate].
+    @raise Invalid_argument if [num_nets < 2]. *)
 
 val calibrated_gap : config -> Totem_engine.Vtime.t
 (** The decision-point spacing actually used: [config.gap] when given,

@@ -13,6 +13,8 @@ let inv_detection = "A6-detection"
 let inv_lag = "P4-lag"
 let inv_liveness = "L-token-liveness"
 let inv_corruption = "C1-corruption-confined"
+let inv_flap = "R1-flap-bounded"
+let inv_recondemn = "R2-gray-recondemn"
 
 type violation = { invariant : string; at : Vtime.t; detail : string }
 
@@ -28,6 +30,8 @@ type config = {
   condemn_within : Vtime.t option;
   token_gap : Vtime.t option;
   check_every : Vtime.t;
+  flap_limit : int option;
+  recondemn_within : Vtime.t option;
 }
 
 (* token_gap defaults just above token_loss_timeout (200 ms): under a
@@ -43,6 +47,8 @@ let default =
     condemn_within = None;
     token_gap = Some (Vtime.ms 250);
     check_every = Vtime.ms 25;
+    flap_limit = None;
+    recondemn_within = None;
   }
 
 type t = {
@@ -66,6 +72,11 @@ type t = {
   (* A6 detection bookkeeping *)
   down_since : Vtime.t option array;
   marked : bool array;
+  (* R2 bookkeeping: when heavy bursty loss started on a net, and which
+     (node, net) reinstatements happened under it and now owe a
+     re-condemnation *)
+  gray_since : Vtime.t option array;
+  reinstated_at : (int * int, Vtime.t) Hashtbl.t;
   mutable detached : bool;
   mutable subscription : Telemetry.subscription option;
 }
@@ -84,6 +95,27 @@ let clean t = t.violations_rev = []
 let on_event t _time event =
   match event with
   | Telemetry.Token_rx _ -> t.last_token <- Cluster.now t.cluster
+  | Telemetry.Net_condemned { node; net; flaps } -> (
+    (* a re-condemnation settles any outstanding R2 debt for this pair *)
+    Hashtbl.remove t.reinstated_at (node, net);
+    match t.config.flap_limit with
+    | Some limit when flaps > limit ->
+      violate t inv_flap
+        "node %d re-condemned network %d on flap %d; damping should have \
+         stopped probing at %d"
+        node net flaps limit
+    | _ -> ())
+  | Telemetry.Net_probation { node; net; attempt } -> (
+    match t.config.flap_limit with
+    | Some limit when attempt > limit ->
+      violate t inv_flap
+        "node %d started probation attempt %d on network %d past the flap \
+         limit %d"
+        node attempt net limit
+    | _ -> ())
+  | Telemetry.Net_reinstated { node; net; rotations = _ } ->
+    if t.config.recondemn_within <> None && t.gray_since.(net) <> None then
+      Hashtbl.replace t.reinstated_at (node, net) (Cluster.now t.cluster)
   | Telemetry.Net_fault_marked { node; net; evidence } ->
     t.marked.(net) <- true;
     if t.config.virgin_net && t.tolerated && not t.touched.(net) then
@@ -166,6 +198,15 @@ let check_detection ?(outstanding = false) t ~net ~now =
 (* The runner reports every fault-schedule step as it executes, keeping
    the monitor's picture of injected state exact (A6 needs to know when
    a network went down and when the administrator repaired it). *)
+let clear_gray t net =
+  t.gray_since.(net) <- None;
+  let stale =
+    Hashtbl.fold
+      (fun ((_, n) as k) _ acc -> if n = net then k :: acc else acc)
+      t.reinstated_at []
+  in
+  List.iter (Hashtbl.remove t.reinstated_at) stale
+
 let note_step t (op : Campaign.op) =
   let now = Cluster.now t.cluster in
   match op with
@@ -175,8 +216,47 @@ let note_step t (op : Campaign.op) =
     check_detection t ~net ~now;
     t.down_since.(net) <- None;
     (* heal_network clears every node's faulty mark for the net *)
-    t.marked.(net) <- false
+    t.marked.(net) <- false;
+    clear_gray t net
+  | Campaign.Set_burst_loss (net, p_enter, p_exit) ->
+    (* R2 arms while the steady-state Gilbert–Elliott loss rate is
+       heavy (>= one frame in two): a reinstatement under it must be
+       followed by a re-condemnation within the bound. *)
+    if p_enter > 0.0 then begin
+      let p_exit = Float.max p_exit 0.001 in
+      let steady = p_enter /. (p_enter +. p_exit) in
+      if steady >= 0.5 then begin
+        if t.gray_since.(net) = None then t.gray_since.(net) <- Some now
+      end
+      else clear_gray t net
+    end
+    else clear_gray t net
   | _ -> ()
+
+let check_recondemn ?(outstanding = false) t ~now =
+  match t.config.recondemn_within with
+  | Some bound ->
+    let expired =
+      Hashtbl.fold
+        (fun k t0 acc ->
+          if Vtime.( >= ) (Vtime.sub now t0) bound then (k, t0) :: acc else acc)
+        t.reinstated_at []
+    in
+    List.iter
+      (fun (((node, net) as k), t0) ->
+        Hashtbl.remove t.reinstated_at k;
+        if outstanding then
+          violate t inv_recondemn
+            "node %d reinstated network %d at %a under heavy bursty loss and \
+             never re-condemned it (bound %a)"
+            node net Vtime.pp t0 Vtime.pp bound
+        else
+          violate t inv_recondemn
+            "node %d reinstated network %d at %a under heavy bursty loss and \
+             did not re-condemn it within %a"
+            node net Vtime.pp t0 Vtime.pp bound)
+      expired
+  | None -> ()
 
 let tick t =
   let now = Cluster.now t.cluster in
@@ -187,7 +267,8 @@ let tick t =
       violate t inv_liveness "no token reception anywhere for %a (bound %a)"
         Vtime.pp silent Vtime.pp gap
   | _ -> ());
-  Array.iteri (fun net _ -> check_detection t ~net ~now) t.down_since
+  Array.iteri (fun net _ -> check_detection t ~net ~now) t.down_since;
+  check_recondemn t ~now
 
 let rec arm_tick t =
   if not t.detached then
@@ -218,6 +299,8 @@ let attach cluster config campaign =
       last_token = Sim.now (Cluster.sim cluster);
       down_since = Array.make num_nets None;
       marked = Array.make num_nets false;
+      gray_since = Array.make num_nets None;
+      reinstated_at = Hashtbl.create 8;
       detached = false;
       subscription = None;
     }
@@ -244,7 +327,8 @@ let final_checks t ~submitted =
   let now = Cluster.now t.cluster in
   Array.iteri
     (fun net _ -> check_detection ~outstanding:true t ~net ~now)
-    t.down_since
+    t.down_since;
+  check_recondemn ~outstanding:true t ~now
 
 let detach t =
   t.detached <- true;
@@ -271,6 +355,8 @@ let config_to_json c =
       ("condemn_within_ns", opt_int c.condemn_within);
       ("token_gap_ns", opt_int c.token_gap);
       ("check_every_ns", J.int c.check_every);
+      ("flap_limit", opt_int c.flap_limit);
+      ("recondemn_within_ns", opt_int c.recondemn_within);
     ]
 
 let opt_int_of v name where =
@@ -288,6 +374,9 @@ let config_of_json v where =
     condemn_within = opt_int_of v "condemn_within_ns" where;
     token_gap = opt_int_of v "token_gap_ns" where;
     check_every = J.get_int v "check_every_ns" where;
+    (* absent in pre-reinstatement counterexample files *)
+    flap_limit = opt_int_of v "flap_limit" where;
+    recondemn_within = opt_int_of v "recondemn_within_ns" where;
   }
 
 let violation_to_json v =

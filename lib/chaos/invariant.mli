@@ -53,6 +53,17 @@ val inv_corruption : string
     corruption. Armed unconditionally — an artifact elsewhere signals a
     codec defect, not a tolerated fault. *)
 
+val inv_flap : string
+(** R1: flap damping is bounded — no node re-condemns a network past
+    [flap_limit] flaps, and no probation attempt starts past it. An
+    oscillating network must converge to permanently condemned. *)
+
+val inv_recondemn : string
+(** R2: a network reinstated while heavy Gilbert–Elliott loss
+    (steady-state rate >= 0.5) is still injected on it must be
+    re-condemned within [recondemn_within] — the gray-failure analogue
+    of A6 detection. *)
+
 type config = {
   agreement : bool;
   membership : bool;
@@ -66,6 +77,12 @@ type config = {
   token_gap : Totem_engine.Vtime.t option;
       (** arm {!inv_liveness}: max virtual time without any [Token_rx] *)
   check_every : Totem_engine.Vtime.t;  (** periodic check interval *)
+  flap_limit : int option;
+      (** arm {!inv_flap} with the campaign's
+          [Rrp_config.reinstate_flap_limit] *)
+  recondemn_within : Totem_engine.Vtime.t option;
+      (** arm {!inv_recondemn}: max time from reinstatement under heavy
+          bursty loss to re-condemnation *)
 }
 
 val default : config
@@ -74,8 +91,9 @@ val default : config
     every masking invariant it is only {e enforced} while
     {!Campaign.tolerated} holds for the campaign under test, so on
     campaigns outside the fault hypothesis the bound is effectively
-    unarmed. Lag and detection bounds ([lag_limit],
-    [condemn_within]) default to [None]; arm them per campaign. *)
+    unarmed. Lag, detection and reinstatement bounds ([lag_limit],
+    [condemn_within], [flap_limit], [recondemn_within]) default to
+    [None]; arm them per campaign. *)
 
 type t
 

@@ -47,10 +47,16 @@ let run ?(monitor = Invariant.default) ?sink ?(shadow = false)
   (match Campaign.validate campaign with
   | Ok () -> ()
   | Error m -> invalid_arg ("Runner.run: invalid campaign: " ^ m));
+  let rrp =
+    {
+      Totem_rrp.Rrp_config.default with
+      Totem_rrp.Rrp_config.reinstate = campaign.Campaign.reinstate;
+    }
+  in
   let config =
     Config.make ~num_nodes:campaign.Campaign.num_nodes
       ~num_nets:campaign.Campaign.num_nets ~style:campaign.Campaign.style
-      ~seed:campaign.Campaign.seed ~wire_bytes:campaign.Campaign.wire
+      ~seed:campaign.Campaign.seed ~rrp ~wire_bytes:campaign.Campaign.wire
       ~codec_shadow:shadow ~sim_domains ()
   in
   let cluster = Cluster.create config in

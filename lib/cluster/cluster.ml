@@ -269,6 +269,11 @@ let create config =
     g "frames_lost" Totem_net.Network.frames_lost;
     g "frames_faulted" Totem_net.Network.frames_faulted;
     g "frames_corrupted" Totem_net.Network.frames_corrupted;
+    g "frames_burst_lost" Totem_net.Network.frames_burst_lost;
+    g "frames_dir_lost" Totem_net.Network.frames_dir_lost;
+    g "frames_delay_spiked" Totem_net.Network.frames_delay_spiked;
+    g "frames_duplicated" Totem_net.Network.frames_duplicated;
+    g "frames_reordered" Totem_net.Network.frames_reordered;
     g "wire_bytes" Totem_net.Network.bytes_on_wire
   done;
   t
@@ -335,6 +340,32 @@ let set_network_corruption t net p =
   Totem_net.Fault.set_corruption_probability
     (Totem_net.Fabric.fault t.fabric net)
     p
+
+let set_network_burst_loss t net ~p_enter ~p_exit =
+  Totem_net.Fault.set_burst_loss
+    (Totem_net.Fabric.fault t.fabric net)
+    ~p_enter ~p_exit
+
+let set_network_delay t net ~factor ~spike_prob =
+  (* Spikes are sized relative to the network's own propagation delay:
+     a spike is uniform in [1, 10 * latency], i.e. up to an order of
+     magnitude above nominal — large enough to trip timers, small
+     enough to stay within one token timeout at the defaults. *)
+  let network = Totem_net.Fabric.network t.fabric net in
+  let latency = (Totem_net.Network.config network).Totem_net.Network.latency in
+  Totem_net.Fault.set_delay
+    (Totem_net.Fabric.fault t.fabric net)
+    ~factor ~spike_prob
+    ~spike_ns:(10 * latency)
+
+let set_network_dir_loss t net ~src ~dst p =
+  Totem_net.Fault.set_dir_loss (Totem_net.Fabric.fault t.fabric net) ~src ~dst p
+
+let set_network_duplicate t net p =
+  Totem_net.Fault.set_duplicate (Totem_net.Fabric.fault t.fabric net) p
+
+let set_network_reorder t net p =
+  Totem_net.Fault.set_reorder (Totem_net.Fabric.fault t.fabric net) p
 
 let block_send t ~node ~net =
   Totem_net.Fault.block_send (Totem_net.Fabric.fault t.fabric net) node

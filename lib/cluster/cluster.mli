@@ -114,6 +114,34 @@ val set_network_corruption : t -> Totem_net.Addr.net_id -> float -> unit
     discards only when the cluster runs with [Config.wire_bytes]; in
     reference mode corrupted frames are simply dropped. *)
 
+val set_network_burst_loss :
+  t -> Totem_net.Addr.net_id -> p_enter:float -> p_exit:float -> unit
+(** Gilbert–Elliott bursty loss on one network
+    ({!Totem_net.Fault.set_burst_loss}); [p_enter = 0] disables. *)
+
+val set_network_delay :
+  t -> Totem_net.Addr.net_id -> factor:float -> spike_prob:float -> unit
+(** Latency inflation: multiply the network's propagation latency by
+    [factor] (clamped to [>= 1.0]) and add, with probability
+    [spike_prob] per delivery, a spike uniform in [1, 10 x latency].
+    [factor = 1.0] with [spike_prob = 0] restores nominal timing. *)
+
+val set_network_dir_loss :
+  t ->
+  Totem_net.Addr.net_id ->
+  src:Totem_net.Addr.node_id ->
+  dst:Totem_net.Addr.node_id ->
+  float ->
+  unit
+(** Asymmetric loss on the directed path [src -> dst]; [0] clears. *)
+
+val set_network_duplicate : t -> Totem_net.Addr.net_id -> float -> unit
+(** Per-delivery duplication probability. *)
+
+val set_network_reorder : t -> Totem_net.Addr.net_id -> float -> unit
+(** Per-delivery reordering probability — the one gray dimension that
+    breaks the network's per-receiver FIFO assumption. *)
+
 val block_send : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit
 
 val block_recv : t -> node:Totem_net.Addr.node_id -> net:Totem_net.Addr.net_id -> unit

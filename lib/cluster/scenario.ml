@@ -3,6 +3,13 @@ type action =
   | Heal_network of Totem_net.Addr.net_id
   | Set_loss of Totem_net.Addr.net_id * float
   | Set_corrupt of Totem_net.Addr.net_id * float
+  | Set_burst_loss of Totem_net.Addr.net_id * float * float
+  | Set_delay_factor of Totem_net.Addr.net_id * float * float
+  | Set_dir_loss of
+      Totem_net.Addr.net_id * Totem_net.Addr.node_id * Totem_net.Addr.node_id
+      * float
+  | Set_duplicate of Totem_net.Addr.net_id * float
+  | Set_reorder of Totem_net.Addr.net_id * float
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id
@@ -28,6 +35,19 @@ let pp_action ppf = function
     Format.fprintf ppf "loss %.2f on %a" p Totem_net.Addr.pp_net n
   | Set_corrupt (n, p) ->
     Format.fprintf ppf "corrupt %.2f on %a" p Totem_net.Addr.pp_net n
+  | Set_burst_loss (n, p_enter, p_exit) ->
+    Format.fprintf ppf "burst loss %.3f/%.3f on %a" p_enter p_exit
+      Totem_net.Addr.pp_net n
+  | Set_delay_factor (n, factor, spike) ->
+    Format.fprintf ppf "delay x%.2f spike %.2f on %a" factor spike
+      Totem_net.Addr.pp_net n
+  | Set_dir_loss (n, src, dst, p) ->
+    Format.fprintf ppf "dir loss %.2f %a->%a on %a" p Totem_net.Addr.pp_node
+      src Totem_net.Addr.pp_node dst Totem_net.Addr.pp_net n
+  | Set_duplicate (n, p) ->
+    Format.fprintf ppf "duplicate %.2f on %a" p Totem_net.Addr.pp_net n
+  | Set_reorder (n, p) ->
+    Format.fprintf ppf "reorder %.2f on %a" p Totem_net.Addr.pp_net n
   | Block_send (node, net) ->
     Format.fprintf ppf "block send %a on %a" Totem_net.Addr.pp_node node
       Totem_net.Addr.pp_net net
@@ -59,6 +79,13 @@ let apply t = function
   | Heal_network n -> Cluster.heal_network t n
   | Set_loss (n, p) -> Cluster.set_network_loss t n p
   | Set_corrupt (n, p) -> Cluster.set_network_corruption t n p
+  | Set_burst_loss (n, p_enter, p_exit) ->
+    Cluster.set_network_burst_loss t n ~p_enter ~p_exit
+  | Set_delay_factor (n, factor, spike_prob) ->
+    Cluster.set_network_delay t n ~factor ~spike_prob
+  | Set_dir_loss (n, src, dst, p) -> Cluster.set_network_dir_loss t n ~src ~dst p
+  | Set_duplicate (n, p) -> Cluster.set_network_duplicate t n p
+  | Set_reorder (n, p) -> Cluster.set_network_reorder t n p
   | Block_send (node, net) -> Cluster.block_send t ~node ~net
   | Unblock_send (node, net) -> Cluster.unblock_send t ~node ~net
   | Block_recv (node, net) -> Cluster.block_recv t ~node ~net

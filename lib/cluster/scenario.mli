@@ -9,6 +9,18 @@ type action =
   | Set_corrupt of Totem_net.Addr.net_id * float
       (** in-flight corruption probability (see
           {!Cluster.set_network_corruption}) *)
+  | Set_burst_loss of Totem_net.Addr.net_id * float * float
+      (** [(net, p_enter, p_exit)]: Gilbert–Elliott bursty loss (see
+          {!Cluster.set_network_burst_loss}) *)
+  | Set_delay_factor of Totem_net.Addr.net_id * float * float
+      (** [(net, factor, spike_prob)]: latency inflation (see
+          {!Cluster.set_network_delay}) *)
+  | Set_dir_loss of
+      Totem_net.Addr.net_id * Totem_net.Addr.node_id * Totem_net.Addr.node_id
+      * float
+      (** [(net, src, dst, p)]: asymmetric per-direction loss *)
+  | Set_duplicate of Totem_net.Addr.net_id * float
+  | Set_reorder of Totem_net.Addr.net_id * float
   | Block_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Unblock_send of Totem_net.Addr.node_id * Totem_net.Addr.net_id
   | Block_recv of Totem_net.Addr.node_id * Totem_net.Addr.net_id

@@ -62,6 +62,10 @@ type event =
   | Problem_threshold of { node : int; net : int; count : int; threshold : int }
   | Recv_lag of { node : int; net : int; behind : int; source : string }
   | Net_fault_marked of { node : int; net : int; evidence : string }
+  (* reinstatement / probation state machine (flap damping) *)
+  | Net_condemned of { node : int; net : int; flaps : int }
+  | Net_probation of { node : int; net : int; attempt : int }
+  | Net_reinstated of { node : int; net : int; rotations : int }
   (* membership *)
   | Memb_transition of { node : int; phase : string; ring_id : int; detail : string }
   | Ring_installed of { node : int; ring_id : int; members : int }
@@ -331,6 +335,9 @@ let type_name = function
   | Problem_threshold _ -> "problem_threshold"
   | Recv_lag _ -> "recv_lag"
   | Net_fault_marked _ -> "net_fault_marked"
+  | Net_condemned _ -> "net_condemned"
+  | Net_probation _ -> "net_probation"
+  | Net_reinstated _ -> "net_reinstated"
   | Memb_transition _ -> "memb_transition"
   | Ring_installed _ -> "ring_installed"
   | Frame_loss _ -> "frame_loss"
@@ -355,6 +362,8 @@ let component_of = function
   | Token_release { node; _ } | Problem_incr { node; _ }
   | Problem_decay { node; _ } | Problem_threshold { node; _ }
   | Recv_lag { node; _ } | Net_fault_marked { node; _ }
+  | Net_condemned { node; _ } | Net_probation { node; _ }
+  | Net_reinstated { node; _ }
   | Packet_send { node; _ } | Packet_recv { node; _ } ->
     Printf.sprintf "rrp%d" node
   | Memb_transition { node; _ } | Ring_installed { node; _ } ->
@@ -379,7 +388,9 @@ let node_of_event = function
   | Dup_drop { node; _ } | Rtr_request { node; _ } | Rtr_serve { node; _ }
   | Problem_incr { node; _ } | Problem_decay { node; _ }
   | Problem_threshold { node; _ } | Recv_lag { node; _ }
-  | Net_fault_marked { node; _ } | Memb_transition { node; _ }
+  | Net_fault_marked { node; _ } | Net_condemned { node; _ }
+  | Net_probation { node; _ } | Net_reinstated { node; _ }
+  | Memb_transition { node; _ }
   | Ring_installed { node; _ } | Buffer_drop { node; _ }
   | Frame_crc_reject { node; _ } | Frame_decode_reject { node; _ } ->
     Some node
@@ -450,6 +461,13 @@ let message_of ev =
           source
       | Net_fault_marked { net; evidence; _ } ->
         Format.fprintf ppf "marked net%d faulty: %s" net evidence
+      | Net_condemned { net; flaps; _ } ->
+        Format.fprintf ppf "net%d condemned (flaps=%d)" net flaps
+      | Net_probation { net; attempt; _ } ->
+        Format.fprintf ppf "net%d on probation (attempt=%d)" net attempt
+      | Net_reinstated { net; rotations; _ } ->
+        Format.fprintf ppf "net%d reinstated after %d clean rotations" net
+          rotations
       | Memb_transition { phase; ring_id; detail; _ } ->
         Format.fprintf ppf "-> %s (ring=%d): %s" phase ring_id detail
       | Ring_installed { ring_id; members; _ } ->
@@ -541,6 +559,12 @@ let fields_of_event ev =
     [ i "node" node; i "net" net; i "behind" behind; s "source" source ]
   | Net_fault_marked { node; net; evidence } ->
     [ i "node" node; i "net" net; s "evidence" evidence ]
+  | Net_condemned { node; net; flaps } ->
+    [ i "node" node; i "net" net; i "flaps" flaps ]
+  | Net_probation { node; net; attempt } ->
+    [ i "node" node; i "net" net; i "attempt" attempt ]
+  | Net_reinstated { node; net; rotations } ->
+    [ i "node" node; i "net" net; i "rotations" rotations ]
   | Memb_transition { node; phase; ring_id; detail } ->
     [ i "node" node; s "phase" phase; i "ring_id" ring_id; s "detail" detail ]
   | Ring_installed { node; ring_id; members } ->

@@ -73,6 +73,17 @@ type event =
   | Problem_threshold of { node : int; net : int; count : int; threshold : int }
   | Recv_lag of { node : int; net : int; behind : int; source : string }
   | Net_fault_marked of { node : int; net : int; evidence : string }
+  | Net_condemned of { node : int; net : int; flaps : int }
+      (** [node] condemned [net]; [flaps] counts prior
+          reinstate-then-recondemn cycles for the network (0 on first
+          condemnation) *)
+  | Net_probation of { node : int; net : int; attempt : int }
+      (** the reinstatement backoff expired: [node] tentatively returned
+          [net] to service and is counting clean token rotations;
+          [attempt] is 1-based *)
+  | Net_reinstated of { node : int; net : int; rotations : int }
+      (** probation succeeded: [net] rejoined service at [node] after
+          [rotations] consecutive clean rotations *)
   | Memb_transition of {
       node : int;
       phase : string;

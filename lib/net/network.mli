@@ -81,6 +81,29 @@ val frames_corrupted : t -> int
     receiver's CRC discards them); reference-passing frames were
     dropped, since corruption without bytes degenerates to loss. *)
 
+(** Gray-failure counters, one per fault dimension (see the gray
+    setters in {!Fault}). All draws happen here, coordinator-side, on
+    the per-network simulation RNG, each guarded by its
+    enabled-predicate — a gray-free network consumes no randomness, so
+    existing seeds and every [sim_domains >= 1] replay bit-for-bit. *)
+
+val frames_burst_lost : t -> int
+(** Dropped by the Gilbert–Elliott chain's bad state. *)
+
+val frames_dir_lost : t -> int
+(** Dropped by the per-direction (asymmetric) loss process. *)
+
+val frames_delay_spiked : t -> int
+(** Deliveries that drew a latency spike on top of the inflation
+    factor. *)
+
+val frames_duplicated : t -> int
+(** Deliveries that arrived twice. *)
+
+val frames_reordered : t -> int
+(** Deliveries held back past their FIFO slot so later frames could
+    overtake. *)
+
 val bytes_on_wire : t -> int
 
 val busy_until : t -> Totem_engine.Vtime.t

@@ -49,6 +49,12 @@ let rec create base =
         (fun () -> float_of_int t.problem.(i))
     done
   | None -> ());
+  (* Probation plumbing: a rotation is clean for a net while its problem
+     counter sits at zero; probation forgives the counter that condemned
+     it so the next timer expiry does not instantly re-condemn. *)
+  Layer.set_probation_hooks base
+    ~net_clean:(fun net -> t.problem.(net) = 0)
+    ~on_probation_start:(fun net -> t.problem.(net) <- 0);
   t
 
 (* Fig. 2 tokenTimerExpired *)
@@ -77,7 +83,9 @@ and token_timer_expired t =
       end)
     t.problem;
   match t.last_token with
-  | Some tok -> (Layer.callbacks t.base).Callbacks.deliver_token tok
+  | Some tok ->
+    Layer.note_rotation t.base;
+    (Layer.callbacks t.base).Callbacks.deliver_token tok
   | None -> ()
 
 let lower t =
@@ -108,6 +116,7 @@ let timer t = Option.get t.token_timer
 
 (* Fig. 2 recvToken *)
 let on_token t ~net tok =
+  Layer.note_recovery_traffic t.base ~net;
   if Layer.tel_active t.base then
     Layer.tel_emit t.base
       (Telemetry.Token_copy_rx
@@ -143,7 +152,9 @@ let on_token t ~net tok =
     if !complete then begin
       Timer.stop (timer t);
       match t.last_token with
-      | Some last -> (Layer.callbacks t.base).Callbacks.deliver_token last
+      | Some last ->
+        Layer.note_rotation t.base;
+        (Layer.callbacks t.base).Callbacks.deliver_token last
       | None -> ()
     end
   end
@@ -152,6 +163,7 @@ let frame_received t ~net frame =
   let cb = Layer.callbacks t.base in
   match frame.Totem_net.Frame.payload with
   | Srp.Wire.Data p ->
+    Layer.note_recovery_traffic t.base ~net;
     (* "deliver m to Totem SRP" — duplicates die on the sequence-number
        filter above (A1). *)
     cb.Callbacks.deliver_data p

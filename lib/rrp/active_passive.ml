@@ -43,6 +43,26 @@ let rec create base ~k =
     (fun () ->
       Monitor.catch_up t.token_monitor;
       Hashtbl.iter (fun _ m -> Monitor.catch_up m) t.message_monitors);
+  (* Probation plumbing, stage-1 style: cleanliness and forgiveness both
+     come from the passive monitors, including the liveness half of the
+     clean check — a probed net must keep delivering tokens, not merely
+     stay under the (just-forgiven) lag bound (see Passive.create). *)
+  let probe_count = Array.make n 0 and probe_stale = Array.make n 0 in
+  Layer.set_probation_hooks base
+    ~net_clean:(fun net ->
+      let c = Monitor.received t.token_monitor ~net in
+      if c > probe_count.(net) then begin
+        probe_count.(net) <- c;
+        probe_stale.(net) <- 0
+      end
+      else probe_stale.(net) <- probe_stale.(net) + 1;
+      probe_stale.(net) < 2 * n
+      && Monitor.behind t.token_monitor ~net <= threshold / 2)
+    ~on_probation_start:(fun net ->
+      Monitor.rejoin t.token_monitor ~net;
+      Hashtbl.iter (fun _ m -> Monitor.rejoin m ~net) t.message_monitors;
+      probe_count.(net) <- Monitor.received t.token_monitor ~net;
+      probe_stale.(net) <- 0);
   t
 
 and token_timer_expired t =
@@ -57,6 +77,7 @@ and token_timer_expired t =
              ring_id = tok.Srp.Token.ring_id;
              trigger = Telemetry.Release_timer;
            });
+    Layer.note_rotation t.base;
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | _ -> ()
 
@@ -144,6 +165,7 @@ let copies_received t =
 
 (* Stage 2: the active-style wait for K copies. *)
 let on_token t ~net tok =
+  Layer.note_recovery_traffic t.base ~net;
   if Layer.tel_active t.base then
     Layer.tel_emit t.base
       (Telemetry.Token_copy_rx
@@ -179,11 +201,14 @@ let on_token t ~net tok =
     Timer.stop (timer t);
     t.delivered_last <- true;
     match t.last_token with
-    | Some last -> (Layer.callbacks t.base).Callbacks.deliver_token last
+    | Some last ->
+      Layer.note_rotation t.base;
+      (Layer.callbacks t.base).Callbacks.deliver_token last
     | None -> ()
   end
 
 let on_data t ~net ~sender p =
+  Layer.note_recovery_traffic t.base ~net;
   let monitor = message_monitor_for t sender in
   Monitor.note monitor ~net;
   check_monitor t monitor ~source:(Fault_report.Message_traffic sender);

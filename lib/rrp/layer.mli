@@ -49,7 +49,55 @@ val mark_faulty :
     operational"). *)
 
 val clear_fault : base -> net:Totem_net.Addr.net_id -> unit
-(** Administrative repair: resume sending on the network. *)
+(** Administrative repair: resume sending on the network. Also wipes the
+    reinstatement history (flaps, probation, pending probes) — the
+    operator asserts the network is fixed, so flap damping restarts. *)
+
+(** {1 Condemned-network reinstatement}
+
+    With [config.reinstate] a condemned network is not written off for
+    good: after an exponential backoff ([reinstate_backoff], doubling
+    per flap up to [reinstate_backoff_max]) the node puts it on
+    {e probation} — it resumes sending on the network and counts clean
+    token rotations. After [reinstate_clean_rotations] consecutive
+    clean ones it is reinstated; any new fault report meanwhile
+    re-condemns it immediately (a {e flap}). A network that flaps
+    [reinstate_flap_limit] times is condemned permanently, so an
+    oscillating (gray) network converges. With [reinstate = false]
+    (default) none of this machinery runs and behaviour is identical to
+    the paper's protocol. *)
+
+val set_probation_hooks :
+  base -> net_clean:(int -> bool) -> on_probation_start:(int -> unit) -> unit
+(** Style-specific probation plumbing. [net_clean net] is consulted once
+    per token rotation for each network on probation: true counts a
+    clean rotation, false resets the streak. [on_probation_start net]
+    fires when probation begins, so the style can reset the fault
+    evidence that condemned the network (problem counters, reception
+    counts) instead of instantly re-condemning it. *)
+
+val note_rotation : base -> unit
+(** Styles call this once per token delivered to the SRP (= once per
+    ring rotation at this node); advances every probation streak. *)
+
+val note_recovery_traffic : base -> net:Totem_net.Addr.net_id -> unit
+(** Styles call this when a data or token frame arrives on a network
+    this node has condemned: some peer is probing it, so join the probe
+    (probation windows must overlap across the ring for the per-node
+    clean-rotation verdicts to pass). No-op unless the network is
+    condemned, its flap limit is unreached, and at least the base
+    [reinstate_backoff] has elapsed since this node condemned it — the
+    quarantine that keeps frames already in flight at condemnation time
+    from instantly restarting the probe. Membership traffic (joins,
+    merge probes, commits) must NOT feed this: it is sent on every
+    network regardless of fault state, so it carries no evidence of
+    recovery. *)
+
+val net_state :
+  base -> net:Totem_net.Addr.net_id -> [ `Active | `Condemned | `Probation ]
+
+val flaps : base -> net:Totem_net.Addr.net_id -> int
+(** Completed reinstate-then-recondemn cycles for the network. *)
 
 val reports : base -> Fault_report.t list
 (** All reports issued by this node, oldest first. *)

@@ -1,16 +1,25 @@
 type t = {
   counts : int array;
+  received : int array;  (* raw receptions: no catch-up, no rejoin *)
   threshold : int;
 }
 
 let create ~num_nets ~threshold =
   if num_nets <= 0 then invalid_arg "Monitor.create: num_nets";
   if threshold <= 0 then invalid_arg "Monitor.create: threshold";
-  { counts = Array.make num_nets 0; threshold }
+  {
+    counts = Array.make num_nets 0;
+    received = Array.make num_nets 0;
+    threshold;
+  }
 
-let note t ~net = t.counts.(net) <- t.counts.(net) + 1
+let note t ~net =
+  t.counts.(net) <- t.counts.(net) + 1;
+  t.received.(net) <- t.received.(net) + 1
 
 let count t ~net = t.counts.(net)
+
+let received t ~net = t.received.(net)
 
 let maximum t = Array.fold_left max t.counts.(0) t.counts
 
@@ -25,3 +34,7 @@ let lagging t =
 let catch_up t =
   let m = maximum t in
   Array.iteri (fun i c -> if c < m then t.counts.(i) <- c + 1) t.counts
+
+let rejoin t ~net = t.counts.(net) <- maximum t
+
+let behind t ~net = maximum t - t.counts.(net)

@@ -19,6 +19,13 @@ val note : t -> net:Totem_net.Addr.net_id -> unit
 (** Count one reception. *)
 
 val count : t -> net:Totem_net.Addr.net_id -> int
+(** The comparison count {!lagging} judges: receptions plus every
+    {!catch_up} nudge and {!rejoin} forgiveness the network got. *)
+
+val received : t -> net:Totem_net.Addr.net_id -> int
+(** Raw receptions only — {!catch_up} and {!rejoin} never move it. The
+    probation liveness check reads this: a network must actually
+    deliver, not merely ride the decay nudges. *)
 
 val lagging : t -> (Totem_net.Addr.net_id * int) list
 (** Networks whose count is more than [threshold] behind the maximum,
@@ -27,3 +34,12 @@ val lagging : t -> (Totem_net.Addr.net_id * int) list
 val catch_up : t -> unit
 (** One decay step: every lagging network's count is incremented by
     one. *)
+
+val rejoin : t -> net:Totem_net.Addr.net_id -> unit
+(** Forgive the network's accumulated lag: set its count to the current
+    maximum. Called when a condemned network enters probation, so the
+    stale deficit that condemned it does not instantly re-condemn it
+    (the P5 concern, applied to reinstatement). *)
+
+val behind : t -> net:Totem_net.Addr.net_id -> int
+(** How far the network's count trails the maximum (0 for the best). *)

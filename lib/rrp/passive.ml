@@ -35,6 +35,31 @@ let rec create base =
     (fun () ->
       Monitor.catch_up t.token_monitor;
       Hashtbl.iter (fun _ m -> Monitor.catch_up m) t.message_monitors);
+  (* Probation plumbing: a rotation is clean for a net while its token
+     reception count stays within half the condemnation threshold of the
+     best net AND the net has actually delivered a token recently. The
+     liveness half matters because probation starts by forgiving the lag
+     that condemned the net (P5 applied to reinstatement) — without it a
+     completely dead network would bank [reinstate_clean_rotations]
+     "clean" rotations before its fresh lag could climb back over the
+     bound. Tokens round-robin across non-faulty nets, so a healthy net
+     hears one every [num_nets] rotations; 2x that is staleness. *)
+  let probe_count = Array.make n 0 and probe_stale = Array.make n 0 in
+  Layer.set_probation_hooks base
+    ~net_clean:(fun net ->
+      let c = Monitor.received t.token_monitor ~net in
+      if c > probe_count.(net) then begin
+        probe_count.(net) <- c;
+        probe_stale.(net) <- 0
+      end
+      else probe_stale.(net) <- probe_stale.(net) + 1;
+      probe_stale.(net) < 2 * n
+      && Monitor.behind t.token_monitor ~net <= threshold / 2)
+    ~on_probation_start:(fun net ->
+      Monitor.rejoin t.token_monitor ~net;
+      Hashtbl.iter (fun _ m -> Monitor.rejoin m ~net) t.message_monitors;
+      probe_count.(net) <- Monitor.received t.token_monitor ~net;
+      probe_stale.(net) <- 0);
   t
 
 (* Fig. 4 tokenTimerExpired *)
@@ -50,6 +75,7 @@ and token_timer_expired t =
              ring_id = tok.Srp.Token.ring_id;
              trigger = Telemetry.Release_timer;
            });
+    Layer.note_rotation t.base;
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | None -> ()
 
@@ -118,6 +144,7 @@ let nothing_missing_for t (tok : Srp.Token.t) =
 
 (* Fig. 4 recvMsg *)
 let on_data t ~net ~sender p =
+  Layer.note_recovery_traffic t.base ~net;
   let monitor = message_monitor_for t sender in
   Monitor.note monitor ~net;
   check_monitor t monitor ~source:(Fault_report.Message_traffic sender);
@@ -136,19 +163,23 @@ let on_data t ~net ~sender p =
              ring_id = tok.Srp.Token.ring_id;
              trigger = Telemetry.Release_caught_up;
            });
+    Layer.note_rotation t.base;
     (Layer.callbacks t.base).Callbacks.deliver_token tok
   | _ -> ()
 
 (* Fig. 4 recvToken *)
 let on_token t ~net tok =
+  Layer.note_recovery_traffic t.base ~net;
   if Layer.tel_active t.base then
     Layer.tel_emit t.base
       (Telemetry.Token_copy_rx
          { node = Layer.node t.base; net; tok = Layer.tok_info tok });
   Monitor.note t.token_monitor ~net;
   check_monitor t t.token_monitor ~source:Fault_report.Token_traffic;
-  if nothing_missing_for t tok then
+  if nothing_missing_for t tok then begin
+    Layer.note_rotation t.base;
     (Layer.callbacks t.base).Callbacks.deliver_token tok
+  end
   else begin
     t.buffered <- Some tok;
     if Layer.tel_active t.base then

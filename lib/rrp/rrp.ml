@@ -81,6 +81,16 @@ let mark_faulty t ~net =
 
 let clear_fault t ~net = Layer.clear_fault t.base ~net
 
+let net_state t ~net = Layer.net_state t.base ~net
+
+let net_state_string t ~net =
+  match Layer.net_state t.base ~net with
+  | `Active -> "active"
+  | `Condemned -> "condemned"
+  | `Probation -> "probation"
+
+let flaps t ~net = Layer.flaps t.base ~net
+
 let fault_reports t = Layer.reports t.base
 
 let data_sent t ~net = Layer.data_sent t.base ~net

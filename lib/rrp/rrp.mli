@@ -64,7 +64,20 @@ val mark_faulty : t -> net:Totem_net.Addr.net_id -> unit
 
 val clear_fault : t -> net:Totem_net.Addr.net_id -> unit
 (** Administrative repair after the network is fixed: the node resumes
-    sending on it. *)
+    sending on it, and the reinstatement flap history is wiped. *)
+
+val net_state :
+  t -> net:Totem_net.Addr.net_id -> [ `Active | `Condemned | `Probation ]
+(** The reinstatement state machine's view of the network (see
+    {!Layer.net_state}); [`Probation] only occurs with
+    [Rrp_config.reinstate]. *)
+
+val net_state_string : t -> net:Totem_net.Addr.net_id -> string
+(** ["active"], ["condemned"] or ["probation"] — for explorer state
+    fingerprints and test output. *)
+
+val flaps : t -> net:Totem_net.Addr.net_id -> int
+(** Completed reinstate-then-recondemn cycles for the network. *)
 
 val fault_reports : t -> Fault_report.t list
 

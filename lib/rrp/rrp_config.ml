@@ -7,6 +7,11 @@ type t = {
   passive_token_timeout : Vtime.t;
   passive_monitor_threshold : int;
   passive_catchup_interval : Vtime.t;
+  reinstate : bool;
+  reinstate_backoff : Vtime.t;
+  reinstate_backoff_max : Vtime.t;
+  reinstate_clean_rotations : int;
+  reinstate_flap_limit : int;
 }
 
 let default =
@@ -17,4 +22,9 @@ let default =
     passive_token_timeout = Vtime.ms 10;
     passive_monitor_threshold = 50;
     passive_catchup_interval = Vtime.ms 100;
+    reinstate = false;
+    reinstate_backoff = Vtime.ms 500;
+    reinstate_backoff_max = Vtime.sec 8;
+    reinstate_clean_rotations = 20;
+    reinstate_flap_limit = 3;
   }

@@ -24,6 +24,25 @@ type t = {
   passive_catchup_interval : Totem_engine.Vtime.t;
       (** "slowly increasing recvCount for networks that lag behind" —
           the anti-false-positive mechanism of requirement P5 *)
+  reinstate : bool;
+      (** Enable the condemned-network reinstatement protocol: condemned
+          networks are periodically returned to service on probation and
+          rejoin for good after enough clean token rotations. Off by
+          default — the paper's protocol condemns permanently, and every
+          pre-existing experiment replays bit-for-bit with [false]. *)
+  reinstate_backoff : Totem_engine.Vtime.t;
+      (** Delay before the first probation attempt after a condemnation;
+          doubles per flap (reinstate-then-recondemn cycle) up to
+          {!field-reinstate_backoff_max} — the flap-damping mechanism *)
+  reinstate_backoff_max : Totem_engine.Vtime.t;
+      (** Cap on the exponential probation backoff *)
+  reinstate_clean_rotations : int;
+      (** Consecutive clean token rotations a network on probation must
+          survive before it is reinstated *)
+  reinstate_flap_limit : int;
+      (** After this many flaps the network is condemned for good: no
+          further probation attempts, so an oscillating (gray) network
+          converges to the condemned state *)
 }
 
 val default : t

@@ -125,6 +125,33 @@ let test_tracing_changes_nothing () =
   Alcotest.(check bool) "traced and untraced runs bitwise-identical" true
     (traced = untraced)
 
+(* Reinstatement-protocol events are attributed to the node whose RRP
+   layer emitted them, so the flight recorder shards a condemnation or
+   probation verdict into that node's ring, not a global one. *)
+let test_reinstatement_events_attributed () =
+  let module Telemetry = Totem_engine.Telemetry in
+  List.iter
+    (fun (label, node, ev) ->
+      Alcotest.(check (option int)) label (Some node)
+        (Telemetry.node_of_event ev))
+    [
+      ( "condemned",
+        2,
+        Telemetry.Net_condemned { node = 2; net = 1; flaps = 0 } );
+      ( "probation",
+        3,
+        Telemetry.Net_probation { node = 3; net = 0; attempt = 1 } );
+      ( "reinstated",
+        1,
+        Telemetry.Net_reinstated { node = 1; net = 1; rotations = 20 } );
+      ( "fault marked",
+        0,
+        Telemetry.Net_fault_marked { node = 0; net = 1; evidence = "test" } );
+    ];
+  Alcotest.(check (option int)) "net status is node-less" None
+    (Telemetry.node_of_event
+       (Telemetry.Net_status { net = 0; status = "burst" }))
+
 let tests =
   [
     Alcotest.test_case "trace id round trip" `Quick test_tid_round_trip;
@@ -137,4 +164,6 @@ let tests =
     Alcotest.test_case "reconstruction is sane" `Quick test_reconstruction_sane;
     Alcotest.test_case "tracing changes nothing" `Quick
       test_tracing_changes_nothing;
+    Alcotest.test_case "reinstatement events attributed to their node" `Quick
+      test_reinstatement_events_attributed;
   ]

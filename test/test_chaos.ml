@@ -118,19 +118,42 @@ let test_touched_nets () =
 
 (* --- serialization --------------------------------------------------- *)
 
+let check_round_trip label c =
+  let text = Totem_chaos.Chaos_json.to_string (Campaign.to_json c) in
+  match Totem_chaos.Chaos_json.parse text with
+  | Error m -> Alcotest.failf "%s: reparse failed: %s" label m
+  | Ok v ->
+    let c' = Campaign.of_json v "round-trip" in
+    Alcotest.(check bool) (Printf.sprintf "%s round-trips" label) true (c = c')
+
 let test_json_round_trip () =
   List.iter
     (fun seed ->
-      let c = Campaign.random ~seed () in
-      let text = Totem_chaos.Chaos_json.to_string (Campaign.to_json c) in
-      match Totem_chaos.Chaos_json.parse text with
-      | Error m -> Alcotest.failf "seed %d: reparse failed: %s" seed m
-      | Ok v ->
-        let c' = Campaign.of_json v "round-trip" in
-        Alcotest.(check bool)
-          (Printf.sprintf "seed %d round-trips" seed)
-          true (c = c'))
+      check_round_trip
+        (Printf.sprintf "seed %d" seed)
+        (Campaign.random ~seed ()))
     [ 1; 2; 3; 7; 11 ]
+
+let test_json_round_trip_gray () =
+  (* The gray op draw plus reinstatement flag survive serialization. *)
+  List.iter
+    (fun seed ->
+      check_round_trip
+        (Printf.sprintf "gray seed %d" seed)
+        (Campaign.random ~gray:true ~seed ()))
+    [ 1; 2; 3; 7; 11 ];
+  check_round_trip "every gray op"
+    (Campaign.make ~reinstate:true
+       (List.map
+          (fun (at, op) -> { Campaign.at; op })
+          [
+            (Vtime.ms 10, Campaign.Set_burst_loss (0, 0.9, 0.1));
+            (Vtime.ms 20, Campaign.Set_delay_factor (0, 4.0, 0.2));
+            (Vtime.ms 30, Campaign.Set_dir_loss (0, 0, 1, 0.8));
+            (Vtime.ms 40, Campaign.Set_duplicate (1, 0.3));
+            (Vtime.ms 50, Campaign.Set_reorder (1, 0.15));
+            (Vtime.ms 60, Campaign.Set_burst_loss (0, 0.0, 1.0));
+          ]))
 
 (* --- violation -> shrink -> replay ----------------------------------- *)
 
@@ -251,6 +274,8 @@ let tests =
     Alcotest.test_case "tolerated matches the fault hypothesis" `Quick test_tolerated;
     Alcotest.test_case "touched nets vs sporadic loss" `Quick test_touched_nets;
     Alcotest.test_case "campaign JSON round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "campaign JSON round trip: gray + reinstate" `Quick
+      test_json_round_trip_gray;
     Alcotest.test_case "violation -> shrink -> replay round trip" `Slow
       test_shrink_round_trip;
     Alcotest.test_case "liveness mis-threshold shrinks to empty" `Slow

@@ -125,9 +125,124 @@ let test_notify_on_transitions () =
   Fault.heal f;
   expect "heal notifies" 8
 
+let test_burst_loss () =
+  let f = Fault.create () in
+  Alcotest.(check bool) "disabled by default" false (Fault.burst_enabled f);
+  Fault.set_burst_loss f ~p_enter:0.3 ~p_exit:0.1;
+  Alcotest.(check bool) "enabled" true (Fault.burst_enabled f);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "parameters" (0.3, 0.1)
+    (Fault.burst_loss f);
+  Fault.set_in_burst f true;
+  Alcotest.(check bool) "chain in bad state" true (Fault.in_burst f);
+  (* p_exit is floored while enabled so every burst ends. *)
+  Fault.set_burst_loss f ~p_enter:0.5 ~p_exit:0.0;
+  Alcotest.(check (float 0.0)) "p_exit floored" 0.001 (snd (Fault.burst_loss f));
+  (* p_enter = 0 disables and resets the chain to good. *)
+  Fault.set_burst_loss f ~p_enter:0.0 ~p_exit:1.0;
+  Alcotest.(check bool) "disabled" false (Fault.burst_enabled f);
+  Alcotest.(check bool) "chain reset" false (Fault.in_burst f)
+
+let test_dir_loss () =
+  let f = Fault.create () in
+  Fault.set_dir_loss f ~src:0 ~dst:1 0.8;
+  Alcotest.(check (float 0.0)) "0->1 set" 0.8
+    (Fault.dir_loss_probability f ~src:0 ~dst:1);
+  Alcotest.(check (float 0.0)) "1->0 untouched (directed)" 0.0
+    (Fault.dir_loss_probability f ~src:1 ~dst:0);
+  Fault.set_dir_loss f ~src:0 ~dst:1 1.7;
+  Alcotest.(check (float 0.0)) "clamps" 1.0
+    (Fault.dir_loss_probability f ~src:0 ~dst:1);
+  Fault.set_dir_loss f ~src:0 ~dst:1 0.0;
+  Alcotest.(check (float 0.0)) "zero clears" 0.0
+    (Fault.dir_loss_probability f ~src:0 ~dst:1)
+
+let test_delay_duplicate_reorder () =
+  let f = Fault.create () in
+  Alcotest.(check (float 0.0)) "factor off" 1.0 (Fault.delay_factor f);
+  Fault.set_delay f ~factor:4.0 ~spike_prob:0.2 ~spike_ns:500;
+  Alcotest.(check (float 0.0)) "factor" 4.0 (Fault.delay_factor f);
+  Alcotest.(check (pair (float 0.0) int)) "spike" (0.2, 500)
+    (Fault.delay_spike f);
+  (* factor < 1 would break the lookahead bound arrival >= send+latency. *)
+  Fault.set_delay f ~factor:0.25 ~spike_prob:0.0 ~spike_ns:0;
+  Alcotest.(check (float 0.0)) "factor clamped to >= 1" 1.0
+    (Fault.delay_factor f);
+  Fault.set_duplicate f 0.3;
+  Alcotest.(check (float 0.0)) "duplicate" 0.3 (Fault.duplicate_probability f);
+  Fault.set_reorder f 0.2;
+  Alcotest.(check (float 0.0)) "reorder" 0.2 (Fault.reorder_probability f)
+
+(* Gray setters notify once per actual transition, like the hard-fault
+   setters — redundant re-application is silent. *)
+let test_gray_notify () =
+  let f = Fault.create () in
+  let log = ref 0 in
+  Fault.set_notify f (fun _ -> incr log);
+  Fault.set_burst_loss f ~p_enter:0.3 ~p_exit:0.1;
+  Fault.set_burst_loss f ~p_enter:0.3 ~p_exit:0.1;
+  Alcotest.(check int) "burst notifies once" 1 !log;
+  Fault.set_delay f ~factor:2.0 ~spike_prob:0.0 ~spike_ns:0;
+  Fault.set_delay f ~factor:2.0 ~spike_prob:0.0 ~spike_ns:0;
+  Alcotest.(check int) "delay notifies once" 2 !log;
+  Fault.set_in_burst f true;
+  Alcotest.(check int) "chain-state update is not a config change" 2 !log
+
+(* Observational fingerprint over every accessor the network consults,
+   probed on a small node set — two faults with equal fingerprints are
+   indistinguishable to the simulator. *)
+let fingerprint f =
+  let nodes = [ 0; 1; 2; 3 ] in
+  let paths =
+    List.concat_map (fun s -> List.map (fun d -> (s, d)) nodes) nodes
+  in
+  ( ( Fault.is_down f,
+      List.map (fun (s, d) -> Fault.delivers f ~src:s ~dst:d) paths,
+      List.map (fun (s, d) -> Fault.dir_loss_probability f ~src:s ~dst:d) paths
+    ),
+    ( Fault.loss_probability f,
+      Fault.corruption_probability f,
+      Fault.burst_loss f,
+      Fault.in_burst f,
+      Fault.delay_factor f,
+      Fault.delay_spike f,
+      Fault.duplicate_probability f,
+      Fault.reorder_probability f ) )
+
+let apply_mutation f = function
+  | 0 -> Fault.set_down f true
+  | 1 -> Fault.block_send f 1
+  | 2 -> Fault.block_recv f 2
+  | 3 -> Fault.block_pair f ~src:0 ~dst:3
+  | 4 -> Fault.set_loss f 0.4
+  | 5 -> Fault.set_corruption f 0.2
+  | 6 ->
+    Fault.set_burst_loss f ~p_enter:0.9 ~p_exit:0.05;
+    Fault.set_in_burst f true
+  | 7 -> Fault.set_dir_loss f ~src:2 ~dst:1 0.7
+  | 8 -> Fault.set_delay f ~factor:3.0 ~spike_prob:0.1 ~spike_ns:1000
+  | 9 -> Fault.set_duplicate f 0.15
+  | _ -> Fault.set_reorder f 0.25
+
+let qcheck_heal_equals_fresh =
+  QCheck.Test.make ~name:"healed fault = fresh fault" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 30) (int_range 0 10))
+    (fun mutations ->
+      let f = Fault.create () in
+      List.iter (apply_mutation f) mutations;
+      Fault.heal f;
+      fingerprint f = fingerprint (Fault.create ()))
+
 let tests =
   [
     Alcotest.test_case "clean state" `Quick test_clean;
+    Alcotest.test_case "Gilbert-Elliott burst loss parameters" `Quick
+      test_burst_loss;
+    Alcotest.test_case "per-direction loss" `Quick test_dir_loss;
+    Alcotest.test_case "delay, duplicate, reorder parameters" `Quick
+      test_delay_duplicate_reorder;
+    Alcotest.test_case "gray setters notify per transition" `Quick
+      test_gray_notify;
+    QCheck_alcotest.to_alcotest qcheck_heal_equals_fresh;
     Alcotest.test_case "corruption probability" `Quick test_corruption_probability;
     Alcotest.test_case "notify fires once per transition" `Quick
       test_notify_on_transitions;

@@ -71,6 +71,44 @@ let test_dead_network_detected_despite_catch_up () =
   | Some round -> Alcotest.(check bool) "detected promptly" true (round < 30)
   | None -> Alcotest.fail "dead network never detected"
 
+let test_rejoin_forgives_lag () =
+  (* A condemned network entering probation must not be instantly
+     re-condemned by the stale deficit that condemned it. *)
+  let m = Monitor.create ~num_nets:2 ~threshold:5 in
+  for _ = 1 to 50 do
+    Monitor.note m ~net:0
+  done;
+  Alcotest.(check int) "deep in deficit" 50 (Monitor.behind m ~net:1);
+  Monitor.rejoin m ~net:1;
+  Alcotest.(check int) "deficit forgiven" 0 (Monitor.behind m ~net:1);
+  Alcotest.(check int) "count jumped to the maximum" 50
+    (Monitor.count m ~net:1);
+  Alcotest.(check (list (pair int int))) "no longer lagging" []
+    (Monitor.lagging m);
+  (* Probation verdicts start from a clean slate: fresh loss after the
+     rejoin is judged on its own, not on top of history. *)
+  for _ = 1 to 6 do
+    Monitor.note m ~net:0
+  done;
+  Alcotest.(check (list (pair int int))) "fresh lag counts from zero"
+    [ (1, 6) ] (Monitor.lagging m)
+
+let test_behind () =
+  let m = Monitor.create ~num_nets:3 ~threshold:5 in
+  for _ = 1 to 7 do
+    Monitor.note m ~net:0
+  done;
+  for _ = 1 to 3 do
+    Monitor.note m ~net:2
+  done;
+  Alcotest.(check int) "best is 0 behind" 0 (Monitor.behind m ~net:0);
+  Alcotest.(check int) "silent net fully behind" 7 (Monitor.behind m ~net:1);
+  Alcotest.(check int) "partial" 4 (Monitor.behind m ~net:2);
+  (* behind reports even sub-threshold lag — it feeds probation's clean
+     rotation check, which is stricter than condemnation. *)
+  Monitor.catch_up m;
+  Alcotest.(check int) "catch-up narrows it" 6 (Monitor.behind m ~net:1)
+
 let test_validation () =
   Alcotest.check_raises "nets" (Invalid_argument "Monitor.create: num_nets")
     (fun () -> ignore (Monitor.create ~num_nets:0 ~threshold:1));
@@ -87,5 +125,9 @@ let tests =
       test_catch_up_prevents_slow_accumulation;
     Alcotest.test_case "dead network still detected (P4)" `Quick
       test_dead_network_detected_despite_catch_up;
+    Alcotest.test_case "rejoin forgives accumulated lag" `Quick
+      test_rejoin_forgives_lag;
+    Alcotest.test_case "behind reports distance to the best net" `Quick
+      test_behind;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

@@ -1,0 +1,248 @@
+(* The condemned-network reinstatement protocol, driven end to end at
+   cluster level: condemn -> probation -> reinstate, flap damping with
+   exponential backoff, permanent condemnation at the flap limit, and
+   the administrative clear_fault reset. *)
+
+module Cluster = Totem_cluster.Cluster
+module Config = Totem_cluster.Config
+module Workload = Totem_cluster.Workload
+module Fabric = Totem_net.Fabric
+module Fault = Totem_net.Fault
+module Rrp = Totem_rrp.Rrp
+module Rrp_config = Totem_rrp.Rrp_config
+module Style = Totem_rrp.Style
+module Telemetry = Totem_engine.Telemetry
+module Vtime = Totem_engine.Vtime
+
+let rrp_config =
+  {
+    Rrp_config.default with
+    Rrp_config.reinstate = true;
+    reinstate_backoff = Vtime.ms 100;
+    reinstate_backoff_max = Vtime.ms 400;
+    reinstate_clean_rotations = 5;
+    reinstate_flap_limit = 3;
+  }
+
+let make ?(rrp = rrp_config) () =
+  let config =
+    Config.make ~num_nodes:3 ~num_nets:2 ~style:Style.Passive ~seed:13 ~rrp ()
+  in
+  let cluster = Cluster.create config in
+  Cluster.start cluster;
+  (* Continuous traffic so fault detection and probation verdicts have
+     receptions to judge. *)
+  Workload.fixed_rate cluster ~node:0 ~size:256 ~interval:(Vtime.ms 2) ();
+  cluster
+
+let state cluster ~node ~net =
+  Rrp.net_state_string (Cluster.rrp (Cluster.node cluster node)) ~net
+
+let all_in cluster ~net expected =
+  let ok = ref true in
+  for node = 0 to Cluster.num_nodes cluster - 1 do
+    if state cluster ~node ~net <> expected then ok := false
+  done;
+  !ok
+
+(* Break net 0 at the fault layer without touching RRP state (unlike
+   Cluster.heal_network, which also clears fault marks). *)
+let break cluster down = Fault.set_down (Fabric.fault (Cluster.fabric cluster) 0) down
+
+let run_ms cluster ms = Cluster.run_for cluster (Vtime.ms ms)
+
+let test_condemn_probation_reinstate () =
+  (* Generous flap limit: the long down period makes failed probe
+     cycles accrue flaps, and this test is about the happy path, not
+     convergence. *)
+  let cluster =
+    make ~rrp:{ rrp_config with Rrp_config.reinstate_flap_limit = 100 } ()
+  in
+  let probations = ref 0 and reinstatements = ref 0 in
+  ignore
+    (Telemetry.subscribe (Cluster.telemetry cluster) (fun _ ev ->
+         match ev with
+         | Telemetry.Net_probation { net = 0; _ } -> incr probations
+         | Telemetry.Net_reinstated { net = 0; _ } -> incr reinstatements
+         | _ -> ()));
+  run_ms cluster 200;
+  Alcotest.(check bool) "starts active" true (all_in cluster ~net:0 "active");
+  break cluster true;
+  run_ms cluster 1000;
+  (* A dead net oscillates condemned <-> probation (probe attempts keep
+     failing) but must never be reinstated while it delivers nothing. *)
+  for node = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d never reinstates a dead net" node)
+      true
+      (state cluster ~node ~net:0 <> "active")
+  done;
+  Alcotest.(check int) "no reinstatement while down" 0 !reinstatements;
+  break cluster false;
+  run_ms cluster 2000;
+  Alcotest.(check bool) "reinstated after probation" true
+    (all_in cluster ~net:0 "active");
+  Alcotest.(check bool) "probation was entered" true (!probations > 0);
+  Alcotest.(check bool) "reinstatement was emitted" true (!reinstatements > 0);
+  (* A healthy reinstated net accrues no further flaps. *)
+  let flaps_now () =
+    List.init 3 (fun node ->
+        Rrp.flaps (Cluster.rrp (Cluster.node cluster node)) ~net:0)
+  in
+  let settled = flaps_now () in
+  run_ms cluster 2000;
+  Alcotest.(check (list int)) "healthy net stops flapping" settled
+    (flaps_now ());
+  Alcotest.(check bool) "still active" true (all_in cluster ~net:0 "active")
+
+let test_no_reinstate_without_opt_in () =
+  let cluster = make ~rrp:Rrp_config.default () in
+  run_ms cluster 200;
+  break cluster true;
+  run_ms cluster 1200;
+  Alcotest.(check bool) "condemned" true (all_in cluster ~net:0 "condemned");
+  break cluster false;
+  run_ms cluster 3000;
+  Alcotest.(check bool) "stays condemned forever (paper protocol)" true
+    (all_in cluster ~net:0 "condemned")
+
+(* An oscillating network: healthy long enough to reinstate, then fails
+   again. Flap damping must converge it to permanently condemned within
+   the flap limit, with the probation delay doubling per flap. *)
+let test_flap_convergence_and_backoff () =
+  let cluster = make () in
+  let condemned_at = ref [] and probation_at = ref [] in
+  ignore
+    (Telemetry.subscribe (Cluster.telemetry cluster) (fun t ev ->
+         match ev with
+         | Telemetry.Net_condemned { node = 0; net = 0; _ } ->
+           condemned_at := t :: !condemned_at
+         | Telemetry.Net_probation { node = 0; net = 0; _ } ->
+           probation_at := t :: !probation_at
+         | _ -> ()));
+  run_ms cluster 200;
+  for _cycle = 1 to rrp_config.Rrp_config.reinstate_flap_limit + 2 do
+    break cluster true;
+    run_ms cluster 600;
+    break cluster false;
+    run_ms cluster 2000
+  done;
+  Alcotest.(check bool) "converged to permanently condemned" true
+    (all_in cluster ~net:0 "condemned");
+  for node = 0 to 2 do
+    let flaps = Rrp.flaps (Cluster.rrp (Cluster.node cluster node)) ~net:0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d flaps within [1, limit], got %d" node flaps)
+      true
+      (flaps >= 1 && flaps <= rrp_config.Rrp_config.reinstate_flap_limit)
+  done;
+  (* Probe delay doubles per flap: pair each probation start with the
+     latest preceding condemnation and check the gaps never shrink and
+     actually grow somewhere before hitting the cap. *)
+  let delays =
+    List.rev_map
+      (fun p ->
+        let c =
+          List.fold_left
+            (fun best c -> if c <= p && c > best then c else best)
+            Vtime.zero !condemned_at
+        in
+        p - c)
+      !probation_at
+  in
+  Alcotest.(check bool) "several probation attempts" true
+    (List.length delays >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "backoff never shrinks" true (monotone delays);
+  Alcotest.(check bool) "backoff grows with flaps" true
+    (List.nth delays (List.length delays - 1) > List.nth delays 0);
+  Alcotest.(check bool) "backoff capped" true
+    (List.for_all
+       (fun d -> d <= rrp_config.Rrp_config.reinstate_backoff_max + Vtime.ms 50)
+       delays)
+
+let test_clear_fault_resets_damping () =
+  let cluster = make () in
+  run_ms cluster 200;
+  for _cycle = 1 to rrp_config.Rrp_config.reinstate_flap_limit + 2 do
+    break cluster true;
+    run_ms cluster 600;
+    break cluster false;
+    run_ms cluster 2000
+  done;
+  Alcotest.(check bool) "converged" true (all_in cluster ~net:0 "condemned");
+  (* Operator repairs the network and clears the marks: full reset. *)
+  Cluster.heal_network cluster 0;
+  for node = 0 to 2 do
+    let rrp = Cluster.rrp (Cluster.node cluster node) in
+    Alcotest.(check string) "active again"
+      "active"
+      (Rrp.net_state_string rrp ~net:0);
+    Alcotest.(check int) "flap history wiped" 0 (Rrp.flaps rrp ~net:0)
+  done;
+  (* Damping restarts from scratch: the net can be condemned (or back
+     on a fresh probation attempt) and reinstated again as if it had
+     never flapped. *)
+  break cluster true;
+  run_ms cluster 1000;
+  let ok = ref true in
+  for node = 0 to 2 do
+    if state cluster ~node ~net:0 = "active" then ok := false
+  done;
+  Alcotest.(check bool) "condemnable again" true !ok;
+  break cluster false;
+  run_ms cluster 2000;
+  Alcotest.(check bool) "reinstatable again" true
+    (all_in cluster ~net:0 "active")
+
+(* The whole probation cycle must be bitwise-deterministic under the
+   parallel core. *)
+let test_deterministic_across_domains () =
+  let fingerprint sim_domains =
+    let config =
+      Config.make ~num_nodes:3 ~num_nets:2 ~style:Style.Passive ~seed:13
+        ~rrp:rrp_config ~sim_domains ()
+    in
+    let cluster = Cluster.create config in
+    let events = ref [] in
+    ignore
+      (Telemetry.subscribe (Cluster.telemetry cluster) (fun t ev ->
+           match ev with
+           | Telemetry.Net_condemned { node; net; flaps } ->
+             events := (t, "condemned", node, net, flaps) :: !events
+           | Telemetry.Net_probation { node; net; attempt } ->
+             events := (t, "probation", node, net, attempt) :: !events
+           | Telemetry.Net_reinstated { node; net; rotations } ->
+             events := (t, "reinstated", node, net, rotations) :: !events
+           | _ -> ()));
+    Cluster.start cluster;
+    Workload.fixed_rate cluster ~node:0 ~size:256 ~interval:(Vtime.ms 2) ();
+    Cluster.run_for cluster (Vtime.ms 200);
+    Fault.set_down (Fabric.fault (Cluster.fabric cluster) 0) true;
+    Cluster.run_for cluster (Vtime.ms 600);
+    Fault.set_down (Fabric.fault (Cluster.fabric cluster) 0) false;
+    Cluster.run_for cluster (Vtime.ms 2000);
+    (List.rev !events, Cluster.events_processed cluster)
+  in
+  let d1 = fingerprint 1 and d8 = fingerprint 8 in
+  Alcotest.(check bool) "reinstatement timeline identical d1 vs d8" true
+    (d1 = d8);
+  Alcotest.(check bool) "timeline non-trivial" true
+    (List.length (fst d1) > 0)
+
+let tests =
+  [
+    Alcotest.test_case "condemn -> probation -> reinstate" `Quick
+      test_condemn_probation_reinstate;
+    Alcotest.test_case "no reinstatement without opt-in" `Quick
+      test_no_reinstate_without_opt_in;
+    Alcotest.test_case "flap damping converges, backoff doubles" `Quick
+      test_flap_convergence_and_backoff;
+    Alcotest.test_case "clear_fault resets damping" `Quick
+      test_clear_fault_resets_damping;
+    Alcotest.test_case "probation cycle deterministic d1 vs d8" `Quick
+      test_deterministic_across_domains;
+  ]
