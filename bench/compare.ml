@@ -3,6 +3,7 @@
    Usage:
      compare.exe [--max-regression PCT] [--min-speedup R] [--against NAME]
                  [--targets a,b,...] [--max-latency-regression PCT]
+                 [--max-alloc-regression PCT]
                  OLD.json NEW.json
 
    Default mode compares events_per_sec for every target present in
@@ -30,6 +31,13 @@
    threshold cannot be tripped by load noise. Quantiles null or missing
    on either side (older baselines lack p999_ms) are skipped.
 
+   --max-alloc-regression PCT diffs each shared target's
+   gc.words_per_event and fails if it grew by more than PCT. Allocated
+   words per simulated event is a counter, not a timing, so like the
+   latency quantiles it is immune to machine noise — it catches a hot
+   path that started allocating. Targets without a gc block on either
+   side (baselines predating the block) are skipped.
+
    Wired into `dune runtest` as the bench-diff smoke (current tree vs
    the committed previous-PR baseline, wire target only — the target
    with headroom measured in multiples, so machine noise cannot trip
@@ -40,8 +48,8 @@ module Json = Totem_chaos.Chaos_json
 let usage () =
   prerr_endline
     "usage: compare.exe [--max-regression PCT] [--min-speedup R] [--against \
-     NAME] [--targets a,b,...] [--max-latency-regression PCT] OLD.json \
-     NEW.json";
+     NAME] [--targets a,b,...] [--max-latency-regression PCT] \
+     [--max-alloc-regression PCT] OLD.json NEW.json";
   exit 2
 
 let read_file path =
@@ -118,12 +126,38 @@ let latency_of path =
       | _ -> []))
   | _ -> []
 
+(* name -> gc.words_per_event for every target carrying a gc block.
+   Targets without one (baselines predating the block) or with a
+   non-numeric value (zero-event targets serialize null) are absent, so
+   old files stay usable as references. *)
+let alloc_of path =
+  let doc =
+    match Json.parse (read_file path) with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  match Json.field doc "targets" with
+  | Some (Json.Arr targets) ->
+    List.filter_map
+      (fun t ->
+        match Json.field t "gc" with
+        | Some gc -> (
+          match Json.field gc "words_per_event" with
+          | Some (Json.Num v) -> Some (Json.get_str t "name" path, v)
+          | _ -> None)
+        | None -> None)
+      targets
+  | _ -> []
+
 let () =
   let max_regression = ref 10.0 in
   let min_speedup = ref None in
   let against = ref None in
   let only = ref None in
   let max_latency_regression = ref None in
+  let max_alloc_regression = ref None in
   let files = ref [] in
   let rec parse_args = function
     | "--max-regression" :: pct :: rest ->
@@ -134,6 +168,11 @@ let () =
     | "--max-latency-regression" :: pct :: rest ->
       (match float_of_string_opt pct with
       | Some p when p >= 0.0 -> max_latency_regression := Some p
+      | _ -> usage ());
+      parse_args rest
+    | "--max-alloc-regression" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> max_alloc_regression := Some p
       | _ -> usage ());
       parse_args rest
     | "--min-speedup" :: r :: rest ->
@@ -281,6 +320,42 @@ let () =
         old_path new_path;
       failed := true
     end);
+  (match !max_alloc_regression with
+  | None -> ()
+  | Some pct ->
+    let old_alloc = alloc_of old_path and new_alloc = alloc_of new_path in
+    let compared = ref 0 in
+    List.iter
+      (fun (name, old_wpe) ->
+        if wanted name then
+          match List.assoc_opt name new_alloc with
+          | None ->
+            Printf.printf "alloc   %-16s missing gc block in %s (skipped)\n"
+              name new_path
+          | Some new_wpe ->
+            incr compared;
+            let delta_pct =
+              if old_wpe = 0.0 then 0.0
+              else (new_wpe -. old_wpe) /. old_wpe *. 100.0
+            in
+            let verdict =
+              if delta_pct > pct then begin
+                failed := true;
+                "REGRESSION"
+              end
+              else "ok"
+            in
+            Printf.printf
+              "alloc   %-16s %10.1f -> %10.1f words/event  %+7.1f%%  %s\n" name
+              old_wpe new_wpe delta_pct verdict)
+      old_alloc;
+    if !compared = 0 then begin
+      Printf.eprintf
+        "compare: --max-alloc-regression: no shared gc blocks between %s and \
+         %s\n"
+        old_path new_path;
+      failed := true
+    end);
   if pairs = [] then begin
     Printf.eprintf "compare: no shared targets between %s and %s\n" old_path
       new_path;
@@ -290,10 +365,14 @@ let () =
     (match !min_speedup with
     | Some r -> Printf.printf "FAIL: events/sec speedup below %.2fx\n" r
     | None ->
-      Printf.printf "FAIL: regression beyond threshold (events/sec %.1f%%%s)\n"
+      Printf.printf
+        "FAIL: regression beyond threshold (events/sec %.1f%%%s%s)\n"
         !max_regression
         (match !max_latency_regression with
         | Some p -> Printf.sprintf ", latency %.1f%%" p
+        | None -> "")
+        (match !max_alloc_regression with
+        | Some p -> Printf.sprintf ", alloc %.1f%%" p
         | None -> ""));
     exit 1
   end

@@ -243,18 +243,35 @@ let create config =
   if partitioned then begin
     let exchange =
       Exchange.create ~domains:config.Config.sim_domains
+        ~batching:config.Config.window_batch
+        ~max_horizon_factor:config.Config.max_horizon_factor
         ~lookahead:(Totem_net.Fabric.min_latency fabric)
         ~global:sim ~parts:node_sims ()
     in
     (* Barrier order matters: flushing sends first lets the network
        layer's own telemetry (loss, corruption, blocks) join the same
-       drain that dispatches node events. *)
+       drain that dispatches node events. Both hooks report pending
+       work via ~next — with batching on, a missing ~next would let a
+       skip-flush barrier strand buffered work past its window. *)
     Exchange.add_barrier_hook exchange
       ~next:(fun () -> Totem_net.Fabric.outbox_next fabric)
       (fun _h1 -> Totem_net.Fabric.flush_outboxes fabric);
-    Exchange.add_barrier_hook exchange (fun _h1 ->
+    Exchange.add_barrier_hook exchange
+      ~next:(fun () -> Telemetry.buffered_next telemetry ~children:node_tele)
+      (fun _h1 ->
         Telemetry.drain telemetry ~children:node_tele
           ~set_clock:(Sim.unsafe_set_clock sim));
+    let g name read =
+      Telemetry.gauge telemetry ("exchange." ^ name) (fun () -> read ())
+    in
+    g "windows_run" (fun () ->
+        float_of_int (Exchange.stats exchange).Exchange.windows_run);
+    g "windows_batched" (fun () ->
+        float_of_int (Exchange.stats exchange).Exchange.windows_batched);
+    g "windows_widened" (fun () ->
+        float_of_int (Exchange.stats exchange).Exchange.windows_widened);
+    g "max_window_us" (fun () ->
+        float_of_int (Exchange.stats exchange).Exchange.max_window /. 1000.);
     t.exchange <- Some exchange
   end;
   for i = 0 to config.Config.num_nets - 1 do
@@ -300,6 +317,9 @@ let run_until t time =
   | None -> Sim.run_until t.sim time
 
 let run_for t d = run_until t (Vtime.add (Sim.now t.sim) d)
+
+let shutdown t =
+  match t.exchange with Some ex -> Exchange.shutdown ex | None -> ()
 let config t = t.config
 let trace t = t.trace
 let telemetry t = t.trace

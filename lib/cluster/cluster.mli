@@ -50,6 +50,12 @@ val run_until : t -> Totem_engine.Vtime.t -> unit
 
 val run_for : t -> Totem_engine.Vtime.t -> unit
 
+val shutdown : t -> unit
+(** Joins the parallel core's worker-domain pool, if any. Idempotent
+    and safe in classic mode (a no-op); the cluster remains usable —
+    the pool respawns on the next parallel [run_until]. Call when done
+    with a cluster so no domains outlive it. *)
+
 val config : t -> Config.t
 
 val trace : t -> Totem_engine.Trace.t

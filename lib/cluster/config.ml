@@ -12,13 +12,16 @@ type t = {
   wire_bytes : bool;
   wire_cache : bool;
   sim_domains : int;
+  window_batch : bool;
+  max_horizon_factor : int;
 }
 
 let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     ?(const = Totem_srp.Const.default) ?(rrp = Totem_rrp.Rrp_config.default)
     ?(net = Totem_net.Network.default_config) ?net_configs
     ?(buffer_bytes = 65536) ?(seed = 42) ?(codec_shadow = false)
-    ?(wire_bytes = false) ?(wire_cache = true) ?(sim_domains = 0) () =
+    ?(wire_bytes = false) ?(wire_cache = true) ?(sim_domains = 0)
+    ?(window_batch = true) ?(max_horizon_factor = 8) () =
   {
     num_nodes;
     num_nets;
@@ -33,6 +36,8 @@ let make ?(num_nodes = 4) ?(num_nets = 2) ?(style = Totem_rrp.Style.Passive)
     wire_bytes;
     wire_cache;
     sim_domains;
+    window_batch;
+    max_horizon_factor;
   }
 
 let paper_testbed ~num_nodes ~style = make ~num_nodes ~num_nets:2 ~style ()
@@ -52,6 +57,7 @@ let validate t =
   else if t.sim_domains < 0 then Error "sim_domains must be >= 0"
   else if t.sim_domains > 0 && min_net_latency t <= 0 then
     Error "sim_domains requires a positive network latency (the lookahead)"
+  else if t.max_horizon_factor < 1 then Error "max_horizon_factor must be >= 1"
   else
     match t.net_configs with
     | Some cs when Array.length cs <> t.num_nets ->

@@ -46,6 +46,19 @@ type t = {
           may differ from the [0] legacy path, whose send interleaving
           at equal timestamps is scheduling-order rather than
           canonical (time, node, seq) order *)
+  window_batch : bool;
+      (** amortized barriers for the parallel core (default [true]):
+          barriers with no pending cross-partition work skip their
+          flush pass, and stretches where a single node owns all
+          near-term work run under an adaptively widened window (see
+          [max_horizon_factor]). Results are bitwise-identical with
+          batching on or off — the flag exists for A/B overhead
+          measurement and as the baseline leg of the determinism
+          tests. Ignored unless [sim_domains > 0] *)
+  max_horizon_factor : int;
+      (** widest adaptive window, as a multiple of the lookahead
+          (default [8]). [1] keeps every window at one lookahead even
+          with batching on. Ignored unless [window_batch] *)
 }
 
 val make :
@@ -62,6 +75,8 @@ val make :
   ?wire_bytes:bool ->
   ?wire_cache:bool ->
   ?sim_domains:int ->
+  ?window_batch:bool ->
+  ?max_horizon_factor:int ->
   unit ->
   t
 (** Defaults: the paper's four-node, two-network testbed with passive

@@ -12,9 +12,16 @@ type 'a t = {
   mutable size : int;
   mutable next_tie : int;
   mutable live : int;
+  (* [heap.(0).time] mirrored into a flat field ([Vtime.never] when
+     empty), so the exchange's per-window horizon scans are one load
+     with no pointer chase into the root entry. May briefly quote a
+     cancelled root's (earlier) time until the next peek prunes it —
+     harmless to the scans, which treat it as a conservative bound. *)
+  mutable root_time : Vtime.t;
 }
 
-let create () = { heap = [||]; size = 0; next_tie = 0; live = 0 }
+let create () =
+  { heap = [||]; size = 0; next_tie = 0; live = 0; root_time = Vtime.never }
 
 let is_empty t = t.live = 0
 let length t = t.live
@@ -65,6 +72,9 @@ let sift_down t i =
   done;
   t.heap.(!i) <- e
 
+let[@inline] refresh_root t =
+  t.root_time <- (if t.size = 0 then Vtime.never else t.heap.(0).time)
+
 (* Drop dead entries and re-establish the heap property bottom-up
    (Floyd). Handles stay valid: a handle points at its entry record, and
    cancelled entries are simply no longer reachable from the array. *)
@@ -80,7 +90,8 @@ let compact t =
   t.size <- !dst;
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
-  done
+  done;
+  refresh_root t
 
 (* Cancellation is lazy, so a cancel/re-arm workload would otherwise
    grow the heap without bound: sift costs scale with log of the
@@ -104,6 +115,7 @@ let push_entry t entry =
   t.size <- t.size + 1;
   t.live <- t.live + 1;
   sift_up t (t.size - 1);
+  refresh_root t;
   H entry
 
 let push_tie t ~time ~tie value =
@@ -131,6 +143,7 @@ let pop_root t =
     t.heap.(0) <- t.heap.(t.size);
     sift_down t 0
   end;
+  refresh_root t;
   root
 
 let rec pop t =
@@ -154,3 +167,7 @@ let rec peek_key t =
   else Some (t.heap.(0).time, t.heap.(0).tie)
 
 let peek_time t = Option.map fst (peek_key t)
+
+(* Allocation-free variant for the exchange's per-window scans: one
+   flat load of the mirrored root time (see [root_time]), no option. *)
+let[@inline] peek_time_raw t = t.root_time

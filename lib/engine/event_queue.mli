@@ -51,3 +51,7 @@ val peek_time : 'a t -> Vtime.t option
 
 val peek_key : 'a t -> (Vtime.t * int) option
 (** [(time, tie)] of the earliest live event without removing it. *)
+
+val peek_time_raw : 'a t -> Vtime.t
+(** {!peek_time} without the option: [Vtime.never] when empty.
+    Allocation-free, for hot per-window scans. *)

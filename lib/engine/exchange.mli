@@ -10,17 +10,40 @@
     [>= s + latency >= h1], so barrier-scheduled deliveries never land
     in any partition's past.
 
+    Coordinator events are window boundaries: a window never extends
+    past the coordinator's next pending event, so a coordinator event
+    at [tg] always runs after every partition event [<= tg] and before
+    any partition passes [tg] — a canonical, time-ordered interleaving
+    that no window geometry can change.
+
+    Window batching ([batching:true]) amortizes barrier overhead
+    without changing results: barriers where no hook holds work skip
+    the flush calls, and when exactly one partition owns every event
+    within [max_horizon_factor] lookaheads it runs inline under a cap
+    that shrinks the moment it buffers cross-partition work. See
+    DESIGN.md §13 for the safety argument.
+
     Determinism: partitioning is structural (one partition per node
     regardless of [domains]), partitions are pure (see {!Partition}),
     and hooks replay cross-partition work in canonical
     (time, source, seq) order — so results are bitwise-identical for
-    every [domains >= 1] and invariant under window boundaries. See
-    DESIGN.md §11 for the full argument. *)
+    every [domains >= 1], with batching on or off, and invariant under
+    window boundaries. *)
 
 type t
 
+type stats = {
+  mutable windows_run : int;  (** barriers executed *)
+  mutable windows_batched : int;  (** barriers whose flush was skipped *)
+  mutable windows_widened : int;
+      (** adaptive solo windows wider than one lookahead *)
+  mutable max_window : Vtime.t;  (** widest window so far *)
+}
+
 val create :
   ?domains:int ->
+  ?batching:bool ->
+  ?max_horizon_factor:int ->
   lookahead:Vtime.t ->
   global:Sim.t ->
   parts:Sim.t array ->
@@ -29,18 +52,29 @@ val create :
 (** [create ~domains ~lookahead ~global ~parts ()] builds an exchange
     over the coordinator [global] and per-node [parts]. [domains]
     (default 1) is the number of OS domains used for the parallel
-    section; [1] runs partitions inline with no spawning.
-    @raise Invalid_argument if [lookahead <= 0] or [domains < 1]. *)
+    section; [1] runs partitions inline with no spawning. [batching]
+    (default false) enables skip-flush barriers and adaptive solo
+    windows up to [max_horizon_factor] (default 8) lookaheads wide.
+    @raise Invalid_argument if [lookahead <= 0], [domains < 1] or
+    [max_horizon_factor < 1]. *)
 
 val add_barrier_hook :
-  t -> ?next:(unit -> Vtime.t option) -> (Vtime.t -> unit) -> unit
+  t -> ?next:(unit -> Vtime.t) -> (Vtime.t -> unit) -> unit
 (** [add_barrier_hook t ~next flush] registers a barrier hook, run
     after every window in registration order. [flush h1] must hand all
     buffered cross-partition work over (scheduling deliveries, draining
     telemetry); [next ()] reports the earliest timestamp of work the
-    hook is still holding, so idle-jumps cannot skip over it. Hooks may
-    rewind the coordinator clock via [Sim.unsafe_set_clock] to replay
-    items at their own timestamps; the exchange re-normalizes it. *)
+    hook is still holding — [Vtime.never] when it holds none (default:
+    always [Vtime.never]) — so idle-jumps cannot skip over it, and,
+    with batching on, so barriers know whether a flush can be skipped
+    and adaptive windows know when to shrink. [next] is called on the
+    hottest paths (once per window, once per event inside an adaptive
+    solo window) and must be cheap and allocation-free. A hook whose
+    [next] under-reports (returns [Vtime.never] while holding work)
+    breaks both.
+    Hooks may rewind the coordinator clock via [Sim.unsafe_set_clock]
+    to replay items at their own timestamps; the exchange
+    re-normalizes it. *)
 
 val run_until : t -> Vtime.t -> unit
 (** Advances the whole system to [limit]: all partitions have processed
@@ -48,11 +82,27 @@ val run_until : t -> Vtime.t -> unit
     clock reads [limit]. Worker-domain exceptions are re-raised (lowest
     partition index first). *)
 
+val shutdown : t -> unit
+(** Joins the worker-domain pool, if one was spawned. Idempotent; the
+    pool respawns on the next multi-domain [run_until], so a shut-down
+    exchange remains usable. Call on cluster teardown so no domains
+    outlive the simulation. *)
+
+val live_workers : t -> int
+(** Number of live worker domains (0 after {!shutdown} or before the
+    first multi-domain window). *)
+
 val horizon : t -> Vtime.t
 (** The barrier the system has fully reached. *)
 
 val lookahead : t -> Vtime.t
 val domains : t -> int
+
+val batching : t -> bool
+val max_horizon_factor : t -> int
+
+val stats : t -> stats
+(** Snapshot of the window counters (copies; safe to retain). *)
 
 val events_processed : t -> int
 (** Total events processed across the coordinator and all node

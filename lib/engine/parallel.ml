@@ -7,13 +7,22 @@
    lowest-indexed error (a deterministic choice) is re-raised with its
    original backtrace. *)
 
+(* The claim counter is the one cross-domain write hot spot; keep the
+   next allocation off its cache line. An [Atomic.t] is a one-field box
+   and the minor heap allocates sequentially, so a 7-word spacer
+   allocated right after it pads the line out. *)
+let padded_atomic v =
+  let a = Atomic.make v in
+  ignore (Sys.opaque_identity (Array.make 7 0));
+  a
+
 let map ?(jobs = 1) f items =
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
   if jobs <= 1 || n <= 1 then Array.map f items
   else begin
     let results = Array.make n None in
-    let next = Atomic.make 0 in
+    let next = padded_atomic 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in

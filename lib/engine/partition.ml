@@ -73,6 +73,14 @@ let next_event_time t =
   | `Empty -> None
   | `Heap time | `Wheel time -> Some time
 
+(* Allocation-free peek for the exchange's per-window horizon scan.
+   Only the minimum time matters there, never which structure holds it,
+   so the tie arbitration of [earliest] is skipped entirely. *)
+let[@inline] next_time_raw t =
+  Vtime.min
+    (Event_queue.peek_time_raw t.queue)
+    (Timer_wheel.peek_time_raw t.wheel)
+
 let fire t popped =
   match popped with
   | None -> false
@@ -108,6 +116,24 @@ let run_until t limit =
   drain_until t limit;
   t.clock <- Vtime.max t.clock limit
 
+(* Pop and run events while the earliest timestamp is within [cap ()],
+   re-reading the cap between events. The adaptive solo window in the
+   exchange layer runs one partition far past the static lookahead
+   bound under a cap that shrinks the moment the partition buffers
+   cross-partition work (a frame entering an outbox): re-evaluating the
+   cap per pop is what lets the shrink take effect before the next
+   event fires. The clock follows the events, as in [drain_until]. *)
+let drain_while t ~cap =
+  let rec loop () =
+    match earliest t with
+    | `Heap time when Vtime.(time <= cap ()) ->
+      if fire t (Event_queue.pop t.queue) then loop ()
+    | `Wheel time when Vtime.(time <= cap ()) ->
+      if fire t (Timer_wheel.pop_min t.wheel) then loop ()
+    | `Empty | `Heap _ | `Wheel _ -> ()
+  in
+  loop ()
+
 let run t = while step t do () done
 
 let pending t = Event_queue.length t.queue + Timer_wheel.length t.wheel
@@ -116,4 +142,4 @@ let pending t = Event_queue.length t.queue + Timer_wheel.length t.wheel
    cross-partition work (merged sends, drained telemetry) with the
    clock set to each item's own timestamp, which can rewind within the
    just-completed window. Never call this from model code. *)
-let unsafe_set_clock t time = t.clock <- time
+let[@inline] unsafe_set_clock t time = t.clock <- time

@@ -47,6 +47,13 @@ val drain_until : t -> Vtime.t -> unit
     the coordinator partition this way so [now] never runs ahead of the
     work actually done. *)
 
+val drain_while : t -> cap:(unit -> Vtime.t) -> unit
+(** Pop and run events while the earliest timestamp is [<= cap ()],
+    re-reading [cap] between events so a handler that shrinks it (by
+    buffering cross-partition work) bounds the very next pop. Clock
+    semantics as {!drain_until}. Exchange-only: backs the adaptive solo
+    window. *)
+
 val run : t -> unit
 (** Processes events until the queue is empty. *)
 
@@ -57,6 +64,11 @@ val next_event_time : t -> Vtime.t option
 (** Timestamp of the earliest pending event, if any. The conservative
     window computation ([Exchange.run_until]) takes the minimum of this
     across all partitions. *)
+
+val next_time_raw : t -> Vtime.t
+(** {!next_event_time} without the option: [Vtime.never] when empty.
+    Allocation-free; the exchange folds this across every partition
+    once per window. *)
 
 val pending : t -> int
 (** Number of scheduled, not-yet-fired events (timers included). *)

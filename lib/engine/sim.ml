@@ -26,5 +26,7 @@ let run t = Partition.run t.part
 let step t = Partition.step t.part
 let pending t = Partition.pending t.part
 let next_event_time t = Partition.next_event_time t.part
+let[@inline] next_time_raw t = Partition.next_time_raw t.part
 let drain_until t limit = Partition.drain_until t.part limit
-let unsafe_set_clock t time = Partition.unsafe_set_clock t.part time
+let drain_while t ~cap = Partition.drain_while t.part ~cap
+let[@inline] unsafe_set_clock t time = Partition.unsafe_set_clock t.part time

@@ -79,10 +79,20 @@ val events_processed : t -> int
 val next_event_time : t -> Vtime.t option
 (** Timestamp of the earliest pending event, if any. *)
 
+val next_time_raw : t -> Vtime.t
+(** {!next_event_time} without the option: [Vtime.never] when empty.
+    Allocation-free; the exchange folds this across every partition
+    once per window. *)
+
 val drain_until : t -> Vtime.t -> unit
 (** Processes every event with timestamp [<= limit] but leaves the
     clock at the last processed event instead of bumping it to
     [limit]. *)
+
+val drain_while : t -> cap:(unit -> Vtime.t) -> unit
+(** Processes events while the earliest timestamp is [<= cap ()],
+    re-reading the cap between events; see {!Partition.drain_while}.
+    Backs the exchange's adaptive solo window. *)
 
 val unsafe_set_clock : t -> Vtime.t -> unit
 (** Forcibly sets the clock, possibly backwards; the exchange uses this

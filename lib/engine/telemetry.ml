@@ -97,11 +97,22 @@ let default_ms_buckets = Array.init 60 (fun i -> 0.01 *. (1.26 ** float_of_int i
    whose emissions (and deferred hook thunks) are queued as
    (time, source, seq) entries instead of dispatched; the exchange
    barrier drains all buffers in canonical merge order into the parent
-   hub's sink/subscribers/ring. [seq] is per-hub emission order, so
+   hub's sink/subscribers/ring. The seq is per-hub emission order, so
    intra-node order is exact and cross-node order is the same total
-   order the frame exchange uses — independent of the domain count. *)
+   order the frame exchange uses — independent of the domain count.
+
+   The queue is a pair of parallel growable arrays reused across
+   barriers — the seq is simply the slot index — so buffering an entry
+   allocates nothing beyond the payload constructor itself. Every push
+   site runs under a nondecreasing clock (a partition inside its
+   window, the coordinator between its parking points, the drain's own
+   timestamp replay), so each hub's stream is naturally time-sorted and
+   the barrier merge is a k-way walk with no sort; [bsorted] guards the
+   assumption and falls back to materialize-and-sort if a clock ever
+   regresses across a push. *)
 type payload = Ev of event | Thunk of (unit -> unit)
-type bentry = { btime : Vtime.t; bsrc : int; bseq : int; payload : payload }
+
+let dummy_payload = Thunk ignore
 
 type t = {
   sim : Sim.t;
@@ -119,8 +130,10 @@ type t = {
   parent : t option; (* Some p: this is a buffered per-node child of p *)
   source : int; (* canonical merge rank; -1 for a root hub *)
   mutable buffering : bool; (* root hubs: buffer own emissions too *)
-  mutable buf : bentry list; (* newest first; drained at barriers *)
-  mutable buf_seq : int;
+  mutable btimes : Vtime.t array; (* parallel slots, reused across drains *)
+  mutable bpayloads : payload array;
+  mutable blen : int;
+  mutable bsorted : bool; (* btimes.(0..blen-1) nondecreasing? *)
 }
 
 type subscription = int
@@ -143,8 +156,10 @@ let create ?(capacity = 4096) sim =
     parent = None;
     source = -1;
     buffering = false;
-    buf = [];
-    buf_seq = 0;
+    btimes = [||];
+    bpayloads = [||];
+    blen = 0;
+    bsorted = true;
   }
 
 let create_child parent ~source sim =
@@ -163,8 +178,10 @@ let create_child parent ~source sim =
     parent = Some parent;
     source;
     buffering = true;
-    buf = [];
-    buf_seq = 0;
+    btimes = [||];
+    bpayloads = [||];
+    blen = 0;
+    bsorted = true;
   }
 
 (* The hub whose registry/sink/subscribers this hub feeds. *)
@@ -172,7 +189,7 @@ let root t = match t.parent with Some p -> p | None -> t
 
 let set_buffering t b =
   t.buffering <- b;
-  if (not b) && t.buf <> [] then
+  if (not b) && t.blen > 0 then
     invalid_arg "Telemetry.set_buffering: undrained buffer"
 
 let sim t = t.sim
@@ -208,9 +225,21 @@ let dispatch t time event =
   end
 
 let buffer_push t payload =
-  let seq = t.buf_seq in
-  t.buf_seq <- seq + 1;
-  t.buf <- { btime = Sim.now t.sim; bsrc = t.source; bseq = seq; payload } :: t.buf
+  let i = t.blen in
+  if i = Array.length t.btimes then begin
+    let cap = if i = 0 then 64 else 2 * i in
+    let bt = Array.make cap Vtime.zero in
+    let bp = Array.make cap dummy_payload in
+    Array.blit t.btimes 0 bt 0 i;
+    Array.blit t.bpayloads 0 bp 0 i;
+    t.btimes <- bt;
+    t.bpayloads <- bp
+  end;
+  let time = Sim.now t.sim in
+  if i > 0 && Vtime.(time < t.btimes.(i - 1)) then t.bsorted <- false;
+  t.btimes.(i) <- time;
+  t.bpayloads.(i) <- payload;
+  t.blen <- i + 1
 
 let emit t event =
   if t.buffering then buffer_push t (Ev event)
@@ -218,38 +247,138 @@ let emit t event =
 
 let defer t f = if t.buffering then buffer_push t (Thunk f) else f ()
 
+let has_buffered t = t.blen > 0
+
+(* Earliest buffered timestamp in one non-empty hub: the head slot on
+   the sorted fast path, a scan only after a clock regression. *)
+let head_min h =
+  if h.bsorted then h.btimes.(0)
+  else begin
+    let m = ref h.btimes.(0) in
+    for i = 1 to h.blen - 1 do
+      m := Vtime.min !m h.btimes.(i)
+    done;
+    !m
+  end
+
+(* Earliest buffered timestamp across a root hub and its children
+   ([Vtime.never] when all empty): the exchange polls this once per
+   window (and once per event inside an adaptive solo window), so it is
+   a plain loop of field reads — O(hubs), allocation-free, no closure
+   dispatch. *)
+let buffered_next t ~children =
+  let acc = ref (if t.blen = 0 then Vtime.never else head_min t) in
+  for i = 0 to Array.length children - 1 do
+    let c = Array.unsafe_get children i in
+    if c.blen > 0 then acc := Vtime.min !acc (head_min c)
+  done;
+  !acc
+
+(* Dispatch one buffered entry at its own timestamp. *)
+let replay root set_clock time payload =
+  set_clock time;
+  match payload with Ev ev -> dispatch root time ev | Thunk f -> f ()
+
+(* Drop consumed slots, keeping anything pushed during dispatch (a
+   subscriber emitting, a deferred hook deferring again) for the next
+   barrier, and clear the dead slots so payloads are not retained. *)
+let compact h taken =
+  if taken > 0 then begin
+    let left = h.blen - taken in
+    if left > 0 then begin
+      Array.blit h.btimes taken h.btimes 0 left;
+      Array.blit h.bpayloads taken h.bpayloads 0 left
+    end;
+    Array.fill h.bpayloads left taken dummy_payload;
+    h.blen <- left;
+    if left = 0 then h.bsorted <- true
+  end
+
+(* Fallback drain for a hub whose stream was observed out of order:
+   materialize (time, source, seq, payload) tuples and sort, exactly
+   the semantics of the merge below. Never taken on the in-tree push
+   sites, which all run under nondecreasing clocks. *)
+let drain_sorting t ~children ~set_clock =
+  let count = Array.fold_left (fun acc c -> acc + c.blen) t.blen children in
+  let arr = Array.make count (Vtime.zero, 0, 0, dummy_payload) in
+  let i = ref 0 in
+  let take h =
+    let n = h.blen in
+    for j = 0 to n - 1 do
+      arr.(!i) <- (h.btimes.(j), h.source, j, h.bpayloads.(j));
+      incr i
+    done;
+    n
+  in
+  let tn = take t in
+  let cns = Array.map take children in
+  Array.sort
+    (fun (ta, sa, qa, _) (tb, sb, qb, _) ->
+      let c = compare ta tb in
+      if c <> 0 then c
+      else
+        let c = compare sa sb in
+        if c <> 0 then c else compare qa qb)
+    arr;
+  compact t tn;
+  Array.iteri (fun ci c -> compact c cns.(ci)) children;
+  Array.iter (fun (time, _, _, payload) -> replay t set_clock time payload) arr
+
 (* Barrier drain: merge the root's own buffer with every child's in
    canonical (time, source, seq) order — the same total order the frame
    exchange flushes in — then dispatch events and run deferred thunks
-   with the coordinator clock set to each entry's own timestamp. *)
+   with the coordinator clock set to each entry's own timestamp.
+
+   Each hub's stream is already time-sorted (guarded by [bsorted]) and
+   seq is the slot index, so the canonical order is a k-way merge over
+   per-hub cursors: pick the hub whose head has the least
+   (time, source), dispatch, advance. Source ranks are distinct across
+   hubs, so the comparison never needs seq. Lengths are snapshotted
+   first; entries pushed during dispatch stay for the next barrier. *)
 let drain t ~children ~set_clock =
-  let take h =
-    let l = h.buf in
-    h.buf <- [];
-    l
-  in
-  let entries =
-    Array.fold_left (fun acc c -> List.rev_append (take c) acc) (take t) children
-  in
-  match entries with
-  | [] -> ()
-  | entries ->
-    let arr = Array.of_list entries in
-    Array.sort
-      (fun a b ->
-        let c = compare a.btime b.btime in
-        if c <> 0 then c
-        else
-          let c = compare a.bsrc b.bsrc in
-          if c <> 0 then c else compare a.bseq b.bseq)
-      arr;
-    Array.iter
-      (fun e ->
-        set_clock e.btime;
-        match e.payload with
-        | Ev ev -> dispatch t e.btime ev
-        | Thunk f -> f ())
-      arr
+  if has_buffered t || Array.exists has_buffered children then begin
+    if t.bsorted && Array.for_all (fun c -> c.bsorted) children then begin
+      let tlen = t.blen in
+      let clens = Array.map (fun c -> c.blen) children in
+      let tcur = ref 0 in
+      let curs = Array.make (Array.length children) 0 in
+      let continue = ref true in
+      while !continue do
+        (* root first at ties: its source rank (-1) is least *)
+        let best = ref t in
+        let found = ref (!tcur < tlen) in
+        let best_time = ref (if !found then t.btimes.(!tcur) else Vtime.zero) in
+        let best_child = ref (-1) in
+        Array.iteri
+          (fun i c ->
+            if curs.(i) < clens.(i) then begin
+              let ct = c.btimes.(curs.(i)) in
+              if
+                (not !found)
+                || Vtime.(ct < !best_time)
+                || (ct = !best_time && c.source < !best.source)
+              then begin
+                found := true;
+                best := c;
+                best_time := ct;
+                best_child := i
+              end
+            end)
+          children;
+        if not !found then continue := false
+        else begin
+          let h = !best in
+          let cur = if !best_child < 0 then !tcur else curs.(!best_child) in
+          if !best_child < 0 then incr tcur
+          else curs.(!best_child) <- cur + 1;
+          replay t set_clock h.btimes.(cur) h.bpayloads.(cur)
+        end
+      done;
+      compact t !tcur;
+      Array.iteri (fun i c -> compact c curs.(i)) children
+    end
+    else drain_sorting t ~children ~set_clock
+  end
 
 let custom t ~component message =
   if active t then emit t (Custom { component; message })

@@ -194,7 +194,18 @@ val drain :
 (** Barrier drain: merge the hub's own buffer and all [children]'s in
     (time, source, seq) order; dispatch events to sink/subscribers/ring
     and run deferred thunks, calling [set_clock] with each entry's
-    timestamp first so observers read the emission-time clock. *)
+    timestamp first so observers read the emission-time clock. The
+    per-hub buffers are reused arrays and the merge allocates nothing:
+    a barrier with nothing buffered is a few loads. *)
+
+val has_buffered : t -> bool
+(** [true] when this hub holds undrained entries. O(1). *)
+
+val buffered_next : t -> children:t array -> Vtime.t
+(** Earliest buffered timestamp across the hub and [children]
+    ([Vtime.never] when all empty) — the exchange's barrier hook uses
+    it both for idle-jump bounds and to skip flushes when nothing is
+    pending. O(hubs), allocation-free. *)
 
 val events : t -> entry list
 (** Ring contents, oldest first. *)

@@ -18,6 +18,13 @@ type 'a t = {
      bucket scan; the wheel holds tens of timers, so the scan is cheap
      and rare relative to push/cancel traffic. *)
   mutable cached_min : 'a entry option;
+  (* Flat lower bound on the earliest live time ([Vtime.never] when
+     empty): exact while [cached_min] is valid, and never above the
+     true minimum while it is not (a popped or cancelled minimum leaves
+     its own — earlier — time behind until [min_entry] recomputes). The
+     exchange's per-window scans read this as one load and tolerate the
+     conservative staleness. *)
+  mutable min_time : Vtime.t;
 }
 
 let default_shift = 17 (* 131 us buckets: well under any protocol timeout *)
@@ -33,6 +40,7 @@ let create ?(shift = default_shift) ?(buckets = default_buckets) () =
     live = 0;
     dead_count = 0;
     cached_min = None;
+    min_time = Vtime.never;
   }
 
 let length t = t.live
@@ -58,8 +66,15 @@ let push t ~time ~tie value =
   t.live <- t.live + 1;
   (match t.cached_min with
   | Some m when precedes m entry -> ()
-  | Some _ -> t.cached_min <- Some entry
-  | None -> if t.live = 1 then t.cached_min <- Some entry);
+  | Some _ ->
+    t.cached_min <- Some entry;
+    t.min_time <- time
+  | None ->
+    if t.live = 1 then begin
+      t.cached_min <- Some entry;
+      t.min_time <- time
+    end
+    else if Vtime.(time < t.min_time) then t.min_time <- time);
   H entry
 
 let cancel t (H entry) =
@@ -80,7 +95,10 @@ let min_entry t =
   match t.cached_min with
   | Some m when not m.dead -> Some m
   | _ ->
-    if t.live = 0 then None
+    if t.live = 0 then begin
+      t.min_time <- Vtime.never;
+      None
+    end
     else begin
       let best = ref None in
       for i = 0 to t.mask do
@@ -93,6 +111,7 @@ let min_entry t =
           t.buckets.(i)
       done;
       t.cached_min <- !best;
+      t.min_time <- (match !best with None -> Vtime.never | Some e -> e.time);
       !best
     end
 
@@ -102,6 +121,12 @@ let peek_key t =
   | Some e -> Some (e.time, e.tie)
 
 let peek_time t = Option.map fst (peek_key t)
+
+(* Allocation-free peek: on the cached-hit path (the overwhelmingly
+   common one between structural changes) this reads a field and
+   returns an int. *)
+(* One flat load: see [min_time]. *)
+let[@inline] peek_time_raw t = t.min_time
 
 let pop_min t =
   match min_entry t with

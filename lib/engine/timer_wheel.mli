@@ -42,5 +42,10 @@ val peek_key : 'a t -> (Vtime.t * int) option
 
 val peek_time : 'a t -> Vtime.t option
 
+val peek_time_raw : 'a t -> Vtime.t
+(** {!peek_time} without the option: [Vtime.never] when empty.
+    Allocation-free on the cached-minimum path, for hot per-window
+    scans. *)
+
 val pop_min : 'a t -> (Vtime.t * 'a) option
 (** Removes and returns the earliest live timer. *)

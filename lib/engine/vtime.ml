@@ -1,6 +1,7 @@
 type t = int
 
 let zero = 0
+let never = max_int
 let ns n = n
 let us n = n * 1_000
 let ms n = n * 1_000_000
@@ -11,12 +12,12 @@ let to_float_ms t = float_of_int t /. 1e6
 let add = ( + )
 let sub = ( - )
 let compare = Int.compare
-let ( < ) (a : t) b = Stdlib.( < ) a b
-let ( <= ) (a : t) b = Stdlib.( <= ) a b
-let ( > ) (a : t) b = Stdlib.( > ) a b
-let ( >= ) (a : t) b = Stdlib.( >= ) a b
-let min (a : t) b = Stdlib.min a b
-let max (a : t) b = Stdlib.max a b
+let[@inline] ( < ) (a : t) b = Stdlib.( < ) a b
+let[@inline] ( <= ) (a : t) b = Stdlib.( <= ) a b
+let[@inline] ( > ) (a : t) b = Stdlib.( > ) a b
+let[@inline] ( >= ) (a : t) b = Stdlib.( >= ) a b
+let[@inline] min (a : t) (b : t) = if Stdlib.( <= ) a b then a else b
+let[@inline] max (a : t) (b : t) = if Stdlib.( >= ) a b then a else b
 
 let pp ppf t =
   let f = float_of_int (abs t) in

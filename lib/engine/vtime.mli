@@ -10,6 +10,13 @@ type t = int
 
 val zero : t
 
+val never : t
+(** After every representable instant ([max_int] nanoseconds). Used as
+    the allocation-free "no pending event" sentinel by the raw peek
+    paths ([Event_queue.peek_time_raw], [Sim.next_time_raw], barrier
+    hooks): an empty source reports [never], and a fold over sources
+    starts from it. Never a valid event timestamp. *)
+
 val ns : int -> t
 (** [ns n] is [n] nanoseconds. *)
 

@@ -1,19 +1,93 @@
 open Totem_engine
 
-(* Partitioned-mode send record: a frame a node asked to transmit
-   during a parallel window, held until the barrier. [e_seq] is the
-   per-source emission index, so (e_time, e_src, e_seq) is the unique
-   canonical merge key. *)
-type entry = {
-  e_time : Vtime.t;
-  e_src : int;
-  e_seq : int;
-  e_net : int;
-  e_dst : int option; (* None = broadcast *)
-  e_frame : Frame.t;
+(* Partitioned-mode send buffer: frames a node asked to transmit
+   during a parallel window, held until the barrier. One outbox per
+   source node, flattened into parallel growable arrays that are reused
+   across flushes — buffering a send allocates nothing — with the slot
+   index as the per-source emission seq, so (time, src, index) is the
+   unique canonical merge key.
+
+   Entries are naturally time-sorted: a node's sends carry its
+   partition clock, which only moves forward inside a window. The one
+   exception is a coordinator-originated send (stamped with the
+   coordinator clock, which parks at the window start) interleaving
+   with the node's own later sends; [sorted] tracks it and the flush
+   re-sorts that outbox before merging. Outboxes are only ever touched
+   by their own partition's domain during a window and by the
+   coordinator at barriers, so none of this state is shared. *)
+type outbox = {
+  mutable times : Vtime.t array;
+  mutable nets : int array;
+  mutable dsts : int array; (* -1 = broadcast *)
+  mutable frames : Frame.t array;
+  mutable len : int;
+  mutable earliest : Vtime.t; (* min over buffered entries; meaningless at len = 0 *)
+  mutable sorted : bool;
 }
 
-type outbox = { mutable items : entry list (* newest first *); mutable seq : int }
+let dummy_frame = { Frame.src = 0; payload_bytes = 0; payload = Frame.Opaque "" }
+
+let outbox_create () =
+  {
+    times = [||];
+    nets = [||];
+    dsts = [||];
+    frames = [||];
+    len = 0;
+    earliest = Vtime.zero;
+    sorted = true;
+  }
+
+let outbox_push ob ~time ~net ~dst frame =
+  let i = ob.len in
+  if i = Array.length ob.times then begin
+    let cap = if i = 0 then 64 else 2 * i in
+    let times = Array.make cap Vtime.zero in
+    let nets = Array.make cap 0 in
+    let dsts = Array.make cap 0 in
+    let frames = Array.make cap dummy_frame in
+    Array.blit ob.times 0 times 0 i;
+    Array.blit ob.nets 0 nets 0 i;
+    Array.blit ob.dsts 0 dsts 0 i;
+    Array.blit ob.frames 0 frames 0 i;
+    ob.times <- times;
+    ob.nets <- nets;
+    ob.dsts <- dsts;
+    ob.frames <- frames
+  end;
+  if i = 0 then ob.earliest <- time
+  else begin
+    if Vtime.(time < ob.times.(i - 1)) then ob.sorted <- false;
+    ob.earliest <- Vtime.min ob.earliest time
+  end;
+  ob.times.(i) <- time;
+  ob.nets.(i) <- net;
+  ob.dsts.(i) <- (match dst with None -> -1 | Some d -> d);
+  ob.frames.(i) <- frame;
+  ob.len <- i + 1
+
+let outbox_clear ob =
+  Array.fill ob.frames 0 ob.len dummy_frame;
+  ob.len <- 0;
+  ob.sorted <- true
+
+(* Stable in-place sort of one outbox by time, preserving push order at
+   equal times (the canonical seq). Only taken when a coordinator-
+   originated send broke monotonicity, so allocation here is fine. *)
+let outbox_sort ob =
+  let n = ob.len in
+  let order = Array.init n (fun i -> i) in
+  let key = Array.copy ob.times in
+  Array.stable_sort (fun a b -> Vtime.compare key.(a) key.(b)) order;
+  let times = Array.init n (fun i -> ob.times.(order.(i))) in
+  let nets = Array.init n (fun i -> ob.nets.(order.(i))) in
+  let dsts = Array.init n (fun i -> ob.dsts.(order.(i))) in
+  let frames = Array.init n (fun i -> ob.frames.(order.(i))) in
+  Array.blit times 0 ob.times 0 n;
+  Array.blit nets 0 ob.nets 0 n;
+  Array.blit dsts 0 ob.dsts 0 n;
+  Array.blit frames 0 ob.frames 0 n;
+  ob.sorted <- true
 
 type t = {
   sim : Sim.t;
@@ -39,6 +113,14 @@ type t = {
   mutable partitions : Sim.t array option;
   mutable node_telemetry : Telemetry.t array option;
   outboxes : outbox array;
+  (* Earliest buffered send across all outboxes, [Vtime.never] when all
+     are empty: the exchange polls [outbox_next] once per window and
+     once per event inside adaptive solo windows, so it must be a field
+     read, not a fold. Maintained by [enqueue] / [flush_outboxes]. *)
+  mutable out_earliest : Vtime.t;
+  (* Scratch cursors for the k-way barrier merge, preallocated so the
+     per-window flush allocates nothing. *)
+  out_cursors : int array;
 }
 
 let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
@@ -70,7 +152,9 @@ let create sim ~num_nodes ~num_nets ?(config = Network.default_config) ?configs
     last_out = None;
     partitions = None;
     node_telemetry = None;
-    outboxes = Array.init num_nodes (fun _ -> { items = []; seq = 0 });
+    outboxes = Array.init num_nodes (fun _ -> outbox_create ());
+    out_earliest = Vtime.never;
+    out_cursors = Array.make num_nodes 0;
   }
 
 let set_partitions t ?node_telemetry sims =
@@ -151,39 +235,26 @@ let attach_node t ~node ?cpu ?recv_cost ?buffer_bytes handler =
    partition clock reads the current event's time) — maxed with the
    coordinator clock so coordinator-originated sends (bootstrap,
    harness injections) are stamped with the coordinator event's time. *)
-let enqueue t ~net ~dst frame =
+let enqueue t sims ~net ~dst frame =
   let src = frame.Frame.src in
-  let sims = Option.get t.partitions in
   let time = Vtime.max (Sim.now sims.(src)) (Sim.now t.sim) in
-  let ob = t.outboxes.(src) in
-  let seq = ob.seq in
-  ob.seq <- seq + 1;
-  ob.items <-
-    { e_time = time; e_src = src; e_seq = seq; e_net = net; e_dst = dst; e_frame = frame }
-    :: ob.items
+  if Vtime.(time < t.out_earliest) then t.out_earliest <- time;
+  outbox_push t.outboxes.(src) ~time ~net ~dst frame
 
 let broadcast t ~net frame =
   match t.partitions with
   | None -> Network.broadcast t.networks.(net) (outgoing t frame)
-  | Some _ -> enqueue t ~net ~dst:None frame
+  | Some sims -> enqueue t sims ~net ~dst:None frame
 
 let unicast t ~net ~dst frame =
   match t.partitions with
   | None -> Network.unicast t.networks.(net) ~dst (outgoing t frame)
-  | Some _ -> enqueue t ~net ~dst:(Some dst) frame
+  | Some sims -> enqueue t sims ~net ~dst:(Some dst) frame
 
 (* Earliest buffered send, so the exchange's idle-jump cannot leap over
-   work created outside a window (e.g. the bootstrap token at t=0). *)
-let outbox_next t =
-  Array.fold_left
-    (fun acc ob ->
-      List.fold_left
-        (fun acc e ->
-          match acc with
-          | None -> Some e.e_time
-          | Some m -> Some (Vtime.min m e.e_time))
-        acc ob.items)
-    None t.outboxes
+   work created outside a window (e.g. the bootstrap token at t=0), and
+   its skip-flush / adaptive-cap checks see pending traffic in O(1). *)
+let outbox_next t = t.out_earliest
 
 (* Barrier flush: merge all outboxes in canonical (time, src, seq)
    order and play each send through the classic medium path — shared
@@ -191,44 +262,70 @@ let outbox_next t =
    RNG stream, delivery scheduling — with the coordinator clock set to
    the send's own timestamp. Because the order is a pure function of
    simulation content, the whole network layer stays deterministic
-   under any domain count. The wire-encoder memo keeps paying off: the
-   per-source seq keeps a frame's per-network copies adjacent after the
-   sort. *)
+   under any domain count. Each outbox is already time-sorted (seq is
+   the slot index), so the canonical order is a k-way walk over
+   per-node cursors — no sort, no scratch allocation. The wire-encoder
+   memo keeps paying off: merging whole (time, src) runs in seq order
+   keeps a frame's per-network copies adjacent. *)
+let replay_one t ob cur =
+  Sim.unsafe_set_clock t.sim ob.times.(cur);
+  let frame = outgoing t ob.frames.(cur) in
+  let net = ob.nets.(cur) in
+  match ob.dsts.(cur) with
+  | -1 -> Network.broadcast t.networks.(net) frame
+  | dst -> Network.unicast t.networks.(net) ~dst frame
+
 let flush_outboxes t =
-  let total = Array.fold_left (fun acc ob -> acc + List.length ob.items) 0 t.outboxes in
-  if total > 0 then begin
-    let scratch = Array.make total None in
-    let i = ref 0 in
-    Array.iter
-      (fun ob ->
-        List.iter
-          (fun e ->
-            scratch.(!i) <- Some e;
-            incr i)
-          ob.items;
-        ob.items <- [])
-      t.outboxes;
-    Array.sort
-      (fun a b ->
-        match a, b with
-        | Some a, Some b ->
-          let c = compare a.e_time b.e_time in
-          if c <> 0 then c
-          else
-            let c = compare a.e_src b.e_src in
-            if c <> 0 then c else compare a.e_seq b.e_seq
-        | _ -> assert false)
-      scratch;
-    Array.iter
-      (function
-        | None -> ()
-        | Some e ->
-          Sim.unsafe_set_clock t.sim e.e_time;
-          let frame = outgoing t e.e_frame in
-          (match e.e_dst with
-          | None -> Network.broadcast t.networks.(e.e_net) frame
-          | Some dst -> Network.unicast t.networks.(e.e_net) ~dst frame))
-      scratch
+  let boxes = t.outboxes in
+  let n = Array.length boxes in
+  let nonempty = ref 0 in
+  let last = ref 0 in
+  for i = 0 to n - 1 do
+    let ob = boxes.(i) in
+    if ob.len > 0 then begin
+      incr nonempty;
+      last := i;
+      if not ob.sorted then outbox_sort ob
+    end
+  done;
+  if !nonempty = 1 then begin
+    (* The common window under token rotation: one sender. Its sorted
+       outbox already is the canonical order — replay linearly, no
+       merge state at all. *)
+    let ob = boxes.(!last) in
+    for cur = 0 to ob.len - 1 do
+      replay_one t ob cur
+    done;
+    outbox_clear ob
   end
+  else if !nonempty > 0 then begin
+    let curs = t.out_cursors in
+    Array.fill curs 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      let best_time = ref Vtime.zero in
+      for i = 0 to n - 1 do
+        let ob = boxes.(i) in
+        if curs.(i) < ob.len then begin
+          let tm = ob.times.(curs.(i)) in
+          (* strict <: at equal times the lower node id goes first *)
+          if !best < 0 || Vtime.(tm < !best_time) then begin
+            best := i;
+            best_time := tm
+          end
+        end
+      done;
+      if !best < 0 then continue := false
+      else begin
+        let ob = boxes.(!best) in
+        let cur = curs.(!best) in
+        curs.(!best) <- cur + 1;
+        replay_one t ob cur
+      end
+    done;
+    Array.iter outbox_clear boxes
+  end;
+  t.out_earliest <- Vtime.never
 
 let iter_networks t f = Array.iter f t.networks

@@ -90,8 +90,10 @@ val min_latency : t -> Totem_engine.Vtime.t
 (** Minimum {!Network.min_latency} across all networks: the largest
     safe conservative lookahead for the exchange. *)
 
-val outbox_next : t -> Totem_engine.Vtime.t option
-(** Earliest timestamp among buffered sends, if any. *)
+val outbox_next : t -> Totem_engine.Vtime.t
+(** Earliest timestamp among buffered sends; [Vtime.never] when none.
+    Allocation-free — the exchange polls this once per window and once
+    per event inside an adaptive solo window. *)
 
 val flush_outboxes : t -> unit
 (** Barrier hook: replay all buffered sends in canonical order,

@@ -38,9 +38,7 @@ let qcheck_lookahead_bound =
       in
       Exchange.add_barrier_hook ex
         ~next:(fun () ->
-          match !outbox with
-          | [] -> None
-          | l -> Some (List.fold_left (fun a (t, _, _) -> min a t) max_int l))
+          List.fold_left (fun a (t, _, _) -> Vtime.min a t) Vtime.never !outbox)
         (fun _h1 ->
           let items = List.rev !outbox in
           outbox := [];
@@ -140,6 +138,150 @@ let test_chaos_domains_deterministic style () =
   Alcotest.(check int) "equal events_processed" r1.Runner.events r8.Runner.events;
   Alcotest.(check bool) "work was done" true (r1.Runner.delivered > 0)
 
+(* --- window batching -------------------------------------------------- *)
+
+(* Batching is an overhead amortization, not a semantics: over random
+   styles, seeds, wire modes and horizon factors, a sim-domains-1 run
+   with batching on must produce the same full fingerprint as the same
+   campaign with batching off. Campaigns are deliberately small (two
+   bursts, short window) so the property gets breadth, not depth — the
+   Slow chaos tests above cover the deep schedules. *)
+let qcheck_batching_deterministic =
+  QCheck.Test.make ~name:"exchange: batched run == unbatched run at d1"
+    ~count:8
+    QCheck.(
+      quad (int_range 0 2) (int_range 0 10_000) bool (int_range 1 16))
+    (fun (style_idx, seed, wire, factor) ->
+      let style =
+        match style_idx with
+        | 0 -> Totem_rrp.Style.No_replication
+        | 1 -> Totem_rrp.Style.Active
+        | _ -> Totem_rrp.Style.Passive
+      in
+      let campaign =
+        Campaign.make ~num_nodes:4 ~num_nets:2 ~style ~seed
+          ~duration:(Vtime.ms 60) ~quiesce:(Vtime.ms 800)
+          ~traffic:
+            (Campaign.Bursts
+               [ (0, 256, 3, Vtime.ms 5); (2, 512, 2, Vtime.ms 25) ])
+          ~wire []
+      in
+      let batched =
+        Runner.run ~sim_domains:1 ~window_batch:true ~max_horizon_factor:factor
+          campaign
+      in
+      let plain = Runner.run ~sim_domains:1 ~window_batch:false campaign in
+      fingerprint batched = fingerprint plain && batched.Runner.delivered > 0)
+
+(* The lookahead-bound harness again, with batching on and a random
+   horizon factor: a barrier may only skip its flush when every hook is
+   empty, and an adaptive solo window must shrink its cap the moment
+   the soloist buffers cross-partition work. If either rule broke, a
+   buffered hop would be flushed late (landing in the destination's
+   past, raising) or never — so "no exception, every hop delivered,
+   outbox empty at the end" is exactly "no hook ever observed a skipped
+   or late flush". *)
+let qcheck_batching_never_skips_pending_flush =
+  QCheck.Test.make ~name:"exchange: batching never skips a pending flush"
+    ~count:60
+    QCheck.(
+      quad (int_range 1 500) (int_range 2 4) (int_range 1 16)
+        (list_of_size (Gen.int_range 0 30)
+           (triple (int_range 0 3) (int_range 0 5000) (int_range 0 5))))
+    (fun (lookahead, nparts, factor, sends) ->
+      (* Clamp so shrunk inputs stay inside the generator bounds:
+         QCheck's int shrinker walks toward 0, below the ranges. *)
+      let lookahead = max 1 lookahead in
+      let nparts = max 2 nparts in
+      let factor = max 1 factor in
+      let global = Sim.create () in
+      let parts = Array.init nparts (fun i -> Sim.create ~seed:(7 + i) ()) in
+      let ex =
+        Exchange.create ~batching:true ~max_horizon_factor:factor ~lookahead
+          ~global ~parts ()
+      in
+      let outbox = ref [] in
+      let delivered = ref 0 in
+      let expected =
+        List.fold_left (fun acc (_, _, hops) -> acc + hops + 1) 0 sends
+      in
+      let rec send ~src ~hops =
+        outbox := (Sim.now parts.(src), (src + 1) mod nparts, hops) :: !outbox
+      and deliver dst hops () =
+        incr delivered;
+        if hops > 0 then send ~src:dst ~hops:(hops - 1)
+      in
+      Exchange.add_barrier_hook ex
+        ~next:(fun () ->
+          List.fold_left (fun a (t, _, _) -> Vtime.min a t) Vtime.never !outbox)
+        (fun _h1 ->
+          let items = List.rev !outbox in
+          outbox := [];
+          List.iter
+            (fun (t, dst, hops) ->
+              ignore
+                (Sim.schedule_at parts.(dst) ~time:(t + lookahead)
+                   (deliver dst hops)))
+            items);
+      List.iter
+        (fun (src, at, hops) ->
+          let src = src mod nparts in
+          ignore
+            (Sim.schedule_at parts.(src) ~time:at (fun () -> send ~src ~hops)))
+        sends;
+      Exchange.run_until ex 10_000;
+      let stats = Exchange.stats ex in
+      !delivered = expected
+      && !outbox = []
+      && Exchange.horizon ex = 10_000
+      && stats.Exchange.windows_batched <= stats.Exchange.windows_run)
+
+(* The amortization must engage exactly when enabled: local-only work
+   (no hook ever holds anything) makes every barrier skippable, so the
+   batched counter climbs with batching on and stays zero with it
+   off — and either way the partitions process all their events. *)
+let test_windows_batched_counter () =
+  let run batching =
+    let global = Sim.create () in
+    let parts = Array.init 2 (fun i -> Sim.create ~seed:(3 + i) ()) in
+    let ex = Exchange.create ~batching ~lookahead:10 ~global ~parts () in
+    let fired = ref 0 in
+    for k = 1 to 50 do
+      ignore (Sim.schedule_at parts.(k mod 2) ~time:(k * 7) (fun () -> incr fired))
+    done;
+    Exchange.run_until ex 1_000;
+    Alcotest.(check int) "all local events fired" 50 !fired;
+    Exchange.stats ex
+  in
+  let on = run true and off = run false in
+  Alcotest.(check bool)
+    "batched counter engaged on idle-heavy run" true
+    (on.Exchange.windows_batched > 0);
+  Alcotest.(check int) "counter stays zero when disabled" 0
+    off.Exchange.windows_batched
+
+(* Cluster teardown must join the exchange's worker pool: after
+   [Cluster.shutdown] no worker domain may outlive the simulation. *)
+let test_shutdown_joins_worker_pool () =
+  let config = Totem_cluster.Config.make ~num_nodes:4 ~sim_domains:4 () in
+  let cluster = Totem_cluster.Cluster.create config in
+  Totem_cluster.Cluster.start cluster;
+  (* The pool spawns lazily, on the first window with two or more
+     active partitions — a short quiet run never triggers it, so drive
+     long enough for node timers to coincide inside one window. *)
+  Totem_cluster.Cluster.run_until cluster (Vtime.ms 500);
+  let ex =
+    match Totem_cluster.Cluster.exchange cluster with
+    | Some ex -> ex
+    | None -> Alcotest.fail "sim_domains 4 must run the parallel core"
+  in
+  Alcotest.(check bool)
+    "worker pool was spawned" true
+    (Exchange.live_workers ex > 0);
+  Totem_cluster.Cluster.shutdown cluster;
+  Alcotest.(check int) "no worker domains after shutdown" 0
+    (Exchange.live_workers ex)
+
 (* --- Parallel.map ----------------------------------------------------- *)
 
 exception Boom of int
@@ -162,8 +304,17 @@ let test_parallel_map_propagates () =
 
 let tests =
   List.map QCheck_alcotest.to_alcotest
-    [ qcheck_lookahead_bound; qcheck_canonical_merge_total_order ]
+    [
+      qcheck_lookahead_bound;
+      qcheck_canonical_merge_total_order;
+      qcheck_batching_deterministic;
+      qcheck_batching_never_skips_pending_flush;
+    ]
   @ [
+      Alcotest.test_case "windows-batched counter engages iff enabled" `Quick
+        test_windows_batched_counter;
+      Alcotest.test_case "cluster shutdown joins the worker pool" `Quick
+        test_shutdown_joins_worker_pool;
       Alcotest.test_case "chaos fingerprint d1=d8 (no replication)" `Slow
         (test_chaos_domains_deterministic Totem_rrp.Style.No_replication);
       Alcotest.test_case "chaos fingerprint d1=d8 (active)" `Slow
